@@ -1,0 +1,112 @@
+// Ablation study of the cracking index's design choices (DESIGN.md §6):
+//   * the two-component query-aware cost vs. the classic overlap cost
+//   * the stopping condition on vs. off
+//   * beta in the overlap penalty
+//   * number of split choices k (greedy vs. A*)
+//   * transform dimensionality alpha
+//
+// Reported per variant: splits performed, index nodes, steady-state
+// per-query latency, and precision@10 vs. the exact scan.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace vkg;
+
+struct Variant {
+  std::string label;
+  bench::MethodOptions options;
+  index::MethodKind kind = index::MethodKind::kCracking;
+};
+
+void RunVariant(const data::Dataset& ds,
+                const std::vector<data::Query>& queries, Variant v,
+                bench::MethodRun& truth, const std::vector<int>& widths) {
+  bench::MethodRun run = bench::MakeMethod(ds, v.kind, v.options);
+  // Crack with the workload.
+  for (const data::Query& q : queries) run.engine->TopKQuery(q, 10);
+  // Converged latency.
+  util::WallTimer timer;
+  for (const data::Query& q : queries) run.engine->TopKQuery(q, 10);
+  double avg_us = timer.ElapsedSeconds() * 1e6 /
+                  static_cast<double>(queries.size());
+  double precision = bench::MeasurePrecision(run, truth, queries, 10);
+  index::IndexStats stats = run.rtree->Stats();
+  bench::PrintRow({v.label, std::to_string(stats.binary_splits),
+                   std::to_string(stats.num_nodes),
+                   util::StrFormat("%.1f", avg_us),
+                   util::StrFormat("%.4f", precision)},
+                  widths);
+}
+
+}  // namespace
+
+int main() {
+  const auto& ds = bench::MovieDataset();
+  auto queries = bench::StandardWorkload(ds, 120, 57);
+  if (queries.empty()) {
+    std::fprintf(stderr, "empty workload\n");
+    return 1;
+  }
+  bench::MethodRun truth =
+      bench::MakeMethod(ds, index::MethodKind::kNoIndex);
+
+  bench::PrintTitle("Ablation: cracking index design choices (movie)");
+  std::vector<int> widths{34, 10, 10, 14, 12};
+  bench::PrintRow({"variant", "splits", "nodes", "conv-avg(us)",
+                   "precision@10"},
+                  widths);
+
+  std::vector<Variant> variants;
+  {
+    Variant base;
+    base.label = "baseline (cq-major, stop on, b=2)";
+    variants.push_back(base);
+
+    Variant classic;
+    classic.label = "classic overlap cost only";
+    classic.options.rtree.use_query_cost = false;
+    variants.push_back(classic);
+
+    Variant nostop;
+    nostop.label = "stopping condition off";
+    nostop.options.rtree.use_stopping_condition = false;
+    variants.push_back(nostop);
+
+    Variant rstar;
+    rstar.label = "R*-style split heuristic";
+    rstar.options.rtree.split_algorithm = index::SplitAlgorithm::kRStar;
+    variants.push_back(rstar);
+
+    for (double beta : {1.0, 4.0}) {
+      Variant b;
+      b.label = util::StrFormat("beta = %.0f", beta);
+      b.options.rtree.beta = beta;
+      variants.push_back(b);
+    }
+    for (index::MethodKind kind :
+         {index::MethodKind::kCracking2, index::MethodKind::kCracking3,
+          index::MethodKind::kCracking4}) {
+      Variant k;
+      k.kind = kind;
+      k.label = util::StrFormat(
+          "split choices k = %zu", index::SplitChoicesFor(kind));
+      variants.push_back(k);
+    }
+    for (size_t alpha : {2ul, 4ul, 6ul}) {
+      Variant a;
+      a.label = util::StrFormat("alpha = %zu", alpha);
+      a.options.alpha = alpha;
+      variants.push_back(a);
+    }
+  }
+  for (Variant& v : variants) {
+    RunVariant(ds, queries, v, truth, widths);
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 3: method vs. elapsed time on the Freebase-like dataset.
+//
+// Expected shape (paper): PH-tree and bulk-loading pay a large offline
+// build; no-index pays per-query; the cracking methods pay nothing
+// offline, their first query is far cheaper than a bulk load, and their
+// steady-state per-query time matches or beats the bulk-loaded tree.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace vkg;
+  const auto& ds = bench::FreebaseDataset();
+  auto queries = bench::StandardWorkload(ds, 200, 42);
+  if (queries.empty()) {
+    std::fprintf(stderr, "empty workload\n");
+    return 1;
+  }
+  const size_t k = 10;
+
+  bench::PrintTitle(
+      "Figure 3: method vs elapsed time (freebase-like), top-" +
+      std::to_string(k));
+  std::vector<int> widths{16, 11, 10, 10, 10, 10, 14, 14};
+  bench::PrintRow({"method", "build(s)", "q1(ms)", "q6(ms)", "q11(ms)",
+                   "q16(ms)", "warm-avg(us)", "conv-avg(us)"},
+                  widths);
+
+  const index::MethodKind methods[] = {
+      index::MethodKind::kNoIndex,   index::MethodKind::kPhTree,
+      index::MethodKind::kBulkRTree, index::MethodKind::kCracking,
+      index::MethodKind::kCracking2, index::MethodKind::kCracking4,
+  };
+  for (index::MethodKind kind : methods) {
+    bench::MethodRun run = bench::MakeMethod(ds, kind);
+    // Expensive baselines measure fewer steady-state queries.
+    size_t warm = (kind == index::MethodKind::kNoIndex ||
+                   kind == index::MethodKind::kPhTree)
+                      ? 100
+                      : 1000;
+    bench::TimeProfile p = bench::ProfileMethod(run, queries, k, warm);
+    bench::PrintRow({run.label, util::StrFormat("%.3f", p.build_s),
+                     util::StrFormat("%.3f", p.q1_ms),
+                     util::StrFormat("%.3f", p.q6_ms),
+                     util::StrFormat("%.3f", p.q11_ms),
+                     util::StrFormat("%.3f", p.q16_ms),
+                     util::StrFormat("%.1f", p.warm_avg_us),
+                     util::StrFormat("%.1f", p.converged_avg_us)},
+                    widths);
+  }
+  return 0;
+}

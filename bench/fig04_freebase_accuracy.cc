@@ -1,0 +1,39 @@
+// Figure 4: precision@K of each indexing method vs. the no-index ground
+// truth on the Freebase-like dataset. Expected shape: >= ~0.95 for all
+// R-tree methods; PH-tree is exact (1.0) since it searches S1 directly.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace vkg;
+  const auto& ds = bench::FreebaseDataset();
+  auto queries = bench::StandardWorkload(ds, 60, 43);
+  if (queries.empty()) {
+    std::fprintf(stderr, "empty workload\n");
+    return 1;
+  }
+
+  bench::PrintTitle("Figure 4: precision@K vs no-index (freebase-like)");
+  std::vector<int> widths{16, 14, 14};
+  bench::PrintRow({"method", "precision@5", "precision@10"}, widths);
+
+  bench::MethodRun truth =
+      bench::MakeMethod(ds, index::MethodKind::kNoIndex);
+  const index::MethodKind methods[] = {
+      index::MethodKind::kPhTree,    index::MethodKind::kBulkRTree,
+      index::MethodKind::kCracking,  index::MethodKind::kCracking2,
+      index::MethodKind::kCracking4,
+  };
+  for (index::MethodKind kind : methods) {
+    bench::MethodRun run = bench::MakeMethod(ds, kind);
+    double p5 = bench::MeasurePrecision(run, truth, queries, 5);
+    double p10 = bench::MeasurePrecision(run, truth, queries, 10);
+    bench::PrintRow({run.label, util::StrFormat("%.4f", p5),
+                     util::StrFormat("%.4f", p10)},
+                    widths);
+  }
+  return 0;
+}

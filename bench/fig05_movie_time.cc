@@ -1,0 +1,67 @@
+// Figure 5: method vs. elapsed time on the Movie dataset, comparing the
+// transform dimensionality alpha = 3 vs alpha = 6, plus the H2-ALSH
+// baseline restricted to the single "likes" relation.
+//
+// Expected shape (paper): alpha = 6 costs noticeably more to build and
+// query than alpha = 3; H2-ALSH builds quickly but queries much slower
+// than the R-tree family.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace vkg;
+  const auto& ds = bench::MovieDataset();
+  kg::RelationId likes = ds.graph.relation_names().Lookup("likes");
+  auto queries = bench::StandardWorkload(ds, 200, 44, likes);
+  if (queries.empty()) {
+    std::fprintf(stderr, "empty workload\n");
+    return 1;
+  }
+  const size_t k = 10;
+
+  bench::PrintTitle("Figure 5: method vs elapsed time (movielens-like)");
+  std::vector<int> widths{22, 11, 10, 10, 10, 10, 14, 14};
+  bench::PrintRow({"method", "build(s)", "q1(ms)", "q6(ms)", "q11(ms)",
+                   "q16(ms)", "warm-avg(us)", "conv-avg(us)"},
+                  widths);
+
+  struct Variant {
+    index::MethodKind kind;
+    size_t alpha;
+  };
+  const Variant variants[] = {
+      {index::MethodKind::kNoIndex, 3},
+      {index::MethodKind::kBulkRTree, 3},
+      {index::MethodKind::kBulkRTree, 6},
+      {index::MethodKind::kCracking, 3},
+      {index::MethodKind::kCracking, 6},
+      {index::MethodKind::kCracking2, 3},
+      {index::MethodKind::kH2Alsh, 3},
+  };
+  for (const Variant& v : variants) {
+    bench::MethodOptions options;
+    options.alpha = v.alpha;
+    bench::MethodRun run = bench::MakeMethod(ds, v.kind, options);
+    std::string label = run.label;
+    if (index::UsesRTree(v.kind)) {
+      label += util::StrFormat(" (a=%zu)", v.alpha);
+    }
+    size_t warm = (v.kind == index::MethodKind::kNoIndex ||
+                   v.kind == index::MethodKind::kH2Alsh)
+                      ? 200
+                      : 1000;
+    bench::TimeProfile p = bench::ProfileMethod(run, queries, k, warm);
+    bench::PrintRow({label, util::StrFormat("%.3f", p.build_s),
+                     util::StrFormat("%.3f", p.q1_ms),
+                     util::StrFormat("%.3f", p.q6_ms),
+                     util::StrFormat("%.3f", p.q11_ms),
+                     util::StrFormat("%.3f", p.q16_ms),
+                     util::StrFormat("%.1f", p.warm_avg_us),
+                     util::StrFormat("%.1f", p.converged_avg_us)},
+                    widths);
+  }
+  return 0;
+}

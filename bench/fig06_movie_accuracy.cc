@@ -1,0 +1,50 @@
+// Figure 6: precision@K on the Movie dataset, including the alpha = 3 vs
+// alpha = 6 comparison and H2-ALSH. Expected shape: all >= ~0.94, with
+// alpha = 6 slightly above alpha = 3 (better distance preservation).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace vkg;
+  const auto& ds = bench::MovieDataset();
+  kg::RelationId likes = ds.graph.relation_names().Lookup("likes");
+  auto queries = bench::StandardWorkload(ds, 60, 45, likes);
+  if (queries.empty()) {
+    std::fprintf(stderr, "empty workload\n");
+    return 1;
+  }
+
+  bench::PrintTitle("Figure 6: precision@K vs no-index (movielens-like)");
+  std::vector<int> widths{22, 14, 14};
+  bench::PrintRow({"method", "precision@5", "precision@10"}, widths);
+
+  bench::MethodRun truth =
+      bench::MakeMethod(ds, index::MethodKind::kNoIndex);
+  struct Variant {
+    index::MethodKind kind;
+    size_t alpha;
+  };
+  const Variant variants[] = {
+      {index::MethodKind::kBulkRTree, 3}, {index::MethodKind::kBulkRTree, 6},
+      {index::MethodKind::kCracking, 3},  {index::MethodKind::kCracking, 6},
+      {index::MethodKind::kCracking2, 3}, {index::MethodKind::kH2Alsh, 3},
+  };
+  for (const Variant& v : variants) {
+    bench::MethodOptions options;
+    options.alpha = v.alpha;
+    bench::MethodRun run = bench::MakeMethod(ds, v.kind, options);
+    std::string label = run.label;
+    if (index::UsesRTree(v.kind)) {
+      label += util::StrFormat(" (a=%zu)", v.alpha);
+    }
+    double p5 = bench::MeasurePrecision(run, truth, queries, 5);
+    double p10 = bench::MeasurePrecision(run, truth, queries, 10);
+    bench::PrintRow({label, util::StrFormat("%.4f", p5),
+                     util::StrFormat("%.4f", p10)},
+                    widths);
+  }
+  return 0;
+}

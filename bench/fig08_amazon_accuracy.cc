@@ -1,0 +1,39 @@
+// Figure 8: precision@K on the Amazon dataset (vs. the no-index ground
+// truth), including H2-ALSH. Expected shape mirrors Figures 4 and 6.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace vkg;
+  const auto& ds = bench::AmazonDataset();
+  kg::RelationId likes = ds.graph.relation_names().Lookup("likes");
+  auto queries = bench::StandardWorkload(ds, 60, 47, likes);
+  if (queries.empty()) {
+    std::fprintf(stderr, "empty workload\n");
+    return 1;
+  }
+
+  bench::PrintTitle("Figure 8: precision@K vs no-index (amazon-like)");
+  std::vector<int> widths{18, 14, 14};
+  bench::PrintRow({"method", "precision@2", "precision@10"}, widths);
+
+  bench::MethodRun truth =
+      bench::MakeMethod(ds, index::MethodKind::kNoIndex);
+  const index::MethodKind methods[] = {
+      index::MethodKind::kBulkRTree, index::MethodKind::kCracking,
+      index::MethodKind::kCracking2, index::MethodKind::kCracking4,
+      index::MethodKind::kH2Alsh,
+  };
+  for (index::MethodKind kind : methods) {
+    bench::MethodRun run = bench::MakeMethod(ds, kind);
+    double p2 = bench::MeasurePrecision(run, truth, queries, 2);
+    double p10 = bench::MeasurePrecision(run, truth, queries, 10);
+    bench::PrintRow({run.label, util::StrFormat("%.4f", p2),
+                     util::StrFormat("%.4f", p10)},
+                    widths);
+  }
+  return 0;
+}

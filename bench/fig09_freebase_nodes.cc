@@ -1,0 +1,50 @@
+// Figure 9: number of index nodes vs. number of initial queries on the
+// Freebase-like dataset, cracking vs. bulk-loaded.
+//
+// Expected shape (paper): the cracking index's node count is a small
+// fraction of the bulk-loaded index and converges after ~10 queries.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace vkg;
+  const auto& ds = bench::FreebaseDataset();
+  auto queries = bench::StandardWorkload(ds, 64, 48);
+  if (queries.empty()) {
+    std::fprintf(stderr, "empty workload\n");
+    return 1;
+  }
+
+  bench::MethodRun bulk =
+      bench::MakeMethod(ds, index::MethodKind::kBulkRTree);
+  bench::MethodRun crack =
+      bench::MakeMethod(ds, index::MethodKind::kCracking);
+  bench::MethodRun crack2 =
+      bench::MakeMethod(ds, index::MethodKind::kCracking2);
+
+  bench::PrintTitle("Figure 9: #index nodes vs #queries (freebase-like)");
+  std::vector<int> widths{10, 14, 16, 14, 14};
+  bench::PrintRow({"queries", "crack nodes", "crack-2 nodes", "bulk nodes",
+                   "crack splits"},
+                  widths);
+
+  const size_t checkpoints[] = {0, 1, 2, 5, 10, 20, 50};
+  size_t done = 0;
+  for (size_t cp : checkpoints) {
+    while (done < cp) {
+      crack.engine->TopKQuery(queries[done % queries.size()], 10);
+      crack2.engine->TopKQuery(queries[done % queries.size()], 10);
+      ++done;
+    }
+    bench::PrintRow(
+        {std::to_string(cp), std::to_string(crack.rtree->Stats().num_nodes),
+         std::to_string(crack2.rtree->Stats().num_nodes),
+         std::to_string(bulk.rtree->Stats().num_nodes),
+         std::to_string(crack.rtree->Stats().binary_splits)},
+        widths);
+  }
+  return 0;
+}

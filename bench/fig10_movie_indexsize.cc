@@ -1,0 +1,46 @@
+// Figure 10: index size (structure bytes) vs. number of initial queries
+// on the Movie dataset, cracking vs. bulk-loaded.
+//
+// Expected shape: the cracking index stays a small fraction of the bulk
+// index's size and converges quickly.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace vkg;
+  const auto& ds = bench::MovieDataset();
+  auto queries = bench::StandardWorkload(ds, 64, 49);
+  if (queries.empty()) {
+    std::fprintf(stderr, "empty workload\n");
+    return 1;
+  }
+
+  bench::MethodRun bulk =
+      bench::MakeMethod(ds, index::MethodKind::kBulkRTree);
+  bench::MethodRun crack =
+      bench::MakeMethod(ds, index::MethodKind::kCracking);
+
+  bench::PrintTitle("Figure 10: index size vs #queries (movielens-like)");
+  std::vector<int> widths{10, 16, 16, 12};
+  bench::PrintRow({"queries", "crack size", "bulk size", "ratio"}, widths);
+
+  const size_t checkpoints[] = {0, 1, 2, 5, 10, 20, 50};
+  size_t done = 0;
+  const double bulk_bytes =
+      static_cast<double>(bulk.rtree->Stats().node_bytes);
+  for (size_t cp : checkpoints) {
+    while (done < cp) {
+      crack.engine->TopKQuery(queries[done % queries.size()], 10);
+      ++done;
+    }
+    size_t crack_bytes = crack.rtree->Stats().node_bytes;
+    bench::PrintRow({std::to_string(cp), util::HumanBytes(crack_bytes),
+                     util::HumanBytes(static_cast<size_t>(bulk_bytes)),
+                     util::StrFormat("%.3f", crack_bytes / bulk_bytes)},
+                    widths);
+  }
+  return 0;
+}

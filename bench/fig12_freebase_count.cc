@@ -1,0 +1,22 @@
+// Figure 12: COUNT queries on the Freebase-like dataset — the tradeoff
+// between execution time (sample size) and accuracy vs. the full scan.
+//
+// Expected shape: accuracy rises with the sample size and plateaus at a
+// high level well before accessing the whole ball (points accessed later
+// have smaller probabilities and less weight).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace vkg;
+  const auto& ds = bench::FreebaseDataset();
+  auto queries = bench::StandardWorkload(ds, 15, 52);
+  bench::AggregateRun run = bench::MakeAggregateRun(ds);
+  auto rows = bench::AggregateSweep(run, queries, query::AggKind::kCount,
+                                    /*attribute=*/"",
+                                    /*prob_threshold=*/0.05,
+                                    {2, 8, 32, 128, 512, 0});
+  bench::PrintAggregateSweep(
+      "Figure 12: COUNT time/accuracy tradeoff (freebase-like)", rows);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Figure 13: AVG queries on the Movie dataset — the average release year
+// of the movies a user is predicted to like, sample size vs. accuracy.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace vkg;
+  const auto& ds = bench::MovieDataset();
+  kg::RelationId likes = ds.graph.relation_names().Lookup("likes");
+  auto queries = bench::StandardWorkload(ds, 15, 53, likes);
+  bench::AggregateRun run = bench::MakeAggregateRun(ds);
+  auto rows = bench::AggregateSweep(run, queries, query::AggKind::kAvg,
+                                    /*attribute=*/"year",
+                                    /*prob_threshold=*/0.05,
+                                    {2, 8, 32, 128, 512, 0});
+  bench::PrintAggregateSweep(
+      "Figure 13: AVG(year) time/accuracy tradeoff (movielens-like)", rows);
+  return 0;
+}

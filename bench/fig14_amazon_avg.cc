@@ -1,0 +1,21 @@
+// Figure 14: AVG queries on the Amazon dataset — the average "quality"
+// (mean observed rating) of the products a user is predicted to like.
+// Expected shape: like Figure 13, but reaching high accuracy takes
+// slightly longer due to the larger dataset.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace vkg;
+  const auto& ds = bench::AmazonDataset();
+  kg::RelationId likes = ds.graph.relation_names().Lookup("likes");
+  auto queries = bench::StandardWorkload(ds, 15, 54, likes);
+  bench::AggregateRun run = bench::MakeAggregateRun(ds);
+  auto rows = bench::AggregateSweep(run, queries, query::AggKind::kAvg,
+                                    /*attribute=*/"quality",
+                                    /*prob_threshold=*/0.05,
+                                    {2, 8, 32, 128, 512, 0});
+  bench::PrintAggregateSweep(
+      "Figure 14: AVG(quality) time/accuracy tradeoff (amazon-like)", rows);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 15: MAX queries on the Freebase-like dataset — the maximum
+// "popularity" (degree) among the predicted target entities, sample size
+// vs. accuracy (Section V-B MAX estimator, Equation 4).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace vkg;
+  const auto& ds = bench::FreebaseDataset();
+  auto queries = bench::StandardWorkload(ds, 15, 55);
+  bench::AggregateRun run = bench::MakeAggregateRun(ds);
+  auto rows = bench::AggregateSweep(run, queries, query::AggKind::kMax,
+                                    /*attribute=*/"popularity",
+                                    /*prob_threshold=*/0.05,
+                                    {2, 8, 32, 128, 512, 0});
+  bench::PrintAggregateSweep(
+      "Figure 15: MAX(popularity) time/accuracy tradeoff (freebase-like)",
+      rows);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Figure 16: MIN queries on the Movie dataset — the oldest (minimum
+// release year) movie among those a user is predicted to like.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace vkg;
+  const auto& ds = bench::MovieDataset();
+  kg::RelationId likes = ds.graph.relation_names().Lookup("likes");
+  auto queries = bench::StandardWorkload(ds, 15, 56, likes);
+  bench::AggregateRun run = bench::MakeAggregateRun(ds);
+  auto rows = bench::AggregateSweep(run, queries, query::AggKind::kMin,
+                                    /*attribute=*/"year",
+                                    /*prob_threshold=*/0.05,
+                                    {2, 8, 32, 128, 512, 0});
+  bench::PrintAggregateSweep(
+      "Figure 16: MIN(year) time/accuracy tradeoff (movielens-like)", rows);
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Microbenchmarks (google-benchmark) of the core index primitives: the
+// JL projection, sort-order construction and splitting, R-tree cracking,
+// point search, and the exact S1 distance evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include "data/movielens_gen.h"
+#include "embedding/vector_ops.h"
+#include "index/cracking_rtree.h"
+#include "transform/jl_transform.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace vkg;
+
+std::vector<float> RandomVec(size_t d, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(d);
+  for (float& x : v) x = static_cast<float>(rng.Gaussian());
+  return v;
+}
+
+index::PointSet RandomPoints(size_t n, size_t dim, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> coords(n * dim);
+  for (float& v : coords) v = static_cast<float>(rng.Gaussian());
+  return index::PointSet(std::move(coords), dim);
+}
+
+void BM_JlApply(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  transform::JlTransform t(d, 3, 1);
+  std::vector<float> in = RandomVec(d, 2);
+  std::vector<float> out(3);
+  for (auto _ : state) {
+    t.Apply(in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_JlApply)->Arg(50)->Arg(100);
+
+void BM_S1Distance(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  std::vector<float> a = RandomVec(d, 3);
+  std::vector<float> b = RandomVec(d, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(embedding::L2DistanceSquared(a, b));
+  }
+}
+BENCHMARK(BM_S1Distance)->Arg(50)->Arg(100);
+
+void BM_SortOrderBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  index::PointSet ps = RandomPoints(n, 3, 5);
+  for (auto _ : state) {
+    index::SortedOrders orders(ps);
+    benchmark::DoNotOptimize(orders.size());
+  }
+}
+BENCHMARK(BM_SortOrderBuild)->Arg(10000)->Arg(50000);
+
+void BM_SplitRange(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  index::PointSet ps = RandomPoints(n, 3, 6);
+  for (auto _ : state) {
+    state.PauseTiming();
+    index::SortedOrders orders(ps);
+    uint32_t boundary = orders.Range(0, 0, n)[n / 2];
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(orders.SplitRange(0, n, 0, boundary));
+  }
+}
+BENCHMARK(BM_SplitRange)->Arg(10000)->Arg(50000);
+
+void BM_CrackQueryRegion(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  index::PointSet ps = RandomPoints(n, 3, 7);
+  util::Rng rng(8);
+  for (auto _ : state) {
+    state.PauseTiming();
+    index::CrackingRTree tree(&ps, index::RTreeConfig{});
+    uint32_t anchor = static_cast<uint32_t>(rng.UniformIndex(n));
+    index::Rect region = index::Rect::BoundingBoxOfBall(
+        index::Point::FromSpan(ps.at(anchor)), 0.3);
+    state.ResumeTiming();
+    tree.Crack(region);
+    benchmark::DoNotOptimize(tree.Stats().binary_splits);
+  }
+}
+BENCHMARK(BM_CrackQueryRegion)->Arg(10000)->Arg(50000);
+
+void BM_SearchAfterCrack(benchmark::State& state) {
+  const size_t n = 50000;
+  static index::PointSet ps = RandomPoints(n, 3, 9);
+  static index::CrackingRTree* tree = [] {
+    auto* t = new index::CrackingRTree(&ps, index::RTreeConfig{});
+    util::Rng rng(10);
+    for (int i = 0; i < 30; ++i) {
+      uint32_t anchor = static_cast<uint32_t>(rng.UniformIndex(n));
+      t->Crack(index::Rect::BoundingBoxOfBall(
+          index::Point::FromSpan(ps.at(anchor)), 0.3));
+    }
+    return t;
+  }();
+  util::Rng rng(11);
+  for (auto _ : state) {
+    uint32_t anchor = static_cast<uint32_t>(rng.UniformIndex(n));
+    index::Rect region = index::Rect::BoundingBoxOfBall(
+        index::Point::FromSpan(ps.at(anchor)), 0.2);
+    size_t count = 0;
+    tree->Search(region, [&](uint32_t) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_SearchAfterCrack);
+
+void BM_ProbeSmallest(benchmark::State& state) {
+  const size_t n = 50000;
+  static index::PointSet ps = RandomPoints(n, 3, 12);
+  static index::CrackingRTree* tree = [] {
+    auto* t = new index::CrackingRTree(&ps, index::RTreeConfig{});
+    t->BuildFull();
+    return t;
+  }();
+  util::Rng rng(13);
+  for (auto _ : state) {
+    uint32_t anchor = static_cast<uint32_t>(rng.UniformIndex(n));
+    benchmark::DoNotOptimize(tree->ProbeSmallest(ps.at(anchor)));
+  }
+}
+BENCHMARK(BM_ProbeSmallest);
+
+}  // namespace
+
+BENCHMARK_MAIN();

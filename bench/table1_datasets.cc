@@ -1,0 +1,35 @@
+// Table I: statistics of the (scaled synthetic) datasets.
+//
+// Paper values, for shape comparison:
+//   Freebase  17,902,536 entities  2,355 relation types  25,423,694 edges
+//   Movie        312,710 entities      4 relation types  17,356,412 edges
+//   Amazon    10,356,390 entities      4 relation types  22,507,155 edges
+// Our generators reproduce the *structure* (relation-type mix, power-law
+// degrees, attribute semantics) at a laptop-friendly scale; set
+// VKG_BENCH_SCALE to enlarge.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace vkg;
+  bench::PrintTitle("Table I: statistics of the datasets (scaled)");
+  std::vector<int> widths{12, 12, 20, 12, 14, 12};
+  bench::PrintRow({"Dataset", "Entities", "Relation types", "Edges",
+                   "Avg degree", "Max degree"},
+                  widths);
+  for (const data::Dataset* ds :
+       {&bench::FreebaseDataset(), &bench::MovieDataset(),
+        &bench::AmazonDataset()}) {
+    kg::GraphStats s = ds->graph.Stats();
+    bench::PrintRow({ds->name, std::to_string(s.num_entities),
+                     std::to_string(s.num_relation_types),
+                     std::to_string(s.num_edges),
+                     util::StrFormat("%.2f", s.avg_out_degree),
+                     std::to_string(s.max_degree)},
+                    widths);
+  }
+  return 0;
+}

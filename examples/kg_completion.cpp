@@ -1,0 +1,76 @@
+// Knowledge-graph completion on a Freebase-like graph: mask known edges,
+// then show that predictive top-k queries recover them — the paper's
+// "Rapper -> Snoop Dogg / Kanye West" scenario (Section VI, Freebase).
+//
+//   ./build/examples/kg_completion [num_entities]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/virtual_graph.h"
+#include "data/freebase_gen.h"
+#include "util/random.h"
+
+int main(int argc, char** argv) {
+  using namespace vkg;
+
+  data::FreebaseConfig config;
+  config.num_entities = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20000;
+  config.num_relation_types = 60;
+  config.target_edges = config.num_entities * 2;
+  config.seed = 99;
+  std::printf("Generating Freebase-like graph (%zu entities)...\n",
+              config.num_entities);
+  data::Dataset ds = data::GenerateFreebaseLike(config);
+  auto stats = ds.graph.Stats();
+  std::printf("  %zu entities, %zu relation types, %zu edges\n\n",
+              stats.num_entities, stats.num_relation_types, stats.num_edges);
+
+  // Mask a handful of known edges before building the virtual KG: these
+  // are the "missing facts" the index should surface.
+  util::Rng rng(5);
+  auto masked = ds.graph.MaskRandomEdges(5, rng);
+
+  core::VkgOptions options;
+  options.method = index::MethodKind::kCracking;
+  auto built = core::VirtualKnowledgeGraph::BuildWithEmbeddings(
+      &ds.graph, std::move(ds.embeddings), options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  auto& vkg = *built;
+
+  size_t recovered = 0;
+  for (const kg::Triple& edge : masked) {
+    auto result = vkg->TopKTails(edge.head, edge.relation, 25);
+    size_t rank = 0;
+    for (size_t i = 0; i < result.hits.size(); ++i) {
+      if (result.hits[i].entity == edge.tail) {
+        rank = i + 1;
+        break;
+      }
+    }
+    std::printf("masked (%s, %s, %s): ",
+                ds.graph.entity_names().Name(edge.head).c_str(),
+                ds.graph.relation_names().Name(edge.relation).c_str(),
+                ds.graph.entity_names().Name(edge.tail).c_str());
+    if (rank > 0) {
+      ++recovered;
+      std::printf("recovered at rank %zu (p=%.3f)\n", rank,
+                  result.hits[rank - 1].probability);
+    } else {
+      std::printf("not in top-25 (plausible others ranked higher)\n");
+    }
+    // The paper notes masked edges are typically near the top of the
+    // ranking but not necessarily top-5, since many true edges are
+    // missing from the data (that is what a recommender exploits).
+    auto guarantee = vkg->GuaranteeFor(result);
+    std::printf("  Theorem 2 guarantee for this answer: >= %.3f\n",
+                guarantee.success_probability);
+  }
+  std::printf("\n%zu/%zu masked edges recovered in the top-25\n",
+              recovered, masked.size());
+  return 0;
+}

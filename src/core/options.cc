@@ -1,0 +1,12 @@
+#include "core/options.h"
+
+namespace vkg::core {
+
+VkgOptions VkgOptions::Normalized() const {
+  VkgOptions out = *this;
+  size_t choices = index::SplitChoicesFor(method);
+  if (choices > 0) out.rtree.split_choices = choices;
+  return out;
+}
+
+}  // namespace vkg::core

@@ -1,0 +1,47 @@
+#ifndef VKG_CORE_OPTIONS_H_
+#define VKG_CORE_OPTIONS_H_
+
+#include <cstdint>
+
+#include "embedding/trainer.h"
+#include "index/factory.h"
+#include "index/h2alsh.h"
+#include "index/rtree_node.h"
+
+namespace vkg::core {
+
+/// Configuration of a VirtualKnowledgeGraph.
+struct VkgOptions {
+  /// Query-processing method (Section VI legend). Aggregate queries are
+  /// served by the S2 R-tree regardless of the top-k method.
+  index::MethodKind method = index::MethodKind::kCracking;
+
+  /// alpha: dimensionality of the transformed index space S2 (3 or 6 in
+  /// the paper). Must be in [1, index::kMaxDim].
+  size_t alpha = 3;
+
+  /// eps: query-region expansion factor (1 + eps) of Algorithm 3,
+  /// trading recall (Theorem 2) against work (Theorem 3).
+  double eps = 1.0;
+
+  /// Seed of the Gaussian JL projection matrix.
+  uint64_t jl_seed = 123;
+
+  /// R-tree knobs (leaf capacity N, fanout M, beta, split choices k).
+  /// split_choices is overridden from `method` for the kCrackingK kinds.
+  index::RTreeConfig rtree;
+
+  /// H2-ALSH knobs (used when method == kH2Alsh).
+  index::H2AlshConfig h2alsh;
+
+  /// TransE hyperparameters (used by BuildWithTraining).
+  embedding::TrainerConfig trainer;
+
+  /// Returns options with `rtree.split_choices` made consistent with
+  /// `method`.
+  VkgOptions Normalized() const;
+};
+
+}  // namespace vkg::core
+
+#endif  // VKG_CORE_OPTIONS_H_

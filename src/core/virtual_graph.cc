@@ -1,0 +1,320 @@
+#include "core/virtual_graph.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "embedding/vector_ops.h"
+#include "query/prob_model.h"
+#include "util/string_util.h"
+
+namespace vkg::core {
+
+util::Result<std::unique_ptr<VirtualKnowledgeGraph>>
+VirtualKnowledgeGraph::BuildWithEmbeddings(const kg::KnowledgeGraph* graph,
+                                           embedding::EmbeddingStore store,
+                                           const VkgOptions& options) {
+  if (graph == nullptr) {
+    return util::Status::InvalidArgument("graph must not be null");
+  }
+  if (store.num_entities() != graph->num_entities() ||
+      store.num_relations() != graph->num_relations()) {
+    // Anything else means the store's dense ids cannot match the
+    // graph's, and predictions would point at phantom entities.
+    return util::Status::InvalidArgument(util::StrFormat(
+        "embedding store covers %zu entities / %zu relations but the graph "
+        "has %zu / %zu (ids must correspond 1:1)",
+        store.num_entities(), store.num_relations(), graph->num_entities(),
+        graph->num_relations()));
+  }
+  if (options.alpha < 1 || options.alpha > index::kMaxDim) {
+    return util::Status::InvalidArgument(
+        util::StrFormat("alpha must be in [1, %zu]", index::kMaxDim));
+  }
+  if (options.eps <= 0) {
+    return util::Status::InvalidArgument("eps must be positive");
+  }
+  auto vkg = std::unique_ptr<VirtualKnowledgeGraph>(new VirtualKnowledgeGraph(
+      graph, std::move(store), options.Normalized()));
+  VKG_RETURN_IF_ERROR(vkg->Initialize());
+  return vkg;
+}
+
+util::Result<std::unique_ptr<VirtualKnowledgeGraph>>
+VirtualKnowledgeGraph::BuildWithTraining(const kg::KnowledgeGraph* graph,
+                                         const VkgOptions& options) {
+  if (graph == nullptr) {
+    return util::Status::InvalidArgument("graph must not be null");
+  }
+  embedding::Trainer trainer(*graph, options.trainer);
+  VKG_ASSIGN_OR_RETURN(embedding::EmbeddingStore store, trainer.Train());
+  return BuildWithEmbeddings(graph, std::move(store), options);
+}
+
+VirtualKnowledgeGraph::VirtualKnowledgeGraph(const kg::KnowledgeGraph* graph,
+                                             embedding::EmbeddingStore store,
+                                             VkgOptions options)
+    : graph_(graph), store_(std::move(store)), options_(std::move(options)) {}
+
+util::Status VirtualKnowledgeGraph::Initialize() {
+  using index::MethodKind;
+
+  jl_ = std::make_unique<transform::JlTransform>(store_.dim(), options_.alpha,
+                                                 options_.jl_seed);
+  points_s2_ = std::make_unique<index::PointSet>(jl_->ApplyToEntities(store_),
+                                                 options_.alpha);
+  rtree_ = std::make_unique<index::CrackingRTree>(points_s2_.get(),
+                                                  options_.rtree);
+  if (options_.method == MethodKind::kBulkRTree) {
+    rtree_->BuildFull();
+  }
+
+  switch (options_.method) {
+    case MethodKind::kNoIndex:
+      topk_engine_ =
+          std::make_unique<query::LinearTopKEngine>(graph_, &store_);
+      break;
+    case MethodKind::kPhTree: {
+      // Index the high-dimensional S1 vectors directly.
+      std::vector<float> raw(store_.num_entities() * store_.dim());
+      for (size_t e = 0; e < store_.num_entities(); ++e) {
+        std::span<const float> v =
+            store_.Entity(static_cast<kg::EntityId>(e));
+        std::copy(v.begin(), v.end(), raw.begin() + e * store_.dim());
+      }
+      phtree_ = std::make_unique<index::PhTree>(raw, store_.num_entities(),
+                                                store_.dim());
+      topk_engine_ = std::make_unique<query::PhTreeTopKEngine>(
+          graph_, &store_, phtree_.get());
+      break;
+    }
+    case MethodKind::kH2Alsh:
+      topk_engine_ = std::make_unique<query::H2AlshTopKEngine>(
+          graph_, &store_, options_.h2alsh);
+      break;
+    case MethodKind::kBulkRTree:
+      topk_engine_ = std::make_unique<query::RTreeTopKEngine>(
+          graph_, &store_, jl_.get(), rtree_.get(), options_.eps,
+          /*crack_after_query=*/false, index::MethodName(options_.method));
+      break;
+    default:  // cracking variants
+      topk_engine_ = std::make_unique<query::RTreeTopKEngine>(
+          graph_, &store_, jl_.get(), rtree_.get(), options_.eps,
+          /*crack_after_query=*/true, index::MethodName(options_.method));
+      break;
+  }
+
+  aggregate_engine_ = std::make_unique<query::AggregateEngine>(
+      graph_, &store_, jl_.get(), rtree_.get(), options_.eps,
+      /*crack_after_query=*/index::UsesRTree(options_.method) &&
+          options_.method != MethodKind::kBulkRTree);
+  return util::Status::OK();
+}
+
+query::TopKResult VirtualKnowledgeGraph::TopKTails(kg::EntityId h,
+                                                   kg::RelationId r,
+                                                   size_t k) {
+  return TopK({h, r, kg::Direction::kTail}, k);
+}
+
+query::TopKResult VirtualKnowledgeGraph::TopKHeads(kg::EntityId t,
+                                                   kg::RelationId r,
+                                                   size_t k) {
+  return TopK({t, r, kg::Direction::kHead}, k);
+}
+
+query::TopKResult VirtualKnowledgeGraph::TopK(const data::Query& query,
+                                              size_t k) {
+  query::TopKResult result = topk_engine_->TopKQuery(query, k);
+  if (overlay_.empty()) return result;
+
+  // Merge overlay entities (whose S2 index position may be stale) by
+  // exact S1 distance; existing hits keep their (already exact)
+  // distances. Probabilities are re-calibrated afterwards.
+  auto skip = query::MakeSkipFn(*graph_, query);
+  std::vector<float> q =
+      store_.QueryCenter(query.anchor, query.relation, query.direction);
+  std::vector<std::pair<double, kg::EntityId>> merged;
+  merged.reserve(result.hits.size() + overlay_.size());
+  for (const auto& hit : result.hits) {
+    merged.emplace_back(hit.distance, hit.entity);
+  }
+  for (kg::EntityId e : overlay_) {
+    if (skip(e)) continue;
+    merged.emplace_back(embedding::L2Distance(store_.Entity(e), q), e);
+  }
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.second == b.second;
+                           }),
+               merged.end());
+  if (merged.size() > k) merged.resize(k);
+
+  query::TopKResult out;
+  out.candidates_examined = result.candidates_examined + overlay_.size();
+  if (!merged.empty()) {
+    query::ProbabilityModel pm(merged[0].first);
+    for (const auto& [dist, e] : merged) {
+      out.hits.push_back({e, dist, pm.ProbabilityAt(dist)});
+    }
+  }
+  return out;
+}
+
+util::Result<std::vector<query::TopKHit>>
+VirtualKnowledgeGraph::Neighborhood(const data::Query& query,
+                                    double prob_threshold,
+                                    size_t max_results) {
+  if (prob_threshold <= 0.0 || prob_threshold > 1.0) {
+    return util::Status::InvalidArgument(
+        "prob_threshold must be in (0, 1]");
+  }
+  // d_min from a top-1 probe (overlay-aware through TopK).
+  query::TopKResult top1 = TopK(query, 1);
+  if (top1.hits.empty()) return std::vector<query::TopKHit>{};
+  query::ProbabilityModel pm(top1.hits[0].distance);
+  const double r_tau = pm.RadiusForThreshold(prob_threshold);
+
+  auto skip = query::MakeSkipFn(*graph_, query);
+  std::vector<float> q_s1 =
+      store_.QueryCenter(query.anchor, query.relation, query.direction);
+  index::Point q_s2 = index::Point::FromSpan(jl_->Apply(q_s1));
+  index::Rect region = index::Rect::BoundingBoxOfBall(
+      q_s2, r_tau * (1.0 + options_.eps));
+
+  std::vector<query::TopKHit> hits;
+  auto consider = [&](kg::EntityId e) {
+    if (skip(e)) return;
+    double dist = embedding::L2Distance(store_.Entity(e), q_s1);
+    if (dist > r_tau) return;
+    hits.push_back({e, dist, pm.ProbabilityAt(dist)});
+  };
+  rtree_->Search(region, consider);
+  for (kg::EntityId e : overlay_) consider(e);
+
+  std::sort(hits.begin(), hits.end(),
+            [](const query::TopKHit& a, const query::TopKHit& b) {
+              return a.distance < b.distance;
+            });
+  hits.erase(std::unique(hits.begin(), hits.end(),
+                         [](const query::TopKHit& a,
+                            const query::TopKHit& b) {
+                           return a.entity == b.entity;
+                         }),
+             hits.end());
+  if (max_results > 0 && hits.size() > max_results) {
+    hits.resize(max_results);
+  }
+  if (index::UsesRTree(options_.method) &&
+      options_.method != index::MethodKind::kBulkRTree) {
+    rtree_->Crack(region);
+  }
+  return hits;
+}
+
+std::vector<kg::PredictedEdge> VirtualKnowledgeGraph::MaterializeTopEdges(
+    std::span<const kg::EntityId> heads, kg::RelationId relation,
+    size_t k_per_head) {
+  std::vector<kg::PredictedEdge> edges;
+  edges.reserve(heads.size() * k_per_head);
+  for (kg::EntityId h : heads) {
+    query::TopKResult result = TopKTails(h, relation, k_per_head);
+    for (const auto& hit : result.hits) {
+      kg::PredictedEdge edge;
+      edge.triple = {h, relation, hit.entity};
+      edge.probability = hit.probability;
+      edges.push_back(edge);
+    }
+  }
+  return edges;
+}
+
+util::Status VirtualKnowledgeGraph::UpdateEntityEmbedding(
+    kg::EntityId e, std::span<const float> vector) {
+  if (e >= store_.num_entities()) {
+    return util::Status::OutOfRange("unknown entity id");
+  }
+  if (vector.size() != store_.dim()) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "vector size %zu != embedding dim %zu", vector.size(),
+        store_.dim()));
+  }
+  std::span<float> dst = store_.Entity(e);
+  std::copy(vector.begin(), vector.end(), dst.begin());
+  if (std::find(overlay_.begin(), overlay_.end(), e) == overlay_.end()) {
+    overlay_.push_back(e);
+  }
+  return util::Status::OK();
+}
+
+util::Status VirtualKnowledgeGraph::CompactUpdates() {
+  overlay_.clear();
+  return Initialize();
+}
+
+util::Result<query::TopKResult> VirtualKnowledgeGraph::TopKByName(
+    std::string_view anchor, std::string_view relation,
+    kg::Direction direction, size_t k) {
+  VKG_ASSIGN_OR_RETURN(kg::EntityId a,
+                       graph_->entity_names().Require(anchor));
+  VKG_ASSIGN_OR_RETURN(kg::RelationId r,
+                       graph_->relation_names().Require(relation));
+  return TopK({a, r, direction}, k);
+}
+
+query::TopKGuarantee VirtualKnowledgeGraph::GuaranteeFor(
+    const query::TopKResult& result) const {
+  std::vector<double> distances;
+  distances.reserve(result.hits.size());
+  for (const auto& hit : result.hits) distances.push_back(hit.distance);
+  return query::ComputeTopKGuarantee(distances, options_.eps,
+                                     options_.alpha);
+}
+
+util::Result<query::AggregateResult> VirtualKnowledgeGraph::Aggregate(
+    const query::AggregateSpec& spec) {
+  return aggregate_engine_->Aggregate(spec);
+}
+
+util::Result<query::AggregateResult> VirtualKnowledgeGraph::ExactAggregate(
+    const query::AggregateSpec& spec) {
+  return aggregate_engine_->ExactAggregate(spec);
+}
+
+util::Status VirtualKnowledgeGraph::SaveIndex(
+    const std::string& path) const {
+  return rtree_->Save(path);
+}
+
+util::Status VirtualKnowledgeGraph::LoadIndex(const std::string& path) {
+  VKG_ASSIGN_OR_RETURN(std::unique_ptr<index::CrackingRTree> loaded,
+                       index::CrackingRTree::Load(path, points_s2_.get()));
+  rtree_ = std::move(loaded);
+  // Rebind the engines that hold the tree pointer.
+  using index::MethodKind;
+  if (index::UsesRTree(options_.method)) {
+    topk_engine_ = std::make_unique<query::RTreeTopKEngine>(
+        graph_, &store_, jl_.get(), rtree_.get(), options_.eps,
+        /*crack_after_query=*/options_.method != MethodKind::kBulkRTree,
+        index::MethodName(options_.method));
+  }
+  aggregate_engine_ = std::make_unique<query::AggregateEngine>(
+      graph_, &store_, jl_.get(), rtree_.get(), options_.eps,
+      index::UsesRTree(options_.method) &&
+          options_.method != MethodKind::kBulkRTree);
+  return util::Status::OK();
+}
+
+double VirtualKnowledgeGraph::PredictProbability(kg::EntityId h,
+                                                 kg::RelationId r,
+                                                 kg::EntityId t) {
+  if (graph_->HasEdge(h, r, t)) return 1.0;
+  std::vector<float> q = store_.QueryCenter(h, r, kg::Direction::kTail);
+  query::TopKResult top1 = TopK({h, r, kg::Direction::kTail}, 1);
+  if (top1.hits.empty()) return 0.0;
+  query::ProbabilityModel pm(top1.hits[0].distance);
+  double dist = embedding::L2Distance(store_.Entity(t), q);
+  return pm.ProbabilityAt(dist);
+}
+
+}  // namespace vkg::core

@@ -1,0 +1,94 @@
+#include "data/amazon_gen.h"
+
+#include <cmath>
+#include <vector>
+
+#include "data/latent_model.h"
+#include "data/powerlaw.h"
+#include "util/string_util.h"
+
+namespace vkg::data {
+
+Dataset GenerateAmazonLike(const AmazonConfig& config) {
+  Dataset ds;
+  ds.name = "amazon-like";
+  kg::KnowledgeGraph& g = ds.graph;
+  LatentSpace space(config.embedding_dim, config.seed);
+  util::Rng rng(config.seed ^ 0x414d5a4eULL);
+
+  kg::EntityId users = g.AddEntities(config.num_users, "user");
+  space.PlaceEntities(users, config.num_users, "user", 32, 0.12);
+  kg::EntityId products = g.AddEntities(config.num_products, "product");
+  space.PlaceEntities(products, config.num_products, "product", 32, 0.12);
+
+  kg::RelationId likes = g.AddRelation("likes");
+  kg::RelationId dislikes = g.AddRelation("dislikes");
+  kg::RelationId also_viewed = g.AddRelation("also-viewed");
+  kg::RelationId also_bought = g.AddRelation("also-bought");
+  space.DefineRelation(likes, "user", "product");
+  space.DefineRelation(dislikes, "user", "product");
+  space.DefineRelation(also_viewed, "product", "product");
+  space.DefineRelation(also_bought, "product", "product");
+
+  // Ratings -> likes/dislikes edges; counts per user are power-law.
+  ZipfSampler ratings_dist(config.max_ratings_per_user,
+                           config.ratings_per_user_exponent);
+  // Track per-product rating sums to derive the "quality" attribute.
+  std::vector<double> rating_sum(config.num_products, 0.0);
+  std::vector<size_t> rating_cnt(config.num_products, 0);
+
+  for (size_t u = 0; u < config.num_users; ++u) {
+    kg::EntityId user = users + static_cast<kg::EntityId>(u);
+    size_t total = ratings_dist.Sample(rng);
+    size_t n_dislike =
+        static_cast<size_t>(std::lround(total * config.dislike_fraction));
+    size_t n_like = total - n_dislike;
+    auto liked = space.SampleTails(user, likes, "product", n_like, 0.06, 0.4);
+    space.AttractHead(user, likes, liked, /*strength=*/0.7);
+    for (kg::EntityId p : liked) {
+      if (g.AddEdge(user, likes, p)) {
+        size_t idx = p - products;
+        rating_sum[idx] += rng.Uniform(4.0, 5.0);
+        ++rating_cnt[idx];
+      }
+    }
+    for (kg::EntityId p :
+         space.SampleTails(user, dislikes, "product", n_dislike, 0.06, 0.4)) {
+      if (!g.HasEdge(user, likes, p) && g.AddEdge(user, dislikes, p)) {
+        size_t idx = p - products;
+        rating_sum[idx] += rng.Uniform(1.0, 2.0);
+        ++rating_cnt[idx];
+      }
+    }
+  }
+
+  // Product-to-product browsing edges.
+  for (size_t p = 0; p < config.num_products; ++p) {
+    kg::EntityId prod = products + static_cast<kg::EntityId>(p);
+    for (kg::EntityId q : space.SampleTails(
+             prod, also_viewed, "product", config.also_edges_per_product,
+             0.2, 0.4)) {
+      g.AddEdge(prod, also_viewed, q);
+    }
+    for (kg::EntityId q : space.SampleTails(
+             prod, also_bought, "product", config.also_edges_per_product,
+             0.2, 0.4)) {
+      g.AddEdge(prod, also_bought, q);
+    }
+  }
+
+  // Quality attribute: average observed rating (products with no ratings
+  // get a prior of 3.0).
+  for (size_t p = 0; p < config.num_products; ++p) {
+    double q = rating_cnt[p] == 0
+                   ? 3.0
+                   : rating_sum[p] / static_cast<double>(rating_cnt[p]);
+    g.attributes().Set("quality", products + static_cast<kg::EntityId>(p), q);
+  }
+
+  ds.embeddings =
+      space.ExportEmbeddings(g.num_entities(), g.num_relations());
+  return ds;
+}
+
+}  // namespace vkg::data

@@ -1,0 +1,30 @@
+#ifndef VKG_DATA_AMAZON_GEN_H_
+#define VKG_DATA_AMAZON_GEN_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace vkg::data {
+
+/// Parameters for the Amazon-like generator (Table I row 3, scaled):
+/// users and products; relations "likes", "dislikes", "also-viewed",
+/// "also-bought". Attribute: "quality" on products (Figure 14; the
+/// average rating a product has received).
+struct AmazonConfig {
+  size_t num_users = 60000;
+  size_t num_products = 40000;
+  size_t embedding_dim = 50;
+  double ratings_per_user_exponent = 1.3;
+  size_t max_ratings_per_user = 128;
+  double dislike_fraction = 0.25;
+  size_t also_edges_per_product = 3;
+  uint64_t seed = 3;
+};
+
+/// Generates the Amazon-like dataset.
+Dataset GenerateAmazonLike(const AmazonConfig& config);
+
+}  // namespace vkg::data
+
+#endif  // VKG_DATA_AMAZON_GEN_H_

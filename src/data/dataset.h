@@ -1,0 +1,21 @@
+#ifndef VKG_DATA_DATASET_H_
+#define VKG_DATA_DATASET_H_
+
+#include <string>
+
+#include "embedding/store.h"
+#include "kg/graph.h"
+
+namespace vkg::data {
+
+/// A generated knowledge graph together with embeddings consistent with
+/// it (the latent vectors used to sample the edges; see latent_model.h).
+struct Dataset {
+  std::string name;
+  kg::KnowledgeGraph graph;
+  embedding::EmbeddingStore embeddings;
+};
+
+}  // namespace vkg::data
+
+#endif  // VKG_DATA_DATASET_H_

@@ -1,0 +1,114 @@
+#include "data/freebase_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "data/latent_model.h"
+#include "data/powerlaw.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace vkg::data {
+
+Dataset GenerateFreebaseLike(const FreebaseConfig& config) {
+  VKG_CHECK(config.num_domains >= 2);
+  Dataset ds;
+  ds.name = "freebase-like";
+  kg::KnowledgeGraph& g = ds.graph;
+  LatentSpace space(config.embedding_dim, config.seed);
+  util::Rng rng(config.seed ^ 0xfbfbfbfbULL);
+
+  // Entities split across domains ("person", "film", ... as domain:<i>).
+  std::vector<std::string> domains;
+  std::vector<kg::EntityId> domain_first;
+  std::vector<size_t> domain_count;
+  size_t per_domain = config.num_entities / config.num_domains;
+  for (size_t d = 0; d < config.num_domains; ++d) {
+    std::string type =
+        d == 0 ? std::string("person") : util::StrFormat("domain%zu", d);
+    size_t count = (d + 1 == config.num_domains)
+                       ? config.num_entities - per_domain * d
+                       : per_domain;
+    kg::EntityId first = g.AddEntities(count, type);
+    space.PlaceEntities(first, count, type, config.clusters_per_domain,
+                        /*spread=*/0.12);
+    domains.push_back(type);
+    domain_first.push_back(first);
+    domain_count.push_back(count);
+  }
+
+  // Relation types connect random (head domain, tail domain) pairs.
+  struct RelInfo {
+    kg::RelationId id;
+    size_t head_domain;
+    size_t tail_domain;
+  };
+  std::vector<RelInfo> rels;
+  rels.reserve(config.num_relation_types);
+  for (size_t r = 0; r < config.num_relation_types; ++r) {
+    size_t hd = rng.UniformIndex(config.num_domains);
+    size_t td = rng.UniformIndex(config.num_domains);
+    kg::RelationId rid = g.AddRelation(
+        util::StrFormat("/%s/rel%zu/%s", domains[hd].c_str(), r,
+                        domains[td].c_str()));
+    space.DefineRelation(rid, domains[hd], domains[td]);
+    rels.push_back({rid, hd, td});
+  }
+
+  // Edges: heads chosen per relation; out-degree ~ Zipf.
+  ZipfSampler degree_dist(config.max_out_degree, config.degree_exponent);
+  const double edges_per_rel =
+      static_cast<double>(config.target_edges) /
+      static_cast<double>(config.num_relation_types);
+  size_t edges_added = 0;
+  std::vector<bool> head_adjusted(config.num_entities, false);
+  for (const RelInfo& rel : rels) {
+    // Heads whose translation lands far from every tail cluster yield no
+    // edges (see LatentSpace::SampleTails); keep drawing heads until the
+    // per-relation budget is met or the attempt cap trips.
+    size_t added_for_rel = 0;
+    size_t attempts = 0;
+    const size_t max_attempts = std::max<size_t>(
+        64, 30 * static_cast<size_t>(edges_per_rel /
+                                     degree_dist.ExpectedValue()));
+    while (added_for_rel < static_cast<size_t>(edges_per_rel) &&
+           attempts < max_attempts && edges_added < config.target_edges) {
+      ++attempts;
+      kg::EntityId h =
+          domain_first[rel.head_domain] +
+          static_cast<kg::EntityId>(
+              rng.UniformIndex(domain_count[rel.head_domain]));
+      size_t deg = degree_dist.Sample(rng);
+      auto tails = space.SampleTails(h, rel.id, domains[rel.tail_domain],
+                                     deg, /*sigma=*/0.06,
+                                     /*max_center_dist=*/0.4);
+      if (!head_adjusted[h]) {
+        space.AttractHead(h, rel.id, tails, /*strength=*/0.7);
+        head_adjusted[h] = !tails.empty();
+      }
+      for (kg::EntityId t : tails) {
+        if (g.AddEdge(h, rel.id, t)) {
+          ++edges_added;
+          ++added_for_rel;
+        }
+      }
+    }
+  }
+
+  // Attributes: popularity = degree (Figure 15); age on persons (Q2).
+  auto deg = g.Degrees();
+  for (kg::EntityId e = 0; e < g.num_entities(); ++e) {
+    g.attributes().Set("popularity", e, static_cast<double>(deg[e]));
+  }
+  for (kg::EntityId e = domain_first[0];
+       e < domain_first[0] + domain_count[0]; ++e) {
+    g.attributes().Set("age", e, std::round(rng.Uniform(18.0, 80.0)));
+  }
+
+  ds.embeddings =
+      space.ExportEmbeddings(g.num_entities(), g.num_relations());
+  return ds;
+}
+
+}  // namespace vkg::data

@@ -1,0 +1,31 @@
+#ifndef VKG_DATA_FREEBASE_GEN_H_
+#define VKG_DATA_FREEBASE_GEN_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace vkg::data {
+
+/// Parameters for the Freebase-like generator: a large heterogeneous graph
+/// with many relationship types and power-law degrees (Table I row 1,
+/// scaled). Attributes: "popularity" (degree, Figure 15) and "age" on
+/// person entities (query Q2 of the introduction).
+struct FreebaseConfig {
+  size_t num_entities = 50000;
+  size_t num_relation_types = 120;
+  size_t target_edges = 90000;
+  size_t num_domains = 12;          // entity type groups
+  size_t clusters_per_domain = 8;
+  size_t embedding_dim = 50;
+  double degree_exponent = 2.2;     // Zipf exponent for head out-degrees
+  size_t max_out_degree = 64;
+  uint64_t seed = 1;
+};
+
+/// Generates the Freebase-like dataset.
+Dataset GenerateFreebaseLike(const FreebaseConfig& config);
+
+}  // namespace vkg::data
+
+#endif  // VKG_DATA_FREEBASE_GEN_H_

@@ -1,0 +1,230 @@
+#include "data/latent_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+#include "embedding/vector_ops.h"
+#include "util/check.h"
+
+namespace vkg::data {
+
+LatentSpace::LatentSpace(size_t dim, uint64_t seed) : dim_(dim), rng_(seed) {
+  VKG_CHECK(dim > 0);
+}
+
+void LatentSpace::EnsureBasis() {
+  if (!basis_.empty()) return;
+  // Basis vectors with total norm ~0.7 so centers (sums of two) have
+  // norm ~1 and pairwise distances ~1.
+  basis_.resize(basis_size_ * dim_);
+  const double sigma = 0.7 / std::sqrt(static_cast<double>(dim_));
+  for (float& v : basis_) {
+    v = static_cast<float>(rng_.Gaussian(0.0, sigma));
+  }
+}
+
+std::vector<float> LatentSpace::BasisVector(size_t i) const {
+  return {basis_.begin() + i * dim_, basis_.begin() + (i + 1) * dim_};
+}
+
+void LatentSpace::PlaceEntities(kg::EntityId first, size_t count,
+                                const std::string& type, size_t num_clusters,
+                                double spread) {
+  VKG_CHECK(num_clusters >= 1);
+  EnsureBasis();
+  TypeInfo& info = types_[type];
+  if (info.offset.empty()) {
+    // Type regions sit far apart (norm ~2.5) so neighborhoods never mix
+    // entity types; relation vectors bridge the offsets below.
+    info.offset.resize(dim_);
+    const double sigma = 2.5 / std::sqrt(static_cast<double>(dim_));
+    for (float& v : info.offset) {
+      v = static_cast<float>(rng_.Gaussian(0.0, sigma));
+    }
+  }
+  size_t base_cluster = info.clusters.size();
+  for (size_t c = 0; c < num_clusters; ++c) {
+    Cluster cl;
+    cl.basis_a = rng_.UniformIndex(basis_size_);
+    do {
+      cl.basis_b = rng_.UniformIndex(basis_size_);
+    } while (cl.basis_b == cl.basis_a);
+    cl.center.resize(dim_);
+    for (size_t d = 0; d < dim_; ++d) {
+      cl.center[d] = info.offset[d] + basis_[cl.basis_a * dim_ + d] +
+                     basis_[cl.basis_b * dim_ + d];
+    }
+    info.clusters.push_back(std::move(cl));
+  }
+  size_t needed = (static_cast<size_t>(first) + count) * dim_;
+  if (entity_vecs_.size() < needed) entity_vecs_.resize(needed, 0.0f);
+
+  // `spread` is the expected *total* L2 norm of the intra-cluster noise;
+  // per-dimension sigma scales with 1/sqrt(dim) so clusters stay separated
+  // at any embedding dimensionality. Each entity additionally draws its
+  // own radius scale: in high dimensions Gaussian noise concentrates on a
+  // thin shell, which would make all cluster members equidistant from any
+  // query point; varying radii restore meaningful nearest-neighbor
+  // structure (and mimic the popularity hubs of real embeddings).
+  const double sigma = spread / std::sqrt(static_cast<double>(dim_));
+  for (size_t i = 0; i < count; ++i) {
+    kg::EntityId e = first + static_cast<kg::EntityId>(i);
+    size_t c = base_cluster + rng_.UniformIndex(num_clusters);
+    Cluster& cl = types_[type].clusters[c];
+    cl.members.push_back(e);
+    const double radius_scale = rng_.Uniform(0.15, 1.85);
+    float* v = entity_vecs_.data() + static_cast<size_t>(e) * dim_;
+    for (size_t d = 0; d < dim_; ++d) {
+      v[d] = cl.center[d] +
+             static_cast<float>(rng_.Gaussian(0.0, sigma * radius_scale));
+    }
+  }
+}
+
+void LatentSpace::DefineRelation(kg::RelationId r,
+                                 const std::string& head_type,
+                                 const std::string& tail_type) {
+  auto hit = types_.find(head_type);
+  auto tit = types_.find(tail_type);
+  VKG_CHECK_MSG(hit != types_.end(), "unknown head type %s",
+                head_type.c_str());
+  VKG_CHECK_MSG(tit != types_.end(), "unknown tail type %s",
+                tail_type.c_str());
+  // Relation vector: a basis difference b_p - b_q that swaps one basis
+  // component of a head cluster. Pick q among basis indices actually
+  // used by head clusters and p among those used by tail clusters, so
+  // the translation maps a non-trivial share of head clusters onto
+  // instantiated tail clusters.
+  EnsureBasis();
+  const auto& head_clusters = hit->second.clusters;
+  const auto& tail_clusters = tit->second.clusters;
+  const Cluster& hc = head_clusters[rng_.UniformIndex(head_clusters.size())];
+  const Cluster& tc = tail_clusters[rng_.UniformIndex(tail_clusters.size())];
+  size_t q = rng_.Bernoulli(0.5) ? hc.basis_a : hc.basis_b;
+  size_t p = rng_.Bernoulli(0.5) ? tc.basis_a : tc.basis_b;
+  const double sigma = 0.02 / std::sqrt(static_cast<double>(dim_));
+  std::vector<float> vec(dim_);
+  for (size_t d = 0; d < dim_; ++d) {
+    vec[d] = tit->second.offset[d] - hit->second.offset[d] +
+             basis_[p * dim_ + d] - basis_[q * dim_ + d] +
+             static_cast<float>(rng_.Gaussian(0.0, sigma));
+  }
+  relation_vecs_[r] = std::move(vec);
+}
+
+std::vector<kg::EntityId> LatentSpace::SampleTails(
+    kg::EntityId head, kg::RelationId r, const std::string& tail_type,
+    size_t k, double sigma, double max_center_dist) {
+  if (k == 0) return {};
+  auto tit = types_.find(tail_type);
+  VKG_CHECK(tit != types_.end());
+  auto rit = relation_vecs_.find(r);
+  VKG_CHECK(rit != relation_vecs_.end());
+
+  // Target point p = h + r_vec.
+  std::span<const float> h = EntityVec(head);
+  std::vector<float> p(dim_);
+  for (size_t d = 0; d < dim_; ++d) p[d] = h[d] + rit->second[d];
+
+  // Nearest few clusters by center distance (cluster counts are small, a
+  // linear scan is fine).
+  const auto& clusters = tit->second.clusters;
+  std::vector<std::pair<double, size_t>> by_dist;
+  by_dist.reserve(clusters.size());
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    by_dist.emplace_back(embedding::L2DistanceSquared(p, clusters[c].center),
+                         c);
+  }
+  size_t take = std::min<size_t>(3, by_dist.size());
+  std::partial_sort(by_dist.begin(), by_dist.begin() + take, by_dist.end());
+  if (std::sqrt(by_dist[0].first) > max_center_dist) return {};
+
+  // Gather candidate tails from the nearest clusters with Gaussian weights.
+  std::vector<kg::EntityId> candidates;
+  std::vector<double> weights;
+  const double inv2s2 = 1.0 / (2.0 * sigma * sigma);
+  for (size_t i = 0; i < take; ++i) {
+    for (kg::EntityId t : clusters[by_dist[i].second].members) {
+      if (t == head) continue;
+      double d2 = embedding::L2DistanceSquared(p, EntityVec(t));
+      candidates.push_back(t);
+      weights.push_back(std::exp(-d2 * inv2s2));
+    }
+  }
+  if (candidates.empty()) return {};
+
+  // Weighted sampling without replacement via exponential keys
+  // (Efraimidis-Spirakis): take the k largest u^(1/w) keys.
+  using Keyed = std::pair<double, kg::EntityId>;
+  std::priority_queue<Keyed, std::vector<Keyed>, std::greater<>> heap;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (weights[i] <= 0) continue;
+    double key = std::pow(rng_.Uniform(1e-12, 1.0), 1.0 / weights[i]);
+    if (heap.size() < k) {
+      heap.emplace(key, candidates[i]);
+    } else if (key > heap.top().first) {
+      heap.pop();
+      heap.emplace(key, candidates[i]);
+    }
+  }
+  std::vector<kg::EntityId> out;
+  out.reserve(heap.size());
+  while (!heap.empty()) {
+    out.push_back(heap.top().second);
+    heap.pop();
+  }
+  return out;
+}
+
+void LatentSpace::AttractHead(kg::EntityId head, kg::RelationId r,
+                              const std::vector<kg::EntityId>& tails,
+                              double strength) {
+  if (tails.empty() || strength <= 0.0) return;
+  auto rit = relation_vecs_.find(r);
+  VKG_CHECK(rit != relation_vecs_.end());
+  std::vector<double> target(dim_, 0.0);
+  for (kg::EntityId t : tails) {
+    std::span<const float> tv = EntityVec(t);
+    for (size_t d = 0; d < dim_; ++d) target[d] += tv[d];
+  }
+  const double inv = 1.0 / static_cast<double>(tails.size());
+  float* h = entity_vecs_.data() + static_cast<size_t>(head) * dim_;
+  for (size_t d = 0; d < dim_; ++d) {
+    double desired = target[d] * inv - rit->second[d];
+    h[d] = static_cast<float>((1.0 - strength) * h[d] +
+                              strength * desired);
+  }
+}
+
+embedding::EmbeddingStore LatentSpace::ExportEmbeddings(
+    size_t num_entities, size_t num_relations) const {
+  embedding::EmbeddingStore store(num_entities, num_relations, dim_);
+  util::Rng noise(7777);
+  for (size_t e = 0; e < num_entities; ++e) {
+    std::span<float> dst = store.Entity(static_cast<kg::EntityId>(e));
+    size_t off = e * dim_;
+    if (off + dim_ <= entity_vecs_.size()) {
+      for (size_t d = 0; d < dim_; ++d) dst[d] = entity_vecs_[off + d];
+    } else {
+      for (size_t d = 0; d < dim_; ++d) {
+        dst[d] = static_cast<float>(noise.Gaussian(0.0, 0.01));
+      }
+    }
+  }
+  for (size_t r = 0; r < num_relations; ++r) {
+    std::span<float> dst = store.Relation(static_cast<kg::RelationId>(r));
+    auto it = relation_vecs_.find(static_cast<kg::RelationId>(r));
+    if (it != relation_vecs_.end()) {
+      for (size_t d = 0; d < dim_; ++d) dst[d] = it->second[d];
+    } else {
+      for (size_t d = 0; d < dim_; ++d) {
+        dst[d] = static_cast<float>(noise.Gaussian(0.0, 0.01));
+      }
+    }
+  }
+  return store;
+}
+
+}  // namespace vkg::data

@@ -1,0 +1,115 @@
+#ifndef VKG_DATA_LATENT_MODEL_H_
+#define VKG_DATA_LATENT_MODEL_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "embedding/store.h"
+#include "kg/graph.h"
+#include "kg/types.h"
+#include "util/random.h"
+
+namespace vkg::data {
+
+/// Shared machinery for the synthetic dataset generators.
+///
+/// The generators plant a *latent translational structure*: entities of
+/// each type are placed in Gaussian clusters in a d-dimensional space, and
+/// each relationship type r carries a latent vector r_vec such that true
+/// edges (h, r, t) satisfy h + r_vec ≈ t. Observed edges are then sampled
+/// with probability decaying in ||h + r_vec − t||.
+///
+/// This substitutes for "externally trained TransE embeddings on real
+/// dumps" (see DESIGN.md §5): the latent vectors *are* a valid TransE
+/// solution for the generated graph, so the index and query layers see a
+/// point cloud with the same structure they would get from real training.
+class LatentSpace {
+ public:
+  /// `dim` is the S1 dimensionality (paper: 50-100).
+  LatentSpace(size_t dim, uint64_t seed);
+
+  /// Registers `count` entities of `type` (must already exist in `graph`
+  /// as ids [first, first+count)), grouped into `num_clusters` Gaussian
+  /// clusters with the given intra-cluster spread.
+  void PlaceEntities(kg::EntityId first, size_t count,
+                     const std::string& type, size_t num_clusters,
+                     double spread);
+
+  /// Creates a latent vector for relation `r` translating `head_type`
+  /// clusters onto `tail_type` clusters: picks a random head cluster
+  /// center a and tail cluster center b and uses b - a (plus small noise).
+  void DefineRelation(kg::RelationId r, const std::string& head_type,
+                      const std::string& tail_type);
+
+  /// Samples `k` distinct tail entities of `tail_type` near h_vec + r_vec,
+  /// weighted by exp(-dist^2 / (2 sigma^2)) within the nearest clusters.
+  /// May return fewer than k when the type is small.
+  ///
+  /// `max_center_dist`: heads whose translated point lands farther than
+  /// this from every tail cluster center produce no edges. This enforces
+  /// the TransE property that ||h + r - t|| is small for *observed*
+  /// triples — exactly what trained embeddings guarantee — so query
+  /// centers derived from observed pairs always land near data.
+  std::vector<kg::EntityId> SampleTails(kg::EntityId head, kg::RelationId r,
+                                        const std::string& tail_type,
+                                        size_t k, double sigma,
+                                        double max_center_dist = 1e30);
+
+  /// Moves `head` toward (mean(tails) - r_vec) with the given strength
+  /// in [0, 1]. Trained TransE embeddings satisfy h + r ≈ t for observed
+  /// edges because h itself is optimized toward its tails; this step
+  /// reproduces that alignment, which pure forward sampling cannot (the
+  /// head's noise would stay orthogonal to every tail in high
+  /// dimension). Call once per head after sampling its primary edges.
+  void AttractHead(kg::EntityId head, kg::RelationId r,
+                   const std::vector<kg::EntityId>& tails, double strength);
+
+  /// Exports the latent vectors as an EmbeddingStore covering all placed
+  /// entities and defined relations (unplaced ids get near-zero noise).
+  embedding::EmbeddingStore ExportEmbeddings(size_t num_entities,
+                                             size_t num_relations) const;
+
+  size_t dim() const { return dim_; }
+  util::Rng& rng() { return rng_; }
+
+  std::span<const float> EntityVec(kg::EntityId e) const {
+    return {entity_vecs_.data() + static_cast<size_t>(e) * dim_, dim_};
+  }
+
+ private:
+  struct Cluster {
+    std::vector<float> center;
+    std::vector<kg::EntityId> members;
+    size_t basis_a = 0;  // center = basis[a] + basis[b]
+    size_t basis_b = 0;
+  };
+  struct TypeInfo {
+    std::vector<Cluster> clusters;
+    /// Per-type offset separating the type's lattice region from other
+    /// types' (real embeddings separate entity types the same way).
+    std::vector<float> offset;
+  };
+
+  /// Cluster centers are sums of two vectors from a shared random basis,
+  /// and relation vectors are basis differences. Translating a center by
+  /// a relation vector therefore lands on another lattice point, which a
+  /// tail type instantiates with non-trivial probability — the geometric
+  /// consistency that trained TransE embeddings exhibit on real graphs.
+  void EnsureBasis();
+  std::vector<float> BasisVector(size_t i) const;
+
+  size_t dim_;
+  util::Rng rng_;
+  // Small basis => high overlap between cluster supports => a large
+  // fraction of heads participates in each relation (~1/3 at size 6).
+  size_t basis_size_ = 6;
+  std::vector<float> basis_;        // row-major basis_size_ x dim_
+  std::vector<float> entity_vecs_;  // row-major, grown on demand
+  std::unordered_map<std::string, TypeInfo> types_;
+  std::unordered_map<kg::RelationId, std::vector<float>> relation_vecs_;
+};
+
+}  // namespace vkg::data
+
+#endif  // VKG_DATA_LATENT_MODEL_H_

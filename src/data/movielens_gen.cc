@@ -1,0 +1,88 @@
+#include "data/movielens_gen.h"
+
+#include <cmath>
+
+#include "data/latent_model.h"
+#include "data/powerlaw.h"
+#include "util/string_util.h"
+
+namespace vkg::data {
+
+Dataset GenerateMovieLensLike(const MovieLensConfig& config) {
+  Dataset ds;
+  ds.name = "movielens-like";
+  kg::KnowledgeGraph& g = ds.graph;
+  LatentSpace space(config.embedding_dim, config.seed);
+  util::Rng rng(config.seed ^ 0x4d4f5649ULL);
+
+  kg::EntityId users = g.AddEntities(config.num_users, "user");
+  space.PlaceEntities(users, config.num_users, "user", 24, 0.12);
+  kg::EntityId movies = g.AddEntities(config.num_movies, "movie");
+  space.PlaceEntities(movies, config.num_movies, "movie", 24, 0.12);
+  kg::EntityId genres = g.AddEntities(config.num_genres, "genre");
+  space.PlaceEntities(genres, config.num_genres, "genre", 4, 0.2);
+  kg::EntityId tags = g.AddEntities(config.num_tags, "tag");
+  space.PlaceEntities(tags, config.num_tags, "tag", 8, 0.2);
+
+  kg::RelationId likes = g.AddRelation("likes");
+  kg::RelationId dislikes = g.AddRelation("dislikes");
+  kg::RelationId has_genre = g.AddRelation("has-genre");
+  kg::RelationId has_tag = g.AddRelation("has-tag");
+  space.DefineRelation(likes, "user", "movie");
+  space.DefineRelation(dislikes, "user", "movie");
+  space.DefineRelation(has_genre, "movie", "genre");
+  space.DefineRelation(has_tag, "movie", "tag");
+
+  // Ratings: per-user counts follow a power law; each rating is a like or
+  // dislike edge sampled near the corresponding latent target region.
+  ZipfSampler ratings_dist(config.max_ratings_per_user,
+                           config.ratings_per_user_exponent);
+  for (size_t u = 0; u < config.num_users; ++u) {
+    kg::EntityId user = users + static_cast<kg::EntityId>(u);
+    size_t total = ratings_dist.Sample(rng);
+    size_t n_dislike =
+        static_cast<size_t>(std::lround(total * config.dislike_fraction));
+    size_t n_like = total - n_dislike;
+    auto liked = space.SampleTails(user, likes, "movie", n_like, 0.06, 0.4);
+    space.AttractHead(user, likes, liked, /*strength=*/0.7);
+    for (kg::EntityId m : liked) g.AddEdge(user, likes, m);
+    for (kg::EntityId m :
+         space.SampleTails(user, dislikes, "movie", n_dislike, 0.06, 0.4)) {
+      if (!g.HasEdge(user, likes, m)) g.AddEdge(user, dislikes, m);
+    }
+  }
+
+  // Movie metadata edges.
+  for (size_t m = 0; m < config.num_movies; ++m) {
+    kg::EntityId movie = movies + static_cast<kg::EntityId>(m);
+    for (kg::EntityId ge : space.SampleTails(movie, has_genre, "genre",
+                                             config.genres_per_movie, 0.3,
+                                             0.5)) {
+      g.AddEdge(movie, has_genre, ge);
+    }
+    for (kg::EntityId tg : space.SampleTails(movie, has_tag, "tag",
+                                             config.tags_per_movie, 0.3,
+                                             0.5)) {
+      g.AddEdge(movie, has_tag, tg);
+    }
+  }
+
+  // Attributes: movie release year (Figures 13 and 16), user age.
+  for (size_t m = 0; m < config.num_movies; ++m) {
+    kg::EntityId movie = movies + static_cast<kg::EntityId>(m);
+    // Skew toward recent years, as in MovieLens.
+    double u = rng.Uniform();
+    double year = 2016.0 - 86.0 * u * u;
+    g.attributes().Set("year", movie, std::round(year));
+  }
+  for (size_t u = 0; u < config.num_users; ++u) {
+    g.attributes().Set("age", users + static_cast<kg::EntityId>(u),
+                       std::round(rng.Uniform(16.0, 75.0)));
+  }
+
+  ds.embeddings =
+      space.ExportEmbeddings(g.num_entities(), g.num_relations());
+  return ds;
+}
+
+}  // namespace vkg::data

@@ -1,0 +1,33 @@
+#ifndef VKG_DATA_MOVIELENS_GEN_H_
+#define VKG_DATA_MOVIELENS_GEN_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace vkg::data {
+
+/// Parameters for the MovieLens-like generator (Table I row 2, scaled):
+/// users, movies, genres, tags; relations "likes" (rating >= 4.0),
+/// "dislikes" (rating <= 2.0), "has-genre", "has-tag". Attributes:
+/// "year" on movies (Figures 13/16) and "age" on users.
+struct MovieLensConfig {
+  size_t num_users = 24000;
+  size_t num_movies = 8000;
+  size_t num_genres = 20;
+  size_t num_tags = 800;
+  size_t embedding_dim = 50;
+  double ratings_per_user_exponent = 1.25;  // Zipf exponent
+  size_t max_ratings_per_user = 160;
+  double dislike_fraction = 0.3;
+  size_t genres_per_movie = 2;
+  size_t tags_per_movie = 4;
+  uint64_t seed = 2;
+};
+
+/// Generates the MovieLens-like dataset.
+Dataset GenerateMovieLensLike(const MovieLensConfig& config);
+
+}  // namespace vkg::data
+
+#endif  // VKG_DATA_MOVIELENS_GEN_H_

@@ -1,0 +1,34 @@
+#include "data/powerlaw.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace vkg::data {
+
+ZipfSampler::ZipfSampler(size_t max_value, double exponent)
+    : exponent_(exponent) {
+  VKG_CHECK(max_value >= 1);
+  VKG_CHECK(exponent > 0);
+  cdf_.resize(max_value);
+  double cum = 0.0;
+  double weighted = 0.0;
+  for (size_t k = 1; k <= max_value; ++k) {
+    double w = std::pow(static_cast<double>(k), -exponent);
+    cum += w;
+    weighted += static_cast<double>(k) * w;
+    cdf_[k - 1] = cum;
+  }
+  for (double& v : cdf_) v /= cum;
+  expected_ = weighted / cum;
+}
+
+size_t ZipfSampler::Sample(util::Rng& rng) const {
+  double u = rng.Uniform();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size();
+  return static_cast<size_t>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace vkg::data

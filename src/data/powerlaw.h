@@ -1,0 +1,38 @@
+#ifndef VKG_DATA_POWERLAW_H_
+#define VKG_DATA_POWERLAW_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/random.h"
+
+namespace vkg::data {
+
+/// Bounded discrete power-law (Zipf) sampler over {1, ..., max_value}:
+/// P(X = k) ∝ k^(-exponent).
+///
+/// Real knowledge graphs' node degrees follow a power law (paper §II);
+/// the dataset generators draw degrees from this distribution.
+class ZipfSampler {
+ public:
+  /// Requires max_value >= 1 and exponent > 0.
+  ZipfSampler(size_t max_value, double exponent);
+
+  /// Draws one sample in [1, max_value] by inverse-CDF lookup.
+  size_t Sample(util::Rng& rng) const;
+
+  size_t max_value() const { return cdf_.size(); }
+  double exponent() const { return exponent_; }
+
+  /// E[X] of this (bounded) distribution.
+  double ExpectedValue() const { return expected_; }
+
+ private:
+  std::vector<double> cdf_;
+  double exponent_;
+  double expected_;
+};
+
+}  // namespace vkg::data
+
+#endif  // VKG_DATA_POWERLAW_H_

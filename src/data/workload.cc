@@ -1,0 +1,63 @@
+#include "data/workload.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "data/powerlaw.h"
+#include "util/check.h"
+
+namespace vkg::data {
+
+std::vector<Query> GenerateWorkload(const kg::KnowledgeGraph& graph,
+                                    const WorkloadConfig& config) {
+  util::Rng rng(config.seed);
+
+  // Candidate (anchor, relation) pairs observed in E, for each direction.
+  std::vector<std::pair<kg::EntityId, kg::RelationId>> head_side;
+  std::vector<std::pair<kg::EntityId, kg::RelationId>> tail_side;
+  for (const kg::Triple& t : graph.triples().triples()) {
+    if (config.only_relation != kg::kInvalidRelation &&
+        t.relation != config.only_relation) {
+      continue;
+    }
+    head_side.emplace_back(t.head, t.relation);  // ask for tails
+    tail_side.emplace_back(t.tail, t.relation);  // ask for heads
+  }
+  std::vector<Query> out;
+  if (head_side.empty()) return out;
+
+  // Dedup then shuffle so skew ranks are arbitrary but deterministic.
+  auto dedup = [](std::vector<std::pair<kg::EntityId, kg::RelationId>>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  dedup(head_side);
+  dedup(tail_side);
+  rng.Shuffle(head_side);
+  rng.Shuffle(tail_side);
+
+  std::unique_ptr<ZipfSampler> head_skew, tail_skew;
+  if (config.skew_exponent > 0) {
+    head_skew = std::make_unique<ZipfSampler>(head_side.size(),
+                                              config.skew_exponent);
+    tail_skew = std::make_unique<ZipfSampler>(tail_side.size(),
+                                              config.skew_exponent);
+  }
+
+  out.reserve(config.num_queries);
+  for (size_t i = 0; i < config.num_queries; ++i) {
+    Query q;
+    bool want_tail = rng.Bernoulli(config.tail_fraction);
+    auto& pool = want_tail ? head_side : tail_side;
+    auto* skew = want_tail ? head_skew.get() : tail_skew.get();
+    size_t idx = skew != nullptr ? skew->Sample(rng) - 1
+                                 : rng.UniformIndex(pool.size());
+    q.anchor = pool[idx].first;
+    q.relation = pool[idx].second;
+    q.direction = want_tail ? kg::Direction::kTail : kg::Direction::kHead;
+    out.push_back(q);
+  }
+  return out;
+}
+
+}  // namespace vkg::data

@@ -1,0 +1,43 @@
+#ifndef VKG_DATA_WORKLOAD_H_
+#define VKG_DATA_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "kg/graph.h"
+#include "kg/types.h"
+#include "util/random.h"
+
+namespace vkg::data {
+
+/// One predictive query: an anchor entity, a relationship type, and the
+/// direction (tails given (h, r), or heads given (t, r)).
+struct Query {
+  kg::EntityId anchor = kg::kInvalidEntity;
+  kg::RelationId relation = kg::kInvalidRelation;
+  kg::Direction direction = kg::Direction::kTail;
+};
+
+/// Workload-generation knobs (Section VI "Queries": anchors and relations
+/// are drawn at random from combinations observed in E so queries are
+/// meaningful; optional skew concentrates queries on popular anchors).
+struct WorkloadConfig {
+  size_t num_queries = 100;
+  /// Fraction of queries asking for tails (rest ask for heads).
+  double tail_fraction = 0.5;
+  /// 0 = uniform over observed (anchor, relation) pairs; > 0 applies a
+  /// Zipf skew of this exponent over the pair list (locality for the
+  /// cracking index).
+  double skew_exponent = 0.0;
+  /// Restrict queries to this relation (kInvalidRelation = all).
+  kg::RelationId only_relation = kg::kInvalidRelation;
+  uint64_t seed = 11;
+};
+
+/// Generates a query workload from the observed edges of `graph`.
+std::vector<Query> GenerateWorkload(const kg::KnowledgeGraph& graph,
+                                    const WorkloadConfig& config);
+
+}  // namespace vkg::data
+
+#endif  // VKG_DATA_WORKLOAD_H_

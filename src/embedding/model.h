@@ -1,0 +1,37 @@
+#ifndef VKG_EMBEDDING_MODEL_H_
+#define VKG_EMBEDDING_MODEL_H_
+
+#include "kg/types.h"
+
+namespace vkg::embedding {
+
+/// Interface implemented by knowledge-graph embedding models trained
+/// with the margin-based ranking loss (TransE, TransH, ...).
+///
+/// The paper's index consumes any model whose link plausibility reduces
+/// to nearest-neighbor search around a per-(h, r) center in S1 — the
+/// TransE family. Models with relation-specific projections (TransH)
+/// are supported for training and link-prediction evaluation; their
+/// adaptation to the index requires a per-relation transform and is
+/// discussed in DESIGN.md.
+class KgeModel {
+ public:
+  virtual ~KgeModel() = default;
+
+  /// Energy of a triple; lower means more plausible.
+  virtual double Score(const kg::Triple& t) const = 0;
+
+  /// One SGD step of the margin ranking loss on (positive, negative).
+  /// Returns the pre-update hinge loss (0 = no update performed).
+  virtual double Step(const kg::Triple& positive,
+                      const kg::Triple& negative, double margin,
+                      double lr) = 0;
+
+  /// Per-epoch renormalization (e.g., projecting entity vectors onto the
+  /// unit ball).
+  virtual void BeginEpoch() = 0;
+};
+
+}  // namespace vkg::embedding
+
+#endif  // VKG_EMBEDDING_MODEL_H_

@@ -1,0 +1,55 @@
+#include "embedding/sampler.h"
+
+#include <map>
+#include <set>
+
+namespace vkg::embedding {
+
+NegativeSampler::NegativeSampler(const kg::KnowledgeGraph& graph,
+                                 CorruptionMode mode)
+    : graph_(graph), mode_(mode) {
+  if (mode_ != CorruptionMode::kBernoulli) return;
+  // tph: average number of tails per (head, relation); hpt symmetric.
+  size_t nr = graph.num_relations();
+  std::vector<std::map<kg::EntityId, size_t>> tails_per_head(nr);
+  std::vector<std::map<kg::EntityId, size_t>> heads_per_tail(nr);
+  for (const kg::Triple& t : graph.triples().triples()) {
+    ++tails_per_head[t.relation][t.head];
+    ++heads_per_tail[t.relation][t.tail];
+  }
+  corrupt_head_prob_.resize(nr, 0.5);
+  for (size_t r = 0; r < nr; ++r) {
+    if (tails_per_head[r].empty()) continue;
+    double tph = 0.0, hpt = 0.0;
+    for (const auto& [h, c] : tails_per_head[r]) tph += c;
+    tph /= static_cast<double>(tails_per_head[r].size());
+    for (const auto& [t, c] : heads_per_tail[r]) hpt += c;
+    hpt /= static_cast<double>(heads_per_tail[r].size());
+    corrupt_head_prob_[r] = tph / (tph + hpt);
+  }
+}
+
+bool NegativeSampler::ShouldCorruptHead(kg::RelationId r,
+                                        util::Rng& rng) const {
+  if (mode_ == CorruptionMode::kUniform) return rng.Bernoulli(0.5);
+  return rng.Bernoulli(corrupt_head_prob_[r]);
+}
+
+kg::Triple NegativeSampler::Corrupt(const kg::Triple& positive,
+                                    util::Rng& rng) const {
+  constexpr int kMaxAttempts = 32;
+  kg::Triple neg = positive;
+  const size_t n = graph_.num_entities();
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    neg = positive;
+    if (ShouldCorruptHead(positive.relation, rng)) {
+      neg.head = static_cast<kg::EntityId>(rng.UniformIndex(n));
+    } else {
+      neg.tail = static_cast<kg::EntityId>(rng.UniformIndex(n));
+    }
+    if (!graph_.triples().Contains(neg)) return neg;
+  }
+  return neg;
+}
+
+}  // namespace vkg::embedding

@@ -1,0 +1,43 @@
+#ifndef VKG_EMBEDDING_SAMPLER_H_
+#define VKG_EMBEDDING_SAMPLER_H_
+
+#include "kg/graph.h"
+#include "kg/types.h"
+#include "util/random.h"
+
+namespace vkg::embedding {
+
+/// Corruption strategy for negative sampling.
+enum class CorruptionMode {
+  /// Corrupt head or tail with probability 1/2 each ("unif" in TransE).
+  kUniform,
+  /// Bernoulli strategy of Wang et al.: corrupt the side chosen according
+  /// to per-relation tph/hpt statistics, reducing false negatives.
+  kBernoulli,
+};
+
+/// Produces corrupted (negative) triples for margin-based ranking loss.
+class NegativeSampler {
+ public:
+  NegativeSampler(const kg::KnowledgeGraph& graph, CorruptionMode mode);
+
+  /// Returns a corruption of `positive` that is not a known fact in E.
+  /// Gives up after a bounded number of rejection-sampling attempts and
+  /// returns the last candidate (harmless at realistic sparsity).
+  kg::Triple Corrupt(const kg::Triple& positive, util::Rng& rng) const;
+
+  CorruptionMode mode() const { return mode_; }
+
+ private:
+  bool ShouldCorruptHead(kg::RelationId r, util::Rng& rng) const;
+
+  const kg::KnowledgeGraph& graph_;
+  CorruptionMode mode_;
+  // For kBernoulli: probability of corrupting the head per relation,
+  // tph / (tph + hpt).
+  std::vector<double> corrupt_head_prob_;
+};
+
+}  // namespace vkg::embedding
+
+#endif  // VKG_EMBEDDING_SAMPLER_H_

@@ -1,0 +1,88 @@
+#include "embedding/store.h"
+
+#include <cmath>
+
+#include "embedding/vector_ops.h"
+#include "util/check.h"
+#include "util/serialize.h"
+
+namespace vkg::embedding {
+
+namespace {
+constexpr uint32_t kMagic = 0x564b4745;  // "VKGE"
+}
+
+EmbeddingStore::EmbeddingStore(size_t num_entities, size_t num_relations,
+                               size_t dim)
+    : num_entities_(num_entities),
+      num_relations_(num_relations),
+      dim_(dim),
+      entities_(num_entities * dim, 0.0f),
+      relations_(num_relations * dim, 0.0f) {
+  VKG_CHECK(dim > 0);
+}
+
+void EmbeddingStore::RandomInitialize(util::Rng& rng) {
+  const double bound = 6.0 / std::sqrt(static_cast<double>(dim_));
+  for (float& v : entities_) {
+    v = static_cast<float>(rng.Uniform(-bound, bound));
+  }
+  for (float& v : relations_) {
+    v = static_cast<float>(rng.Uniform(-bound, bound));
+  }
+  for (size_t e = 0; e < num_entities_; ++e) {
+    NormalizeL2(Entity(static_cast<kg::EntityId>(e)));
+  }
+}
+
+std::vector<float> EmbeddingStore::QueryCenter(kg::EntityId anchor,
+                                               kg::RelationId r,
+                                               kg::Direction direction) const {
+  VKG_CHECK(anchor < num_entities_);
+  VKG_CHECK(r < num_relations_);
+  std::vector<float> q(dim_);
+  if (direction == kg::Direction::kTail) {
+    Add(Entity(anchor), Relation(r), q);
+  } else {
+    Sub(Entity(anchor), Relation(r), q);
+  }
+  return q;
+}
+
+util::Status EmbeddingStore::Save(const std::string& path) const {
+  util::BinaryWriter w(path);
+  VKG_RETURN_IF_ERROR(w.status());
+  w.WriteU32(kMagic);
+  w.WriteU64(num_entities_);
+  w.WriteU64(num_relations_);
+  w.WriteU64(dim_);
+  w.WriteF32Array(entities_);
+  w.WriteF32Array(relations_);
+  return w.Close();
+}
+
+util::Result<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
+  util::BinaryReader r(path);
+  VKG_RETURN_IF_ERROR(r.status());
+  if (r.ReadU32() != kMagic) {
+    return util::Status::InvalidArgument("bad embedding file magic: " + path);
+  }
+  uint64_t ne = r.ReadU64();
+  uint64_t nr = r.ReadU64();
+  uint64_t dim = r.ReadU64();
+  if (!r.status().ok()) return r.status();
+  if (dim == 0) {
+    return util::Status::InvalidArgument("zero embedding dim in " + path);
+  }
+  EmbeddingStore store(ne, nr, dim);
+  store.entities_ = r.ReadF32Array();
+  store.relations_ = r.ReadF32Array();
+  VKG_RETURN_IF_ERROR(r.status());
+  if (store.entities_.size() != ne * dim ||
+      store.relations_.size() != nr * dim) {
+    return util::Status::InvalidArgument("truncated embedding file " + path);
+  }
+  return store;
+}
+
+}  // namespace vkg::embedding

@@ -1,0 +1,82 @@
+#include "embedding/transa.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "embedding/vector_ops.h"
+#include "util/check.h"
+
+namespace vkg::embedding {
+
+TransA::TransA(EmbeddingStore* store, double weight_decay)
+    : store_(store), weight_decay_(weight_decay) {
+  weights_.assign(store->num_relations() * store->dim(), 1.0f);
+}
+
+double TransA::Score(const kg::Triple& t) const {
+  std::span<const float> h = store_->Entity(t.head);
+  std::span<const float> r = store_->Relation(t.relation);
+  std::span<const float> tt = store_->Entity(t.tail);
+  std::span<const float> w = Weights(t.relation);
+  double s = 0.0;
+  for (size_t i = 0; i < h.size(); ++i) {
+    double e = std::fabs(static_cast<double>(h[i]) + r[i] - tt[i]);
+    s += w[i] * e * e;
+  }
+  return s;
+}
+
+void TransA::ApplyGradient(const kg::Triple& t, double step) {
+  const size_t dim = store_->dim();
+  std::span<float> h = store_->Entity(t.head);
+  std::span<float> r = store_->Relation(t.relation);
+  std::span<float> tt = store_->Entity(t.tail);
+  std::span<float> w = MutableWeights(t.relation);
+  for (size_t i = 0; i < dim; ++i) {
+    double e = static_cast<double>(h[i]) + r[i] - tt[i];
+    // d(score)/dh_i = 2 w_i e_i ; d/dt_i = -2 w_i e_i ; d/dw_i = e_i^2.
+    float ge = static_cast<float>(step * 2.0 * w[i] * e);
+    h[i] -= ge;
+    r[i] -= ge;
+    tt[i] += ge;
+    w[i] -= static_cast<float>(step * e * e);
+    if (w[i] < 0.0f) w[i] = 0.0f;  // keep the metric PSD
+  }
+}
+
+double TransA::Step(const kg::Triple& positive, const kg::Triple& negative,
+                    double margin, double lr) {
+  const double pos = Score(positive);
+  const double neg = Score(negative);
+  const double loss = margin + pos - neg;
+  if (loss <= 0.0) return 0.0;
+  ApplyGradient(positive, lr);
+  ApplyGradient(negative, -lr);
+  return loss;
+}
+
+void TransA::BeginEpoch() {
+  for (size_t e = 0; e < store_->num_entities(); ++e) {
+    NormalizeL2(store_->Entity(static_cast<kg::EntityId>(e)));
+  }
+  // Regularize the adaptive weights toward uniform and renormalize each
+  // relation's weight mass so the metric cannot collapse to zero.
+  const size_t dim = store_->dim();
+  for (size_t r = 0; r < store_->num_relations(); ++r) {
+    std::span<float> w = MutableWeights(static_cast<kg::RelationId>(r));
+    double sum = 0.0;
+    for (size_t i = 0; i < dim; ++i) {
+      w[i] = static_cast<float>((1.0 - weight_decay_) * w[i] +
+                                weight_decay_);
+      sum += w[i];
+    }
+    if (sum <= 1e-9) {
+      for (size_t i = 0; i < dim; ++i) w[i] = 1.0f;
+      continue;
+    }
+    const float scale = static_cast<float>(static_cast<double>(dim) / sum);
+    for (size_t i = 0; i < dim; ++i) w[i] *= scale;
+  }
+}
+
+}  // namespace vkg::embedding

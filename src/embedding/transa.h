@@ -1,0 +1,56 @@
+#ifndef VKG_EMBEDDING_TRANSA_H_
+#define VKG_EMBEDDING_TRANSA_H_
+
+#include <vector>
+
+#include "embedding/model.h"
+#include "embedding/store.h"
+#include "util/random.h"
+
+namespace vkg::embedding {
+
+/// TransA (Jia et al., AAAI 2016): locally adaptive translation — the
+/// energy is an adaptive Mahalanobis distance of the translation
+/// residual e = h + r - t:
+///
+///     score(h, r, t) = |e|ᵀ W_r |e|      (|e| element-wise)
+///
+/// where W_r is a per-relation non-negative weight matrix learned with
+/// the ranking loss. This implementation uses the *diagonal* form of
+/// W_r (the dominant effect in the original paper: per-dimension
+/// relevance weights), which keeps scoring O(d) and the model
+/// compatible with nearest-neighbor query centers h + r up to a
+/// per-relation rescaling of axes. Section III-A of the indexed paper
+/// names TransA as an alternative embedding scheme A.
+class TransA : public KgeModel {
+ public:
+  /// `store` must outlive the model. Weights start at identity.
+  /// `weight_decay` pulls the weights toward uniform (the paper's
+  /// regularizer on W_r).
+  TransA(EmbeddingStore* store, double weight_decay = 1e-3);
+
+  double Score(const kg::Triple& t) const override;
+  double Step(const kg::Triple& positive, const kg::Triple& negative,
+              double margin, double lr) override;
+  void BeginEpoch() override;
+
+  std::span<const float> Weights(kg::RelationId r) const {
+    return {weights_.data() + static_cast<size_t>(r) * store_->dim(),
+            store_->dim()};
+  }
+
+ private:
+  std::span<float> MutableWeights(kg::RelationId r) {
+    return {weights_.data() + static_cast<size_t>(r) * store_->dim(),
+            store_->dim()};
+  }
+  void ApplyGradient(const kg::Triple& t, double step);
+
+  EmbeddingStore* store_;
+  double weight_decay_;
+  std::vector<float> weights_;  // row-major num_relations x dim, >= 0
+};
+
+}  // namespace vkg::embedding
+
+#endif  // VKG_EMBEDDING_TRANSA_H_

@@ -1,0 +1,82 @@
+#include "embedding/transe.h"
+
+#include <cmath>
+#include <vector>
+
+#include "embedding/vector_ops.h"
+
+namespace vkg::embedding {
+
+double TransE::Score(const kg::Triple& t) const {
+  std::span<const float> h = store_->Entity(t.head);
+  std::span<const float> r = store_->Relation(t.relation);
+  std::span<const float> tt = store_->Entity(t.tail);
+  double s = 0.0;
+  if (norm_ == Norm::kL2) {
+    for (size_t i = 0; i < h.size(); ++i) {
+      double d = static_cast<double>(h[i]) + r[i] - tt[i];
+      s += d * d;
+    }
+    return std::sqrt(s);
+  }
+  for (size_t i = 0; i < h.size(); ++i) {
+    s += std::fabs(static_cast<double>(h[i]) + r[i] - tt[i]);
+  }
+  return s;
+}
+
+namespace {
+
+// Gradient of d(h + r, t) w.r.t. the residual (h + r - t), per dimension.
+inline float ResidualGrad(Norm norm, double residual, double dist) {
+  if (norm == Norm::kL2) {
+    if (dist <= 1e-12) return 0.0f;
+    return static_cast<float>(residual / dist);
+  }
+  if (residual > 0) return 1.0f;
+  if (residual < 0) return -1.0f;
+  return 0.0f;
+}
+
+}  // namespace
+
+double TransE::Step(const kg::Triple& positive, const kg::Triple& negative,
+                    double margin, double lr) {
+  const double pos = Score(positive);
+  const double neg = Score(negative);
+  const double loss = margin + pos - neg;
+  if (loss <= 0.0) return 0.0;
+
+  const size_t dim = store_->dim();
+  std::span<float> ph = store_->Entity(positive.head);
+  std::span<float> pr = store_->Relation(positive.relation);
+  std::span<float> pt = store_->Entity(positive.tail);
+  std::span<float> nh = store_->Entity(negative.head);
+  std::span<float> nr = store_->Relation(negative.relation);
+  std::span<float> nt = store_->Entity(negative.tail);
+
+  const float step = static_cast<float>(lr);
+  for (size_t i = 0; i < dim; ++i) {
+    // Descend on the positive-triple energy...
+    double res_p = static_cast<double>(ph[i]) + pr[i] - pt[i];
+    float g = ResidualGrad(norm_, res_p, pos) * step;
+    ph[i] -= g;
+    pr[i] -= g;
+    pt[i] += g;
+    // ...and ascend on the negative-triple energy.
+    double res_n = static_cast<double>(nh[i]) + nr[i] - nt[i];
+    float gn = ResidualGrad(norm_, res_n, neg) * step;
+    nh[i] += gn;
+    nr[i] += gn;
+    nt[i] -= gn;
+  }
+  return loss;
+}
+
+void TransE::NormalizeEntities() {
+  for (size_t e = 0; e < store_->num_entities(); ++e) {
+    NormalizeL2(store_->Entity(static_cast<kg::EntityId>(e)));
+  }
+}
+
+}  // namespace vkg::embedding

@@ -1,0 +1,112 @@
+#include "embedding/transh.h"
+
+#include <cmath>
+
+#include "embedding/vector_ops.h"
+#include "util/check.h"
+
+namespace vkg::embedding {
+
+TransH::TransH(EmbeddingStore* store, util::Rng& rng) : store_(store) {
+  const size_t d = store->dim();
+  normals_.resize(store->num_relations() * d);
+  for (float& v : normals_) {
+    v = static_cast<float>(rng.Gaussian());
+  }
+  for (size_t r = 0; r < store->num_relations(); ++r) {
+    NormalizeL2(MutableNormal(static_cast<kg::RelationId>(r)));
+  }
+  scratch_pos_.resize(d);
+  scratch_neg_.resize(d);
+}
+
+double TransH::Residual(const kg::Triple& t, std::vector<double>* e) const {
+  const size_t dim = store_->dim();
+  std::span<const float> h = store_->Entity(t.head);
+  std::span<const float> d_r = store_->Relation(t.relation);
+  std::span<const float> tt = store_->Entity(t.tail);
+  std::span<const float> w = Normal(t.relation);
+
+  // u = h - t; e = u - (w·u) w + d.
+  double wu = 0.0;
+  for (size_t i = 0; i < dim; ++i) {
+    wu += static_cast<double>(w[i]) * (static_cast<double>(h[i]) - tt[i]);
+  }
+  double norm2 = 0.0;
+  for (size_t i = 0; i < dim; ++i) {
+    double u = static_cast<double>(h[i]) - tt[i];
+    double v = u - wu * w[i] + d_r[i];
+    (*e)[i] = v;
+    norm2 += v * v;
+  }
+  return std::sqrt(norm2);
+}
+
+double TransH::Score(const kg::Triple& t) const {
+  std::vector<double> e(store_->dim());
+  return Residual(t, &e);
+}
+
+namespace {
+
+// Applies the gradient of ||e|| w.r.t. (h, t, d, w) scaled by `step`
+// (positive step descends, negative ascends).
+void ApplyGradient(EmbeddingStore* store, std::span<float> w,
+                   const kg::Triple& t, const std::vector<double>& e,
+                   double norm, double step) {
+  if (norm <= 1e-12) return;
+  const size_t dim = store->dim();
+  std::span<float> h = store->Entity(t.head);
+  std::span<float> d_r = store->Relation(t.relation);
+  std::span<float> tt = store->Entity(t.tail);
+
+  // g = e / ||e||; projections needed for the chain rule.
+  double wg = 0.0, wu = 0.0;
+  for (size_t i = 0; i < dim; ++i) {
+    double g = e[i] / norm;
+    double u = static_cast<double>(h[i]) - tt[i];
+    wg += w[i] * g;
+    wu += w[i] * u;
+  }
+  for (size_t i = 0; i < dim; ++i) {
+    double g = e[i] / norm;
+    double u = static_cast<double>(h[i]) - tt[i];  // pre-update value
+    double w_i = w[i];                             // pre-update value
+    // d(||e||)/dh = (I - w wᵀ) g ; d/dt = -(I - w wᵀ) g ; d/dd = g.
+    double gh = g - wg * w_i;
+    h[i] -= static_cast<float>(step * gh);
+    tt[i] += static_cast<float>(step * gh);
+    d_r[i] -= static_cast<float>(step * g);
+    // e = u - (w·u) w + d  =>  d(||e||)/dw = -((g·w) u + (w·u) g).
+    double gw = -(wg * u + wu * g);
+    w[i] -= static_cast<float>(step * gw);
+  }
+}
+
+}  // namespace
+
+double TransH::Step(const kg::Triple& positive, const kg::Triple& negative,
+                    double margin, double lr) {
+  const double pos = Residual(positive, &scratch_pos_);
+  const double neg = Residual(negative, &scratch_neg_);
+  const double loss = margin + pos - neg;
+  if (loss <= 0.0) return 0.0;
+  ApplyGradient(store_, MutableNormal(positive.relation), positive,
+                scratch_pos_, pos, lr);
+  ApplyGradient(store_, MutableNormal(negative.relation), negative,
+                scratch_neg_, neg, -lr);
+  // Keep the hyperplane normals unit length.
+  NormalizeL2(MutableNormal(positive.relation));
+  if (negative.relation != positive.relation) {
+    NormalizeL2(MutableNormal(negative.relation));
+  }
+  return loss;
+}
+
+void TransH::BeginEpoch() {
+  for (size_t e = 0; e < store_->num_entities(); ++e) {
+    NormalizeL2(store_->Entity(static_cast<kg::EntityId>(e)));
+  }
+}
+
+}  // namespace vkg::embedding

@@ -1,0 +1,53 @@
+#ifndef VKG_EMBEDDING_TRANSH_H_
+#define VKG_EMBEDDING_TRANSH_H_
+
+#include <vector>
+
+#include "embedding/model.h"
+#include "embedding/store.h"
+#include "util/random.h"
+
+namespace vkg::embedding {
+
+/// TransH (Wang et al., AAAI 2014): each relation r carries a hyperplane
+/// normal w_r and a translation d_r living *in* the hyperplane; the
+/// energy is
+///
+///     || (h - (w·h) w) + d - (t - (w·t) w) ||_2
+///
+/// i.e., translation between the projections of h and t onto the
+/// relation's hyperplane. Handles 1-N / N-1 / N-N relations better than
+/// TransE. The translation vectors d_r are stored in the shared
+/// EmbeddingStore's relation rows; the normals live in this class.
+class TransH : public KgeModel {
+ public:
+  /// `store` must outlive the model; normals are initialized from `rng`.
+  TransH(EmbeddingStore* store, util::Rng& rng);
+
+  double Score(const kg::Triple& t) const override;
+  double Step(const kg::Triple& positive, const kg::Triple& negative,
+              double margin, double lr) override;
+  void BeginEpoch() override;
+
+  std::span<const float> Normal(kg::RelationId r) const {
+    return {normals_.data() + static_cast<size_t>(r) * store_->dim(),
+            store_->dim()};
+  }
+
+ private:
+  std::span<float> MutableNormal(kg::RelationId r) {
+    return {normals_.data() + static_cast<size_t>(r) * store_->dim(),
+            store_->dim()};
+  }
+  // Residual e = (h - t) - (w·(h - t)) w + d and its norm.
+  double Residual(const kg::Triple& t, std::vector<double>* e) const;
+
+  EmbeddingStore* store_;
+  std::vector<float> normals_;  // row-major num_relations x dim
+  std::vector<double> scratch_pos_;
+  std::vector<double> scratch_neg_;
+};
+
+}  // namespace vkg::embedding
+
+#endif  // VKG_EMBEDDING_TRANSH_H_

@@ -1,0 +1,75 @@
+#include "embedding/vector_ops.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace vkg::embedding {
+
+void Add(std::span<const float> a, std::span<const float> b,
+         std::span<float> out) {
+  VKG_DCHECK(a.size() == b.size() && a.size() == out.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+}
+
+void Sub(std::span<const float> a, std::span<const float> b,
+         std::span<float> out) {
+  VKG_DCHECK(a.size() == b.size() && a.size() == out.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+}
+
+void Axpy(float scale, std::span<const float> b, std::span<float> a) {
+  VKG_DCHECK(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) a[i] += scale * b[i];
+}
+
+double Dot(std::span<const float> a, std::span<const float> b) {
+  VKG_DCHECK(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += static_cast<double>(a[i]) * b[i];
+  return s;
+}
+
+double L2Norm(std::span<const float> a) {
+  double s = 0.0;
+  for (float v : a) s += static_cast<double>(v) * v;
+  return std::sqrt(s);
+}
+
+double L1Norm(std::span<const float> a) {
+  double s = 0.0;
+  for (float v : a) s += std::fabs(v);
+  return s;
+}
+
+double L2DistanceSquared(std::span<const float> a, std::span<const float> b) {
+  VKG_DCHECK(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = static_cast<double>(a[i]) - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double L2Distance(std::span<const float> a, std::span<const float> b) {
+  return std::sqrt(L2DistanceSquared(a, b));
+}
+
+double L1Distance(std::span<const float> a, std::span<const float> b) {
+  VKG_DCHECK(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    s += std::fabs(static_cast<double>(a[i]) - b[i]);
+  }
+  return s;
+}
+
+void NormalizeL2(std::span<float> a) {
+  double n = L2Norm(a);
+  if (n == 0.0) return;
+  float inv = static_cast<float>(1.0 / n);
+  for (float& v : a) v *= inv;
+}
+
+}  // namespace vkg::embedding

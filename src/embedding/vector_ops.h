@@ -1,0 +1,47 @@
+#ifndef VKG_EMBEDDING_VECTOR_OPS_H_
+#define VKG_EMBEDDING_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vkg::embedding {
+
+/// Dense float vector operations used by embedding models and distance
+/// computations in the original space S1. All spans must have equal size.
+
+/// out = a + b
+void Add(std::span<const float> a, std::span<const float> b,
+         std::span<float> out);
+
+/// out = a - b
+void Sub(std::span<const float> a, std::span<const float> b,
+         std::span<float> out);
+
+/// a += scale * b
+void Axpy(float scale, std::span<const float> b, std::span<float> a);
+
+/// Inner product <a, b>.
+double Dot(std::span<const float> a, std::span<const float> b);
+
+/// Euclidean (L2) norm.
+double L2Norm(std::span<const float> a);
+
+/// Sum of |a_i| (L1 norm).
+double L1Norm(std::span<const float> a);
+
+/// Squared Euclidean distance ||a - b||^2.
+double L2DistanceSquared(std::span<const float> a, std::span<const float> b);
+
+/// Euclidean distance ||a - b||.
+double L2Distance(std::span<const float> a, std::span<const float> b);
+
+/// L1 distance sum |a_i - b_i|.
+double L1Distance(std::span<const float> a, std::span<const float> b);
+
+/// Scales `a` in place to unit L2 norm (no-op for the zero vector).
+void NormalizeL2(std::span<float> a);
+
+}  // namespace vkg::embedding
+
+#endif  // VKG_EMBEDDING_VECTOR_OPS_H_

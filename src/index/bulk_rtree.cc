@@ -1,0 +1,7 @@
+#include "index/bulk_rtree.h"
+
+// BulkRTree is header-only sugar over CrackingRTree::BuildFull(); this
+// translation unit pins the vtable-free class into the library and keeps
+// the module layout uniform.
+
+namespace vkg::index {}  // namespace vkg::index

@@ -1,0 +1,37 @@
+#include "index/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vkg::index {
+
+double SplitOverlapCost(const Rect& left, const Rect& right, double beta,
+                        int height) {
+  double overlap = left.OverlapVolume(right);
+  double min_vol = std::min(left.Volume(), right.Volume());
+  double ratio;
+  if (min_vol > 0.0) {
+    ratio = overlap / min_vol;
+  } else {
+    // Degenerate boxes: compare overlap margin against the smaller margin.
+    double min_margin = std::min(left.Margin(), right.Margin());
+    if (min_margin <= 0.0) return 0.0;
+    Rect inter = left;
+    double overlap_margin = 0.0;
+    for (size_t d = 0; d < inter.dim; ++d) {
+      double side = std::min<double>(left.hi[d], right.hi[d]) -
+                    std::max<double>(left.lo[d], right.lo[d]);
+      overlap_margin += std::max(0.0, side);
+    }
+    ratio = overlap_margin / min_margin;
+  }
+  return std::pow(beta, static_cast<double>(height)) * ratio;
+}
+
+double ClassicSplitCost(const Rect& left, const Rect& right) {
+  // Overlap dominates; margin breaks ties between zero-overlap splits.
+  return left.OverlapVolume(right) +
+         1e-9 * (left.Margin() + right.Margin());
+}
+
+}  // namespace vkg::index

@@ -1,0 +1,53 @@
+#ifndef VKG_INDEX_COST_MODEL_H_
+#define VKG_INDEX_COST_MODEL_H_
+
+#include <cstddef>
+
+#include "index/geometry.h"
+#include "util/math_util.h"
+
+namespace vkg::index {
+
+/// Two-component node-splitting cost (Section IV-B1).
+///
+/// `cq` estimates leaf-page accesses for the current query region Q
+/// (Lemma 3: sum over contour elements of ceil(|Q ∩ e| / N)); `co`
+/// accumulates overlap penalties beta^h * ||O|| / min(||L||, ||H||) per
+/// binary split. Comparison is lexicographic with cq as the major order —
+/// the query-workload-optimized priority discussed in the paper.
+struct CompositeCost {
+  double cq = 0.0;
+  double co = 0.0;
+
+  friend bool operator<(const CompositeCost& a, const CompositeCost& b) {
+    if (a.cq != b.cq) return a.cq < b.cq;
+    return a.co < b.co;
+  }
+  friend bool operator==(const CompositeCost& a, const CompositeCost& b) {
+    return a.cq == b.cq && a.co == b.co;
+  }
+  friend CompositeCost operator+(const CompositeCost& a,
+                                 const CompositeCost& b) {
+    return {a.cq + b.cq, a.co + b.co};
+  }
+};
+
+/// ceil(count / leaf_capacity): minimum leaf pages for `count` points.
+inline double LeafPages(size_t count, size_t leaf_capacity) {
+  return static_cast<double>(util::CeilDiv(count, leaf_capacity));
+}
+
+/// Overlap component of one binary split at tree height `height`:
+/// beta^h * ||O|| / min(||L||, ||H||). Degenerate volumes (points sharing
+/// coordinates) fall back to a margin-based ratio so the penalty stays
+/// finite and ordered.
+double SplitOverlapCost(const Rect& left, const Rect& right, double beta,
+                        int height);
+
+/// Classic offline bulk-loading split cost (no query region): overlap
+/// volume with a margin tie-breaker folded in at a small weight.
+double ClassicSplitCost(const Rect& left, const Rect& right);
+
+}  // namespace vkg::index
+
+#endif  // VKG_INDEX_COST_MODEL_H_

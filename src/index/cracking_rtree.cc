@@ -1,0 +1,202 @@
+#include "index/cracking_rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace vkg::index {
+
+namespace {
+
+// Smallest h with n <= N * M^h: the bulk-load tree height.
+int TreeHeight(size_t n, size_t leaf_capacity, size_t fanout) {
+  int h = 0;
+  double capacity = static_cast<double>(leaf_capacity);
+  while (capacity < static_cast<double>(n)) {
+    capacity *= static_cast<double>(fanout);
+    ++h;
+  }
+  return h;
+}
+
+}  // namespace
+
+CrackingRTree::CrackingRTree(const PointSet* points,
+                             const RTreeConfig& config)
+    : points_(points), config_(config) {
+  VKG_CHECK(config.leaf_capacity >= 1);
+  VKG_CHECK(config.fanout >= 2);
+  VKG_CHECK(config.beta >= 1.0);
+  VKG_CHECK(config.split_choices >= 1);
+  root_ = std::make_unique<Node>();
+  root_->begin = 0;
+  root_->end = points->size();
+  root_->height = TreeHeight(points->size(), config.leaf_capacity,
+                             config.fanout);
+  root_->kind = root_->height == 0 ? Node::Kind::kLeaf
+                                   : Node::Kind::kPartition;
+  if (!points->empty()) {
+    root_->mbr = Rect::Empty(points->dim());
+    for (uint32_t i = 0; i < points->size(); ++i) {
+      root_->mbr.ExpandToFit(points->at(i));
+    }
+  } else {
+    root_->mbr = Rect::Empty(points->dim() == 0 ? 1 : points->dim());
+  }
+}
+
+SortedOrders* CrackingRTree::EnsureOrders() const {
+  if (orders_ == nullptr) {
+    orders_ = std::make_unique<SortedOrders>(*points_);
+  }
+  return orders_.get();
+}
+
+void CrackingRTree::Crack(const Rect& query) {
+  if (points_->empty()) return;
+  CrackNode(root_.get(), query);
+}
+
+void CrackingRTree::CrackNode(Node* node, const Rect& query) {
+  switch (node->kind) {
+    case Node::Kind::kInternal:
+      for (auto& child : node->children) {
+        if (child->mbr.Intersects(query)) CrackNode(child.get(), query);
+      }
+      return;
+    case Node::Kind::kLeaf:
+      return;
+    case Node::Kind::kPartition: {
+      if (!node->mbr.Intersects(query)) return;
+      size_t q_count =
+          CountInRegion(ElementIds(*node), *points_, query);
+      // Stopping condition (Section IV-C step 3): irrelevant to Q, or
+      // splitting cannot reduce the leaf pages needed for Q.
+      if (q_count == 0) return;
+      if (config_.use_stopping_condition &&
+          util::CeilDiv(q_count, config_.leaf_capacity) ==
+              util::CeilDiv(node->size(), config_.leaf_capacity)) {
+        return;
+      }
+      if (node->height == 0) return;  // already a leaf-sized element
+      SplitPartitionNode(node, &query);
+      for (auto& child : node->children) {
+        if (child->mbr.Intersects(query)) CrackNode(child.get(), query);
+      }
+      return;
+    }
+  }
+}
+
+void CrackingRTree::SplitPartitionNode(Node* node, const Rect* query) {
+  VKG_CHECK(node->kind == Node::Kind::kPartition);
+  VKG_CHECK(node->height >= 1);
+  const size_t m = util::CeilDiv(node->size(), config_.fanout);
+  std::vector<size_t> sizes =
+      ChunkPartition(EnsureOrders(), node->begin, node->end, m, query,
+                     config_, node->height, &chunk_stats_);
+  node->children.reserve(sizes.size());
+  size_t offset = node->begin;
+  for (size_t size : sizes) {
+    auto child = std::make_unique<Node>();
+    child->begin = offset;
+    child->end = offset + size;
+    child->height = node->height - 1;
+    child->kind = child->height == 0 ? Node::Kind::kLeaf
+                                     : Node::Kind::kPartition;
+    child->mbr =
+        points_->Bound(orders().Range(0, child->begin, child->end));
+    offset += size;
+    node->children.push_back(std::move(child));
+  }
+  VKG_CHECK(offset == node->end);
+  node->kind = Node::Kind::kInternal;
+}
+
+void CrackingRTree::BuildFull() {
+  if (points_->empty()) return;
+  BuildFullRec(root_.get());
+}
+
+void CrackingRTree::BuildFullRec(Node* node) {
+  if (node->kind != Node::Kind::kPartition) return;
+  SplitPartitionNode(node, nullptr);
+  for (auto& child : node->children) BuildFullRec(child.get());
+}
+
+void CrackingRTree::Search(const Rect& region,
+                           const std::function<void(uint32_t)>& fn) const {
+  if (points_->empty()) return;
+  // Iterative DFS; contour elements scan their points.
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (!node->mbr.Intersects(region)) continue;
+    if (node->kind == Node::Kind::kInternal) {
+      for (const auto& child : node->children) stack.push_back(child.get());
+      continue;
+    }
+    for (uint32_t id : ElementIds(*node)) {
+      if (region.Contains(points_->at(id))) fn(id);
+    }
+  }
+}
+
+void CrackingRTree::VisitContour(
+    const Rect& region, const std::function<void(const Node&)>& fn) const {
+  if (points_->empty()) return;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (!node->mbr.Intersects(region)) continue;
+    if (node->kind == Node::Kind::kInternal) {
+      for (const auto& child : node->children) stack.push_back(child.get());
+      continue;
+    }
+    fn(*node);
+  }
+}
+
+const Node* CrackingRTree::ProbeSmallest(std::span<const float> q) const {
+  const Node* node = root_.get();
+  while (node->kind == Node::Kind::kInternal) {
+    const Node* best_containing = nullptr;
+    const Node* nearest = nullptr;
+    double nearest_dist = 0.0;
+    for (const auto& child : node->children) {
+      if (child->mbr.Contains(q)) {
+        if (best_containing == nullptr ||
+            child->size() < best_containing->size()) {
+          best_containing = child.get();
+        }
+      }
+      double d = child->mbr.MinDistSquared(q);
+      if (nearest == nullptr || d < nearest_dist) {
+        nearest = child.get();
+        nearest_dist = d;
+      }
+    }
+    node = best_containing != nullptr ? best_containing : nearest;
+  }
+  return node;
+}
+
+IndexStats CrackingRTree::Stats() const {
+  IndexStats s;
+  NodeCounts counts = CountNodes(*root_);
+  s.num_nodes = counts.total();
+  s.internals = counts.internals;
+  s.leaves = counts.leaves;
+  s.partitions = counts.partitions;
+  s.binary_splits = chunk_stats_.binary_splits;
+  s.astar_expansions = chunk_stats_.astar_expansions;
+  s.node_bytes = SubtreeMemoryBytes(*root_);
+  s.base_array_bytes = orders_ == nullptr ? 0 : orders_->MemoryBytes();
+  s.height = root_->height;
+  return s;
+}
+
+}  // namespace vkg::index

@@ -1,0 +1,117 @@
+#ifndef VKG_INDEX_CRACKING_RTREE_H_
+#define VKG_INDEX_CRACKING_RTREE_H_
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "index/rtree_node.h"
+#include "index/sort_orders.h"
+#include "index/topk_splits.h"
+#include "util/status.h"
+
+namespace vkg::index {
+
+/// Aggregate statistics of a (possibly partial) R-tree.
+struct IndexStats {
+  size_t num_nodes = 0;
+  size_t internals = 0;
+  size_t leaves = 0;
+  size_t partitions = 0;  // unsplit contour elements
+  size_t binary_splits = 0;
+  size_t astar_expansions = 0;
+  size_t node_bytes = 0;        // index structure overhead
+  size_t base_array_bytes = 0;  // shared sort-order arrays (data)
+  int height = 0;
+};
+
+/// The cracking, uneven R-tree of Section IV.
+///
+/// Thread safety: queries crack the index (that is the point), so the
+/// tree is single-writer — external synchronization is required to
+/// share one tree across threads. Search()/VisitContour() alone are
+/// const and safe concurrently *between* cracks.
+///
+/// The tree starts as a single partition holding every point and is
+/// *cracked* incrementally: each query region triggers top-down splits
+/// only of the contour elements it touches (INCREMENTALINDEXBUILD), or —
+/// with config.split_choices > 1 — the A* search over the top-k split
+/// choices (TOP-KSPLITSINDEXBUILD, Algorithm 2). Calling BuildFull()
+/// instead performs the offline bulk load of Algorithm 1, which is the
+/// paper's bulk-loaded baseline; both share all machinery.
+class CrackingRTree {
+ public:
+  /// `points` must outlive the tree.
+  CrackingRTree(const PointSet* points, const RTreeConfig& config);
+
+  CrackingRTree(const CrackingRTree&) = delete;
+  CrackingRTree& operator=(const CrackingRTree&) = delete;
+
+  /// Incrementally builds the index for `query` (Section IV-C). Safe to
+  /// call any number of times; later calls touch fewer nodes.
+  void Crack(const Rect& query);
+
+  /// Full offline bulk load (Algorithm 1 with the classic cost model).
+  void BuildFull();
+
+  /// Invokes `fn(point_id)` for every point inside `region`. Does not
+  /// modify the index.
+  void Search(const Rect& region,
+              const std::function<void(uint32_t)>& fn) const;
+
+  /// Visits every contour element (leaf or partition) whose MBR
+  /// intersects `region`, without scanning points.
+  void VisitContour(const Rect& region,
+                    const std::function<void(const Node&)>& fn) const;
+
+  /// Descends to the smallest contour element containing `q` (or the
+  /// nearest one when no MBR contains it). Never null.
+  const Node* ProbeSmallest(std::span<const float> q) const;
+
+  /// Point ids of a contour element, in sort order `s` (ascending
+  /// coordinate s — the traversal order used by FINDTOP-KENTITIES).
+  std::span<const uint32_t> ElementIds(const Node& node, size_t s = 0) const {
+    VKG_DCHECK(node.IsContourElement());
+    return orders().Range(s, node.begin, node.end);
+  }
+
+  const Node& root() const { return *root_; }
+  const PointSet& points() const { return *points_; }
+  /// The shared sort-order arrays. Built lazily on first use, so
+  /// constructing a cracking tree costs O(1): the sorting work lands in
+  /// the first query, matching the paper's "no offline index building".
+  const SortedOrders& orders() const { return *EnsureOrders(); }
+  const RTreeConfig& config() const { return config_; }
+
+  IndexStats Stats() const;
+
+  /// Persists the cracked structure (sort orders + node tree + config) so
+  /// a warmed index survives restarts — the "fire off the first query
+  /// offline so all online queries are fast" workflow of Section VI.
+  util::Status Save(const std::string& path) const;
+
+  /// Restores a tree previously saved over the *same* point set (size
+  /// and dimensionality are validated; a coordinate checksum guards
+  /// against mismatched data).
+  static util::Result<std::unique_ptr<CrackingRTree>> Load(
+      const std::string& path, const PointSet* points);
+
+ private:
+  SortedOrders* EnsureOrders() const;
+  void CrackNode(Node* node, const Rect& query);
+  /// Chunks a partition node into child nodes (one level of
+  /// BULKLOADCHUNK); `query` == nullptr uses the classic cost.
+  void SplitPartitionNode(Node* node, const Rect* query);
+  void BuildFullRec(Node* node);
+
+  const PointSet* points_;
+  RTreeConfig config_;
+  mutable std::unique_ptr<SortedOrders> orders_;
+  std::unique_ptr<Node> root_;
+  ChunkingStats chunk_stats_;
+};
+
+}  // namespace vkg::index
+
+#endif  // VKG_INDEX_CRACKING_RTREE_H_

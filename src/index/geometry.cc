@@ -1,0 +1,163 @@
+#include "index/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace vkg::index {
+
+Rect Rect::Empty(size_t dim) {
+  VKG_CHECK(dim >= 1 && dim <= kMaxDim);
+  Rect r;
+  r.dim = static_cast<uint8_t>(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    r.lo[d] = std::numeric_limits<float>::max();
+    r.hi[d] = std::numeric_limits<float>::lowest();
+  }
+  return r;
+}
+
+Rect Rect::BoundingBoxOfBall(const Point& center, double radius) {
+  VKG_CHECK(radius >= 0);
+  Rect r;
+  r.dim = center.dim;
+  for (size_t d = 0; d < center.dim; ++d) {
+    r.lo[d] = static_cast<float>(center.c[d] - radius);
+    r.hi[d] = static_cast<float>(center.c[d] + radius);
+  }
+  return r;
+}
+
+bool Rect::IsEmpty() const {
+  for (size_t d = 0; d < dim; ++d) {
+    if (lo[d] > hi[d]) return true;
+  }
+  return false;
+}
+
+void Rect::ExpandToFit(std::span<const float> p) {
+  VKG_DCHECK(p.size() == dim);
+  for (size_t d = 0; d < dim; ++d) {
+    lo[d] = std::min(lo[d], p[d]);
+    hi[d] = std::max(hi[d], p[d]);
+  }
+}
+
+void Rect::ExpandToFit(const Rect& other) {
+  VKG_DCHECK(other.dim == dim);
+  if (other.IsEmpty()) return;
+  for (size_t d = 0; d < dim; ++d) {
+    lo[d] = std::min(lo[d], other.lo[d]);
+    hi[d] = std::max(hi[d], other.hi[d]);
+  }
+}
+
+bool Rect::Contains(std::span<const float> p) const {
+  VKG_DCHECK(p.size() == dim);
+  for (size_t d = 0; d < dim; ++d) {
+    if (p[d] < lo[d] || p[d] > hi[d]) return false;
+  }
+  return true;
+}
+
+bool Rect::Intersects(const Rect& other) const {
+  VKG_DCHECK(other.dim == dim);
+  for (size_t d = 0; d < dim; ++d) {
+    if (lo[d] > other.hi[d] || hi[d] < other.lo[d]) return false;
+  }
+  return true;
+}
+
+double Rect::Volume() const {
+  double v = 1.0;
+  for (size_t d = 0; d < dim; ++d) {
+    double side = static_cast<double>(hi[d]) - lo[d];
+    if (side <= 0) return 0.0;
+    v *= side;
+  }
+  return v;
+}
+
+double Rect::Margin() const {
+  double m = 0.0;
+  for (size_t d = 0; d < dim; ++d) {
+    m += std::max(0.0, static_cast<double>(hi[d]) - lo[d]);
+  }
+  return m;
+}
+
+double Rect::OverlapVolume(const Rect& other) const {
+  VKG_DCHECK(other.dim == dim);
+  double v = 1.0;
+  for (size_t d = 0; d < dim; ++d) {
+    double side = std::min<double>(hi[d], other.hi[d]) -
+                  std::max<double>(lo[d], other.lo[d]);
+    if (side <= 0) return 0.0;
+    v *= side;
+  }
+  return v;
+}
+
+double Rect::MinDistSquared(std::span<const float> p) const {
+  VKG_DCHECK(p.size() == dim);
+  double s = 0.0;
+  for (size_t d = 0; d < dim; ++d) {
+    double diff = 0.0;
+    if (p[d] < lo[d]) {
+      diff = static_cast<double>(lo[d]) - p[d];
+    } else if (p[d] > hi[d]) {
+      diff = static_cast<double>(p[d]) - hi[d];
+    }
+    s += diff * diff;
+  }
+  return s;
+}
+
+double Rect::MaxDistSquared(std::span<const float> p) const {
+  VKG_DCHECK(p.size() == dim);
+  double s = 0.0;
+  for (size_t d = 0; d < dim; ++d) {
+    double lo_diff = std::fabs(static_cast<double>(p[d]) - lo[d]);
+    double hi_diff = std::fabs(static_cast<double>(p[d]) - hi[d]);
+    double diff = std::max(lo_diff, hi_diff);
+    s += diff * diff;
+  }
+  return s;
+}
+
+std::string Rect::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t d = 0; d < dim; ++d) {
+    if (d) os << ", ";
+    os << lo[d] << ".." << hi[d];
+  }
+  os << "]";
+  return os.str();
+}
+
+PointSet::PointSet(std::vector<float> coords, size_t dim)
+    : coords_(std::move(coords)), dim_(dim) {
+  VKG_CHECK(dim >= 1 && dim <= kMaxDim);
+  VKG_CHECK(coords_.size() % dim == 0);
+  size_ = coords_.size() / dim;
+}
+
+Rect PointSet::Bound(std::span<const uint32_t> ids) const {
+  Rect r = Rect::Empty(dim_);
+  for (uint32_t id : ids) r.ExpandToFit(at(id));
+  return r;
+}
+
+double PointSet::DistSquared(uint32_t i, std::span<const float> p) const {
+  std::span<const float> a = at(i);
+  double s = 0.0;
+  for (size_t d = 0; d < dim_; ++d) {
+    double diff = static_cast<double>(a[d]) - p[d];
+    s += diff * diff;
+  }
+  return s;
+}
+
+}  // namespace vkg::index

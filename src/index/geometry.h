@@ -1,0 +1,104 @@
+#ifndef VKG_INDEX_GEOMETRY_H_
+#define VKG_INDEX_GEOMETRY_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace vkg::index {
+
+/// Maximum supported dimensionality of the index space S2. The paper uses
+/// alpha = 3 or 6; 8 leaves headroom while keeping points inline.
+inline constexpr size_t kMaxDim = 8;
+
+/// A point in S2 with runtime dimensionality <= kMaxDim.
+struct Point {
+  std::array<float, kMaxDim> c{};
+  uint8_t dim = 0;
+
+  static Point FromSpan(std::span<const float> v) {
+    VKG_CHECK(v.size() <= kMaxDim);
+    Point p;
+    p.dim = static_cast<uint8_t>(v.size());
+    for (size_t i = 0; i < v.size(); ++i) p.c[i] = v[i];
+    return p;
+  }
+
+  std::span<const float> AsSpan() const { return {c.data(), dim}; }
+};
+
+/// Axis-aligned box in S2 (an MBR). Empty() boxes have lo > hi.
+struct Rect {
+  std::array<float, kMaxDim> lo{};
+  std::array<float, kMaxDim> hi{};
+  uint8_t dim = 0;
+
+  /// The "impossible" box that grows to fit anything via ExpandToFit.
+  static Rect Empty(size_t dim);
+  /// Ball bounding box: [center - r, center + r] per dimension.
+  static Rect BoundingBoxOfBall(const Point& center, double radius);
+
+  bool IsEmpty() const;
+  void ExpandToFit(std::span<const float> p);
+  void ExpandToFit(const Rect& other);
+
+  bool Contains(std::span<const float> p) const;
+  bool Intersects(const Rect& other) const;
+
+  /// Product of side lengths; 0 for degenerate/empty boxes.
+  double Volume() const;
+  /// Sum of side lengths (margin), used as a volume tie-breaker.
+  double Margin() const;
+
+  /// Volume of the intersection with `other` (0 when disjoint).
+  double OverlapVolume(const Rect& other) const;
+
+  /// Squared min distance from `p` to this box (0 if inside).
+  double MinDistSquared(std::span<const float> p) const;
+
+  /// Squared distance from `p` to the farthest corner of this box.
+  double MaxDistSquared(std::span<const float> p) const;
+
+  std::string ToString() const;
+};
+
+/// Immutable set of S2 points (row-major coords), indexed by dense point
+/// id. Point ids coincide with EntityIds in the query layer.
+class PointSet {
+ public:
+  PointSet() = default;
+  /// `coords.size()` must be a multiple of `dim`.
+  PointSet(std::vector<float> coords, size_t dim);
+
+  size_t size() const { return size_; }
+  size_t dim() const { return dim_; }
+  bool empty() const { return size_ == 0; }
+
+  std::span<const float> at(uint32_t i) const {
+    VKG_DCHECK(i < size_);
+    return {coords_.data() + static_cast<size_t>(i) * dim_, dim_};
+  }
+  float coord(uint32_t i, size_t d) const {
+    VKG_DCHECK(i < size_ && d < dim_);
+    return coords_[static_cast<size_t>(i) * dim_ + d];
+  }
+
+  /// MBR of a subset of point ids.
+  Rect Bound(std::span<const uint32_t> ids) const;
+
+  /// Squared distance between point `i` and `p` (size dim).
+  double DistSquared(uint32_t i, std::span<const float> p) const;
+
+ private:
+  std::vector<float> coords_;
+  size_t dim_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace vkg::index
+
+#endif  // VKG_INDEX_GEOMETRY_H_

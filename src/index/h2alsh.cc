@@ -1,0 +1,204 @@
+#include "index/h2alsh.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+#include "util/check.h"
+
+namespace vkg::index {
+
+H2Alsh::H2Alsh(std::span<const float> data, size_t n, size_t d,
+               const H2AlshConfig& config)
+    : n_(n), d_(d), config_(config) {
+  VKG_CHECK(d >= 1);
+  VKG_CHECK(data.size() == n * d);
+  VKG_CHECK(config.norm_ratio > 0 && config.norm_ratio < 1);
+  VKG_CHECK(config.scale_u > 0 && config.scale_u <= 1);
+  data_.assign(data.begin(), data.end());
+  if (n == 0) return;
+
+  // Sort items by descending norm and carve norm intervals
+  // (b*M_j, M_j] — the homocentric hypersphere partition.
+  std::vector<double> norms(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (size_t k = 0; k < d; ++k) {
+      double v = data_[i * d + k];
+      s += v * v;
+    }
+    norms[i] = std::sqrt(s);
+  }
+  std::vector<uint32_t> by_norm(n);
+  std::iota(by_norm.begin(), by_norm.end(), 0u);
+  std::sort(by_norm.begin(), by_norm.end(), [&](uint32_t a, uint32_t b) {
+    return norms[a] > norms[b];
+  });
+
+  util::Rng rng(config.seed);
+  size_t pos = 0;
+  while (pos < n) {
+    Subset s;
+    s.max_norm = std::max(norms[by_norm[pos]], 1e-12);
+    double lo = s.max_norm * config.norm_ratio;
+    while (pos < n && norms[by_norm[pos]] > lo) {
+      s.ids.push_back(by_norm[pos]);
+      ++pos;
+    }
+    // All remaining items with (near-)zero norm go into the last subset.
+    if (s.max_norm <= 1e-9) {
+      while (pos < n) {
+        s.ids.push_back(by_norm[pos]);
+        ++pos;
+      }
+    }
+    s.lambda = config.scale_u / s.max_norm;
+
+    // QNF transform: x' = [λx ; sqrt(U² − ||λx||²)], so ||x'|| = U and
+    // ||x' − [q̂;0]||² = U² + 1 − 2λ(q̂·x): NN under L2 == MIPS.
+    const size_t dd = d + 1;
+    s.transformed.resize(s.ids.size() * dd);
+    for (size_t i = 0; i < s.ids.size(); ++i) {
+      std::span<const float> x = ItemAt(s.ids[i]);
+      double sq = 0.0;
+      for (size_t k = 0; k < d; ++k) {
+        float v = static_cast<float>(s.lambda * x[k]);
+        s.transformed[i * dd + k] = v;
+        sq += static_cast<double>(v) * v;
+      }
+      double rest = config.scale_u * config.scale_u - sq;
+      s.transformed[i * dd + d] =
+          static_cast<float>(std::sqrt(std::max(0.0, rest)));
+    }
+
+    // E2LSH tables, only when the subset is large enough to matter.
+    if (s.ids.size() >= config.min_subset_for_lsh) {
+      const size_t lk = config.num_tables * config.hashes_per_table;
+      s.projections.resize(lk * dd);
+      s.offsets.resize(lk);
+      for (float& v : s.projections) {
+        v = static_cast<float>(rng.Gaussian());
+      }
+      for (float& v : s.offsets) {
+        v = static_cast<float>(rng.Uniform(0.0, config.bucket_width));
+      }
+      s.tables.resize(config.num_tables);
+      for (size_t i = 0; i < s.ids.size(); ++i) {
+        std::span<const float> v{s.transformed.data() + i * dd, dd};
+        for (size_t t = 0; t < config.num_tables; ++t) {
+          s.tables[t].buckets[Signature(s, t, v)].push_back(
+              static_cast<uint32_t>(i));
+        }
+      }
+    }
+    subsets_.push_back(std::move(s));
+  }
+}
+
+uint64_t H2Alsh::Signature(const Subset& s, size_t table,
+                           std::span<const float> v) const {
+  const size_t dd = d_ + 1;
+  uint64_t sig = 1469598103934665603ULL;  // FNV offset
+  for (size_t j = 0; j < config_.hashes_per_table; ++j) {
+    size_t idx = table * config_.hashes_per_table + j;
+    const float* a = s.projections.data() + idx * dd;
+    double acc = s.offsets[idx];
+    for (size_t k = 0; k < dd; ++k) {
+      acc += static_cast<double>(a[k]) * v[k];
+    }
+    int64_t h = static_cast<int64_t>(std::floor(acc / config_.bucket_width));
+    sig ^= static_cast<uint64_t>(h) + 0x9e3779b97f4a7c15ULL + (sig << 6) +
+           (sig >> 2);
+  }
+  return sig;
+}
+
+std::vector<std::pair<double, uint32_t>> H2Alsh::TopK(
+    std::span<const float> q, size_t k,
+    const std::function<bool(uint32_t)>& skip) const {
+  VKG_CHECK(q.size() == d_);
+  last_candidates_ = 0;
+
+  double qnorm = 0.0;
+  for (float v : q) qnorm += static_cast<double>(v) * v;
+  qnorm = std::sqrt(qnorm);
+  if (qnorm == 0.0) qnorm = 1.0;
+  std::vector<float> qhat(d_ + 1, 0.0f);
+  for (size_t i = 0; i < d_; ++i) {
+    qhat[i] = static_cast<float>(q[i] / qnorm);
+  }
+
+  // Min-heap over (inner product, id): keeps the k largest scores.
+  using Scored = std::pair<double, uint32_t>;
+  std::priority_queue<Scored, std::vector<Scored>, std::greater<>> best;
+
+  std::vector<bool> considered(n_, false);
+  auto consider = [&](uint32_t id) {
+    if (considered[id]) return;
+    considered[id] = true;
+    if (skip && skip(id)) return;
+    std::span<const float> x = ItemAt(id);
+    double ip = 0.0;
+    for (size_t i = 0; i < d_; ++i) {
+      ip += static_cast<double>(x[i]) * q[i];
+    }
+    ++last_candidates_;
+    if (best.size() < k) {
+      best.emplace(ip, id);
+    } else if (ip > best.top().first) {
+      best.pop();
+      best.emplace(ip, id);
+    }
+  };
+
+  for (const Subset& s : subsets_) {
+    // Early termination: every item in this (and later) subsets has
+    // inner product <= ||q|| * M_j.
+    if (best.size() == k && best.top().first >= qnorm * s.max_norm) break;
+    if (s.tables.empty()) {
+      for (uint32_t id : s.ids) consider(id);
+      continue;
+    }
+    for (size_t t = 0; t < s.tables.size(); ++t) {
+      auto it = s.tables[t].buckets.find(Signature(s, t, qhat));
+      if (it == s.tables[t].buckets.end()) continue;
+      for (uint32_t pos : it->second) consider(s.ids[pos]);
+    }
+  }
+
+  // Fallback: when the hash tables surfaced fewer than k candidates
+  // (possible for out-of-distribution queries), finish with a scan so
+  // the structure always returns k results.
+  if (best.size() < k) {
+    for (uint32_t id = 0; id < n_; ++id) consider(id);
+  }
+
+  std::vector<Scored> out;
+  out.reserve(best.size());
+  while (!best.empty()) {
+    out.push_back(best.top());
+    best.pop();
+  }
+  std::reverse(out.begin(), out.end());  // descending score
+  return out;
+}
+
+size_t H2Alsh::MemoryBytes() const {
+  size_t bytes = data_.capacity() * sizeof(float);
+  for (const Subset& s : subsets_) {
+    bytes += s.ids.capacity() * sizeof(uint32_t) +
+             s.transformed.capacity() * sizeof(float) +
+             s.projections.capacity() * sizeof(float) +
+             s.offsets.capacity() * sizeof(float);
+    for (const HashTable& t : s.tables) {
+      bytes += t.buckets.size() * 48;
+      for (const auto& [sig, ids] : t.buckets) {
+        bytes += ids.capacity() * sizeof(uint32_t);
+      }
+    }
+  }
+  return bytes;
+}
+
+}  // namespace vkg::index

@@ -1,0 +1,95 @@
+#ifndef VKG_INDEX_H2ALSH_H_
+#define VKG_INDEX_H2ALSH_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/random.h"
+
+namespace vkg::index {
+
+/// Tuning knobs for the H2-ALSH baseline.
+struct H2AlshConfig {
+  /// Norm-interval shrink factor b in (0, 1): subset j holds items with
+  /// norm in (b * M_j, M_j].
+  double norm_ratio = 0.7;
+  /// QNF scale U in (0, 1).
+  double scale_u = 0.9;
+  /// p-stable E2LSH parameters per subset: L tables of K concatenated
+  /// hashes with bucket width w. The defaults are tuned for the QNF
+  /// space, where query-to-item distances are ~sqrt(1 + U^2).
+  size_t num_tables = 16;
+  size_t hashes_per_table = 4;
+  double bucket_width = 4.0;
+  /// Subsets smaller than this are scanned linearly instead of hashed.
+  size_t min_subset_for_lsh = 64;
+  uint64_t seed = 99;
+};
+
+/// Reconstruction of H2-ALSH (Huang et al., KDD'18): homocentric
+/// hypersphere partitioning + QNF asymmetric transform reducing maximum
+/// inner product search (MIPS) to nearest-neighbor search, answered with
+/// p-stable LSH tables per norm subset. This is the paper's "closest
+/// previous work" baseline: it handles exactly one relationship type
+/// (collaborative-filtering inner-product scores) and uses flat hash
+/// buckets rather than a hierarchical index (Figures 5-8).
+///
+/// Deviation from the reference code (DESIGN.md §5): the per-subset
+/// c-ANN search uses classic E2LSH tables instead of QALSH; the flat
+/// bucket behavior the paper contrasts against is preserved.
+class H2Alsh {
+ public:
+  /// Builds over `n` item vectors of dimensionality `d`, row-major in
+  /// `data` (copied).
+  H2Alsh(std::span<const float> data, size_t n, size_t d,
+         const H2AlshConfig& config);
+
+  /// The k ids with the largest inner product against `q`, descending
+  /// by score. `skip` excludes items.
+  std::vector<std::pair<double, uint32_t>> TopK(
+      std::span<const float> q, size_t k,
+      const std::function<bool(uint32_t)>& skip = nullptr) const;
+
+  size_t size() const { return n_; }
+  size_t num_subsets() const { return subsets_.size(); }
+  size_t MemoryBytes() const;
+
+  /// Candidates examined by the last TopK call (instrumentation).
+  size_t last_candidates() const { return last_candidates_; }
+
+ private:
+  struct HashTable {
+    // Concatenated-hash signature -> item positions within the subset.
+    std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+  };
+  struct Subset {
+    double max_norm = 0.0;             // M_j
+    double lambda = 0.0;               // U / M_j
+    std::vector<uint32_t> ids;         // global item ids
+    std::vector<float> transformed;    // (d+1)-dim QNF vectors, row-major
+    std::vector<float> projections;    // L*K random vectors of dim d+1
+    std::vector<float> offsets;        // L*K biases in [0, w)
+    std::vector<HashTable> tables;     // L tables (empty -> linear scan)
+  };
+
+  uint64_t Signature(const Subset& s, size_t table,
+                     std::span<const float> v) const;
+  std::span<const float> ItemAt(uint32_t id) const {
+    return {data_.data() + static_cast<size_t>(id) * d_, d_};
+  }
+
+  size_t n_ = 0;
+  size_t d_ = 0;
+  H2AlshConfig config_;
+  std::vector<float> data_;
+  std::vector<Subset> subsets_;  // descending max_norm
+  mutable size_t last_candidates_ = 0;
+};
+
+}  // namespace vkg::index
+
+#endif  // VKG_INDEX_H2ALSH_H_

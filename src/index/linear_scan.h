@@ -1,0 +1,43 @@
+#ifndef VKG_INDEX_LINEAR_SCAN_H_
+#define VKG_INDEX_LINEAR_SCAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "embedding/store.h"
+
+namespace vkg::index {
+
+/// The no-index baseline (Section VI): iterate over every entity in the
+/// original embedding space S1 and keep the best matches. Also serves as
+/// the ground truth for precision@K of the approximate index methods.
+class LinearScan {
+ public:
+  /// `store` must outlive the scanner.
+  explicit LinearScan(const embedding::EmbeddingStore* store)
+      : store_(store) {}
+
+  /// The k entities nearest to `q` (size = store dim) by L2 distance,
+  /// ascending. `skip` (optional) excludes entities (e.g., existing
+  /// neighbors in E and the query anchor itself).
+  std::vector<std::pair<double, uint32_t>> TopK(
+      std::span<const float> q, size_t k,
+      const std::function<bool(uint32_t)>& skip = nullptr) const;
+
+  /// Invokes fn(id, distance) for every entity within `radius` of `q`.
+  void Ball(std::span<const float> q, double radius,
+            const std::function<void(uint32_t, double)>& fn,
+            const std::function<bool(uint32_t)>& skip = nullptr) const;
+
+  size_t size() const { return store_->num_entities(); }
+
+ private:
+  const embedding::EmbeddingStore* store_;
+};
+
+}  // namespace vkg::index
+
+#endif  // VKG_INDEX_LINEAR_SCAN_H_

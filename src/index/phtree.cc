@@ -1,0 +1,176 @@
+#include "index/phtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace vkg::index {
+
+PhTree::PhTree(std::span<const float> data, size_t n, size_t d,
+               size_t bucket_size)
+    : n_(n), d_(d), bucket_size_(bucket_size) {
+  VKG_CHECK(d >= 1 && d <= 128);
+  VKG_CHECK(data.size() == n * d);
+  VKG_CHECK(bucket_size >= 1);
+  data_.assign(data.begin(), data.end());
+
+  // Min-max quantize each dimension to the full 32-bit range.
+  std::vector<float> lo(d, std::numeric_limits<float>::max());
+  std::vector<float> hi(d, std::numeric_limits<float>::lowest());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t k = 0; k < d; ++k) {
+      float v = data_[i * d + k];
+      lo[k] = std::min(lo[k], v);
+      hi[k] = std::max(hi[k], v);
+    }
+  }
+  qdata_.resize(n * d);
+  constexpr double kScale = 4294967295.0;  // 2^32 - 1
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t k = 0; k < d; ++k) {
+      double range = static_cast<double>(hi[k]) - lo[k];
+      double t = range > 0 ? (data_[i * d + k] - lo[k]) / range : 0.0;
+      qdata_[i * d + k] = static_cast<uint32_t>(t * kScale);
+    }
+  }
+
+  root_ = std::make_unique<PhNode>();
+  root_->bit_level = 31;
+  root_->mbr_lo.assign(d, std::numeric_limits<float>::max());
+  root_->mbr_hi.assign(d, std::numeric_limits<float>::lowest());
+  for (uint32_t i = 0; i < n; ++i) Insert(root_.get(), i);
+}
+
+PhTree::Addr PhTree::AddressOf(uint32_t id, int bit_level) const {
+  Addr a;
+  for (size_t k = 0; k < d_; ++k) {
+    uint64_t bit = (Quantized(id, k) >> bit_level) & 1u;
+    a.w[k >> 6] |= bit << (k & 63);
+  }
+  return a;
+}
+
+void PhTree::ExpandMbr(PhNode* node, uint32_t id) {
+  std::span<const float> p = PointAt(id);
+  for (size_t k = 0; k < d_; ++k) {
+    node->mbr_lo[k] = std::min(node->mbr_lo[k], p[k]);
+    node->mbr_hi[k] = std::max(node->mbr_hi[k], p[k]);
+  }
+}
+
+void PhTree::Insert(PhNode* node, uint32_t id) {
+  while (true) {
+    ExpandMbr(node, id);
+    if (node->IsBucket()) {
+      node->bucket.push_back(id);
+      if (node->bucket.size() > bucket_size_ && node->bit_level >= 0) {
+        SplitBucket(node);
+      }
+      return;
+    }
+    Addr a = AddressOf(id, node->bit_level);
+    auto it = node->children.find(a);
+    if (it == node->children.end()) {
+      auto child = std::make_unique<PhNode>();
+      child->bit_level = node->bit_level - 1;
+      child->mbr_lo.assign(d_, std::numeric_limits<float>::max());
+      child->mbr_hi.assign(d_, std::numeric_limits<float>::lowest());
+      it = node->children.emplace(a, std::move(child)).first;
+      ++num_nodes_;
+    }
+    node = it->second.get();
+  }
+}
+
+void PhTree::SplitBucket(PhNode* node) {
+  std::vector<uint32_t> ids = std::move(node->bucket);
+  node->bucket.clear();
+  for (uint32_t id : ids) {
+    Addr a = AddressOf(id, node->bit_level);
+    auto it = node->children.find(a);
+    if (it == node->children.end()) {
+      auto child = std::make_unique<PhNode>();
+      child->bit_level = node->bit_level - 1;
+      child->mbr_lo.assign(d_, std::numeric_limits<float>::max());
+      child->mbr_hi.assign(d_, std::numeric_limits<float>::lowest());
+      it = node->children.emplace(a, std::move(child)).first;
+      ++num_nodes_;
+    }
+    // Insert directly: recursion depth bounded by bit levels.
+    Insert(it->second.get(), id);
+  }
+}
+
+double PhTree::MinDistSq(const PhNode& node, std::span<const float> q) const {
+  double s = 0.0;
+  for (size_t k = 0; k < d_; ++k) {
+    double diff = 0.0;
+    if (q[k] < node.mbr_lo[k]) {
+      diff = static_cast<double>(node.mbr_lo[k]) - q[k];
+    } else if (q[k] > node.mbr_hi[k]) {
+      diff = static_cast<double>(q[k]) - node.mbr_hi[k];
+    }
+    s += diff * diff;
+  }
+  return s;
+}
+
+std::vector<std::pair<double, uint32_t>> PhTree::TopK(
+    std::span<const float> q, size_t k,
+    const std::function<bool(uint32_t)>& skip) const {
+  VKG_CHECK(q.size() == d_);
+  using Entry = std::pair<double, const PhNode*>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
+  frontier.emplace(MinDistSq(*root_, q), root_.get());
+
+  std::priority_queue<std::pair<double, uint32_t>> best;  // max-heap, d^2
+  while (!frontier.empty()) {
+    auto [dist, node] = frontier.top();
+    frontier.pop();
+    if (best.size() == k && dist >= best.top().first) break;
+    if (node->IsBucket()) {
+      for (uint32_t id : node->bucket) {
+        if (skip && skip(id)) continue;
+        double d2 = 0.0;
+        std::span<const float> p = PointAt(id);
+        for (size_t i = 0; i < d_; ++i) {
+          double diff = static_cast<double>(p[i]) - q[i];
+          d2 += diff * diff;
+        }
+        if (best.size() < k) {
+          best.emplace(d2, id);
+        } else if (d2 < best.top().first) {
+          best.pop();
+          best.emplace(d2, id);
+        }
+      }
+      continue;
+    }
+    for (const auto& [addr, child] : node->children) {
+      double cd = MinDistSq(*child, q);
+      if (best.size() < k || cd < best.top().first) {
+        frontier.emplace(cd, child.get());
+      }
+    }
+  }
+
+  std::vector<std::pair<double, uint32_t>> out;
+  out.reserve(best.size());
+  while (!best.empty()) {
+    out.emplace_back(std::sqrt(best.top().first), best.top().second);
+    best.pop();
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+size_t PhTree::MemoryBytes() const {
+  size_t bytes = data_.capacity() * sizeof(float) +
+                 qdata_.capacity() * sizeof(uint32_t);
+  // Per-node overhead: struct + two d-float MBRs + map entries.
+  bytes += num_nodes_ * (sizeof(PhNode) + 2 * d_ * sizeof(float) + 32);
+  return bytes;
+}
+
+}  // namespace vkg::index

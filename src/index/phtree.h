@@ -1,0 +1,92 @@
+#ifndef VKG_INDEX_PHTREE_H_
+#define VKG_INDEX_PHTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace vkg::index {
+
+/// Simplified PH-tree (Zäschke et al., SIGMOD'14) baseline: a
+/// bit-interleaved spatial trie over quantized coordinates, used to index
+/// the *high-dimensional* S1 embedding vectors directly (the paper's
+/// second baseline in Figures 3-8).
+///
+/// Simplifications vs. the reference implementation (see DESIGN.md §5):
+/// no prefix (path) compression — overflowing buckets split one bit
+/// level at a time — and node bounds are explicit MBRs rather than
+/// prefix-derived. The relevant behavior is preserved: with 50-100
+/// dimensions the hypercube addressing degenerates, and kNN search
+/// approaches a linear scan.
+class PhTree {
+ public:
+  /// Builds over `n` points of dimensionality `d` stored row-major in
+  /// `data` (copied). Supports d <= 128.
+  PhTree(std::span<const float> data, size_t n, size_t d,
+         size_t bucket_size = 16);
+
+  /// The k nearest ids to `q` by L2 distance, ascending; `skip` excludes
+  /// entities.
+  std::vector<std::pair<double, uint32_t>> TopK(
+      std::span<const float> q, size_t k,
+      const std::function<bool(uint32_t)>& skip = nullptr) const;
+
+  size_t size() const { return n_; }
+  size_t num_nodes() const { return num_nodes_; }
+  size_t MemoryBytes() const;
+
+ private:
+  // Hypercube address: one bit per dimension at a given bit level.
+  struct Addr {
+    uint64_t w[2] = {0, 0};
+    friend bool operator==(const Addr& a, const Addr& b) {
+      return a.w[0] == b.w[0] && a.w[1] == b.w[1];
+    }
+  };
+  struct AddrHash {
+    size_t operator()(const Addr& a) const {
+      uint64_t x = a.w[0] * 0x9e3779b97f4a7c15ULL ^ a.w[1];
+      x ^= x >> 32;
+      return static_cast<size_t>(x);
+    }
+  };
+  struct PhNode {
+    int bit_level = 31;  // bit examined to route into children
+    std::vector<uint32_t> bucket;
+    std::unordered_map<Addr, std::unique_ptr<PhNode>, AddrHash> children;
+    std::vector<float> mbr_lo;  // d floats
+    std::vector<float> mbr_hi;
+    bool IsBucket() const { return children.empty(); }
+  };
+
+  void Insert(PhNode* node, uint32_t id);
+  void SplitBucket(PhNode* node);
+  Addr AddressOf(uint32_t id, int bit_level) const;
+  void ExpandMbr(PhNode* node, uint32_t id);
+  double MinDistSq(const PhNode& node, std::span<const float> q) const;
+
+  std::span<const float> PointAt(uint32_t id) const {
+    return {data_.data() + static_cast<size_t>(id) * d_, d_};
+  }
+  uint32_t Quantized(uint32_t id, size_t dim) const {
+    return qdata_[static_cast<size_t>(id) * d_ + dim];
+  }
+
+  size_t n_ = 0;
+  size_t d_ = 0;
+  size_t bucket_size_;
+  size_t num_nodes_ = 1;
+  std::vector<float> data_;      // raw coordinates
+  std::vector<uint32_t> qdata_;  // min-max quantized coordinates
+  std::unique_ptr<PhNode> root_;
+};
+
+}  // namespace vkg::index
+
+#endif  // VKG_INDEX_PHTREE_H_

@@ -1,0 +1,193 @@
+#include "index/rtree_node.h"
+
+#include <algorithm>
+
+namespace vkg::index {
+
+namespace {
+
+// Prefix structures along one sort order at chunk boundaries
+// (COMPUTEBOUNDINGBOXES of Algorithm 1, plus query-count prefixes).
+struct BoundaryInfo {
+  std::vector<Rect> front;      // MBR of the first i*m points
+  std::vector<Rect> back;       // MBR of the rest
+  std::vector<size_t> q_front;  // |Q ∩ first i*m points|
+  size_t q_total = 0;
+};
+
+BoundaryInfo ComputeBoundaries(std::span<const uint32_t> ids,
+                               const PointSet& points, size_t m,
+                               const Rect* query) {
+  BoundaryInfo info;
+  const size_t n = ids.size();
+  const size_t num_boundaries = (n - 1) / m;  // positions m, 2m, ...
+  info.front.reserve(num_boundaries);
+  info.q_front.reserve(num_boundaries);
+
+  Rect acc = Rect::Empty(points.dim());
+  size_t q_acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    std::span<const float> p = points.at(ids[i]);
+    acc.ExpandToFit(p);
+    if (query != nullptr && query->Contains(p)) ++q_acc;
+    if ((i + 1) % m == 0 && (i + 1) < n) {
+      info.front.push_back(acc);
+      info.q_front.push_back(q_acc);
+    }
+  }
+  info.q_total = q_acc;
+
+  // Suffix MBRs, walked backwards, aligned with the same boundaries.
+  info.back.resize(info.front.size(), Rect::Empty(points.dim()));
+  Rect racc = Rect::Empty(points.dim());
+  size_t next_boundary = info.front.size();
+  for (size_t i = n; i-- > 0;) {
+    racc.ExpandToFit(points.at(ids[i]));
+    if (next_boundary > 0 && i == next_boundary * m) {
+      info.back[next_boundary - 1] = racc;
+      --next_boundary;
+    }
+  }
+  return info;
+}
+
+}  // namespace
+
+namespace {
+
+// R*-style selection: axis by minimum margin sum, position by minimum
+// overlap (area tie-break). Returns the single chosen candidate.
+std::vector<SplitCandidate> EnumerateSplitsRStar(const PartitionView& view,
+                                                 const PointSet& points,
+                                                 size_t m) {
+  size_t best_axis = 0;
+  double best_margin = 0.0;
+  std::vector<std::vector<SplitCandidate>> per_axis(view.num_orders);
+  for (size_t s = 0; s < view.num_orders; ++s) {
+    std::span<const uint32_t> ids = view.orders[s];
+    BoundaryInfo info = ComputeBoundaries(ids, points, m, nullptr);
+    double margin_sum = 0.0;
+    for (size_t b = 0; b < info.front.size(); ++b) {
+      SplitCandidate cand;
+      cand.order = s;
+      cand.left_count = (b + 1) * m;
+      cand.boundary_id = ids[cand.left_count];
+      cand.left_mbr = info.front[b];
+      cand.right_mbr = info.back[b];
+      margin_sum += cand.left_mbr.Margin() + cand.right_mbr.Margin();
+      per_axis[s].push_back(cand);
+    }
+    if (s == 0 || margin_sum < best_margin) {
+      best_margin = margin_sum;
+      best_axis = s;
+    }
+  }
+  std::vector<SplitCandidate>& axis = per_axis[best_axis];
+  if (axis.empty()) return {};
+  size_t best_pos = 0;
+  double best_overlap = 0.0, best_area = 0.0;
+  for (size_t b = 0; b < axis.size(); ++b) {
+    double overlap = axis[b].left_mbr.OverlapVolume(axis[b].right_mbr);
+    double area = axis[b].left_mbr.Volume() + axis[b].right_mbr.Volume();
+    if (b == 0 || overlap < best_overlap ||
+        (overlap == best_overlap && area < best_area)) {
+      best_overlap = overlap;
+      best_area = area;
+      best_pos = b;
+    }
+  }
+  axis[best_pos].cost.cq = best_overlap;
+  axis[best_pos].cost.co = best_area;
+  return {axis[best_pos]};
+}
+
+}  // namespace
+
+std::vector<SplitCandidate> EnumerateSplits(const PartitionView& view,
+                                            const PointSet& points, size_t m,
+                                            const Rect* query,
+                                            const RTreeConfig& config,
+                                            int height, size_t top_k) {
+  std::vector<SplitCandidate> best;
+  const size_t n = view.size();
+  if (n <= m || top_k == 0) return best;
+
+  if (config.split_algorithm == SplitAlgorithm::kRStar) {
+    return EnumerateSplitsRStar(view, points, m);
+  }
+
+  for (size_t s = 0; s < view.num_orders; ++s) {
+    std::span<const uint32_t> ids = view.orders[s];
+    BoundaryInfo info = ComputeBoundaries(ids, points, m, query);
+    for (size_t b = 0; b < info.front.size(); ++b) {
+      SplitCandidate cand;
+      cand.order = s;
+      cand.left_count = (b + 1) * m;
+      cand.boundary_id = ids[cand.left_count];
+      cand.left_mbr = info.front[b];
+      cand.right_mbr = info.back[b];
+      if (query != nullptr && config.use_query_cost) {
+        cand.q_left = info.q_front[b];
+        cand.q_right = info.q_total - info.q_front[b];
+        cand.cost.cq = LeafPages(cand.q_left, config.leaf_capacity) +
+                       LeafPages(cand.q_right, config.leaf_capacity);
+        cand.cost.co = SplitOverlapCost(cand.left_mbr, cand.right_mbr,
+                                        config.beta, height);
+      } else {
+        cand.cost.cq = ClassicSplitCost(cand.left_mbr, cand.right_mbr);
+        cand.cost.co = 0.0;
+      }
+      best.push_back(cand);
+    }
+  }
+
+  size_t keep = std::min(top_k, best.size());
+  std::partial_sort(best.begin(), best.begin() + keep, best.end(),
+                    [](const SplitCandidate& a, const SplitCandidate& b) {
+                      return a.cost < b.cost;
+                    });
+  best.resize(keep);
+  return best;
+}
+
+size_t CountInRegion(std::span<const uint32_t> ids, const PointSet& points,
+                     const Rect& query) {
+  size_t count = 0;
+  for (uint32_t id : ids) {
+    if (query.Contains(points.at(id))) ++count;
+  }
+  return count;
+}
+
+size_t SubtreeMemoryBytes(const Node& node) {
+  size_t bytes = sizeof(Node) +
+                 node.children.capacity() * sizeof(std::unique_ptr<Node>);
+  for (const auto& child : node.children) {
+    bytes += SubtreeMemoryBytes(*child);
+  }
+  return bytes;
+}
+
+NodeCounts CountNodes(const Node& node) {
+  NodeCounts c;
+  switch (node.kind) {
+    case Node::Kind::kInternal:
+      ++c.internals;
+      break;
+    case Node::Kind::kLeaf:
+      ++c.leaves;
+      break;
+    case Node::Kind::kPartition:
+      ++c.partitions;
+      break;
+  }
+  for (const auto& child : node.children) {
+    NodeCounts cc = CountNodes(*child);
+    c.internals += cc.internals;
+    c.leaves += cc.leaves;
+    c.partitions += cc.partitions;
+  }
+  return c;
+}
+
+}  // namespace vkg::index

@@ -1,0 +1,130 @@
+#ifndef VKG_INDEX_RTREE_NODE_H_
+#define VKG_INDEX_RTREE_NODE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "index/cost_model.h"
+#include "index/geometry.h"
+#include "index/sort_orders.h"
+
+namespace vkg::index {
+
+/// Which heuristic BESTBINARYSPLIT uses to rank candidate splits.
+enum class SplitAlgorithm {
+  /// The paper's cost: two-component (c_Q, c_O) online, classic overlap
+  /// offline.
+  kBestBinary,
+  /// R*-tree-style: choose the split axis by minimum total margin, then
+  /// the position by minimum overlap (area as tie-break). Demonstrates
+  /// the paper's claim that the method adapts to other R-tree variants;
+  /// ignores the query region (split_choices is treated as 1).
+  kRStar,
+};
+
+/// Tuning knobs shared by the bulk-loaded and cracking R-trees.
+struct RTreeConfig {
+  /// N: max data points per leaf node.
+  size_t leaf_capacity = 32;
+  /// M: max children per non-leaf node.
+  size_t fanout = 8;
+  /// beta >= 1: splits higher in the tree penalize overlap more
+  /// (Section IV-B1).
+  double beta = 2.0;
+  /// k: number of split choices explored per binary split (Algorithm 2);
+  /// 1 reduces to the greedy INCREMENTALINDEXBUILD.
+  size_t split_choices = 1;
+  /// Cap on A* state expansions per partition chunking; beyond it the
+  /// best state so far is finished greedily.
+  size_t max_astar_expansions = 64;
+  /// Ablation: when false, cracking splits use the classic overlap cost
+  /// instead of the two-component (c_Q, c_O) cost of Section IV-B.
+  bool use_query_cost = true;
+  /// Ablation: when false, the stopping condition of Section IV-C step 3
+  /// is disabled and touched partitions split all the way down.
+  bool use_stopping_condition = true;
+  /// Split-ranking heuristic (see SplitAlgorithm).
+  SplitAlgorithm split_algorithm = SplitAlgorithm::kBestBinary;
+};
+
+/// A node of the (possibly partial) R-tree.
+///
+/// * kInternal — has child nodes; `mbr` bounds them.
+/// * kLeaf — terminal node holding at most N points.
+/// * kPartition — an *unsplit* element of the contour (Definition 2): a
+///   range of the shared sort-order arrays not yet broken into children.
+///
+/// Leaf and partition nodes reference the contiguous range [begin, end)
+/// of the SortedOrders arrays; internal nodes own their children.
+struct Node {
+  enum class Kind : uint8_t { kLeaf, kPartition, kInternal };
+
+  Kind kind = Kind::kPartition;
+  int height = 0;  // 0 = leaf level
+  Rect mbr;
+  size_t begin = 0;
+  size_t end = 0;
+  std::vector<std::unique_ptr<Node>> children;
+
+  size_t size() const { return end - begin; }
+  bool IsContourElement() const { return kind != Kind::kInternal; }
+};
+
+/// One candidate binary split of a partition (BESTBINARYSPLIT output).
+struct SplitCandidate {
+  size_t order = 0;          // s*: which sort order the key comes from
+  size_t left_count = 0;     // points in the left part
+  uint32_t boundary_id = 0;  // first id of the right part in order s*
+  Rect left_mbr;
+  Rect right_mbr;
+  size_t q_left = 0;   // |Q ∩ L| (0 when no query region)
+  size_t q_right = 0;  // |Q ∩ R|
+  CompositeCost cost;  // local cost of this split
+};
+
+/// A read-only view of a partition: one id span per sort order, all
+/// denoting the same id set. Used so split enumeration works both on the
+/// committed arrays and on hypothetical A* partitions.
+struct PartitionView {
+  std::array<std::span<const uint32_t>, kMaxDim> orders;
+  size_t num_orders = 0;
+
+  size_t size() const { return num_orders == 0 ? 0 : orders[0].size(); }
+};
+
+/// Enumerates candidate binary splits of `view` at chunk-aligned
+/// positions (multiples of `m`) across every sort order, and returns the
+/// `top_k` cheapest. With `query` == nullptr the classic offline cost is
+/// used (cq holds the classic scalar); otherwise the two-component
+/// (c_Q, c_O) cracking cost. Empty result means the partition cannot be
+/// split (size <= m).
+std::vector<SplitCandidate> EnumerateSplits(const PartitionView& view,
+                                            const PointSet& points, size_t m,
+                                            const Rect* query,
+                                            const RTreeConfig& config,
+                                            int height, size_t top_k);
+
+/// Number of ids in `ids` whose points fall inside `query`.
+size_t CountInRegion(std::span<const uint32_t> ids, const PointSet& points,
+                     const Rect& query);
+
+/// Bytes attributable to the index structure for this subtree (node
+/// structs and child vectors; the shared sort-order arrays are base data
+/// counted separately).
+size_t SubtreeMemoryBytes(const Node& node);
+
+/// Counts nodes by kind in the subtree.
+struct NodeCounts {
+  size_t internals = 0;
+  size_t leaves = 0;
+  size_t partitions = 0;
+  size_t total() const { return internals + leaves + partitions; }
+};
+NodeCounts CountNodes(const Node& node);
+
+}  // namespace vkg::index
+
+#endif  // VKG_INDEX_RTREE_NODE_H_

@@ -1,0 +1,208 @@
+// Persistence for CrackingRTree: binary save/load of the sort orders,
+// node tree, chunking counters, and configuration.
+
+#include <cmath>
+#include <cstring>
+
+#include "index/cracking_rtree.h"
+#include "util/serialize.h"
+#include "util/string_util.h"
+
+namespace vkg::index {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x564b4752;  // "VKGR"
+constexpr uint32_t kVersion = 1;
+
+// Cheap order-sensitive checksum over the point coordinates so a saved
+// index is never applied to different data.
+uint64_t PointChecksum(const PointSet& points) {
+  uint64_t h = 1469598103934665603ULL;
+  const size_t n = points.size();
+  const size_t dim = points.dim();
+  for (size_t i = 0; i < n; ++i) {
+    std::span<const float> p = points.at(static_cast<uint32_t>(i));
+    for (size_t d = 0; d < dim; ++d) {
+      uint32_t bits;
+      static_assert(sizeof(bits) == sizeof(float));
+      std::memcpy(&bits, &p[d], sizeof(bits));
+      h = (h ^ bits) * 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+void WriteRect(util::BinaryWriter& w, const Rect& r) {
+  w.WriteU32(r.dim);
+  for (size_t d = 0; d < r.dim; ++d) {
+    w.WriteF32(r.lo[d]);
+    w.WriteF32(r.hi[d]);
+  }
+}
+
+Rect ReadRect(util::BinaryReader& r) {
+  Rect rect;
+  rect.dim = static_cast<uint8_t>(r.ReadU32());
+  for (size_t d = 0; d < rect.dim && d < kMaxDim; ++d) {
+    rect.lo[d] = r.ReadF32();
+    rect.hi[d] = r.ReadF32();
+  }
+  return rect;
+}
+
+void WriteNode(util::BinaryWriter& w, const Node& node) {
+  w.WriteU32(static_cast<uint32_t>(node.kind));
+  w.WriteU32(static_cast<uint32_t>(node.height));
+  w.WriteU64(node.begin);
+  w.WriteU64(node.end);
+  WriteRect(w, node.mbr);
+  w.WriteU64(node.children.size());
+  for (const auto& child : node.children) WriteNode(w, *child);
+}
+
+std::unique_ptr<Node> ReadNode(util::BinaryReader& r, size_t max_end,
+                               util::Status* status) {
+  auto node = std::make_unique<Node>();
+  uint32_t kind = r.ReadU32();
+  if (kind > 2) {
+    *status = util::Status::InvalidArgument("corrupt node kind");
+    return node;
+  }
+  node->kind = static_cast<Node::Kind>(kind);
+  node->height = static_cast<int>(r.ReadU32());
+  node->begin = r.ReadU64();
+  node->end = r.ReadU64();
+  node->mbr = ReadRect(r);
+  if (node->begin > node->end || node->end > max_end) {
+    *status = util::Status::InvalidArgument("corrupt node range");
+    return node;
+  }
+  uint64_t child_count = r.ReadU64();
+  if (!r.status().ok() || child_count > max_end + 1) {
+    *status = util::Status::InvalidArgument("corrupt child count");
+    return node;
+  }
+  for (uint64_t i = 0; i < child_count && status->ok(); ++i) {
+    node->children.push_back(ReadNode(r, max_end, status));
+  }
+  return node;
+}
+
+}  // namespace
+
+util::Status CrackingRTree::Save(const std::string& path) const {
+  util::BinaryWriter w(path);
+  VKG_RETURN_IF_ERROR(w.status());
+  w.WriteU32(kMagic);
+  w.WriteU32(kVersion);
+  w.WriteU64(points_->size());
+  w.WriteU64(points_->dim());
+  w.WriteU64(PointChecksum(*points_));
+
+  // Config (the loaded tree continues cracking with the same behavior).
+  w.WriteU64(config_.leaf_capacity);
+  w.WriteU64(config_.fanout);
+  w.WriteF64(config_.beta);
+  w.WriteU64(config_.split_choices);
+  w.WriteU64(config_.max_astar_expansions);
+  w.WriteU32(config_.use_query_cost ? 1 : 0);
+  w.WriteU32(config_.use_stopping_condition ? 1 : 0);
+
+  // Counters.
+  w.WriteU64(chunk_stats_.binary_splits);
+  w.WriteU64(chunk_stats_.astar_expansions);
+
+  // Sort orders (written only if materialized; a fresh tree has none).
+  const bool have_orders = orders_ != nullptr;
+  w.WriteU32(have_orders ? 1 : 0);
+  if (have_orders) {
+    w.WriteU64(orders_->num_orders());
+    for (size_t s = 0; s < orders_->num_orders(); ++s) {
+      std::span<const uint32_t> ids =
+          orders_->Range(s, 0, points_->size());
+      w.WriteU64(ids.size());
+      for (uint32_t id : ids) w.WriteU32(id);
+    }
+  }
+
+  WriteNode(w, *root_);
+  return w.Close();
+}
+
+util::Result<std::unique_ptr<CrackingRTree>> CrackingRTree::Load(
+    const std::string& path, const PointSet* points) {
+  if (points == nullptr) {
+    return util::Status::InvalidArgument("points must not be null");
+  }
+  util::BinaryReader r(path);
+  VKG_RETURN_IF_ERROR(r.status());
+  if (r.ReadU32() != kMagic) {
+    return util::Status::InvalidArgument("not a vkg index file: " + path);
+  }
+  if (r.ReadU32() != kVersion) {
+    return util::Status::InvalidArgument("unsupported index version");
+  }
+  if (r.ReadU64() != points->size() || r.ReadU64() != points->dim() ||
+      r.ReadU64() != PointChecksum(*points)) {
+    return util::Status::FailedPrecondition(
+        "index file was built over different points");
+  }
+
+  RTreeConfig config;
+  config.leaf_capacity = r.ReadU64();
+  config.fanout = r.ReadU64();
+  config.beta = r.ReadF64();
+  config.split_choices = r.ReadU64();
+  config.max_astar_expansions = r.ReadU64();
+  config.use_query_cost = r.ReadU32() != 0;
+  config.use_stopping_condition = r.ReadU32() != 0;
+  VKG_RETURN_IF_ERROR(r.status());
+  if (config.leaf_capacity == 0 || config.fanout < 2 ||
+      config.beta < 1.0 || config.split_choices == 0) {
+    return util::Status::InvalidArgument("corrupt index config");
+  }
+
+  auto tree = std::make_unique<CrackingRTree>(points, config);
+  tree->chunk_stats_.binary_splits = r.ReadU64();
+  tree->chunk_stats_.astar_expansions = r.ReadU64();
+
+  if (r.ReadU32() != 0) {
+    uint64_t num_orders = r.ReadU64();
+    if (num_orders != points->dim()) {
+      return util::Status::InvalidArgument("corrupt sort-order count");
+    }
+    SortedOrders* orders = tree->EnsureOrders();
+    std::vector<uint32_t> ids;
+    for (size_t s = 0; s < num_orders; ++s) {
+      uint64_t n = r.ReadU64();
+      if (n != points->size()) {
+        return util::Status::InvalidArgument("corrupt sort-order length");
+      }
+      ids.resize(n);
+      for (uint64_t i = 0; i < n; ++i) ids[i] = r.ReadU32();
+      VKG_RETURN_IF_ERROR(r.status());
+      // Validate: must be a permutation.
+      std::vector<bool> seen(n, false);
+      for (uint32_t id : ids) {
+        if (id >= n || seen[id]) {
+          return util::Status::InvalidArgument(
+              "corrupt sort order: not a permutation");
+        }
+        seen[id] = true;
+      }
+      orders->OverwriteRange(s, 0, ids);
+    }
+  }
+
+  util::Status node_status;
+  tree->root_ = ReadNode(r, points->size(), &node_status);
+  VKG_RETURN_IF_ERROR(node_status);
+  VKG_RETURN_IF_ERROR(r.status());
+  if (tree->root_->begin != 0 || tree->root_->end != points->size()) {
+    return util::Status::InvalidArgument("corrupt root range");
+  }
+  return tree;
+}
+
+}  // namespace vkg::index

@@ -1,0 +1,66 @@
+#include "index/sort_orders.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace vkg::index {
+
+SortedOrders::SortedOrders(const PointSet& points) : points_(&points) {
+  const size_t s_count = points.dim();
+  orders_.resize(s_count);
+  for (size_t s = 0; s < s_count; ++s) {
+    std::vector<uint32_t>& order = orders_[s];
+    order.resize(points.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      float ca = points.coord(a, s);
+      float cb = points.coord(b, s);
+      if (ca != cb) return ca < cb;
+      return a < b;
+    });
+  }
+  scratch_.resize(points.size());
+}
+
+size_t SortedOrders::SplitRange(size_t begin, size_t end, size_t split_order,
+                                uint32_t boundary_id) {
+  VKG_DCHECK(split_order < orders_.size());
+  size_t left_size = 0;
+  for (size_t s = 0; s < orders_.size(); ++s) {
+    std::vector<uint32_t>& order = orders_[s];
+    // Stable two-pass partition through the scratch buffer.
+    size_t l = begin;
+    size_t scratch_n = 0;
+    for (size_t i = begin; i < end; ++i) {
+      uint32_t id = order[i];
+      if (Precedes(id, boundary_id, split_order)) {
+        order[l++] = id;
+      } else {
+        scratch_[scratch_n++] = id;
+      }
+    }
+    std::copy(scratch_.begin(), scratch_.begin() + scratch_n,
+              order.begin() + l);
+    if (s == 0) {
+      left_size = l - begin;
+    } else {
+      VKG_DCHECK(left_size == l - begin);
+    }
+  }
+  return left_size;
+}
+
+void SortedOrders::OverwriteRange(size_t s, size_t begin,
+                                  std::span<const uint32_t> ids) {
+  VKG_DCHECK(s < orders_.size());
+  VKG_DCHECK(begin + ids.size() <= orders_[s].size());
+  std::copy(ids.begin(), ids.end(), orders_[s].begin() + begin);
+}
+
+size_t SortedOrders::MemoryBytes() const {
+  size_t bytes = scratch_.capacity() * sizeof(uint32_t);
+  for (const auto& o : orders_) bytes += o.capacity() * sizeof(uint32_t);
+  return bytes;
+}
+
+}  // namespace vkg::index

@@ -1,0 +1,71 @@
+#ifndef VKG_INDEX_SORT_ORDERS_H_
+#define VKG_INDEX_SORT_ORDERS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "index/geometry.h"
+
+namespace vkg::index {
+
+/// The S sort orders of Algorithm 1 (BULKLOADCHUNK), stored as S parallel
+/// permutation arrays of point ids — one per coordinate of S2. Since we
+/// index points (degenerate rectangles), the min- and max-coordinate
+/// orders coincide, so S = alpha.
+///
+/// A partition of the index is a contiguous range [begin, end) that
+/// denotes the *same id set* in every order array. Splitting a partition
+/// stable-partitions that range of every array in place by the split key,
+/// preserving the invariant (Lemma 2: positions within a partition only
+/// get closer after a split). This in-place "cracking" of the arrays
+/// keeps per-partition index overhead O(1).
+class SortedOrders {
+ public:
+  /// Sorts all point ids of `points` by each coordinate (ties broken by
+  /// id, making every order a strict total order).
+  explicit SortedOrders(const PointSet& points);
+
+  size_t num_orders() const { return orders_.size(); }
+  size_t size() const { return orders_.empty() ? 0 : orders_[0].size(); }
+
+  /// Ids of order `s` restricted to [begin, end).
+  std::span<const uint32_t> Range(size_t s, size_t begin, size_t end) const {
+    VKG_DCHECK(s < orders_.size());
+    VKG_DCHECK(begin <= end && end <= orders_[s].size());
+    return {orders_[s].data() + begin, end - begin};
+  }
+
+  /// Strict key comparison used by splits: id `a` precedes id `b` in
+  /// order `s` iff (coord(a, s), a) < (coord(b, s), b).
+  bool Precedes(uint32_t a, uint32_t b, size_t s) const {
+    float ca = points_->coord(a, s);
+    float cb = points_->coord(b, s);
+    if (ca != cb) return ca < cb;
+    return a < b;
+  }
+
+  /// Splits [begin, end) of every order: ids strictly preceding
+  /// `boundary_id` in order `split_order` move to the left part. Returns
+  /// the size of the left part (identical across orders by construction).
+  /// SPLITONKEY of Algorithm 1.
+  size_t SplitRange(size_t begin, size_t end, size_t split_order,
+                    uint32_t boundary_id);
+
+  /// Overwrites [begin, end) of order `s` with `ids` (used when adopting
+  /// an A*-planned chunking; caller guarantees id-set consistency).
+  void OverwriteRange(size_t s, size_t begin, std::span<const uint32_t> ids);
+
+  const PointSet& points() const { return *points_; }
+
+  size_t MemoryBytes() const;
+
+ private:
+  const PointSet* points_;
+  std::vector<std::vector<uint32_t>> orders_;
+  std::vector<uint32_t> scratch_;
+};
+
+}  // namespace vkg::index
+
+#endif  // VKG_INDEX_SORT_ORDERS_H_

@@ -1,0 +1,247 @@
+#include "index/topk_splits.h"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace vkg::index {
+
+namespace {
+
+PartitionView ViewOfRange(const SortedOrders& orders, size_t begin,
+                          size_t end) {
+  PartitionView view;
+  view.num_orders = orders.num_orders();
+  for (size_t s = 0; s < view.num_orders; ++s) {
+    view.orders[s] = orders.Range(s, begin, end);
+  }
+  return view;
+}
+
+// ---------------------------------------------------------------------------
+// Greedy chunking on the committed arrays (PARTITION of Algorithm 1 with
+// the greedy best split; used for bulk loading and 1-choice cracking).
+// ---------------------------------------------------------------------------
+
+void GreedyChunk(SortedOrders* orders, size_t begin, size_t end, size_t m,
+                 const Rect* query, const RTreeConfig& config, int height,
+                 ChunkingStats* stats, std::vector<size_t>* sizes) {
+  const size_t n = end - begin;
+  if (n <= m) {
+    sizes->push_back(n);
+    return;
+  }
+  PartitionView view = ViewOfRange(*orders, begin, end);
+  std::vector<SplitCandidate> cands = EnumerateSplits(
+      view, orders->points(), m, query, config, height, /*top_k=*/1);
+  VKG_CHECK(!cands.empty());
+  const SplitCandidate& best = cands[0];
+  size_t left =
+      orders->SplitRange(begin, end, best.order, best.boundary_id);
+  VKG_CHECK(left == best.left_count);
+  ++stats->binary_splits;
+  GreedyChunk(orders, begin, begin + left, m, query, config, height, stats,
+              sizes);
+  GreedyChunk(orders, begin + left, end, m, query, config, height, stats,
+              sizes);
+}
+
+// ---------------------------------------------------------------------------
+// A* chunking (Algorithm 2). States hold hypothetical partitions that are
+// only committed to the shared arrays once a fully-chunked state wins.
+// ---------------------------------------------------------------------------
+
+// An immutable hypothetical partition: its own copies of the sort-order
+// id lists plus the count of query points it contains.
+struct Hypo {
+  std::vector<std::vector<uint32_t>> order_ids;
+  size_t q_count = 0;
+
+  size_t size() const { return order_ids.empty() ? 0 : order_ids[0].size(); }
+
+  PartitionView View() const {
+    PartitionView v;
+    v.num_orders = order_ids.size();
+    for (size_t s = 0; s < order_ids.size(); ++s) v.orders[s] = order_ids[s];
+    return v;
+  }
+};
+
+using HypoPtr = std::shared_ptr<const Hypo>;
+
+// A change candidate: the element's chunking-in-progress, left to right.
+struct State {
+  std::vector<HypoPtr> items;
+  CompositeCost cost;
+  size_t splits = 0;
+
+  // Index of the first item still larger than m, or items.size().
+  size_t FirstPending(size_t m) const {
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (items[i]->size() > m) return i;
+    }
+    return items.size();
+  }
+};
+
+struct StateCostGreater {
+  bool operator()(const State& a, const State& b) const {
+    return b.cost < a.cost;
+  }
+};
+
+// Splits `item` with the chosen candidate into two new Hypos.
+std::pair<HypoPtr, HypoPtr> SplitHypo(const Hypo& item,
+                                      const SortedOrders& orders,
+                                      const SplitCandidate& cand) {
+  auto left = std::make_shared<Hypo>();
+  auto right = std::make_shared<Hypo>();
+  const size_t s_count = item.order_ids.size();
+  left->order_ids.resize(s_count);
+  right->order_ids.resize(s_count);
+  for (size_t s = 0; s < s_count; ++s) {
+    for (uint32_t id : item.order_ids[s]) {
+      if (orders.Precedes(id, cand.boundary_id, cand.order)) {
+        left->order_ids[s].push_back(id);
+      } else {
+        right->order_ids[s].push_back(id);
+      }
+    }
+  }
+  left->q_count = cand.q_left;
+  right->q_count = cand.q_right;
+  return {left, right};
+}
+
+// Replaces items[i] with its two halves, updating the state cost per
+// lines 16-18 of Algorithm 2.
+State Successor(const State& state, size_t i, const HypoPtr& left,
+                const HypoPtr& right, const SplitCandidate& cand,
+                const RTreeConfig& config) {
+  State next;
+  next.items.reserve(state.items.size() + 1);
+  for (size_t j = 0; j < state.items.size(); ++j) {
+    if (j == i) {
+      next.items.push_back(left);
+      next.items.push_back(right);
+    } else {
+      next.items.push_back(state.items[j]);
+    }
+  }
+  next.cost.cq = state.cost.cq -
+                 LeafPages(state.items[i]->q_count, config.leaf_capacity) +
+                 LeafPages(left->q_count, config.leaf_capacity) +
+                 LeafPages(right->q_count, config.leaf_capacity);
+  next.cost.co = state.cost.co + cand.cost.co;
+  next.splits = state.splits + 1;
+  return next;
+}
+
+// Finishes all pending items of `state` greedily (used when the
+// expansion cap is reached).
+State GreedyFinish(State state, const SortedOrders& orders, size_t m,
+                   const Rect* query, const RTreeConfig& config,
+                   int height) {
+  while (true) {
+    size_t i = state.FirstPending(m);
+    if (i == state.items.size()) return state;
+    std::vector<SplitCandidate> cands =
+        EnumerateSplits(state.items[i]->View(), orders.points(), m, query,
+                        config, height, /*top_k=*/1);
+    VKG_CHECK(!cands.empty());
+    auto [left, right] = SplitHypo(*state.items[i], orders, cands[0]);
+    state = Successor(state, i, left, right, cands[0], config);
+  }
+}
+
+std::vector<size_t> AStarChunk(SortedOrders* orders, size_t begin,
+                               size_t end, size_t m, const Rect* query,
+                               const RTreeConfig& config, int height,
+                               ChunkingStats* stats) {
+  // Seed state: the whole element as one hypothetical partition.
+  auto root = std::make_shared<Hypo>();
+  const size_t s_count = orders->num_orders();
+  root->order_ids.resize(s_count);
+  for (size_t s = 0; s < s_count; ++s) {
+    std::span<const uint32_t> ids = orders->Range(s, begin, end);
+    root->order_ids[s].assign(ids.begin(), ids.end());
+  }
+  root->q_count = CountInRegion(root->order_ids[0], orders->points(), *query);
+
+  State init;
+  init.items.push_back(root);
+  init.cost.cq = LeafPages(root->q_count, config.leaf_capacity);
+  init.cost.co = 0.0;
+
+  std::priority_queue<State, std::vector<State>, StateCostGreater> pq;
+  pq.push(std::move(init));
+
+  State winner;
+  bool found = false;
+  size_t expansions = 0;
+  while (!pq.empty()) {
+    State state = pq.top();
+    pq.pop();
+    size_t i = state.FirstPending(m);
+    if (i == state.items.size()) {
+      winner = std::move(state);  // all items chunked: optimal by A*
+      found = true;
+      break;
+    }
+    if (expansions >= config.max_astar_expansions) {
+      winner = GreedyFinish(std::move(state), *orders, m, query, config,
+                            height);
+      found = true;
+      break;
+    }
+    ++expansions;
+    std::vector<SplitCandidate> cands =
+        EnumerateSplits(state.items[i]->View(), orders->points(), m, query,
+                        config, height, config.split_choices);
+    for (const SplitCandidate& cand : cands) {
+      auto [left, right] = SplitHypo(*state.items[i], *orders, cand);
+      pq.push(Successor(state, i, left, right, cand, config));
+    }
+  }
+  VKG_CHECK(found);
+  stats->astar_expansions += expansions;
+  stats->binary_splits += winner.splits;
+
+  // Commit the winning chunking to the shared arrays.
+  std::vector<size_t> sizes;
+  sizes.reserve(winner.items.size());
+  for (size_t s = 0; s < s_count; ++s) {
+    size_t offset = begin;
+    for (const HypoPtr& item : winner.items) {
+      orders->OverwriteRange(s, offset, item->order_ids[s]);
+      offset += item->order_ids[s].size();
+    }
+    VKG_CHECK(offset == end);
+  }
+  for (const HypoPtr& item : winner.items) sizes.push_back(item->size());
+  return sizes;
+}
+
+}  // namespace
+
+std::vector<size_t> ChunkPartition(SortedOrders* orders, size_t begin,
+                                   size_t end, size_t m, const Rect* query,
+                                   const RTreeConfig& config, int height,
+                                   ChunkingStats* stats) {
+  VKG_CHECK(begin < end);
+  VKG_CHECK(m >= 1);
+  std::vector<size_t> sizes;
+  if (query != nullptr && config.split_choices > 1 &&
+      config.split_algorithm == SplitAlgorithm::kBestBinary) {
+    // A* cost bookkeeping assumes the (c_Q, c_O) candidate semantics;
+    // alternative split heuristics (R*) run greedily.
+    return AStarChunk(orders, begin, end, m, query, config, height, stats);
+  }
+  GreedyChunk(orders, begin, end, m, query, config, height, stats, &sizes);
+  return sizes;
+}
+
+}  // namespace vkg::index

@@ -1,0 +1,45 @@
+#ifndef VKG_INDEX_TOPK_SPLITS_H_
+#define VKG_INDEX_TOPK_SPLITS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "index/rtree_node.h"
+#include "index/sort_orders.h"
+
+namespace vkg::index {
+
+/// Counters reported by a partition chunking.
+struct ChunkingStats {
+  size_t binary_splits = 0;
+  size_t astar_expansions = 0;
+};
+
+/// Splits the committed range [begin, end) of `orders` into consecutive
+/// chunks of size <= m (the PARTITION function of Algorithm 1), returning
+/// the chunk sizes left to right. The range's arrays are rearranged in
+/// place so each chunk is a contiguous subrange in every sort order.
+///
+/// * `query == nullptr`: offline bulk-loading mode — greedy binary splits
+///   under the classic overlap cost.
+/// * `query != nullptr` and `config.split_choices == 1`: the greedy
+///   INCREMENTALINDEXBUILD cost (c_Q major, c_O secondary).
+/// * `query != nullptr` and `config.split_choices > 1`: Algorithm 2,
+///   TOP-KSPLITSINDEXBUILD — A* search over candidate split sequences
+///   ("change candidates"), expanding the top-k cheapest splits at each
+///   step. Because the two-component cost is additive across contour
+///   elements, optimizing each element's chunking independently is
+///   equivalent to the paper's global search over contours; the priority
+///   queue here explores alternative split sequences *within* the
+///   element. Both cost components are non-decreasing along a path, so
+///   the first fully-chunked state popped is optimal. A cap on
+///   expansions (config.max_astar_expansions) bounds the work; past it,
+///   the best candidate so far is finished greedily.
+std::vector<size_t> ChunkPartition(SortedOrders* orders, size_t begin,
+                                   size_t end, size_t m, const Rect* query,
+                                   const RTreeConfig& config, int height,
+                                   ChunkingStats* stats);
+
+}  // namespace vkg::index
+
+#endif  // VKG_INDEX_TOPK_SPLITS_H_

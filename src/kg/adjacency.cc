@@ -1,0 +1,83 @@
+#include "kg/adjacency.h"
+
+#include <algorithm>
+
+namespace vkg::kg {
+
+AdjacencyIndex::AdjacencyIndex(const KnowledgeGraph& graph)
+    : graph_(&graph) {
+  Build();
+}
+
+void AdjacencyIndex::Refresh() { Build(); }
+
+void AdjacencyIndex::Build() {
+  tails_flat_.clear();
+  heads_flat_.clear();
+  tails_.clear();
+  heads_.clear();
+
+  const auto& triples = graph_->triples().triples();
+  // Two passes per direction: sort indices by key, then carve ranges in
+  // the flat arrays. Sorting keeps each neighbor list contiguous and
+  // cache-friendly.
+  std::vector<uint32_t> order(triples.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  auto build_side = [&](bool by_head, std::vector<EntityId>& flat,
+                        std::unordered_map<Key, Range, KeyHash>& map) {
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      const Triple& ta = triples[a];
+      const Triple& tb = triples[b];
+      EntityId ea = by_head ? ta.head : ta.tail;
+      EntityId eb = by_head ? tb.head : tb.tail;
+      if (ea != eb) return ea < eb;
+      if (ta.relation != tb.relation) return ta.relation < tb.relation;
+      return a < b;
+    });
+    flat.reserve(triples.size());
+    map.reserve(triples.size() / 2 + 1);
+    size_t i = 0;
+    while (i < order.size()) {
+      const Triple& t = triples[order[i]];
+      Key key{by_head ? t.head : t.tail, t.relation};
+      Range range;
+      range.begin = static_cast<uint32_t>(flat.size());
+      while (i < order.size()) {
+        const Triple& u = triples[order[i]];
+        EntityId e = by_head ? u.head : u.tail;
+        if (e != key.entity || u.relation != key.relation) break;
+        flat.push_back(by_head ? u.tail : u.head);
+        ++i;
+      }
+      range.end = static_cast<uint32_t>(flat.size());
+      map.emplace(key, range);
+    }
+  };
+  build_side(/*by_head=*/true, tails_flat_, tails_);
+  build_side(/*by_head=*/false, heads_flat_, heads_);
+}
+
+std::span<const EntityId> AdjacencyIndex::Tails(EntityId e,
+                                                RelationId r) const {
+  auto it = tails_.find({e, r});
+  if (it == tails_.end()) return {};
+  return {tails_flat_.data() + it->second.begin,
+          it->second.end - it->second.begin};
+}
+
+std::span<const EntityId> AdjacencyIndex::Heads(EntityId e,
+                                                RelationId r) const {
+  auto it = heads_.find({e, r});
+  if (it == heads_.end()) return {};
+  return {heads_flat_.data() + it->second.begin,
+          it->second.end - it->second.begin};
+}
+
+size_t AdjacencyIndex::MemoryBytes() const {
+  return (tails_flat_.capacity() + heads_flat_.capacity()) *
+             sizeof(EntityId) +
+         (tails_.size() + heads_.size()) * (sizeof(Key) + sizeof(Range) + 16);
+}
+
+}  // namespace vkg::kg

@@ -1,0 +1,79 @@
+#ifndef VKG_KG_ADJACENCY_H_
+#define VKG_KG_ADJACENCY_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "kg/graph.h"
+#include "kg/types.h"
+
+namespace vkg::kg {
+
+/// Neighbor-list view of a KnowledgeGraph: for each (entity, relation)
+/// pair, the known tails (outgoing) and heads (incoming) in E.
+///
+/// The TripleStore answers membership (HasEdge) in O(1), which is all
+/// the E'-only query semantics need; this index adds *enumeration* —
+/// "which restaurants does Amy already rate high?" — used by
+/// applications that combine known facts with predictions. Built once
+/// in O(|E|); Refresh() after mutating the graph.
+class AdjacencyIndex {
+ public:
+  /// Builds over the graph's current edges. `graph` must outlive this.
+  explicit AdjacencyIndex(const KnowledgeGraph& graph);
+
+  /// Tails t with (e, r, t) in E; empty span if none.
+  std::span<const EntityId> Tails(EntityId e, RelationId r) const;
+
+  /// Heads h with (h, r, e) in E; empty span if none.
+  std::span<const EntityId> Heads(EntityId e, RelationId r) const;
+
+  /// Out-degree / in-degree under one relation.
+  size_t OutDegree(EntityId e, RelationId r) const {
+    return Tails(e, r).size();
+  }
+  size_t InDegree(EntityId e, RelationId r) const {
+    return Heads(e, r).size();
+  }
+
+  /// Rebuilds after the underlying graph gained edges or entities.
+  void Refresh();
+
+  size_t MemoryBytes() const;
+
+ private:
+  struct Key {
+    EntityId entity;
+    RelationId relation;
+    friend bool operator==(const Key& a, const Key& b) {
+      return a.entity == b.entity && a.relation == b.relation;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t x = (static_cast<uint64_t>(k.entity) << 32) | k.relation;
+      x ^= x >> 33;
+      x *= 0xff51afd7ed558ccdULL;
+      x ^= x >> 33;
+      return static_cast<size_t>(x);
+    }
+  };
+  // Values are [begin, end) ranges into the flat id arrays.
+  struct Range {
+    uint32_t begin = 0;
+    uint32_t end = 0;
+  };
+
+  void Build();
+
+  const KnowledgeGraph* graph_;
+  std::vector<EntityId> tails_flat_;
+  std::vector<EntityId> heads_flat_;
+  std::unordered_map<Key, Range, KeyHash> tails_;
+  std::unordered_map<Key, Range, KeyHash> heads_;
+};
+
+}  // namespace vkg::kg
+
+#endif  // VKG_KG_ADJACENCY_H_

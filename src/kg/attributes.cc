@@ -1,0 +1,66 @@
+#include "kg/attributes.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace vkg::kg {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}
+
+std::vector<double>& AttributeTable::GetOrCreate(const std::string& name) {
+  auto it = columns_.find(name);
+  if (it == columns_.end()) {
+    it = columns_.emplace(name, std::vector<double>(num_entities_, kNaN))
+             .first;
+  } else if (it->second.size() < num_entities_) {
+    it->second.resize(num_entities_, kNaN);
+  }
+  return it->second;
+}
+
+util::Result<const std::vector<double>*> AttributeTable::Get(
+    const std::string& name) const {
+  auto it = columns_.find(name);
+  if (it == columns_.end()) {
+    return util::Status::NotFound("unknown attribute: " + name);
+  }
+  return &it->second;
+}
+
+void AttributeTable::Set(const std::string& name, EntityId e, double value) {
+  VKG_CHECK(e < num_entities_);
+  GetOrCreate(name)[e] = value;
+}
+
+double AttributeTable::Value(const std::string& name, EntityId e) const {
+  auto it = columns_.find(name);
+  if (it == columns_.end() || e >= it->second.size()) return kNaN;
+  return it->second[e];
+}
+
+void AttributeTable::Resize(size_t num_entities) {
+  num_entities_ = num_entities;
+  for (auto& [name, col] : columns_) {
+    col.resize(num_entities, kNaN);
+  }
+}
+
+std::vector<std::string> AttributeTable::Names() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const auto& [name, col] : columns_) names.push_back(name);
+  return names;
+}
+
+size_t AttributeTable::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [name, col] : columns_) {
+    bytes += name.capacity() + col.capacity() * sizeof(double);
+  }
+  return bytes;
+}
+
+}  // namespace vkg::kg

@@ -1,0 +1,56 @@
+#ifndef VKG_KG_ATTRIBUTES_H_
+#define VKG_KG_ATTRIBUTES_H_
+
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kg/types.h"
+#include "util/status.h"
+
+namespace vkg::kg {
+
+/// Per-entity numeric attributes used by aggregate queries
+/// (e.g., "age", "year", "quality", "popularity").
+///
+/// Attributes are dense vectors indexed by EntityId; entities without a
+/// value hold NaN and are skipped by aggregation.
+class AttributeTable {
+ public:
+  explicit AttributeTable(size_t num_entities = 0)
+      : num_entities_(num_entities) {}
+
+  /// Declares (or fetches) a named attribute column filled with NaN.
+  std::vector<double>& GetOrCreate(const std::string& name);
+
+  /// Returns the column or NotFound.
+  util::Result<const std::vector<double>*> Get(const std::string& name) const;
+
+  bool Has(const std::string& name) const {
+    return columns_.find(name) != columns_.end();
+  }
+
+  /// Sets one value; grows columns if the table was resized.
+  void Set(const std::string& name, EntityId e, double value);
+
+  /// NaN-aware read: returns NaN when unset/absent.
+  double Value(const std::string& name, EntityId e) const;
+
+  static bool IsMissing(double v) { return std::isnan(v); }
+
+  void Resize(size_t num_entities);
+  size_t num_entities() const { return num_entities_; }
+
+  std::vector<std::string> Names() const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  size_t num_entities_;
+  std::unordered_map<std::string, std::vector<double>> columns_;
+};
+
+}  // namespace vkg::kg
+
+#endif  // VKG_KG_ATTRIBUTES_H_

@@ -1,0 +1,42 @@
+#include "kg/dictionary.h"
+
+#include "util/check.h"
+
+namespace vkg::kg {
+
+uint32_t Dictionary::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+uint32_t Dictionary::Lookup(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) return kInvalidEntity;
+  return it->second;
+}
+
+const std::string& Dictionary::Name(uint32_t id) const {
+  VKG_CHECK(id < names_.size());
+  return names_[id];
+}
+
+util::Result<uint32_t> Dictionary::Require(std::string_view name) const {
+  uint32_t id = Lookup(name);
+  if (id == kInvalidEntity) {
+    return util::Status::NotFound("unknown name: " + std::string(name));
+  }
+  return id;
+}
+
+size_t Dictionary::MemoryBytes() const {
+  size_t bytes = names_.capacity() * sizeof(std::string);
+  for (const auto& n : names_) bytes += n.capacity();
+  bytes += ids_.size() * (sizeof(std::string) + sizeof(uint32_t) + 16);
+  return bytes;
+}
+
+}  // namespace vkg::kg

@@ -1,0 +1,45 @@
+#ifndef VKG_KG_DICTIONARY_H_
+#define VKG_KG_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "kg/types.h"
+#include "util/status.h"
+
+namespace vkg::kg {
+
+/// Bidirectional mapping between external string names and dense ids.
+/// Used for both entities and relationship types.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Returns the id of `name`, interning it if new.
+  uint32_t Intern(std::string_view name);
+
+  /// Returns the id of `name`, or kInvalidEntity if not present.
+  uint32_t Lookup(std::string_view name) const;
+
+  /// Returns the name of `id`. Requires id < size().
+  const std::string& Name(uint32_t id) const;
+
+  /// Looks up `name` and returns a NotFound status when absent.
+  util::Result<uint32_t> Require(std::string_view name) const;
+
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+  /// Approximate heap footprint in bytes (for index-size accounting).
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint32_t> ids_;
+};
+
+}  // namespace vkg::kg
+
+#endif  // VKG_KG_DICTIONARY_H_

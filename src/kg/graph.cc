@@ -1,0 +1,87 @@
+#include "kg/graph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace vkg::kg {
+
+EntityId KnowledgeGraph::AddEntity(std::string_view name,
+                                   std::string_view type) {
+  EntityId id = entity_names_.Intern(name);
+  if (id == entity_types_.size()) {
+    entity_types_.push_back(type_names_.Intern(type));
+    attributes_.Resize(entity_types_.size());
+  }
+  return id;
+}
+
+RelationId KnowledgeGraph::AddRelation(std::string_view name) {
+  return relation_names_.Intern(name);
+}
+
+bool KnowledgeGraph::AddEdge(EntityId h, RelationId r, EntityId t) {
+  VKG_DCHECK(h < num_entities());
+  VKG_DCHECK(t < num_entities());
+  VKG_DCHECK(r < num_relations());
+  return triples_.Add({h, r, t});
+}
+
+EntityId KnowledgeGraph::AddEntities(size_t n, std::string_view type) {
+  EntityId first = static_cast<EntityId>(num_entities());
+  uint32_t type_id = type_names_.Intern(type);
+  for (size_t i = 0; i < n; ++i) {
+    std::string name =
+        util::StrFormat("%.*s:%zu", static_cast<int>(type.size()),
+                        type.data(), static_cast<size_t>(first) + i);
+    EntityId id = entity_names_.Intern(name);
+    VKG_CHECK(id == entity_types_.size());
+    entity_types_.push_back(type_id);
+  }
+  attributes_.Resize(entity_types_.size());
+  return first;
+}
+
+std::vector<EntityId> KnowledgeGraph::EntitiesOfType(
+    std::string_view type) const {
+  std::vector<EntityId> out;
+  uint32_t type_id = type_names_.Lookup(type);
+  if (type_id == kInvalidEntity) return out;
+  for (EntityId e = 0; e < entity_types_.size(); ++e) {
+    if (entity_types_[e] == type_id) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<size_t> KnowledgeGraph::Degrees() const {
+  std::vector<size_t> deg(num_entities(), 0);
+  for (const Triple& t : triples_.triples()) {
+    ++deg[t.head];
+    ++deg[t.tail];
+  }
+  return deg;
+}
+
+GraphStats KnowledgeGraph::Stats() const {
+  GraphStats s;
+  s.num_entities = num_entities();
+  s.num_relation_types = num_relations();
+  s.num_edges = num_edges();
+  if (s.num_entities > 0) {
+    s.avg_out_degree =
+        static_cast<double>(s.num_edges) / static_cast<double>(s.num_entities);
+    auto deg = Degrees();
+    s.max_degree = *std::max_element(deg.begin(), deg.end());
+  }
+  return s;
+}
+
+size_t KnowledgeGraph::MemoryBytes() const {
+  return entity_names_.MemoryBytes() + relation_names_.MemoryBytes() +
+         type_names_.MemoryBytes() +
+         entity_types_.capacity() * sizeof(uint32_t) +
+         triples_.MemoryBytes() + attributes_.MemoryBytes();
+}
+
+}  // namespace vkg::kg

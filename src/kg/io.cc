@@ -1,0 +1,185 @@
+#include "kg/io.h"
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace vkg::kg {
+
+util::Status LoadTriplesTsv(const std::string& path, KnowledgeGraph* graph) {
+  return util::ForEachDelimitedRow(
+      path, '\t',
+      [graph, &path](size_t lineno,
+                     const std::vector<std::string_view>& fields) {
+        if (fields.size() != 3) {
+          return util::Status::InvalidArgument(util::StrFormat(
+              "%s:%zu: expected 3 tab-separated fields, got %zu",
+              path.c_str(), lineno, fields.size()));
+        }
+        EntityId h = graph->AddEntity(fields[0]);
+        RelationId r = graph->AddRelation(fields[1]);
+        EntityId t = graph->AddEntity(fields[2]);
+        graph->AddEdge(h, r, t);
+        return util::Status::OK();
+      });
+}
+
+util::Status SaveTriplesTsv(const KnowledgeGraph& graph,
+                            const std::string& path) {
+  util::DelimitedWriter writer(path, '\t');
+  VKG_RETURN_IF_ERROR(writer.status());
+  for (const Triple& t : graph.triples().triples()) {
+    VKG_RETURN_IF_ERROR(writer.WriteRow({graph.entity_names().Name(t.head),
+                                         graph.relation_names().Name(t.relation),
+                                         graph.entity_names().Name(t.tail)}));
+  }
+  return writer.Close();
+}
+
+util::Status LoadAttributeTsv(const std::string& path,
+                              const std::string& attribute,
+                              KnowledgeGraph* graph, bool skip_unknown) {
+  return util::ForEachDelimitedRow(
+      path, '\t',
+      [&](size_t lineno, const std::vector<std::string_view>& fields) {
+        if (fields.size() != 2) {
+          return util::Status::InvalidArgument(util::StrFormat(
+              "%s:%zu: expected 2 tab-separated fields, got %zu",
+              path.c_str(), lineno, fields.size()));
+        }
+        EntityId e = graph->entity_names().Lookup(fields[0]);
+        if (e == kInvalidEntity) {
+          if (skip_unknown) return util::Status::OK();
+          return util::Status::NotFound(util::StrFormat(
+              "%s:%zu: unknown entity '%.*s'", path.c_str(), lineno,
+              static_cast<int>(fields[0].size()), fields[0].data()));
+        }
+        double value = 0.0;
+        if (!util::ParseDouble(fields[1], &value)) {
+          return util::Status::InvalidArgument(util::StrFormat(
+              "%s:%zu: malformed numeric value", path.c_str(), lineno));
+        }
+        graph->attributes().Set(attribute, e, value);
+        return util::Status::OK();
+      });
+}
+
+namespace {
+
+// Splits an OpenKE line on tab or space (both appear in the wild).
+std::vector<std::string_view> SplitFlexible(std::string_view line) {
+  char sep = line.find('\t') != std::string_view::npos ? '\t' : ' ';
+  return util::StrSplit(line, sep);
+}
+
+// Loads entity2id.txt / relation2id.txt: names with dense ids.
+util::Status LoadIdFile(const std::string& path, bool entities,
+                        KnowledgeGraph* graph) {
+  bool saw_count = false;
+  size_t expected = 0;
+  std::vector<std::string> names;
+  VKG_RETURN_IF_ERROR(util::ForEachDelimitedRow(
+      path, '\n', [&](size_t lineno, const auto& fields) {
+        std::string_view line = fields.empty() ? "" : fields[0];
+        line = util::StripWhitespace(line);
+        if (line.empty()) return util::Status::OK();
+        if (!saw_count) {
+          int64_t n = 0;
+          if (!util::ParseInt64(line, &n) || n < 0) {
+            return util::Status::InvalidArgument(util::StrFormat(
+                "%s:%zu: expected a count on the first line", path.c_str(),
+                lineno));
+          }
+          expected = static_cast<size_t>(n);
+          saw_count = true;
+          return util::Status::OK();
+        }
+        auto parts = SplitFlexible(line);
+        if (parts.size() < 2) {
+          return util::Status::InvalidArgument(util::StrFormat(
+              "%s:%zu: expected `name id`", path.c_str(), lineno));
+        }
+        int64_t id = 0;
+        if (!util::ParseInt64(parts.back(), &id) || id < 0) {
+          return util::Status::InvalidArgument(util::StrFormat(
+              "%s:%zu: malformed id", path.c_str(), lineno));
+        }
+        if (static_cast<size_t>(id) >= expected) {
+          return util::Status::InvalidArgument(util::StrFormat(
+              "%s:%zu: id %lld out of range (count %zu)", path.c_str(),
+              lineno, static_cast<long long>(id), expected));
+        }
+        if (names.size() < expected) names.resize(expected);
+        names[static_cast<size_t>(id)] = std::string(parts[0]);
+        return util::Status::OK();
+      }));
+  if (names.size() != expected) {
+    return util::Status::InvalidArgument("missing ids in " + path);
+  }
+  for (size_t id = 0; id < names.size(); ++id) {
+    if (names[id].empty()) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "%s: id %zu missing (ids must be dense)", path.c_str(), id));
+    }
+    uint32_t assigned = entities ? graph->AddEntity(names[id])
+                                 : graph->AddRelation(names[id]);
+    if (assigned != id) {
+      return util::Status::InvalidArgument(
+          "duplicate names or non-empty graph passed to "
+          "LoadOpenKeBenchmark");
+    }
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Status LoadOpenKeBenchmark(const std::string& dir,
+                                 KnowledgeGraph* graph) {
+  if (graph->num_entities() != 0 || graph->num_relations() != 0) {
+    return util::Status::FailedPrecondition(
+        "LoadOpenKeBenchmark requires an empty graph");
+  }
+  VKG_RETURN_IF_ERROR(
+      LoadIdFile(dir + "/entity2id.txt", /*entities=*/true, graph));
+  VKG_RETURN_IF_ERROR(
+      LoadIdFile(dir + "/relation2id.txt", /*entities=*/false, graph));
+
+  const std::string triples_path = dir + "/train2id.txt";
+  bool saw_count = false;
+  return util::ForEachDelimitedRow(
+      triples_path, '\n', [&](size_t lineno, const auto& fields) {
+        std::string_view line = fields.empty() ? "" : fields[0];
+        line = util::StripWhitespace(line);
+        if (line.empty()) return util::Status::OK();
+        if (!saw_count) {
+          saw_count = true;  // first line is the triple count
+          return util::Status::OK();
+        }
+        auto parts = SplitFlexible(line);
+        if (parts.size() != 3) {
+          return util::Status::InvalidArgument(util::StrFormat(
+              "%s:%zu: expected `head tail relation`", triples_path.c_str(),
+              lineno));
+        }
+        int64_t h = 0, t = 0, r = 0;
+        if (!util::ParseInt64(parts[0], &h) ||
+            !util::ParseInt64(parts[1], &t) ||
+            !util::ParseInt64(parts[2], &r)) {
+          return util::Status::InvalidArgument(util::StrFormat(
+              "%s:%zu: malformed ids", triples_path.c_str(), lineno));
+        }
+        if (h < 0 || t < 0 || r < 0 ||
+            static_cast<size_t>(h) >= graph->num_entities() ||
+            static_cast<size_t>(t) >= graph->num_entities() ||
+            static_cast<size_t>(r) >= graph->num_relations()) {
+          return util::Status::OutOfRange(util::StrFormat(
+              "%s:%zu: triple ids out of range", triples_path.c_str(),
+              lineno));
+        }
+        graph->AddEdge(static_cast<EntityId>(h), static_cast<RelationId>(r),
+                       static_cast<EntityId>(t));
+        return util::Status::OK();
+      });
+}
+
+}  // namespace vkg::kg

@@ -1,0 +1,41 @@
+#ifndef VKG_KG_IO_H_
+#define VKG_KG_IO_H_
+
+#include <string>
+
+#include "kg/graph.h"
+#include "util/status.h"
+
+namespace vkg::kg {
+
+/// Loads triples from a TSV file of `head<TAB>relation<TAB>tail` rows into
+/// `graph`, interning names on the fly. Lines starting with '#' and blank
+/// lines are skipped. Returns InvalidArgument on malformed rows.
+util::Status LoadTriplesTsv(const std::string& path, KnowledgeGraph* graph);
+
+/// Writes all triples of `graph` as TSV (names, not ids).
+util::Status SaveTriplesTsv(const KnowledgeGraph& graph,
+                            const std::string& path);
+
+/// Loads an attribute column from a TSV of `entity<TAB>value` rows.
+/// Unknown entities produce NotFound unless `skip_unknown` is true.
+util::Status LoadAttributeTsv(const std::string& path,
+                              const std::string& attribute,
+                              KnowledgeGraph* graph,
+                              bool skip_unknown = false);
+
+/// Loads a knowledge graph in the OpenKE / FB15k benchmark layout:
+///
+///   entity2id.txt    first line: count; then `name<TAB or space>id`
+///   relation2id.txt  same layout for relationship types
+///   train2id.txt     first line: count; then `head tail relation` (ids!)
+///
+/// `dir` is the directory holding the three files. Ids must be dense
+/// starting at 0 (the standard layout); InvalidArgument otherwise. Note
+/// the triple file's column order is head-TAIL-RELATION, as in OpenKE.
+util::Status LoadOpenKeBenchmark(const std::string& dir,
+                                 KnowledgeGraph* graph);
+
+}  // namespace vkg::kg
+
+#endif  // VKG_KG_IO_H_

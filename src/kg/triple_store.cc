@@ -1,0 +1,34 @@
+#include "kg/triple_store.h"
+
+#include <algorithm>
+
+namespace vkg::kg {
+
+bool TripleStore::Add(const Triple& t) {
+  if (!set_.insert(t).second) return false;
+  triples_.push_back(t);
+  return true;
+}
+
+std::vector<Triple> TripleStore::MaskRandom(size_t count, util::Rng& rng) {
+  count = std::min(count, triples_.size());
+  std::vector<Triple> removed;
+  removed.reserve(count);
+  // Swap-remove `count` random positions.
+  for (size_t i = 0; i < count; ++i) {
+    size_t pos = rng.UniformIndex(triples_.size());
+    Triple t = triples_[pos];
+    triples_[pos] = triples_.back();
+    triples_.pop_back();
+    set_.erase(t);
+    removed.push_back(t);
+  }
+  return removed;
+}
+
+size_t TripleStore::MemoryBytes() const {
+  return triples_.capacity() * sizeof(Triple) +
+         set_.size() * (sizeof(Triple) + 16);
+}
+
+}  // namespace vkg::kg

@@ -1,0 +1,48 @@
+#ifndef VKG_KG_TRIPLE_STORE_H_
+#define VKG_KG_TRIPLE_STORE_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "kg/types.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace vkg::kg {
+
+/// Deduplicated collection of (h, r, t) facts with O(1) membership tests
+/// and support for masking edges out (to form held-out test sets).
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  /// Adds a triple; returns false if it was already present.
+  bool Add(const Triple& t);
+
+  /// True if (h, r, t) is a known fact (in E).
+  bool Contains(const Triple& t) const {
+    return set_.find(t) != set_.end();
+  }
+
+  size_t size() const { return triples_.size(); }
+  bool empty() const { return triples_.empty(); }
+
+  const std::vector<Triple>& triples() const { return triples_; }
+  const Triple& at(size_t i) const { return triples_[i]; }
+
+  /// Removes `count` uniformly chosen triples and returns them (used to
+  /// mask edges for link-prediction evaluation). The removed triples no
+  /// longer answer Contains(). If count >= size, removes everything.
+  std::vector<Triple> MaskRandom(size_t count, util::Rng& rng);
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<Triple> triples_;
+  std::unordered_set<Triple, TripleHash> set_;
+};
+
+}  // namespace vkg::kg
+
+#endif  // VKG_KG_TRIPLE_STORE_H_

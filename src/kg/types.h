@@ -1,0 +1,56 @@
+#ifndef VKG_KG_TYPES_H_
+#define VKG_KG_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace vkg::kg {
+
+/// Dense integer id of an entity (vertex).
+using EntityId = uint32_t;
+/// Dense integer id of a relationship type.
+using RelationId = uint32_t;
+
+inline constexpr EntityId kInvalidEntity = UINT32_MAX;
+inline constexpr RelationId kInvalidRelation = UINT32_MAX;
+
+/// A (head, relation, tail) fact. Edges in E have probability 1 by
+/// definition (Definition 1); predicted edges carry probabilities at query
+/// time and are never materialized.
+struct Triple {
+  EntityId head = kInvalidEntity;
+  RelationId relation = kInvalidRelation;
+  EntityId tail = kInvalidEntity;
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.head == b.head && a.relation == b.relation && a.tail == b.tail;
+  }
+};
+
+/// A predicted edge in E' (Definition 1): a triple plus probability.
+struct PredictedEdge {
+  Triple triple;
+  double probability = 0.0;
+};
+
+/// Query direction: given (h, r) ask for tails, or given (t, r) ask for
+/// heads.
+enum class Direction { kTail, kHead };
+
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    uint64_t x = (static_cast<uint64_t>(t.head) << 32) ^
+                 (static_cast<uint64_t>(t.relation) << 17) ^ t.tail;
+    // splitmix64 finalizer.
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};
+
+}  // namespace vkg::kg
+
+#endif  // VKG_KG_TYPES_H_

@@ -1,0 +1,49 @@
+#include "query/aggregate_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace vkg::query {
+
+namespace {
+
+double Denominator(const std::vector<double>& accessed_values,
+                   double unaccessed_count, double v_max) {
+  double denom = 0.0;
+  for (double v : accessed_values) denom += v * v;
+  denom += unaccessed_count * v_max * v_max;
+  return denom;
+}
+
+}  // namespace
+
+double AggregateTailProbability(double delta, double mu,
+                                const std::vector<double>& accessed_values,
+                                double unaccessed_count, double v_max) {
+  double denom = Denominator(accessed_values, unaccessed_count, v_max);
+  if (denom <= 0.0) return 0.0;  // no randomness left
+  double exponent = -2.0 * delta * delta * mu * mu / denom;
+  return std::min(1.0, 2.0 * std::exp(exponent));
+}
+
+double DeltaForConfidence(double confidence_complement, double mu,
+                          const std::vector<double>& accessed_values,
+                          double unaccessed_count, double v_max) {
+  if (mu == 0.0) return std::numeric_limits<double>::infinity();
+  double denom = Denominator(accessed_values, unaccessed_count, v_max);
+  if (denom <= 0.0) return 0.0;
+  // Invert 2 exp(-2 d^2 mu^2 / denom) = p  =>  d = sqrt(denom ln(2/p)) / (mu sqrt(2)).
+  double p = std::clamp(confidence_complement, 1e-12, 1.0);
+  return std::sqrt(denom * std::log(2.0 / p) / 2.0) / std::fabs(mu);
+}
+
+double EstimateUnaccessedMax(const std::vector<double>& accessed_values) {
+  if (accessed_values.empty()) return 0.0;
+  double max_abs = 0.0;
+  for (double v : accessed_values) max_abs = std::max(max_abs, std::fabs(v));
+  double n = static_cast<double>(accessed_values.size());
+  return (1.0 + 1.0 / n) * max_abs;
+}
+
+}  // namespace vkg::query

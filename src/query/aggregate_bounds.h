@@ -1,0 +1,34 @@
+#ifndef VKG_QUERY_AGGREGATE_BOUNDS_H_
+#define VKG_QUERY_AGGREGATE_BOUNDS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace vkg::query {
+
+/// Theorem 4 (Azuma / martingale bound): for a SUM query with expected
+/// value mu (Equation 3), the ground truth S satisfies
+///
+///   Pr[|S - mu| >= delta * mu]
+///     <= 2 exp( -2 delta^2 mu^2 / (sum_{i<=a} v_i^2 + (b-a) v_m^2) )
+///
+/// where v_i are the accessed values and v_m bounds the magnitude of the
+/// b-a unaccessed values.
+double AggregateTailProbability(double delta, double mu,
+                                const std::vector<double>& accessed_values,
+                                double unaccessed_count, double v_max);
+
+/// Smallest delta whose tail probability is <= `confidence_complement`
+/// (e.g., 0.05 for a 95% interval). Returns +inf when mu == 0.
+double DeltaForConfidence(double confidence_complement, double mu,
+                          const std::vector<double>& accessed_values,
+                          double unaccessed_count, double v_max);
+
+/// Estimate of |v_m| from the accessed sample when no domain knowledge
+/// or R-tree statistics are available: the sample-max heuristic
+/// (1 + 1/n) * max|v_i| used for expected MAX (Section V-B).
+double EstimateUnaccessedMax(const std::vector<double>& accessed_values);
+
+}  // namespace vkg::query
+
+#endif  // VKG_QUERY_AGGREGATE_BOUNDS_H_

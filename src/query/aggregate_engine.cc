@@ -1,0 +1,306 @@
+#include "query/aggregate_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "embedding/vector_ops.h"
+#include "query/prob_model.h"
+#include "transform/jl_bounds.h"
+#include "query/topk_engine.h"
+#include "util/check.h"
+
+namespace vkg::query {
+
+std::string_view AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount:
+      return "COUNT";
+    case AggKind::kSum:
+      return "SUM";
+    case AggKind::kAvg:
+      return "AVG";
+    case AggKind::kMax:
+      return "MAX";
+    case AggKind::kMin:
+      return "MIN";
+  }
+  return "?";
+}
+
+AggregateEngine::AggregateEngine(const kg::KnowledgeGraph* graph,
+                                 const embedding::EmbeddingStore* store,
+                                 const transform::JlTransform* jl,
+                                 index::CrackingRTree* tree, double eps,
+                                 bool crack_after_query)
+    : graph_(graph),
+      store_(store),
+      jl_(jl),
+      tree_(tree),
+      eps_(eps),
+      crack_after_query_(crack_after_query) {}
+
+namespace {
+
+// Fetches the attribute value of `id`, or NaN for COUNT (value unused).
+double AttributeValue(const kg::KnowledgeGraph& graph, AggKind kind,
+                      const std::string& attribute, uint32_t id) {
+  if (kind == AggKind::kCount) return 1.0;
+  return graph.attributes().Value(attribute, id);
+}
+
+util::Status ValidateSpec(const kg::KnowledgeGraph& graph,
+                          const AggregateSpec& spec) {
+  if (spec.prob_threshold <= 0.0 || spec.prob_threshold > 1.0) {
+    return util::Status::InvalidArgument(
+        "prob_threshold must be in (0, 1]");
+  }
+  if (spec.kind != AggKind::kCount &&
+      !graph.attributes().Has(spec.attribute)) {
+    return util::Status::NotFound("unknown attribute: " + spec.attribute);
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Result<AggregateResult> AggregateEngine::Aggregate(
+    const AggregateSpec& spec) {
+  VKG_RETURN_IF_ERROR(ValidateSpec(*graph_, spec));
+  const auto skip = MakeSkipFn(*graph_, spec.query);
+  std::vector<float> q_s1 = store_->QueryCenter(
+      spec.query.anchor, spec.query.relation, spec.query.direction);
+  index::Point q_s2 = index::Point::FromSpan(jl_->Apply(q_s1));
+
+  // d_min via a top-1 probe (shares Algorithm 3 machinery; no cracking —
+  // the aggregate's own final region cracks below).
+  if (top1_ == nullptr) {
+    top1_ = std::make_unique<RTreeTopKEngine>(graph_, store_, jl_, tree_,
+                                              eps_,
+                                              /*crack_after_query=*/false,
+                                              "agg-top1");
+  }
+  TopKResult nearest = top1_->TopKQuery(spec.query, 1);
+  if (nearest.hits.empty()) return AggregateResult{};
+  ProbabilityModel pm(nearest.hits[0].distance);
+  const double r_tau = pm.RadiusForThreshold(spec.prob_threshold);
+  const double r_s2 = r_tau * (1.0 + eps_);
+  index::Rect region = index::Rect::BoundingBoxOfBall(q_s2, r_s2);
+
+
+  // Best-first traversal by element distance: the a closest records are
+  // accessed exactly (S1 distance + attribute page), and once the budget
+  // is exhausted the remaining contour elements contribute *estimates*
+  // from their entity counts and average distance to the query point —
+  // Section V-B's use of the index contour. Per-query work therefore
+  // scales with the sample size a plus the touched contour, not with the
+  // ball cardinality.
+  const size_t budget = spec.sample_size == 0
+                            ? std::numeric_limits<size_t>::max()
+                            : spec.sample_size;
+  const index::PointSet& points = tree_->points();
+  std::vector<BallPoint> accessed;
+  double unaccessed_mass = 0.0;
+  double unaccessed_count = 0.0;
+
+  // Unaccessed elements contribute through the exact conditional
+  // expectations under the JL transform (given l2 = s, the original
+  // distance is l1 = s sqrt(alpha)/chi_alpha): expected member count
+  // |e| * P(l1 <= r_tau | s) and expected probability mass
+  // |e| * E[(d_min/l1) 1{l1 <= r_tau} | s], evaluated at the element's
+  // centroid distance (floored by its MBR min distance).
+  const size_t alpha = jl_->output_dim();
+  auto estimate_element = [&](const index::Node& node) {
+    double centroid_d2 = 0;
+    for (size_t d = 0; d < node.mbr.dim; ++d) {
+      double mid = 0.5 * (static_cast<double>(node.mbr.lo[d]) +
+                          node.mbr.hi[d]);
+      double diff = mid - q_s2.c[d];
+      centroid_d2 += diff * diff;
+    }
+    double dist_s2 =
+        std::max(std::sqrt(centroid_d2),
+                 std::sqrt(node.mbr.MinDistSquared(q_s2.AsSpan())));
+    double count = static_cast<double>(node.size());
+    unaccessed_count +=
+        count * transform::MembershipProbability(dist_s2, r_tau, alpha);
+    unaccessed_mass += count * transform::ExpectedInverseMass(
+                                   pm.d_min(), dist_s2, r_tau, alpha);
+  };
+
+  using Frontier = std::pair<double, const index::Node*>;
+  std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>>
+      frontier;
+  frontier.emplace(tree_->root().mbr.MinDistSquared(q_s2.AsSpan()),
+                   &tree_->root());
+  bool budget_exhausted = false;
+  while (!frontier.empty()) {
+    auto [d2, node] = frontier.top();
+    frontier.pop();
+    if (std::sqrt(d2) > r_s2) break;  // outside the ball entirely
+    if (budget_exhausted) {
+      // Keep descending internal nodes (cheap: no point access) so the
+      // estimates are taken at contour-element granularity.
+      if (node->kind == index::Node::Kind::kInternal) {
+        for (const auto& child : node->children) {
+          double cd2 = child->mbr.MinDistSquared(q_s2.AsSpan());
+          if (std::sqrt(cd2) <= r_s2) frontier.emplace(cd2, child.get());
+        }
+      } else {
+        estimate_element(*node);
+      }
+      continue;
+    }
+    if (node->kind == index::Node::Kind::kInternal) {
+      for (const auto& child : node->children) {
+        double cd2 = child->mbr.MinDistSquared(q_s2.AsSpan());
+        if (std::sqrt(cd2) <= r_s2) frontier.emplace(cd2, child.get());
+      }
+      continue;
+    }
+    // Contour element: order its points by S2 distance and access them.
+    std::vector<std::pair<double, uint32_t>> local;
+    local.reserve(node->size());
+    for (uint32_t id : tree_->ElementIds(*node)) {
+      double d = std::sqrt(points.DistSquared(id, q_s2.AsSpan()));
+      if (d <= r_s2) local.emplace_back(d, id);
+    }
+    std::sort(local.begin(), local.end());
+    size_t processed = 0;
+    for (const auto& [s2_dist, id] : local) {
+      if (accessed.size() >= budget) break;
+      ++processed;
+      if (skip(id)) continue;
+      double dist = embedding::L2Distance(store_->Entity(id), q_s1);
+      if (dist > r_tau) continue;  // outside the ball in S1
+      double value = AttributeValue(*graph_, spec.kind, spec.attribute, id);
+      if (spec.kind != AggKind::kCount && std::isnan(value)) continue;
+      accessed.push_back({id, dist, pm.ProbabilityAt(dist)});
+    }
+    if (accessed.size() >= budget) {
+      budget_exhausted = true;
+      // Estimate the rest of this element point-wise (distances known).
+      for (size_t i = processed; i < local.size(); ++i) {
+        double s2_dist = local[i].first;
+        unaccessed_count +=
+            transform::MembershipProbability(s2_dist, r_tau, alpha);
+        unaccessed_mass += transform::ExpectedInverseMass(
+            pm.d_min(), s2_dist, r_tau, alpha);
+      }
+    }
+  }
+
+  if (crack_after_query_) tree_->Crack(region);
+  return Estimate(spec, accessed, unaccessed_mass, unaccessed_count);
+}
+
+util::Result<AggregateResult> AggregateEngine::ExactAggregate(
+    const AggregateSpec& spec) {
+  VKG_RETURN_IF_ERROR(ValidateSpec(*graph_, spec));
+  const auto skip = MakeSkipFn(*graph_, spec.query);
+  std::vector<float> q_s1 = store_->QueryCenter(
+      spec.query.anchor, spec.query.relation, spec.query.direction);
+
+  // Exact d_min by full scan.
+  const size_t n = store_->num_entities();
+  double d_min = -1.0;
+  for (uint32_t e = 0; e < n; ++e) {
+    if (skip(e)) continue;
+    double d = embedding::L2Distance(store_->Entity(e), q_s1);
+    if (d_min < 0 || d < d_min) d_min = d;
+  }
+  if (d_min < 0) return AggregateResult{};
+  ProbabilityModel pm(d_min);
+  const double r_tau = pm.RadiusForThreshold(spec.prob_threshold);
+
+  std::vector<BallPoint> accessed;
+  for (uint32_t e = 0; e < n; ++e) {
+    if (skip(e)) continue;
+    double d = embedding::L2Distance(store_->Entity(e), q_s1);
+    if (d > r_tau) continue;
+    double value = AttributeValue(*graph_, spec.kind, spec.attribute, e);
+    if (spec.kind != AggKind::kCount && std::isnan(value)) continue;
+    accessed.push_back({e, d, pm.ProbabilityAt(d)});
+  }
+  std::sort(accessed.begin(), accessed.end(),
+            [](const BallPoint& a, const BallPoint& b) {
+              return a.dist < b.dist;
+            });
+  return Estimate(spec, accessed, /*unaccessed_mass=*/0.0,
+                  /*unaccessed_count=*/0.0);
+}
+
+util::Result<AggregateResult> AggregateEngine::Estimate(
+    const AggregateSpec& spec, const std::vector<BallPoint>& accessed,
+    double unaccessed_mass, double unaccessed_count) {
+  AggregateResult result;
+  result.accessed = accessed.size();
+  result.estimated_total =
+      static_cast<double>(accessed.size()) + unaccessed_count;
+
+  double sum_a_p = 0.0;
+  for (const BallPoint& bp : accessed) sum_a_p += bp.prob;
+  const double sum_b_p = sum_a_p + unaccessed_mass;
+  result.prob_mass_accessed = sum_a_p;
+  result.prob_mass_estimated = sum_b_p;
+
+  // Collect values in access (distance) order for Theorem 4 reporting.
+  result.sample_values.reserve(accessed.size());
+  std::vector<std::pair<double, double>> value_prob;  // (v_i, p_i)
+  value_prob.reserve(accessed.size());
+  for (const BallPoint& bp : accessed) {
+    double v = AttributeValue(*graph_, spec.kind, spec.attribute, bp.id);
+    result.sample_values.push_back(v);
+    value_prob.emplace_back(v, bp.prob);
+  }
+
+  if (accessed.empty() || sum_a_p <= 0.0) {
+    result.value = 0.0;
+    return result;
+  }
+
+  switch (spec.kind) {
+    case AggKind::kCount:
+      // SUM(1) scaled: equals the estimated total probability mass.
+      result.value = sum_b_p;
+      break;
+    case AggKind::kSum: {
+      double weighted = 0.0;
+      for (const auto& [v, p] : value_prob) weighted += v * p;
+      result.value = weighted * (sum_b_p / sum_a_p);  // Equation (3)
+      break;
+    }
+    case AggKind::kAvg: {
+      double weighted = 0.0;
+      for (const auto& [v, p] : value_prob) weighted += v * p;
+      // E[SUM]/E[COUNT]: the scale factor cancels.
+      result.value = weighted / sum_a_p;
+      break;
+    }
+    case AggKind::kMax:
+    case AggKind::kMin: {
+      // Equation (4), applied to negated values for MIN.
+      const double sign = spec.kind == AggKind::kMax ? 1.0 : -1.0;
+      std::vector<std::pair<double, double>> vp = value_prob;
+      for (auto& [v, p] : vp) v *= sign;
+      std::sort(vp.begin(), vp.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      double expected_sample_max = 0.0;
+      double none_better = 1.0;  // prod (1 - p_j) over larger values
+      for (const auto& [v, p] : vp) {
+        expected_sample_max += v * none_better * p;
+        none_better *= (1.0 - p);
+      }
+      double min_v = vp.back().first;
+      double estimate = (expected_sample_max - min_v) *
+                            (1.0 + 1.0 / sum_a_p) +
+                        min_v;
+      result.value = sign * estimate;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace vkg::query

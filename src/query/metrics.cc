@@ -1,0 +1,45 @@
+#include "query/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/math_util.h"
+
+namespace vkg::query {
+
+double PrecisionAtK(const TopKResult& result,
+                    const TopKResult& ground_truth) {
+  if (ground_truth.hits.empty()) return result.hits.empty() ? 1.0 : 0.0;
+  std::unordered_set<uint32_t> truth;
+  truth.reserve(ground_truth.hits.size() * 2);
+  for (const TopKHit& h : ground_truth.hits) truth.insert(h.entity);
+  size_t matched = 0;
+  for (const TopKHit& h : result.hits) {
+    if (truth.count(h.entity) > 0) ++matched;
+  }
+  return static_cast<double>(matched) /
+         static_cast<double>(ground_truth.hits.size());
+}
+
+double AggregateAccuracy(double returned, double truth) {
+  if (truth == 0.0) return returned == 0.0 ? 1.0 : 0.0;
+  double acc = 1.0 - std::fabs(returned - truth) / std::fabs(truth);
+  return std::max(0.0, acc);
+}
+
+double LatencySeries::MeanMillis() const {
+  return util::Mean(samples_) * 1e3;
+}
+
+double LatencySeries::PercentileMillis(double p) const {
+  return util::Percentile(samples_, p) * 1e3;
+}
+
+double LatencySeries::TotalSeconds() const {
+  double total = 0.0;
+  for (double s : samples_) total += s;
+  return total;
+}
+
+}  // namespace vkg::query

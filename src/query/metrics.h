@@ -1,0 +1,39 @@
+#ifndef VKG_QUERY_METRICS_H_
+#define VKG_QUERY_METRICS_H_
+
+#include <vector>
+
+#include "query/topk_engine.h"
+
+namespace vkg::query {
+
+/// precision@K (Section VI): fraction of the method's top-k result that
+/// appears in the ground-truth (no-index) top-k. Empty ground truth
+/// yields 1.0 when the result is also empty, else 0.0.
+double PrecisionAtK(const TopKResult& result, const TopKResult& ground_truth);
+
+/// Aggregate accuracy metric of Figures 12-16:
+/// 1 - |v_returned - v_true| / |v_true| (clamped to [0, 1]; exact zero
+/// truth compares exactly).
+double AggregateAccuracy(double returned, double truth);
+
+/// Streaming mean/percentile collector for per-query latencies.
+class LatencySeries {
+ public:
+  void Add(double seconds) { samples_.push_back(seconds); }
+
+  size_t count() const { return samples_.size(); }
+  double MeanMillis() const;
+  double PercentileMillis(double p) const;
+  double TotalSeconds() const;
+
+  /// The i-th recorded latency in milliseconds.
+  double AtMillis(size_t i) const { return samples_.at(i) * 1e3; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace vkg::query
+
+#endif  // VKG_QUERY_METRICS_H_

@@ -1,0 +1,6 @@
+#include "query/prob_model.h"
+
+// ProbabilityModel is fully inline; this translation unit keeps the
+// module layout uniform.
+
+namespace vkg::query {}  // namespace vkg::query

@@ -1,0 +1,41 @@
+#ifndef VKG_QUERY_PROB_MODEL_H_
+#define VKG_QUERY_PROB_MODEL_H_
+
+#include <algorithm>
+
+namespace vkg::query {
+
+/// Distance-to-probability calibration of Section V-B: the entity closest
+/// to the query center (S1 distance d_min) has probability 1 for the
+/// relationship, and other entities' probabilities are inversely
+/// proportional to their distances: p(d) = d_min / d.
+///
+/// The ball of relevant entities for an aggregate query with probability
+/// threshold p_tau is then { d <= d_min / p_tau }.
+class ProbabilityModel {
+ public:
+  /// `d_min` is the S1 distance of the closest (non-skipped) entity;
+  /// clamped away from zero so probabilities stay finite.
+  explicit ProbabilityModel(double d_min)
+      : d_min_(std::max(d_min, kMinDistance)) {}
+
+  /// Probability assigned to an entity at S1 distance `dist` (in [0,1]).
+  double ProbabilityAt(double dist) const {
+    if (dist <= d_min_) return 1.0;
+    return d_min_ / dist;
+  }
+
+  /// Ball radius r_tau such that ProbabilityAt(r_tau) == p_tau.
+  /// Requires 0 < p_tau <= 1.
+  double RadiusForThreshold(double p_tau) const { return d_min_ / p_tau; }
+
+  double d_min() const { return d_min_; }
+
+ private:
+  static constexpr double kMinDistance = 1e-9;
+  double d_min_;
+};
+
+}  // namespace vkg::query
+
+#endif  // VKG_QUERY_PROB_MODEL_H_

@@ -1,0 +1,33 @@
+#include "query/topk_bounds.h"
+
+#include <algorithm>
+
+#include "transform/jl_bounds.h"
+
+namespace vkg::query {
+
+TopKGuarantee ComputeTopKGuarantee(const std::vector<double>& top_distances,
+                                   double eps, size_t alpha) {
+  TopKGuarantee g;
+  if (top_distances.empty()) return g;
+  const double r_k = top_distances.back();
+  for (double r_i : top_distances) {
+    double m_i;
+    if (r_i <= 0.0) {
+      m_i = 1e9;  // the exact match cannot be missed
+    } else {
+      m_i = (r_k / r_i) * (1.0 + eps);
+    }
+    double miss = transform::MissProbability(m_i, alpha);
+    miss = std::min(miss, 1.0);
+    g.success_probability *= (1.0 - miss);
+    g.expected_missing += miss;
+  }
+  return g;
+}
+
+double FalseInclusionProbability(double eps_prime, size_t alpha) {
+  return transform::FalseInclusionBound(eps_prime, alpha);
+}
+
+}  // namespace vkg::query

@@ -1,0 +1,32 @@
+#ifndef VKG_QUERY_TOPK_BOUNDS_H_
+#define VKG_QUERY_TOPK_BOUNDS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace vkg::query {
+
+/// Data-dependent accuracy guarantee of Theorem 2 for a top-k answer.
+struct TopKGuarantee {
+  /// Probability that FINDTOP-KENTITIES misses no true top-k entity:
+  /// prod_i [1 - m_i^alpha / e^{alpha (m_i^2 - 1)/2}].
+  double success_probability = 1.0;
+  /// Expected number of missing entities vs. the ground truth top-k:
+  /// sum_i m_i^alpha / e^{alpha (m_i^2 - 1)/2}.
+  double expected_missing = 0.0;
+};
+
+/// Evaluates Theorem 2 for an answer whose returned S1 distances are
+/// `top_distances` (ascending, r_1* .. r_k*), with query expansion factor
+/// (1 + eps) and transform dimensionality alpha. m_i = (r_k*/r_i*)(1+eps).
+TopKGuarantee ComputeTopKGuarantee(const std::vector<double>& top_distances,
+                                   double eps, size_t alpha);
+
+/// Theorem 3: probability that a point at S1 distance at least
+/// r_k* (1+eps)/(1-eps') from q enters the final query region, for
+/// 0 < eps' < 1: (1-eps')^alpha e^{alpha(eps' - eps'^2/2)}.
+double FalseInclusionProbability(double eps_prime, size_t alpha);
+
+}  // namespace vkg::query
+
+#endif  // VKG_QUERY_TOPK_BOUNDS_H_

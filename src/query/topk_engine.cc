@@ -1,0 +1,255 @@
+#include "query/topk_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "embedding/vector_ops.h"
+#include "query/prob_model.h"
+#include "util/check.h"
+
+namespace vkg::query {
+
+namespace {
+
+// Builds a TopKResult from (distance, id) pairs sorted ascending,
+// attaching calibrated probabilities.
+TopKResult FinalizeHits(std::vector<std::pair<double, uint32_t>> pairs,
+                        size_t candidates_examined) {
+  TopKResult result;
+  result.candidates_examined = candidates_examined;
+  if (pairs.empty()) return result;
+  ProbabilityModel pm(pairs[0].first);
+  result.hits.reserve(pairs.size());
+  for (const auto& [dist, id] : pairs) {
+    result.hits.push_back({id, dist, pm.ProbabilityAt(dist)});
+  }
+  return result;
+}
+
+}  // namespace
+
+std::function<bool(uint32_t)> MakeSkipFn(const kg::KnowledgeGraph& graph,
+                                         const data::Query& query) {
+  if (query.direction == kg::Direction::kTail) {
+    return [&graph, query](uint32_t candidate) {
+      return candidate == query.anchor ||
+             graph.HasEdge(query.anchor, query.relation, candidate);
+    };
+  }
+  return [&graph, query](uint32_t candidate) {
+    return candidate == query.anchor ||
+           graph.HasEdge(candidate, query.relation, query.anchor);
+  };
+}
+
+// ---------------------------------------------------------------------------
+// LinearTopKEngine
+// ---------------------------------------------------------------------------
+
+TopKResult LinearTopKEngine::TopKQuery(const data::Query& query, size_t k) {
+  std::vector<float> q =
+      store_->QueryCenter(query.anchor, query.relation, query.direction);
+  auto pairs = scan_.TopK(q, k, MakeSkipFn(*graph_, query));
+  return FinalizeHits(std::move(pairs), store_->num_entities());
+}
+
+// ---------------------------------------------------------------------------
+// RTreeTopKEngine (Algorithm 3)
+// ---------------------------------------------------------------------------
+
+RTreeTopKEngine::RTreeTopKEngine(const kg::KnowledgeGraph* graph,
+                                 const embedding::EmbeddingStore* store,
+                                 const transform::JlTransform* jl,
+                                 index::CrackingRTree* tree, double eps,
+                                 bool crack_after_query,
+                                 std::string_view name)
+    : graph_(graph),
+      store_(store),
+      jl_(jl),
+      tree_(tree),
+      eps_(eps),
+      crack_after_query_(crack_after_query),
+      name_(name) {
+  VKG_CHECK(eps > 0);
+  visit_stamp_.assign(store->num_entities(), 0);
+}
+
+std::vector<uint32_t> RTreeTopKEngine::SeedCandidates(
+    const index::Node& element, const index::Point& q_s2, size_t k,
+    const std::function<bool(uint32_t)>& skip) const {
+  // Traverse the element's points outward from q along sort order 0
+  // (increasing |coord0 - q0|), as described for line 2 of Algorithm 3.
+  std::span<const uint32_t> ids = tree_->ElementIds(element, /*s=*/0);
+  const index::PointSet& points = tree_->points();
+  const float q0 = q_s2.c[0];
+  size_t pos = static_cast<size_t>(
+      std::lower_bound(ids.begin(), ids.end(), q0,
+                       [&points](uint32_t id, float v) {
+                         return points.coord(id, 0) < v;
+                       }) -
+      ids.begin());
+
+  std::vector<uint32_t> seeds;
+  size_t left = pos;   // next candidate on the left is ids[left - 1]
+  size_t right = pos;  // next candidate on the right is ids[right]
+  while (seeds.size() < k && (left > 0 || right < ids.size())) {
+    bool take_left;
+    if (left == 0) {
+      take_left = false;
+    } else if (right == ids.size()) {
+      take_left = true;
+    } else {
+      take_left = (q0 - points.coord(ids[left - 1], 0)) <=
+                  (points.coord(ids[right], 0) - q0);
+    }
+    uint32_t id = take_left ? ids[--left] : ids[right++];
+    if (!skip(id)) seeds.push_back(id);
+  }
+  return seeds;
+}
+
+TopKResult RTreeTopKEngine::TopKQuery(const data::Query& query, size_t k) {
+  const std::function<bool(uint32_t)> skip = MakeSkipFn(*graph_, query);
+  std::vector<float> q_s1 =
+      store_->QueryCenter(query.anchor, query.relation, query.direction);
+  index::Point q_s2 = index::Point::FromSpan(jl_->Apply(q_s1));
+
+  if (store_->num_entities() == 0 || k == 0) return {};
+  ++stamp_;
+  const uint32_t stamp = stamp_;
+
+  size_t candidates = 0;
+  // Max-heap of the best k (S1 squared distance, id).
+  std::priority_queue<std::pair<double, uint32_t>> best;
+  auto examine = [&](uint32_t id) {
+    if (visit_stamp_[id] == stamp) return;
+    visit_stamp_[id] = stamp;
+    if (skip(id)) return;
+    double d2 = embedding::L2DistanceSquared(store_->Entity(id), q_s1);
+    ++candidates;
+    if (best.size() < k) {
+      best.emplace(d2, id);
+    } else if (d2 < best.top().first) {
+      best.pop();
+      best.emplace(d2, id);
+    }
+  };
+
+  // Lines 1-3: probe for the element containing q and seed N_q, giving
+  // the initial radius r_q = r_k*(N_q) (1 + eps).
+  const index::Node* element = tree_->ProbeSmallest(q_s2.AsSpan());
+  for (uint32_t id : SeedCandidates(*element, q_s2, k, skip)) examine(id);
+
+  // Current S2 query radius; infinite until k candidates exist.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  auto current_radius = [&]() {
+    if (best.size() < k) return kInf;
+    return std::sqrt(best.top().first) * (1.0 + eps_);
+  };
+
+  // Lines 4-8: iteratively shrink Q while examining its points. The
+  // contour is traversed best-first by MBR distance to q; every point
+  // examined can tighten r_k* and hence Q, so elements that fall outside
+  // the refined region are never touched — the paper's "iteratively
+  // reduce the query rectangle region until all points in Q have been
+  // examined".
+  double r_q = current_radius();
+  using Frontier = std::pair<double, const index::Node*>;  // (mindist, node)
+  std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>>
+      frontier;
+  frontier.emplace(tree_->root().mbr.MinDistSquared(q_s2.AsSpan()),
+                   &tree_->root());
+  while (!frontier.empty()) {
+    auto [d2, node] = frontier.top();
+    frontier.pop();
+    if (std::sqrt(d2) > r_q) break;  // everything left is outside Q
+    if (node->kind == index::Node::Kind::kInternal) {
+      for (const auto& child : node->children) {
+        double cd2 = child->mbr.MinDistSquared(q_s2.AsSpan());
+        if (std::sqrt(cd2) <= r_q) frontier.emplace(cd2, child.get());
+      }
+      continue;
+    }
+    for (uint32_t id : tree_->ElementIds(*node)) {
+      examine(id);
+    }
+    r_q = current_radius();
+  }
+  if (r_q == kInf) {
+    // Fewer than k valid entities in the whole dataset.
+    r_q = tree_->root().mbr.Margin() + 1.0;
+  }
+  index::Rect region = index::Rect::BoundingBoxOfBall(q_s2, r_q);
+
+  // Line 9: incremental index build with the final region.
+  if (crack_after_query_) tree_->Crack(region);
+
+  std::vector<std::pair<double, uint32_t>> pairs;
+  pairs.reserve(best.size());
+  while (!best.empty()) {
+    pairs.emplace_back(std::sqrt(best.top().first), best.top().second);
+    best.pop();
+  }
+  std::reverse(pairs.begin(), pairs.end());
+  return FinalizeHits(std::move(pairs), candidates);
+}
+
+// ---------------------------------------------------------------------------
+// PhTreeTopKEngine
+// ---------------------------------------------------------------------------
+
+TopKResult PhTreeTopKEngine::TopKQuery(const data::Query& query, size_t k) {
+  std::vector<float> q =
+      store_->QueryCenter(query.anchor, query.relation, query.direction);
+  auto pairs = tree_->TopK(q, k, MakeSkipFn(*graph_, query));
+  return FinalizeHits(std::move(pairs), store_->num_entities());
+}
+
+// ---------------------------------------------------------------------------
+// H2AlshTopKEngine
+// ---------------------------------------------------------------------------
+
+H2AlshTopKEngine::H2AlshTopKEngine(const kg::KnowledgeGraph* graph,
+                                   const embedding::EmbeddingStore* store,
+                                   const index::H2AlshConfig& config)
+    : graph_(graph), store_(store) {
+  // Augment items to reduce L2-NN to MIPS: x' = [x ; ||x||^2].
+  const size_t n = store->num_entities();
+  const size_t d = store->dim();
+  std::vector<float> augmented(n * (d + 1));
+  for (size_t e = 0; e < n; ++e) {
+    std::span<const float> x = store->Entity(static_cast<kg::EntityId>(e));
+    double norm2 = 0.0;
+    for (size_t i = 0; i < d; ++i) {
+      augmented[e * (d + 1) + i] = x[i];
+      norm2 += static_cast<double>(x[i]) * x[i];
+    }
+    augmented[e * (d + 1) + d] = static_cast<float>(norm2);
+  }
+  alsh_ = std::make_unique<index::H2Alsh>(augmented, n, d + 1, config);
+}
+
+TopKResult H2AlshTopKEngine::TopKQuery(const data::Query& query, size_t k) {
+  std::vector<float> q =
+      store_->QueryCenter(query.anchor, query.relation, query.direction);
+  // Query vector [2q ; -1]: the inner product is 2 q·x - ||x||^2 =
+  // ||q||^2 - ||q - x||^2, monotone in -distance.
+  std::vector<float> qv(q.size() + 1);
+  for (size_t i = 0; i < q.size(); ++i) qv[i] = 2.0f * q[i];
+  qv[q.size()] = -1.0f;
+  double qnorm2 = embedding::Dot(q, q);
+
+  auto scored = alsh_->TopK(qv, k, MakeSkipFn(*graph_, query));
+  std::vector<std::pair<double, uint32_t>> pairs;
+  pairs.reserve(scored.size());
+  for (const auto& [ip, id] : scored) {
+    double d2 = std::max(0.0, qnorm2 - ip);
+    pairs.emplace_back(std::sqrt(d2), id);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return FinalizeHits(std::move(pairs), alsh_->last_candidates());
+}
+
+}  // namespace vkg::query

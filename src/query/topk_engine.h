@@ -1,0 +1,147 @@
+#ifndef VKG_QUERY_TOPK_ENGINE_H_
+#define VKG_QUERY_TOPK_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "data/workload.h"
+#include "embedding/store.h"
+#include "index/cracking_rtree.h"
+#include "index/h2alsh.h"
+#include "index/linear_scan.h"
+#include "index/phtree.h"
+#include "kg/graph.h"
+#include "transform/jl_transform.h"
+
+namespace vkg::query {
+
+/// One predicted edge returned by a top-k query.
+struct TopKHit {
+  kg::EntityId entity = kg::kInvalidEntity;
+  double distance = 0.0;     // S1 distance to the query center
+  double probability = 0.0;  // calibrated via ProbabilityModel
+};
+
+/// Result of a top-k entity query.
+struct TopKResult {
+  std::vector<TopKHit> hits;  // ascending distance
+  /// Entities whose exact S1 distance was evaluated (work measure).
+  size_t candidates_examined = 0;
+};
+
+/// Skip predicate of the E'-only query semantics (Section II): the
+/// anchor itself and entities already connected to it by `relation` in E
+/// are not answers.
+std::function<bool(uint32_t)> MakeSkipFn(const kg::KnowledgeGraph& graph,
+                                         const data::Query& query);
+
+/// Interface implemented by every compared method.
+class TopKEngine {
+ public:
+  virtual ~TopKEngine() = default;
+
+  /// Answers a predictive top-k entity query.
+  virtual TopKResult TopKQuery(const data::Query& query, size_t k) = 0;
+
+  /// Method label for reports.
+  virtual std::string_view name() const = 0;
+};
+
+/// The no-index baseline: exact scan in S1 (also the precision@K ground
+/// truth).
+class LinearTopKEngine : public TopKEngine {
+ public:
+  LinearTopKEngine(const kg::KnowledgeGraph* graph,
+                   const embedding::EmbeddingStore* store)
+      : graph_(graph), store_(store), scan_(store) {}
+
+  TopKResult TopKQuery(const data::Query& query, size_t k) override;
+  std::string_view name() const override { return "no-index"; }
+
+ private:
+  const kg::KnowledgeGraph* graph_;
+  const embedding::EmbeddingStore* store_;
+  index::LinearScan scan_;
+};
+
+/// FINDTOP-KENTITIES (Algorithm 3) over a bulk-loaded or cracking R-tree
+/// in the transformed space S2.
+class RTreeTopKEngine : public TopKEngine {
+ public:
+  /// `crack_after_query` enables line 9 of Algorithm 3 (incremental index
+  /// build with the final query region); disable it for the bulk-loaded
+  /// baseline, whose tree is already complete.
+  RTreeTopKEngine(const kg::KnowledgeGraph* graph,
+                  const embedding::EmbeddingStore* store,
+                  const transform::JlTransform* jl,
+                  index::CrackingRTree* tree, double eps,
+                  bool crack_after_query, std::string_view name);
+
+  TopKResult TopKQuery(const data::Query& query, size_t k) override;
+  std::string_view name() const override { return name_; }
+
+  /// Query-region expansion factor (1 + eps) currently in use.
+  double eps() const { return eps_; }
+
+ private:
+  // Seeds N_q: up to k entities from the contour element containing q,
+  // walked outward along one sort order (line 2 of Algorithm 3).
+  std::vector<uint32_t> SeedCandidates(
+      const index::Node& element, const index::Point& q_s2, size_t k,
+      const std::function<bool(uint32_t)>& skip) const;
+
+  const kg::KnowledgeGraph* graph_;
+  const embedding::EmbeddingStore* store_;
+  const transform::JlTransform* jl_;
+  index::CrackingRTree* tree_;
+  double eps_;
+  bool crack_after_query_;
+  std::string name_;
+  // Visit-stamp array: marks entities already examined in this query.
+  std::vector<uint32_t> visit_stamp_;
+  uint32_t stamp_ = 0;
+};
+
+/// PH-tree baseline: kNN directly in the high-dimensional space S1.
+class PhTreeTopKEngine : public TopKEngine {
+ public:
+  PhTreeTopKEngine(const kg::KnowledgeGraph* graph,
+                   const embedding::EmbeddingStore* store,
+                   const index::PhTree* tree)
+      : graph_(graph), store_(store), tree_(tree) {}
+
+  TopKResult TopKQuery(const data::Query& query, size_t k) override;
+  std::string_view name() const override { return "ph-tree"; }
+
+ private:
+  const kg::KnowledgeGraph* graph_;
+  const embedding::EmbeddingStore* store_;
+  const index::PhTree* tree_;
+};
+
+/// H2-ALSH baseline. The L2 nearest-neighbor objective is reduced to
+/// MIPS over augmented vectors [x; ||x||^2] with queries [2q; -1], so
+/// its answers are comparable against the same ground truth:
+///   argmax (2q·x - ||x||^2) == argmin ||q - x||^2.
+class H2AlshTopKEngine : public TopKEngine {
+ public:
+  /// Builds the H2-ALSH structure over all entity embeddings.
+  H2AlshTopKEngine(const kg::KnowledgeGraph* graph,
+                   const embedding::EmbeddingStore* store,
+                   const index::H2AlshConfig& config);
+
+  TopKResult TopKQuery(const data::Query& query, size_t k) override;
+  std::string_view name() const override { return "h2-alsh"; }
+
+  const index::H2Alsh& alsh() const { return *alsh_; }
+
+ private:
+  const kg::KnowledgeGraph* graph_;
+  const embedding::EmbeddingStore* store_;
+  std::unique_ptr<index::H2Alsh> alsh_;
+};
+
+}  // namespace vkg::query
+
+#endif  // VKG_QUERY_TOPK_ENGINE_H_

@@ -1,0 +1,90 @@
+#include "transform/jl_bounds.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace vkg::transform {
+
+double DeltaUpper(double eps, size_t alpha) {
+  VKG_CHECK(eps > 0);
+  double base = std::sqrt(1.0 + eps) / std::exp(eps / 2.0);
+  return std::pow(base, static_cast<double>(alpha));
+}
+
+double DeltaLower(double eps, size_t alpha) {
+  VKG_CHECK(eps > 0 && eps < 1);
+  double base = std::sqrt(1.0 - eps) * std::exp(eps / 2.0);
+  return std::pow(base, static_cast<double>(alpha));
+}
+
+double MissProbability(double m, size_t alpha) {
+  if (m <= 1.0) return 1.0;
+  double a = static_cast<double>(alpha);
+  // m^alpha * exp(-alpha (m^2 - 1) / 2), computed in log space.
+  double log_p = a * std::log(m) - a * (m * m - 1.0) / 2.0;
+  return std::exp(log_p);
+}
+
+double FalseInclusionBound(double eps_prime, size_t alpha) {
+  VKG_CHECK(eps_prime > 0 && eps_prime < 1);
+  double a = static_cast<double>(alpha);
+  double log_p = a * std::log(1.0 - eps_prime) +
+                 a * (eps_prime - eps_prime * eps_prime / 2.0);
+  return std::exp(log_p);
+}
+
+double MeanInverseDistanceRatio(size_t alpha) {
+  if (alpha < 2) return std::numeric_limits<double>::infinity();
+  double a = static_cast<double>(alpha);
+  double log_ratio = 0.5 * std::log(a / 2.0) + std::lgamma((a - 1.0) / 2.0) -
+                     std::lgamma(a / 2.0);
+  return std::exp(log_ratio);
+}
+
+double MembershipProbability(double s2_dist, double radius_s1,
+                             size_t alpha) {
+  VKG_CHECK(radius_s1 > 0);
+  if (s2_dist <= 0) return 1.0;
+  double a = static_cast<double>(alpha);
+  double c = s2_dist * std::sqrt(a) / radius_s1;
+  return util::RegularizedGammaQ(a / 2.0, c * c / 2.0);
+}
+
+double ExpectedInverseMass(double d_min, double s2_dist, double radius_s1,
+                           size_t alpha) {
+  VKG_CHECK(radius_s1 > 0);
+  double member = MembershipProbability(s2_dist, radius_s1, alpha);
+  if (s2_dist <= 0) return member;
+  double a = static_cast<double>(alpha);
+  double c = s2_dist * std::sqrt(a) / radius_s1;
+  // E[chi * 1{chi >= c}] = sqrt(2) Γ((a+1)/2)/Γ(a/2) Q((a+1)/2, c^2/2).
+  double coeff = std::exp(0.5 * std::log(2.0) +
+                          std::lgamma((a + 1.0) / 2.0) -
+                          std::lgamma(a / 2.0));
+  double mass = (d_min / (s2_dist * std::sqrt(a))) * coeff *
+                util::RegularizedGammaQ((a + 1.0) / 2.0, c * c / 2.0);
+  // Per-point probabilities never exceed 1, so the conditional mass is
+  // bounded by the membership probability.
+  return std::min(mass, member);
+}
+
+double EpsForUpperConfidence(double target, size_t alpha) {
+  VKG_CHECK(target > 0 && target < 1);
+  double lo = 1e-9, hi = 1.0;
+  // Grow hi until the bound is small enough (DeltaUpper decreases in eps).
+  while (DeltaUpper(hi, alpha) > target && hi < 1e6) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    double mid = 0.5 * (lo + hi);
+    if (DeltaUpper(mid, alpha) > target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace vkg::transform

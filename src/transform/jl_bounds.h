@@ -1,0 +1,64 @@
+#ifndef VKG_TRANSFORM_JL_BOUNDS_H_
+#define VKG_TRANSFORM_JL_BOUNDS_H_
+
+#include <cstddef>
+
+namespace vkg::transform {
+
+/// Theorem 1 tail bounds for the small-alpha JL transform.
+///
+/// For points u, v at S1 distance l1 and S2 distance l2 after the
+/// transform to dimensionality alpha:
+///
+///   Pr[l2 >= sqrt(1+eps) * l1] <= DeltaUpper(eps, alpha)
+///                               = ( sqrt(1+eps) / e^{eps/2} )^alpha,  eps > 0
+///   Pr[l2 <= sqrt(1-eps) * l1] <= DeltaLower(eps, alpha)
+///                               = ( sqrt(1-eps) * e^{eps/2} )^alpha,  0 < eps < 1
+double DeltaUpper(double eps, size_t alpha);
+double DeltaLower(double eps, size_t alpha);
+
+/// Probability that the S2 distance of a pair exceeds m times its S1
+/// distance (m > 1): m^alpha / e^{alpha (m^2 - 1) / 2}. This is the
+/// per-entity miss term of Theorem 2 (with m_i = (r_k*/r_i*)(1+eps)).
+/// Returns 1 for m <= 1.
+double MissProbability(double m, size_t alpha);
+
+/// Theorem 3 false-inclusion bound: probability that a point at S1
+/// distance >= r_k* (1+eps)/(1-eps') enters the final query region:
+/// (1-eps')^alpha * e^{alpha (eps' - eps'^2 / 2)} for 0 < eps' < 1.
+double FalseInclusionBound(double eps_prime, size_t alpha);
+
+/// Smallest eps > 0 such that DeltaUpper(eps, alpha) <= target
+/// (bisection; target in (0,1)). Used to pick the query-radius expansion
+/// for a desired confidence.
+double EpsForUpperConfidence(double target, size_t alpha);
+
+/// E[l1 / l2] for a pair at S1 distance l1 and transformed distance l2:
+/// since l2 = l1 * chi_alpha / sqrt(alpha),
+///   E[l1/l2] = sqrt(alpha/2) * Gamma((alpha-1)/2) / Gamma(alpha/2).
+/// Estimating inverse-distance quantities (e.g., the probability model
+/// p = d_min/d) from S2 distances overestimates by exactly this factor
+/// (Jensen); divide by it to debias. Requires alpha >= 2 (infinite for
+/// alpha == 1).
+double MeanInverseDistanceRatio(size_t alpha);
+
+/// Given a transformed distance l2 = s, the original distance is
+/// l1 = s * sqrt(alpha) / chi_alpha. These evaluate the exact
+/// conditional expectations used by the aggregate engine's ball
+/// estimates:
+///
+///   MembershipProbability = P(l1 <= r | l2 = s)
+///                         = Q(alpha/2, c^2/2), c = s sqrt(alpha) / r
+double MembershipProbability(double s2_dist, double radius_s1,
+                             size_t alpha);
+
+///   ExpectedInverseMass = E[(d_min / l1) * 1{l1 <= r} | l2 = s]
+///     = (d_min sqrt(2/alpha) / s) * (Γ((a+1)/2)/Γ(a/2))
+///       * Q((alpha+1)/2, c^2/2),
+/// capped by MembershipProbability (per-point probabilities are <= 1).
+double ExpectedInverseMass(double d_min, double s2_dist, double radius_s1,
+                           size_t alpha);
+
+}  // namespace vkg::transform
+
+#endif  // VKG_TRANSFORM_JL_BOUNDS_H_

@@ -1,0 +1,55 @@
+#include "transform/jl_transform.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace vkg::transform {
+
+JlTransform::JlTransform(size_t input_dim, size_t output_dim, uint64_t seed)
+    : input_dim_(input_dim), output_dim_(output_dim) {
+  VKG_CHECK(input_dim >= 1);
+  VKG_CHECK(output_dim >= 1);
+  util::Rng rng(seed);
+  matrix_.resize(input_dim * output_dim);
+  const float scale =
+      static_cast<float>(1.0 / std::sqrt(static_cast<double>(output_dim)));
+  for (float& v : matrix_) {
+    v = static_cast<float>(rng.Gaussian()) * scale;
+  }
+}
+
+void JlTransform::Apply(std::span<const float> in,
+                        std::span<float> out) const {
+  VKG_CHECK(in.size() == input_dim_);
+  VKG_CHECK(out.size() == output_dim_);
+  for (size_t a = 0; a < output_dim_; ++a) {
+    const float* row = matrix_.data() + a * input_dim_;
+    double acc = 0.0;
+    for (size_t d = 0; d < input_dim_; ++d) {
+      acc += static_cast<double>(row[d]) * in[d];
+    }
+    out[a] = static_cast<float>(acc);
+  }
+}
+
+std::vector<float> JlTransform::Apply(std::span<const float> in) const {
+  std::vector<float> out(output_dim_);
+  Apply(in, out);
+  return out;
+}
+
+std::vector<float> JlTransform::ApplyToEntities(
+    const embedding::EmbeddingStore& store) const {
+  VKG_CHECK(store.dim() == input_dim_);
+  const size_t n = store.num_entities();
+  std::vector<float> out(n * output_dim_);
+  for (size_t e = 0; e < n; ++e) {
+    Apply(store.Entity(static_cast<kg::EntityId>(e)),
+          {out.data() + e * output_dim_, output_dim_});
+  }
+  return out;
+}
+
+}  // namespace vkg::transform

@@ -1,0 +1,38 @@
+#ifndef VKG_UTIL_CHECK_H_
+#define VKG_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a diagnostic if `cond` is false. Used for programmer-error
+/// invariants (never for recoverable conditions, which use Status).
+#define VKG_CHECK(cond)                                                  \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "VKG_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+/// VKG_CHECK with a printf-style explanation appended.
+#define VKG_CHECK_MSG(cond, ...)                                         \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "VKG_CHECK failed at %s:%d: %s: ", __FILE__,  \
+                   __LINE__, #cond);                                     \
+      std::fprintf(stderr, __VA_ARGS__);                                 \
+      std::fprintf(stderr, "\n");                                        \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#ifndef NDEBUG
+#define VKG_DCHECK(cond) VKG_CHECK(cond)
+#else
+#define VKG_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#endif
+
+#endif  // VKG_UTIL_CHECK_H_

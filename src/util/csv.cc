@@ -1,0 +1,68 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace vkg::util {
+
+Status ForEachDelimitedRow(
+    const std::string& path, char delimiter,
+    const std::function<Status(size_t, const std::vector<std::string_view>&)>&
+        row_fn) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open file: " + path);
+  }
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::string_view view = line;
+    if (view.empty() || view.front() == '#') continue;
+    std::vector<std::string_view> fields = StrSplit(view, delimiter);
+    VKG_RETURN_IF_ERROR(row_fn(lineno, fields));
+  }
+  if (in.bad()) {
+    return Status::IoError("read error in file: " + path);
+  }
+  return Status::OK();
+}
+
+DelimitedWriter::DelimitedWriter(const std::string& path, char delimiter)
+    : delimiter_(delimiter) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    status_ = Status::IoError("cannot open file for writing: " + path);
+  }
+}
+
+DelimitedWriter::~DelimitedWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status DelimitedWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (!status_.ok()) return status_;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) std::fputc(delimiter_, file_);
+    std::fputs(fields[i].c_str(), file_);
+  }
+  if (std::fputc('\n', file_) == EOF) {
+    status_ = Status::IoError("write error");
+  }
+  return status_;
+}
+
+Status DelimitedWriter::Close() {
+  if (file_ != nullptr) {
+    if (std::fclose(file_) != 0 && status_.ok()) {
+      status_ = Status::IoError("close error");
+    }
+    file_ = nullptr;
+  }
+  return status_;
+}
+
+}  // namespace vkg::util

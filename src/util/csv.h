@@ -1,0 +1,49 @@
+#ifndef VKG_UTIL_CSV_H_
+#define VKG_UTIL_CSV_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace vkg::util {
+
+/// Streams a delimiter-separated file line by line.
+///
+/// `row_fn` receives (line_number, fields) for each non-empty,
+/// non-comment ('#'-prefixed) line and may return a non-OK Status to abort.
+Status ForEachDelimitedRow(
+    const std::string& path, char delimiter,
+    const std::function<Status(size_t, const std::vector<std::string_view>&)>&
+        row_fn);
+
+/// Simple delimiter-separated writer (no quoting; fields must not contain
+/// the delimiter or newlines).
+class DelimitedWriter {
+ public:
+  /// Opens `path` for writing (truncates). Check `status()` before use.
+  DelimitedWriter(const std::string& path, char delimiter);
+  ~DelimitedWriter();
+
+  DelimitedWriter(const DelimitedWriter&) = delete;
+  DelimitedWriter& operator=(const DelimitedWriter&) = delete;
+
+  const Status& status() const { return status_; }
+
+  /// Writes one row. Returns IoError on failure.
+  Status WriteRow(const std::vector<std::string>& fields);
+
+  /// Flushes and closes; returns final status.
+  Status Close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  char delimiter_;
+  Status status_;
+};
+
+}  // namespace vkg::util
+
+#endif  // VKG_UTIL_CSV_H_

@@ -1,0 +1,42 @@
+#ifndef VKG_UTIL_LOGGING_H_
+#define VKG_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace vkg::util {
+
+/// Severity levels for the minimal logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity emitted to stderr. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace vkg::util
+
+#define VKG_LOG(level)                                              \
+  ::vkg::util::internal_logging::LogMessage(                        \
+      ::vkg::util::LogLevel::k##level, __FILE__, __LINE__)          \
+      .stream()
+
+#endif  // VKG_UTIL_LOGGING_H_

@@ -1,0 +1,108 @@
+#include "util/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace vkg::util {
+
+double SummaryStats::stddev() const { return std::sqrt(variance); }
+
+SummaryStats Summarize(const std::vector<double>& values) {
+  SummaryStats s;
+  if (values.empty()) return s;
+  s.count = values.size();
+  s.min = values[0];
+  s.max = values[0];
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  double ss = 0.0;
+  for (double v : values) {
+    double d = v - s.mean;
+    ss += d * d;
+  }
+  s.variance = ss / static_cast<double>(s.count);
+  return s;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  std::sort(values.begin(), values.end());
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double SafeExp(double x) {
+  if (x > 700.0) return std::numeric_limits<double>::infinity();
+  return std::exp(x);
+}
+
+namespace {
+
+// Series expansion of P(a, x), valid (fast) for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Continued fraction for Q(a, x), valid for x >= a + 1 (modified Lentz).
+double GammaQContinuedFraction(double a, double x) {
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-15) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double RegularizedGammaP(double a, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double RegularizedGammaQ(double a, double x) {
+  if (x <= 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - GammaPSeries(a, x);
+  return GammaQContinuedFraction(a, x);
+}
+
+}  // namespace vkg::util

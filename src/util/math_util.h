@@ -1,0 +1,47 @@
+#ifndef VKG_UTIL_MATH_UTIL_H_
+#define VKG_UTIL_MATH_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vkg::util {
+
+/// Ceiling of integer division a / b for b > 0.
+inline size_t CeilDiv(size_t a, size_t b) { return (a + b - 1) / b; }
+
+/// Summary statistics over a sample.
+struct SummaryStats {
+  size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  // population variance
+  double min = 0.0;
+  double max = 0.0;
+  double stddev() const;
+};
+
+/// Computes count/mean/variance/min/max of `values` (empty input yields a
+/// zeroed struct).
+SummaryStats Summarize(const std::vector<double>& values);
+
+/// p-th percentile (0 <= p <= 100) by linear interpolation of the sorted
+/// sample. Returns 0 for an empty input.
+double Percentile(std::vector<double> values, double p);
+
+/// Mean of `values`; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+/// Natural-log of the binomial-style bound helper exp(x) clamped to avoid
+/// overflow; returns exp(x) for x <= 700, else +inf representation.
+double SafeExp(double x);
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a, x) / Γ(a), for
+/// a > 0, x >= 0 (series for x < a + 1, continued fraction otherwise).
+double RegularizedGammaP(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+}  // namespace vkg::util
+
+#endif  // VKG_UTIL_MATH_UTIL_H_

@@ -1,0 +1,27 @@
+#include "util/random.h"
+
+#include <unordered_set>
+
+namespace vkg::util {
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  VKG_CHECK(k <= n);
+  std::vector<size_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  // Floyd's algorithm: O(k) expected draws, no O(n) scratch space.
+  std::unordered_set<size_t> seen;
+  seen.reserve(k * 2);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = UniformIndex(j + 1);
+    if (seen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      seen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace vkg::util

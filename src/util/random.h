@@ -1,0 +1,72 @@
+#ifndef VKG_UTIL_RANDOM_H_
+#define VKG_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/check.h"
+
+namespace vkg::util {
+
+/// Deterministic pseudo-random generator used throughout the library.
+///
+/// Wraps a 64-bit Mersenne Twister with convenience distributions. Every
+/// stochastic component (generators, samplers, JL matrices, LSH) takes an
+/// explicit seed so experiments are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    VKG_DCHECK(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n). Requires n > 0.
+  size_t UniformIndex(size_t n) {
+    VKG_DCHECK(n > 0);
+    return static_cast<size_t>(
+        std::uniform_int_distribution<uint64_t>(0, n - 1)(engine_));
+  }
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal (or scaled/shifted) sample.
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Geometric-ish heavy-tail integer via discrete Pareto; see powerlaw.h
+  /// for the bounded Zipf sampler used by the data generators.
+  uint64_t NextU64() { return engine_(); }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[UniformIndex(i)]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), in arbitrary order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace vkg::util
+
+#endif  // VKG_UTIL_RANDOM_H_

@@ -1,0 +1,106 @@
+#include "util/serialize.h"
+
+namespace vkg::util {
+
+BinaryWriter::BinaryWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    status_ = Status::IoError("cannot open for writing: " + path);
+  }
+}
+
+BinaryWriter::~BinaryWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void BinaryWriter::WriteBytes(const void* data, size_t n) {
+  if (!status_.ok()) return;
+  if (std::fwrite(data, 1, n, file_) != n) {
+    status_ = Status::IoError("short write");
+  }
+}
+
+void BinaryWriter::WriteU32(uint32_t v) { WriteBytes(&v, sizeof(v)); }
+void BinaryWriter::WriteU64(uint64_t v) { WriteBytes(&v, sizeof(v)); }
+void BinaryWriter::WriteF32(float v) { WriteBytes(&v, sizeof(v)); }
+void BinaryWriter::WriteF64(double v) { WriteBytes(&v, sizeof(v)); }
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  WriteBytes(s.data(), s.size());
+}
+
+void BinaryWriter::WriteF32Array(const std::vector<float>& v) {
+  WriteU64(v.size());
+  WriteBytes(v.data(), v.size() * sizeof(float));
+}
+
+Status BinaryWriter::Close() {
+  if (file_ != nullptr) {
+    if (std::fclose(file_) != 0 && status_.ok()) {
+      status_ = Status::IoError("close error");
+    }
+    file_ = nullptr;
+  }
+  return status_;
+}
+
+BinaryReader::BinaryReader(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    status_ = Status::IoError("cannot open for reading: " + path);
+  }
+}
+
+BinaryReader::~BinaryReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void BinaryReader::ReadBytes(void* data, size_t n) {
+  if (!status_.ok()) return;
+  if (std::fread(data, 1, n, file_) != n) {
+    status_ = Status::IoError("short read");
+  }
+}
+
+uint32_t BinaryReader::ReadU32() {
+  uint32_t v = 0;
+  ReadBytes(&v, sizeof(v));
+  return v;
+}
+
+uint64_t BinaryReader::ReadU64() {
+  uint64_t v = 0;
+  ReadBytes(&v, sizeof(v));
+  return v;
+}
+
+float BinaryReader::ReadF32() {
+  float v = 0;
+  ReadBytes(&v, sizeof(v));
+  return v;
+}
+
+double BinaryReader::ReadF64() {
+  double v = 0;
+  ReadBytes(&v, sizeof(v));
+  return v;
+}
+
+std::string BinaryReader::ReadString() {
+  uint64_t n = ReadU64();
+  if (!status_.ok()) return {};
+  std::string s(n, '\0');
+  ReadBytes(s.data(), n);
+  return s;
+}
+
+std::vector<float> BinaryReader::ReadF32Array() {
+  uint64_t n = ReadU64();
+  if (!status_.ok()) return {};
+  std::vector<float> v(n);
+  ReadBytes(v.data(), n * sizeof(float));
+  return v;
+}
+
+}  // namespace vkg::util

@@ -1,0 +1,67 @@
+#ifndef VKG_UTIL_SERIALIZE_H_
+#define VKG_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace vkg::util {
+
+/// Little-endian binary writer for persisting embeddings and indexes.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path);
+  ~BinaryWriter();
+
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  const Status& status() const { return status_; }
+
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteF32(float v);
+  void WriteF64(double v);
+  void WriteString(const std::string& s);
+  void WriteF32Array(const std::vector<float>& v);
+
+  Status Close();
+
+ private:
+  void WriteBytes(const void* data, size_t n);
+
+  std::FILE* file_ = nullptr;
+  Status status_;
+};
+
+/// Binary reader matching BinaryWriter's encoding.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+  ~BinaryReader();
+
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+
+  const Status& status() const { return status_; }
+
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  float ReadF32();
+  double ReadF64();
+  std::string ReadString();
+  std::vector<float> ReadF32Array();
+
+ private:
+  void ReadBytes(void* data, size_t n);
+
+  std::FILE* file_ = nullptr;
+  Status status_;
+};
+
+}  // namespace vkg::util
+
+#endif  // VKG_UTIL_SERIALIZE_H_

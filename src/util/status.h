@@ -1,0 +1,142 @@
+#ifndef VKG_UTIL_STATUS_H_
+#define VKG_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace vkg::util {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kIoError = 6,
+  kInternal = 7,
+  kUnimplemented = 8,
+};
+
+/// Returns a human-readable name for `code` (e.g., "InvalidArgument").
+std::string_view StatusCodeName(StatusCode code);
+
+/// Lightweight success/error result carried by fallible operations.
+///
+/// The library does not throw exceptions across public API boundaries;
+/// instead, fallible functions return `Status` or `Result<T>`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type `T` or an error `Status`.
+///
+/// Mirrors the usual StatusOr idiom: check `ok()` before dereferencing.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status. `status.ok()` is not
+  /// allowed; an OK status is replaced by an Internal error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : status_;
+  }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace vkg::util
+
+/// Propagates a non-OK Status from an expression.
+#define VKG_RETURN_IF_ERROR(expr)                    \
+  do {                                               \
+    ::vkg::util::Status vkg_status_tmp_ = (expr);    \
+    if (!vkg_status_tmp_.ok()) return vkg_status_tmp_; \
+  } while (0)
+
+#define VKG_CONCAT_IMPL_(x, y) x##y
+#define VKG_CONCAT_(x, y) VKG_CONCAT_IMPL_(x, y)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// assigns the value to `lhs`.
+#define VKG_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  auto VKG_CONCAT_(vkg_result_, __LINE__) = (rexpr);           \
+  if (!VKG_CONCAT_(vkg_result_, __LINE__).ok())                \
+    return VKG_CONCAT_(vkg_result_, __LINE__).status();        \
+  lhs = std::move(VKG_CONCAT_(vkg_result_, __LINE__)).value()
+
+#endif  // VKG_UTIL_STATUS_H_

@@ -1,0 +1,33 @@
+#ifndef VKG_UTIL_STRING_UTIL_H_
+#define VKG_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vkg::util {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string_view> StrSplit(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Parses a double/int64; returns false on any trailing garbage.
+bool ParseDouble(std::string_view s, double* out);
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// Renders a byte count with binary units, e.g. "1.50 MiB".
+std::string HumanBytes(size_t bytes);
+
+}  // namespace vkg::util
+
+#endif  // VKG_UTIL_STRING_UTIL_H_

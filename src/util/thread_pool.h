@@ -1,0 +1,50 @@
+#ifndef VKG_UTIL_THREAD_POOL_H_
+#define VKG_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace vkg::util {
+
+/// Fixed-size worker pool used for embedding training and batch transforms.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (0 means hardware concurrency).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n), statically sharded across the pool, and
+  /// waits for completion. `fn` must be safe to call concurrently.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace vkg::util
+
+#endif  // VKG_UTIL_THREAD_POOL_H_

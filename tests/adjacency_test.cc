@@ -1,0 +1,103 @@
+// Tests for the adjacency (neighbor-list) index over the KG.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/movielens_gen.h"
+#include "kg/adjacency.h"
+
+namespace vkg::kg {
+namespace {
+
+TEST(AdjacencyTest, SmallGraphNeighborLists) {
+  KnowledgeGraph g;
+  g.AddEntities(5, "n");
+  RelationId r0 = g.AddRelation("r0");
+  RelationId r1 = g.AddRelation("r1");
+  g.AddEdge(0, r0, 1);
+  g.AddEdge(0, r0, 2);
+  g.AddEdge(0, r1, 3);
+  g.AddEdge(4, r0, 2);
+
+  AdjacencyIndex adj(g);
+  auto tails = adj.Tails(0, r0);
+  std::set<EntityId> tail_set(tails.begin(), tails.end());
+  EXPECT_EQ(tail_set, (std::set<EntityId>{1, 2}));
+  EXPECT_EQ(adj.OutDegree(0, r1), 1u);
+  EXPECT_EQ(adj.Tails(0, r1)[0], 3u);
+  EXPECT_TRUE(adj.Tails(1, r0).empty());
+  EXPECT_TRUE(adj.Tails(0, 99).empty());
+
+  auto heads = adj.Heads(2, r0);
+  std::set<EntityId> head_set(heads.begin(), heads.end());
+  EXPECT_EQ(head_set, (std::set<EntityId>{0, 4}));
+  EXPECT_EQ(adj.InDegree(3, r1), 1u);
+  EXPECT_TRUE(adj.Heads(0, r0).empty());
+}
+
+TEST(AdjacencyTest, RefreshPicksUpNewEdges) {
+  KnowledgeGraph g;
+  g.AddEntities(4, "n");
+  RelationId r = g.AddRelation("r");
+  g.AddEdge(0, r, 1);
+  AdjacencyIndex adj(g);
+  EXPECT_EQ(adj.OutDegree(0, r), 1u);
+  g.AddEdge(0, r, 2);
+  EXPECT_EQ(adj.OutDegree(0, r), 1u);  // stale until Refresh
+  adj.Refresh();
+  EXPECT_EQ(adj.OutDegree(0, r), 2u);
+}
+
+TEST(AdjacencyTest, EmptyGraph) {
+  KnowledgeGraph g;
+  AdjacencyIndex adj(g);
+  EXPECT_TRUE(adj.Tails(0, 0).empty());
+  EXPECT_TRUE(adj.Heads(0, 0).empty());
+}
+
+TEST(AdjacencyTest, ConsistentWithTripleStoreOnGeneratedData) {
+  data::MovieLensConfig config;
+  config.num_users = 400;
+  config.num_movies = 200;
+  config.seed = 111;
+  data::Dataset ds = data::GenerateMovieLensLike(config);
+  AdjacencyIndex adj(ds.graph);
+
+  // Every listed neighbor is a fact; counts match a brute-force pass.
+  size_t total_tails = 0;
+  for (EntityId e = 0; e < ds.graph.num_entities(); ++e) {
+    for (RelationId r = 0; r < ds.graph.num_relations(); ++r) {
+      for (EntityId t : adj.Tails(e, r)) {
+        EXPECT_TRUE(ds.graph.HasEdge(e, r, t));
+        ++total_tails;
+      }
+      for (EntityId h : adj.Heads(e, r)) {
+        EXPECT_TRUE(ds.graph.HasEdge(h, r, e));
+      }
+    }
+  }
+  EXPECT_EQ(total_tails, ds.graph.num_edges());
+  EXPECT_GT(adj.MemoryBytes(), 0u);
+}
+
+TEST(AdjacencyTest, DegreesSumToGraphDegrees) {
+  data::MovieLensConfig config;
+  config.num_users = 300;
+  config.num_movies = 150;
+  config.seed = 112;
+  data::Dataset ds = data::GenerateMovieLensLike(config);
+  AdjacencyIndex adj(ds.graph);
+  auto deg = ds.graph.Degrees();
+  for (EntityId e = 0; e < ds.graph.num_entities(); ++e) {
+    size_t sum = 0;
+    for (RelationId r = 0; r < ds.graph.num_relations(); ++r) {
+      sum += adj.OutDegree(e, r) + adj.InDegree(e, r);
+    }
+    EXPECT_EQ(sum, deg[e]);
+  }
+}
+
+}  // namespace
+}  // namespace vkg::kg

@@ -1,0 +1,282 @@
+// Tests for the accuracy-guarantee calculators: Theorem 2 (top-k
+// success probability), Theorem 3 (false inclusion), and Theorem 4
+// (martingale/Azuma bound for aggregates), including an empirical check
+// that Theorem 2's guarantee holds on real query runs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/math_util.h"
+
+#include "data/movielens_gen.h"
+#include "data/workload.h"
+#include "query/aggregate_bounds.h"
+#include "query/metrics.h"
+#include "query/topk_bounds.h"
+#include "query/topk_engine.h"
+#include "transform/jl_bounds.h"
+#include "transform/jl_transform.h"
+
+namespace vkg::query {
+namespace {
+
+// --- Theorem 2 --------------------------------------------------------------
+
+TEST(TopKGuaranteeTest, EqualDistancesGiveSymmetricTerms) {
+  // All returned distances equal: m_i = (1 + eps) for every i.
+  std::vector<double> dists(5, 0.3);
+  TopKGuarantee g = ComputeTopKGuarantee(dists, 1.0, 3);
+  double miss = transform::MissProbability(2.0, 3);
+  EXPECT_NEAR(g.expected_missing, 5 * miss, 1e-12);
+  EXPECT_NEAR(g.success_probability, std::pow(1.0 - miss, 5), 1e-12);
+}
+
+TEST(TopKGuaranteeTest, CloserEntitiesAreSafer) {
+  // r_1 << r_k: m_1 is large, so entity 1's miss term is tiny.
+  TopKGuarantee tight = ComputeTopKGuarantee({0.01, 0.5}, 1.0, 3);
+  TopKGuarantee loose = ComputeTopKGuarantee({0.49, 0.5}, 1.0, 3);
+  EXPECT_GT(tight.success_probability, loose.success_probability);
+  EXPECT_LT(tight.expected_missing, loose.expected_missing);
+}
+
+TEST(TopKGuaranteeTest, MoreEpsMoreConfidence) {
+  std::vector<double> dists{0.2, 0.25, 0.3};
+  TopKGuarantee lo = ComputeTopKGuarantee(dists, 0.5, 3);
+  TopKGuarantee hi = ComputeTopKGuarantee(dists, 3.0, 3);
+  EXPECT_GT(hi.success_probability, lo.success_probability);
+}
+
+TEST(TopKGuaranteeTest, EmptyAndZeroDistances) {
+  TopKGuarantee g = ComputeTopKGuarantee({}, 1.0, 3);
+  EXPECT_DOUBLE_EQ(g.success_probability, 1.0);
+  g = ComputeTopKGuarantee({0.0, 0.0}, 1.0, 3);
+  EXPECT_GT(g.success_probability, 0.99);  // exact matches can't be missed
+}
+
+TEST(TopKGuaranteeTest, EmpiricalRecallBeatsGuarantee) {
+  // Run the real engine over a workload; the fraction of queries with a
+  // perfect top-k must be at least the average guaranteed probability
+  // (Theorem 2 is a lower bound).
+  data::MovieLensConfig config;
+  config.num_users = 1000;
+  config.num_movies = 500;
+  config.seed = 61;
+  data::Dataset ds = data::GenerateMovieLensLike(config);
+  transform::JlTransform jl(ds.embeddings.dim(), 3, 62);
+  index::PointSet points(jl.ApplyToEntities(ds.embeddings), 3);
+  index::CrackingRTree tree(&points, index::RTreeConfig{});
+  const double eps = 1.0;
+  RTreeTopKEngine engine(&ds.graph, &ds.embeddings, &jl, &tree, eps, true,
+                         "crack");
+  LinearTopKEngine truth(&ds.graph, &ds.embeddings);
+
+  data::WorkloadConfig wc;
+  wc.num_queries = 30;
+  wc.seed = 63;
+  auto queries = data::GenerateWorkload(ds.graph, wc);
+
+  double guaranteed = 0;
+  double perfect = 0;
+  for (const data::Query& q : queries) {
+    TopKResult got = engine.TopKQuery(q, 5);
+    std::vector<double> dists;
+    for (const auto& h : got.hits) dists.push_back(h.distance);
+    guaranteed += ComputeTopKGuarantee(dists, eps, 3).success_probability;
+    if (PrecisionAtK(got, truth.TopKQuery(q, 5)) == 1.0) perfect += 1;
+  }
+  EXPECT_GE(perfect / queries.size() + 0.05,
+            guaranteed / queries.size());
+}
+
+// --- Theorem 3 --------------------------------------------------------------
+
+TEST(FalseInclusionTest, BoundedAndMonotone) {
+  double prev = 1.0;
+  for (double ep : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    double v = FalseInclusionProbability(ep, 3);
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, prev);
+    prev = v;
+  }
+  EXPECT_LT(FalseInclusionProbability(0.5, 6),
+            FalseInclusionProbability(0.5, 3));
+}
+
+// --- Theorem 4 --------------------------------------------------------------
+
+TEST(AggregateBoundTest, TailDecreasesWithDelta) {
+  std::vector<double> values{1, 2, 3, 4, 5};
+  double prev = 1.0;
+  for (double delta : {0.1, 0.3, 0.5, 1.0, 2.0}) {
+    double p = AggregateTailProbability(delta, 10.0, values, 3, 5.0);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+  }
+}
+
+TEST(AggregateBoundTest, MoreUnaccessedLooserBound) {
+  std::vector<double> values{2, 2, 2};
+  double tight = AggregateTailProbability(0.5, 6.0, values, 0, 2.0);
+  double loose = AggregateTailProbability(0.5, 6.0, values, 50, 2.0);
+  EXPECT_LT(tight, loose);
+}
+
+TEST(AggregateBoundTest, DeltaForConfidenceInverts) {
+  std::vector<double> values{1, 2, 3, 4};
+  double mu = 5.0;
+  for (double target : {0.1, 0.05, 0.01}) {
+    double delta = DeltaForConfidence(target, mu, values, 5, 4.0);
+    double p = AggregateTailProbability(delta, mu, values, 5, 4.0);
+    EXPECT_NEAR(p, target, target * 0.01);
+  }
+}
+
+TEST(AggregateBoundTest, ZeroMuGivesInfiniteDelta) {
+  EXPECT_TRUE(std::isinf(DeltaForConfidence(0.05, 0.0, {1.0}, 0, 1.0)));
+}
+
+TEST(AggregateBoundTest, CountBoundUsesUnitValues) {
+  // COUNT = SUM(1): with a accessed of b total, denominator a + (b-a).
+  std::vector<double> ones(10, 1.0);
+  double p = AggregateTailProbability(0.5, 8.0, ones, 10, 1.0);
+  double expected = 2.0 * std::exp(-2.0 * 0.25 * 64.0 / 20.0);
+  EXPECT_NEAR(p, std::min(1.0, expected), 1e-12);
+}
+
+TEST(AggregateBoundTest, EstimateUnaccessedMax) {
+  EXPECT_DOUBLE_EQ(EstimateUnaccessedMax({}), 0.0);
+  EXPECT_NEAR(EstimateUnaccessedMax({3.0, -6.0}), 1.5 * 6.0, 1e-12);
+}
+
+TEST(AggregateBoundTest, EmpiricalCoverage) {
+  // Monte-Carlo SUM of Bernoulli(p_i) v_i draws: the Azuma bound must
+  // dominate the empirical tail.
+  util::Rng rng(64);
+  std::vector<double> values;
+  std::vector<double> probs;
+  for (int i = 0; i < 40; ++i) {
+    values.push_back(rng.Uniform(1.0, 3.0));
+    probs.push_back(rng.Uniform(0.2, 1.0));
+  }
+  double mu = 0;
+  for (size_t i = 0; i < values.size(); ++i) mu += values[i] * probs[i];
+  const double delta = 0.4;
+  int exceed = 0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    double s = 0;
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (rng.Bernoulli(probs[i])) s += values[i];
+    }
+    if (std::fabs(s - mu) >= delta * mu) ++exceed;
+  }
+  double empirical = static_cast<double>(exceed) / trials;
+  double bound =
+      AggregateTailProbability(delta, mu, values, 0, 0.0);
+  EXPECT_LE(empirical, bound + 0.02);
+}
+
+
+// --- Regularized incomplete gamma and JL conditional expectations -----------
+
+TEST(GammaTest, KnownClosedForms) {
+  // P(1, x) = 1 - e^-x.
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(util::RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-10);
+  }
+  // P(0.5, x) = erf(sqrt(x)).
+  for (double x : {0.2, 1.0, 3.0}) {
+    EXPECT_NEAR(util::RegularizedGammaP(0.5, x), std::erf(std::sqrt(x)),
+                1e-10);
+  }
+  EXPECT_DOUBLE_EQ(util::RegularizedGammaQ(2.0, 0.0), 1.0);
+  EXPECT_NEAR(util::RegularizedGammaP(3.0, 100.0), 1.0, 1e-12);
+  // P + Q == 1 on both sides of the series/fraction switch.
+  for (double a : {0.7, 1.5, 4.0}) {
+    for (double x : {0.3, a, a + 2.0, 10.0}) {
+      EXPECT_NEAR(util::RegularizedGammaP(a, x) +
+                      util::RegularizedGammaQ(a, x),
+                  1.0, 1e-12);
+    }
+  }
+}
+
+TEST(JlConditionalTest, MembershipMatchesChiMonteCarlo) {
+  // P(l1 <= r | l2 = s) = P(chi_alpha >= s sqrt(alpha) / r).
+  util::Rng rng(71);
+  for (size_t alpha : {2u, 3u, 6u}) {
+    for (double ratio : {0.5, 1.0, 1.5}) {  // s / r
+      double c = ratio * std::sqrt(static_cast<double>(alpha));
+      int hits = 0;
+      const int trials = 60000;
+      for (int t = 0; t < trials; ++t) {
+        double chi2 = 0;
+        for (size_t i = 0; i < alpha; ++i) {
+          double g = rng.Gaussian();
+          chi2 += g * g;
+        }
+        if (std::sqrt(chi2) >= c) ++hits;
+      }
+      double mc = static_cast<double>(hits) / trials;
+      double analytic = transform::MembershipProbability(ratio, 1.0, alpha);
+      EXPECT_NEAR(analytic, mc, 0.01)
+          << "alpha=" << alpha << " ratio=" << ratio;
+    }
+  }
+}
+
+TEST(JlConditionalTest, ExpectedMassMatchesChiMonteCarlo) {
+  // E[(d_min/l1) 1{l1 <= r} | l2 = s] with l1 = s sqrt(alpha)/chi.
+  util::Rng rng(72);
+  const size_t alpha = 3;
+  const double d_min = 0.1, s = 0.8, r = 1.0;
+  double mc = 0;
+  const int trials = 120000;
+  for (int t = 0; t < trials; ++t) {
+    double chi2 = 0;
+    for (size_t i = 0; i < alpha; ++i) {
+      double g = rng.Gaussian();
+      chi2 += g * g;
+    }
+    double l1 = s * std::sqrt(static_cast<double>(alpha) / chi2);
+    if (l1 <= r) mc += std::min(1.0, d_min / l1);
+  }
+  mc /= trials;
+  double analytic = transform::ExpectedInverseMass(d_min, s, r, alpha);
+  EXPECT_NEAR(analytic, mc, 0.01);
+}
+
+TEST(JlConditionalTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(transform::MembershipProbability(0.0, 1.0, 3), 1.0);
+  // Mass is bounded by membership.
+  for (double s : {0.1, 0.5, 1.0, 2.0}) {
+    double mass = transform::ExpectedInverseMass(0.5, s, 1.0, 3);
+    double member = transform::MembershipProbability(s, 1.0, 3);
+    EXPECT_LE(mass, member + 1e-12);
+    EXPECT_GE(mass, 0.0);
+  }
+  // Far points contribute (nearly) nothing.
+  EXPECT_LT(transform::MembershipProbability(10.0, 1.0, 6), 1e-6);
+}
+
+TEST(JlConditionalTest, MeanInverseDistanceRatio) {
+  // E[l1/l2] = sqrt(alpha) E[1/chi_alpha]; Monte-Carlo check at alpha=3.
+  util::Rng rng(73);
+  double mc = 0;
+  const int trials = 200000;
+  for (int t = 0; t < trials; ++t) {
+    double chi2 = 0;
+    for (int i = 0; i < 3; ++i) {
+      double g = rng.Gaussian();
+      chi2 += g * g;
+    }
+    mc += std::sqrt(3.0 / chi2);
+  }
+  mc /= trials;
+  EXPECT_NEAR(transform::MeanInverseDistanceRatio(3), mc, 0.02);
+  EXPECT_TRUE(std::isinf(transform::MeanInverseDistanceRatio(1)));
+}
+
+}  // namespace
+}  // namespace vkg::query

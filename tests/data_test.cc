@@ -1,0 +1,321 @@
+// Tests for the synthetic dataset generators: power-law sampler, latent
+// space consistency, the three dataset generators, and workloads.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/amazon_gen.h"
+#include "data/freebase_gen.h"
+#include "data/latent_model.h"
+#include "data/movielens_gen.h"
+#include "data/powerlaw.h"
+#include "data/workload.h"
+#include "embedding/vector_ops.h"
+
+namespace vkg::data {
+namespace {
+
+// --- ZipfSampler -------------------------------------------------------------
+
+TEST(ZipfTest, SamplesInRange) {
+  ZipfSampler z(20, 2.0);
+  util::Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    size_t v = z.Sample(rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(ZipfTest, HeavyHead) {
+  ZipfSampler z(100, 2.0);
+  util::Rng rng(2);
+  size_t ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (z.Sample(rng) == 1) ++ones;
+  }
+  // P(X=1) = 1/zeta-ish; for s=2, truncated at 100: ~0.61.
+  double p1 = static_cast<double>(ones) / n;
+  EXPECT_GT(p1, 0.55);
+  EXPECT_LT(p1, 0.68);
+}
+
+TEST(ZipfTest, ExpectedValueMatchesEmpirical) {
+  ZipfSampler z(50, 1.5);
+  util::Rng rng(3);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(z.Sample(rng));
+  EXPECT_NEAR(sum / n, z.ExpectedValue(), 0.15);
+}
+
+TEST(ZipfTest, DegenerateMaxOne) {
+  ZipfSampler z(1, 2.0);
+  util::Rng rng(4);
+  EXPECT_EQ(z.Sample(rng), 1u);
+  EXPECT_DOUBLE_EQ(z.ExpectedValue(), 1.0);
+}
+
+// --- LatentSpace ----------------------------------------------------------------
+
+TEST(LatentSpaceTest, SampledEdgesAreTranslationConsistent) {
+  const size_t dim = 32;
+  LatentSpace space(dim, 5);
+  space.PlaceEntities(0, 500, "user", 12, 0.12);
+  space.PlaceEntities(500, 400, "item", 12, 0.12);
+  space.DefineRelation(0, "user", "item");
+  auto store = space.ExportEmbeddings(900, 1);
+
+  // ||h + r - t|| must be small for generated edges (the TransE property
+  // the generator plants), and much smaller than random-pair distances.
+  std::vector<double> edge_dists;
+  std::vector<float> center(dim);
+  for (kg::EntityId u = 0; u < 500 && edge_dists.size() < 50; ++u) {
+    auto tails = space.SampleTails(u, 0, "item", 4, 0.18, 0.4);
+    if (tails.empty()) continue;
+    embedding::Add(store.Entity(u), store.Relation(0), center);
+    for (kg::EntityId t : tails) {
+      edge_dists.push_back(embedding::L2Distance(center, store.Entity(t)));
+    }
+  }
+  ASSERT_GT(edge_dists.size(), 10u);
+  util::Rng rng(99);
+  std::vector<double> random_dists;
+  for (int i = 0; i < 200; ++i) {
+    auto a = static_cast<kg::EntityId>(rng.UniformIndex(500));
+    auto b = static_cast<kg::EntityId>(500 + rng.UniformIndex(400));
+    embedding::Add(store.Entity(a), store.Relation(0), center);
+    random_dists.push_back(embedding::L2Distance(center, store.Entity(b)));
+  }
+  double mean_edge = 0, mean_rand = 0;
+  for (double d : edge_dists) mean_edge += d;
+  for (double d : random_dists) mean_rand += d;
+  mean_edge /= edge_dists.size();
+  mean_rand /= random_dists.size();
+  EXPECT_LT(mean_edge, 0.6 * mean_rand);
+}
+
+TEST(LatentSpaceTest, ZeroKGivesNoTails) {
+  LatentSpace space(8, 6);
+  space.PlaceEntities(0, 10, "a", 2, 0.1);
+  space.PlaceEntities(10, 10, "b", 2, 0.1);
+  space.DefineRelation(0, "a", "b");
+  EXPECT_TRUE(space.SampleTails(0, 0, "b", 0, 0.2).empty());
+}
+
+TEST(LatentSpaceTest, RejectionThresholdFiltersFarHeads) {
+  LatentSpace space(32, 7);
+  space.PlaceEntities(0, 200, "a", 8, 0.1);
+  space.PlaceEntities(200, 200, "b", 8, 0.1);
+  space.DefineRelation(0, "a", "b");
+  size_t with_tails_strict = 0, with_tails_loose = 0;
+  for (kg::EntityId h = 0; h < 200; ++h) {
+    if (!space.SampleTails(h, 0, "b", 2, 0.2, 0.35).empty()) {
+      ++with_tails_strict;
+    }
+    if (!space.SampleTails(h, 0, "b", 2, 0.2, 1e9).empty()) {
+      ++with_tails_loose;
+    }
+  }
+  EXPECT_LT(with_tails_strict, with_tails_loose);
+  EXPECT_EQ(with_tails_loose, 200u);
+}
+
+// --- Dataset generators ------------------------------------------------------------
+
+TEST(GeneratorTest, FreebaseLikeShape) {
+  FreebaseConfig config;
+  config.num_entities = 2000;
+  config.num_relation_types = 20;
+  config.target_edges = 3000;
+  config.seed = 11;
+  Dataset ds = GenerateFreebaseLike(config);
+  EXPECT_EQ(ds.graph.num_entities(), 2000u);
+  EXPECT_EQ(ds.graph.num_relations(), 20u);
+  EXPECT_GT(ds.graph.num_edges(), 500u);
+  EXPECT_LE(ds.graph.num_edges(), 3000u);
+  EXPECT_EQ(ds.embeddings.num_entities(), 2000u);
+  EXPECT_EQ(ds.embeddings.dim(), config.embedding_dim);
+  // Attributes present.
+  EXPECT_TRUE(ds.graph.attributes().Has("popularity"));
+  EXPECT_TRUE(ds.graph.attributes().Has("age"));
+}
+
+TEST(GeneratorTest, FreebaseDegreesFollowHeavyTail) {
+  FreebaseConfig config;
+  config.num_entities = 3000;
+  config.num_relation_types = 15;
+  config.target_edges = 6000;
+  config.seed = 12;
+  Dataset ds = GenerateFreebaseLike(config);
+  auto deg = ds.graph.Degrees();
+  size_t zero = 0, high = 0;
+  size_t max_deg = 0;
+  for (size_t d : deg) {
+    if (d == 0) ++zero;
+    if (d >= 10) ++high;
+    max_deg = std::max(max_deg, d);
+  }
+  // Power-law-ish: many low-degree nodes, a few hubs.
+  EXPECT_GT(max_deg, 10u);
+  EXPECT_GT(zero + high, 0u);
+}
+
+TEST(GeneratorTest, MovieLensLikeShape) {
+  MovieLensConfig config;
+  config.num_users = 800;
+  config.num_movies = 400;
+  config.num_tags = 50;
+  config.seed = 13;
+  Dataset ds = GenerateMovieLensLike(config);
+  EXPECT_EQ(ds.graph.num_relations(), 4u);
+  EXPECT_GT(ds.graph.num_edges(), 100u);
+  EXPECT_TRUE(ds.graph.attributes().Has("year"));
+  // Years within the generator's range.
+  auto movies = ds.graph.EntitiesOfType("movie");
+  ASSERT_FALSE(movies.empty());
+  for (kg::EntityId m : movies) {
+    double y = ds.graph.attributes().Value("year", m);
+    EXPECT_GE(y, 1925.0);
+    EXPECT_LE(y, 2016.0);
+  }
+}
+
+TEST(GeneratorTest, MovieLensLikesAndDislikesDisjoint) {
+  MovieLensConfig config;
+  config.num_users = 500;
+  config.num_movies = 250;
+  config.seed = 14;
+  Dataset ds = GenerateMovieLensLike(config);
+  kg::RelationId likes = ds.graph.relation_names().Lookup("likes");
+  kg::RelationId dislikes = ds.graph.relation_names().Lookup("dislikes");
+  for (const kg::Triple& t : ds.graph.triples().triples()) {
+    if (t.relation == dislikes) {
+      EXPECT_FALSE(ds.graph.HasEdge(t.head, likes, t.tail));
+    }
+  }
+}
+
+TEST(GeneratorTest, AmazonLikeShape) {
+  AmazonConfig config;
+  config.num_users = 800;
+  config.num_products = 500;
+  config.seed = 15;
+  Dataset ds = GenerateAmazonLike(config);
+  EXPECT_EQ(ds.graph.num_relations(), 4u);
+  EXPECT_TRUE(ds.graph.attributes().Has("quality"));
+  auto products = ds.graph.EntitiesOfType("product");
+  for (kg::EntityId p : products) {
+    double q = ds.graph.attributes().Value("quality", p);
+    EXPECT_GE(q, 1.0);
+    EXPECT_LE(q, 5.0);
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  MovieLensConfig config;
+  config.num_users = 300;
+  config.num_movies = 150;
+  config.seed = 16;
+  Dataset a = GenerateMovieLensLike(config);
+  Dataset b = GenerateMovieLensLike(config);
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  ASSERT_EQ(a.embeddings.num_entities(), b.embeddings.num_entities());
+  auto va = a.embeddings.Entity(5);
+  auto vb = b.embeddings.Entity(5);
+  for (size_t i = 0; i < va.size(); ++i) EXPECT_EQ(va[i], vb[i]);
+}
+
+// --- Workload -------------------------------------------------------------------------
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    MovieLensConfig config;
+    config.num_users = 600;
+    config.num_movies = 300;
+    config.seed = 17;
+    ds_ = new Dataset(GenerateMovieLensLike(config));
+  }
+  static void TearDownTestSuite() {
+    delete ds_;
+    ds_ = nullptr;
+  }
+  static Dataset* ds_;
+};
+Dataset* WorkloadTest::ds_ = nullptr;
+
+TEST_F(WorkloadTest, AnchorsComeFromObservedPairs) {
+  WorkloadConfig wc;
+  wc.num_queries = 50;
+  wc.seed = 18;
+  auto queries = GenerateWorkload(ds_->graph, wc);
+  ASSERT_EQ(queries.size(), 50u);
+  for (const Query& q : queries) {
+    bool found = false;
+    for (const kg::Triple& t : ds_->graph.triples().triples()) {
+      if (t.relation != q.relation) continue;
+      if (q.direction == kg::Direction::kTail && t.head == q.anchor) {
+        found = true;
+        break;
+      }
+      if (q.direction == kg::Direction::kHead && t.tail == q.anchor) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_F(WorkloadTest, DirectionFractionRespected) {
+  WorkloadConfig wc;
+  wc.num_queries = 400;
+  wc.tail_fraction = 1.0;
+  wc.seed = 19;
+  for (const Query& q : GenerateWorkload(ds_->graph, wc)) {
+    EXPECT_EQ(q.direction, kg::Direction::kTail);
+  }
+  wc.tail_fraction = 0.0;
+  for (const Query& q : GenerateWorkload(ds_->graph, wc)) {
+    EXPECT_EQ(q.direction, kg::Direction::kHead);
+  }
+}
+
+TEST_F(WorkloadTest, OnlyRelationFilter) {
+  kg::RelationId likes = ds_->graph.relation_names().Lookup("likes");
+  WorkloadConfig wc;
+  wc.num_queries = 30;
+  wc.only_relation = likes;
+  wc.seed = 20;
+  for (const Query& q : GenerateWorkload(ds_->graph, wc)) {
+    EXPECT_EQ(q.relation, likes);
+  }
+}
+
+TEST_F(WorkloadTest, SkewConcentratesAnchors) {
+  WorkloadConfig wc;
+  wc.num_queries = 500;
+  wc.seed = 21;
+  wc.skew_exponent = 1.5;
+  auto skewed = GenerateWorkload(ds_->graph, wc);
+  std::set<std::pair<uint32_t, uint32_t>> distinct;
+  for (const Query& q : skewed) distinct.insert({q.anchor, q.relation});
+  wc.skew_exponent = 0.0;
+  auto uniform = GenerateWorkload(ds_->graph, wc);
+  std::set<std::pair<uint32_t, uint32_t>> distinct_u;
+  for (const Query& q : uniform) distinct_u.insert({q.anchor, q.relation});
+  EXPECT_LT(distinct.size(), distinct_u.size());
+}
+
+TEST(WorkloadEmptyTest, EmptyGraphYieldsNoQueries) {
+  kg::KnowledgeGraph g;
+  WorkloadConfig wc;
+  EXPECT_TRUE(GenerateWorkload(g, wc).empty());
+}
+
+}  // namespace
+}  // namespace vkg::data

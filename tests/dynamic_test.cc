@@ -1,0 +1,197 @@
+// Tests for the dynamic-update and neighborhood extensions of the
+// facade (paper §VIII future work): embedding refreshes through the
+// overlay, compaction, interaction with new facts, and ball queries.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/virtual_graph.h"
+#include "data/movielens_gen.h"
+#include "data/workload.h"
+
+namespace vkg::core {
+namespace {
+
+class DynamicTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::MovieLensConfig config;
+    config.num_users = 800;
+    config.num_movies = 400;
+    config.seed = 81;
+    ds_ = std::make_unique<data::Dataset>(data::GenerateMovieLensLike(config));
+    VkgOptions options;
+    options.method = index::MethodKind::kCracking;
+    embedding::EmbeddingStore store = ds_->embeddings;
+    auto built = VirtualKnowledgeGraph::BuildWithEmbeddings(
+        &ds_->graph, std::move(store), options);
+    ASSERT_TRUE(built.ok());
+    vkg_ = std::move(built).value();
+    likes_ = ds_->graph.relation_names().Lookup("likes");
+
+    data::WorkloadConfig wc;
+    wc.num_queries = 5;
+    wc.tail_fraction = 1.0;
+    wc.only_relation = likes_;
+    wc.seed = 82;
+    queries_ = data::GenerateWorkload(ds_->graph, wc);
+    ASSERT_FALSE(queries_.empty());
+  }
+
+  std::unique_ptr<data::Dataset> ds_;
+  std::unique_ptr<VirtualKnowledgeGraph> vkg_;
+  kg::RelationId likes_ = 0;
+  std::vector<data::Query> queries_;
+};
+
+TEST_F(DynamicTest, UpdateValidation) {
+  std::vector<float> wrong_dim(3, 0.0f);
+  EXPECT_EQ(vkg_->UpdateEntityEmbedding(0, wrong_dim).code(),
+            util::StatusCode::kInvalidArgument);
+  std::vector<float> ok_dim(ds_->embeddings.dim(), 0.0f);
+  EXPECT_EQ(vkg_->UpdateEntityEmbedding(10000000, ok_dim).code(),
+            util::StatusCode::kOutOfRange);
+  EXPECT_TRUE(vkg_->UpdateEntityEmbedding(0, ok_dim).ok());
+  EXPECT_EQ(vkg_->pending_updates(), 1u);
+  // Re-updating the same entity does not grow the overlay.
+  EXPECT_TRUE(vkg_->UpdateEntityEmbedding(0, ok_dim).ok());
+  EXPECT_EQ(vkg_->pending_updates(), 1u);
+}
+
+TEST_F(DynamicTest, MovedEntityIsFoundAtNewLocation) {
+  const data::Query& q = queries_[0];
+  // Make a previously-distant movie sit exactly at the query center:
+  // it must become the #1 prediction immediately.
+  std::vector<float> center = vkg_->embeddings().QueryCenter(
+      q.anchor, q.relation, kg::Direction::kTail);
+  auto before = vkg_->TopK(q, 5);
+  ASSERT_FALSE(before.hits.empty());
+  // Pick some movie not already in the top-5 and not an existing edge.
+  kg::EntityId moved = kg::kInvalidEntity;
+  for (kg::EntityId m : ds_->graph.EntitiesOfType("movie")) {
+    bool in_top = false;
+    for (const auto& h : before.hits) in_top |= (h.entity == m);
+    if (!in_top && !ds_->graph.HasEdge(q.anchor, q.relation, m)) {
+      moved = m;
+      break;
+    }
+  }
+  ASSERT_NE(moved, kg::kInvalidEntity);
+  ASSERT_TRUE(vkg_->UpdateEntityEmbedding(moved, center).ok());
+
+  auto after = vkg_->TopK(q, 5);
+  ASSERT_FALSE(after.hits.empty());
+  EXPECT_EQ(after.hits[0].entity, moved);
+  EXPECT_NEAR(after.hits[0].distance, 0.0, 1e-5);
+  EXPECT_DOUBLE_EQ(after.hits[0].probability, 1.0);
+}
+
+TEST_F(DynamicTest, MovedAwayEntityDropsAfterCompaction) {
+  const data::Query& q = queries_[1];
+  auto before = vkg_->TopK(q, 3);
+  ASSERT_FALSE(before.hits.empty());
+  kg::EntityId top = before.hits[0].entity;
+  // Send the current best prediction far away.
+  std::vector<float> far(ds_->embeddings.dim(), 0.0f);
+  far[0] = 1e3f;
+  ASSERT_TRUE(vkg_->UpdateEntityEmbedding(top, far).ok());
+  auto after = vkg_->TopK(q, 3);
+  for (const auto& h : after.hits) {
+    EXPECT_NE(h.entity, top);
+  }
+
+  // Compaction clears the overlay and rebuilds; results must agree.
+  ASSERT_TRUE(vkg_->CompactUpdates().ok());
+  EXPECT_EQ(vkg_->pending_updates(), 0u);
+  auto compacted = vkg_->TopK(q, 3);
+  ASSERT_EQ(after.hits.size(), compacted.hits.size());
+  for (size_t i = 0; i < after.hits.size(); ++i) {
+    EXPECT_EQ(after.hits[i].entity, compacted.hits[i].entity);
+  }
+}
+
+TEST_F(DynamicTest, NewFactsAreSkippedImmediately) {
+  const data::Query& q = queries_[2];
+  auto before = vkg_->TopK(q, 3);
+  ASSERT_FALSE(before.hits.empty());
+  kg::EntityId predicted = before.hits[0].entity;
+  // The user acts on the recommendation: the fact enters E.
+  ds_->graph.AddEdge(q.anchor, q.relation, predicted);
+  auto after = vkg_->TopK(q, 3);
+  for (const auto& h : after.hits) EXPECT_NE(h.entity, predicted);
+}
+
+TEST_F(DynamicTest, NeighborhoodMatchesThreshold) {
+  const data::Query& q = queries_[3];
+  auto hood = vkg_->Neighborhood(q, /*prob_threshold=*/0.3);
+  ASSERT_TRUE(hood.ok()) << hood.status().ToString();
+  ASSERT_FALSE(hood->empty());
+  double prev = 0.0;
+  for (size_t i = 0; i < hood->size(); ++i) {
+    const auto& hit = (*hood)[i];
+    EXPECT_GE(hit.probability, 0.3 - 1e-9);
+    if (i > 0) {
+      EXPECT_GE(hit.distance, prev);
+    }
+    prev = hit.distance;
+    EXPECT_FALSE(ds_->graph.HasEdge(q.anchor, q.relation, hit.entity));
+  }
+  // max_results caps the ball.
+  auto capped = vkg_->Neighborhood(q, 0.3, 2);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_LE(capped->size(), 2u);
+
+  EXPECT_FALSE(vkg_->Neighborhood(q, 0.0).ok());
+  EXPECT_FALSE(vkg_->Neighborhood(q, 1.5).ok());
+}
+
+TEST_F(DynamicTest, NeighborhoodSeesOverlay) {
+  const data::Query& q = queries_[4];
+  std::vector<float> center = vkg_->embeddings().QueryCenter(
+      q.anchor, q.relation, kg::Direction::kTail);
+  kg::EntityId moved = ds_->graph.EntitiesOfType("movie").back();
+  if (ds_->graph.HasEdge(q.anchor, q.relation, moved)) {
+    GTEST_SKIP() << "unlucky pick";
+  }
+  ASSERT_TRUE(vkg_->UpdateEntityEmbedding(moved, center).ok());
+  auto hood = vkg_->Neighborhood(q, 0.5);
+  ASSERT_TRUE(hood.ok());
+  ASSERT_FALSE(hood->empty());
+  EXPECT_EQ((*hood)[0].entity, moved);
+}
+
+TEST_F(DynamicTest, IndexPersistenceThroughFacade) {
+  // Warm the index, save, rebuild a fresh VKG, load: results and index
+  // shape must match the warmed instance.
+  for (const auto& q : queries_) vkg_->TopK(q, 10);
+  auto warmed_stats = vkg_->IndexStats();
+  std::string path =
+      (std::filesystem::temp_directory_path() / "vkg_facade_index.bin")
+          .string();
+  ASSERT_TRUE(vkg_->SaveIndex(path).ok());
+
+  VkgOptions options;
+  options.method = index::MethodKind::kCracking;
+  embedding::EmbeddingStore store = ds_->embeddings;
+  auto fresh = VirtualKnowledgeGraph::BuildWithEmbeddings(
+      &ds_->graph, std::move(store), options);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ((*fresh)->IndexStats().num_nodes, 1u);
+  ASSERT_TRUE((*fresh)->LoadIndex(path).ok());
+  EXPECT_EQ((*fresh)->IndexStats().num_nodes, warmed_stats.num_nodes);
+
+  for (const auto& q : queries_) {
+    auto a = vkg_->TopK(q, 10);
+    auto b = (*fresh)->TopK(q, 10);
+    ASSERT_EQ(a.hits.size(), b.hits.size());
+    for (size_t i = 0; i < a.hits.size(); ++i) {
+      EXPECT_EQ(a.hits[i].entity, b.hits[i].entity);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vkg::core

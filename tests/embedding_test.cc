@@ -1,0 +1,304 @@
+// Tests for the embedding substrate: vector ops, the store, negative
+// sampling, TransE scoring/updates, training convergence, and link
+// prediction on a structured toy graph.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "embedding/evaluator.h"
+#include "embedding/sampler.h"
+#include "embedding/store.h"
+#include "embedding/trainer.h"
+#include "embedding/transe.h"
+#include "embedding/vector_ops.h"
+
+namespace vkg::embedding {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// --- vector ops ----------------------------------------------------------------
+
+TEST(VectorOpsTest, Arithmetic) {
+  std::vector<float> a{1, 2, 3}, b{4, 5, 6}, out(3);
+  Add(a, b, out);
+  EXPECT_EQ(out, (std::vector<float>{5, 7, 9}));
+  Sub(b, a, out);
+  EXPECT_EQ(out, (std::vector<float>{3, 3, 3}));
+  Axpy(2.0f, a, out);  // out += 2a
+  EXPECT_EQ(out, (std::vector<float>{5, 7, 9}));
+}
+
+TEST(VectorOpsTest, NormsAndDistances) {
+  std::vector<float> a{3, 4}, b{0, 0};
+  EXPECT_DOUBLE_EQ(L2Norm(a), 5.0);
+  EXPECT_DOUBLE_EQ(L1Norm(a), 7.0);
+  EXPECT_DOUBLE_EQ(Dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(L2Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(L2DistanceSquared(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(L1Distance(a, b), 7.0);
+}
+
+TEST(VectorOpsTest, Normalize) {
+  std::vector<float> a{3, 4};
+  NormalizeL2(a);
+  EXPECT_NEAR(L2Norm(a), 1.0, 1e-6);
+  std::vector<float> zero{0, 0};
+  NormalizeL2(zero);  // must not divide by zero
+  EXPECT_DOUBLE_EQ(L2Norm(zero), 0.0);
+}
+
+// --- store ---------------------------------------------------------------------
+
+TEST(StoreTest, ShapeAndAccess) {
+  EmbeddingStore s(10, 3, 8);
+  EXPECT_EQ(s.num_entities(), 10u);
+  EXPECT_EQ(s.num_relations(), 3u);
+  EXPECT_EQ(s.dim(), 8u);
+  s.Entity(4)[2] = 1.5f;
+  EXPECT_EQ(s.Entity(4)[2], 1.5f);
+  s.Relation(2)[7] = -2.0f;
+  EXPECT_EQ(s.Relation(2)[7], -2.0f);
+}
+
+TEST(StoreTest, RandomInitializeNormalizesEntities) {
+  EmbeddingStore s(20, 2, 16);
+  util::Rng rng(5);
+  s.RandomInitialize(rng);
+  for (size_t e = 0; e < 20; ++e) {
+    EXPECT_NEAR(L2Norm(s.Entity(e)), 1.0, 1e-5);
+  }
+  EXPECT_GT(L2Norm(s.Relation(0)), 0.0);
+}
+
+TEST(StoreTest, QueryCenterDirections) {
+  EmbeddingStore s(2, 1, 2);
+  s.Entity(0)[0] = 1;
+  s.Entity(0)[1] = 2;
+  s.Relation(0)[0] = 10;
+  s.Relation(0)[1] = 20;
+  auto tail_center = s.QueryCenter(0, 0, kg::Direction::kTail);
+  EXPECT_EQ(tail_center, (std::vector<float>{11, 22}));
+  auto head_center = s.QueryCenter(0, 0, kg::Direction::kHead);
+  EXPECT_EQ(head_center, (std::vector<float>{-9, -18}));
+}
+
+TEST(StoreTest, SaveLoadRoundTrip) {
+  EmbeddingStore s(5, 2, 4);
+  util::Rng rng(6);
+  s.RandomInitialize(rng);
+  std::string path = TempPath("vkg_store.bin");
+  ASSERT_TRUE(s.Save(path).ok());
+  auto loaded = EmbeddingStore::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_entities(), 5u);
+  EXPECT_EQ(loaded->dim(), 4u);
+  for (size_t e = 0; e < 5; ++e) {
+    auto a = s.Entity(e);
+    auto b = loaded->Entity(e);
+    for (size_t i = 0; i < 4; ++i) EXPECT_EQ(a[i], b[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StoreTest, LoadRejectsGarbage) {
+  std::string path = TempPath("vkg_store_bad.bin");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("not an embedding file", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(EmbeddingStore::Load(path).ok());
+  EXPECT_FALSE(EmbeddingStore::Load("/nonexistent/x.bin").ok());
+  std::remove(path.c_str());
+}
+
+// --- sampler ----------------------------------------------------------------------
+
+kg::KnowledgeGraph ChainGraph(size_t n) {
+  kg::KnowledgeGraph g;
+  g.AddEntities(n, "node");
+  kg::RelationId r = g.AddRelation("next");
+  for (kg::EntityId i = 0; i + 1 < n; ++i) g.AddEdge(i, r, i + 1);
+  return g;
+}
+
+TEST(SamplerTest, CorruptionsAreNotFacts) {
+  kg::KnowledgeGraph g = ChainGraph(50);
+  NegativeSampler sampler(g, CorruptionMode::kUniform);
+  util::Rng rng(7);
+  for (const kg::Triple& t : g.triples().triples()) {
+    kg::Triple neg = sampler.Corrupt(t, rng);
+    EXPECT_FALSE(g.triples().Contains(neg));
+    // Exactly one side corrupted.
+    EXPECT_TRUE((neg.head == t.head) != (neg.tail == t.tail) ||
+                (neg.head != t.head && neg.tail == t.tail) ||
+                (neg.head == t.head && neg.tail != t.tail));
+    EXPECT_EQ(neg.relation, t.relation);
+  }
+}
+
+TEST(SamplerTest, BernoulliModeWorks) {
+  kg::KnowledgeGraph g;
+  g.AddEntities(30, "n");
+  kg::RelationId one_to_many = g.AddRelation("1-n");
+  // Head 0 connects to many tails: corrupting the head is safer.
+  for (kg::EntityId t = 1; t < 20; ++t) g.AddEdge(0, one_to_many, t);
+  NegativeSampler sampler(g, CorruptionMode::kBernoulli);
+  util::Rng rng(8);
+  size_t head_corruptions = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    kg::Triple neg = sampler.Corrupt({0, one_to_many, 5}, rng);
+    if (neg.head != 0) ++head_corruptions;
+  }
+  // tph ~ 19, hpt = 1: P(corrupt head) ~ 0.95.
+  EXPECT_GT(head_corruptions, n / 2);
+}
+
+// --- TransE ------------------------------------------------------------------------
+
+TEST(TransETest, ScoreIsTranslationResidual) {
+  EmbeddingStore s(2, 1, 3);
+  s.Entity(0)[0] = 1;
+  s.Relation(0)[0] = 2;
+  s.Entity(1)[0] = 3;  // h + r == t exactly
+  TransE l2(&s, Norm::kL2);
+  EXPECT_NEAR(l2.Score({0, 0, 1}), 0.0, 1e-9);
+  s.Entity(1)[1] = 2;
+  EXPECT_NEAR(l2.Score({0, 0, 1}), 2.0, 1e-9);
+  TransE l1(&s, Norm::kL1);
+  EXPECT_NEAR(l1.Score({0, 0, 1}), 2.0, 1e-9);
+}
+
+TEST(TransETest, StepReducesPositiveScore) {
+  for (Norm norm : {Norm::kL2, Norm::kL1}) {
+    EmbeddingStore s(3, 1, 8);
+    util::Rng rng(9);
+    s.RandomInitialize(rng);
+    TransE model(&s, norm);
+    kg::Triple pos{0, 0, 1};
+    kg::Triple neg{0, 0, 2};
+    double before_pos = model.Score(pos);
+    double before_neg = model.Score(neg);
+    double loss = model.Step(pos, neg, /*margin=*/4.0, /*lr=*/0.05);
+    if (loss > 0) {
+      EXPECT_LT(model.Score(pos), before_pos);
+      EXPECT_GT(model.Score(neg), before_neg);
+    }
+  }
+}
+
+TEST(TransETest, SatisfiedMarginMakesNoUpdate) {
+  EmbeddingStore s(3, 1, 4);
+  // pos score 0, neg score large.
+  s.Entity(2)[0] = 100.0f;
+  TransE model(&s, Norm::kL2);
+  double loss = model.Step({0, 0, 1}, {0, 0, 2}, 1.0, 0.1);
+  EXPECT_DOUBLE_EQ(loss, 0.0);
+  EXPECT_NEAR(model.Score({0, 0, 1}), 0.0, 1e-12);
+}
+
+// --- Trainer ----------------------------------------------------------------------
+
+TEST(TrainerTest, LossDecreases) {
+  kg::KnowledgeGraph g = ChainGraph(60);
+  TrainerConfig config;
+  config.dim = 16;
+  config.epochs = 60;
+  config.learning_rate = 0.05;
+  config.num_threads = 1;
+  config.seed = 10;
+  Trainer trainer(g, config);
+  std::vector<double> losses;
+  auto result =
+      trainer.Train([&](const EpochStats& s) { losses.push_back(s.mean_loss); });
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(losses.size(), 60u);
+  double early = (losses[0] + losses[1] + losses[2]) / 3;
+  double late = (losses[57] + losses[58] + losses[59]) / 3;
+  EXPECT_LT(late, early);
+}
+
+TEST(TrainerTest, EmptyGraphFails) {
+  kg::KnowledgeGraph g;
+  Trainer trainer(g, TrainerConfig{});
+  EXPECT_FALSE(trainer.Train().ok());
+}
+
+TEST(TrainerTest, ZeroDimFails) {
+  kg::KnowledgeGraph g = ChainGraph(5);
+  TrainerConfig config;
+  config.dim = 0;
+  Trainer trainer(g, config);
+  EXPECT_FALSE(trainer.Train().ok());
+}
+
+TEST(TrainerTest, MultiThreadedTrainingWorks) {
+  kg::KnowledgeGraph g = ChainGraph(80);
+  TrainerConfig config;
+  config.dim = 12;
+  config.epochs = 20;
+  config.num_threads = 4;
+  config.seed = 11;
+  Trainer trainer(g, config);
+  auto result = trainer.Train();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_entities(), 80u);
+}
+
+// --- Evaluator: link prediction on a bipartite "likes" graph -------------------------
+
+TEST(EvaluatorTest, LearnsClusterStructure) {
+  // Two user groups, two item groups; group i likes item-group i. A
+  // held-out edge should rank its true tail well among all entities.
+  kg::KnowledgeGraph g;
+  const size_t kUsers = 24, kItems = 24;
+  g.AddEntities(kUsers, "user");
+  g.AddEntities(kItems, "item");
+  kg::RelationId likes = g.AddRelation("likes");
+  auto item = [&](size_t i) {
+    return static_cast<kg::EntityId>(kUsers + i);
+  };
+  for (size_t u = 0; u < kUsers; ++u) {
+    size_t group = u % 2;
+    for (size_t i = 0; i < kItems; ++i) {
+      if (i % 2 == group) g.AddEdge(u, likes, item(i));
+    }
+  }
+  util::Rng rng(12);
+  auto held_out = g.MaskRandomEdges(6, rng);
+
+  TrainerConfig config;
+  config.dim = 16;
+  config.epochs = 150;
+  config.learning_rate = 0.05;
+  config.num_threads = 1;
+  config.seed = 13;
+  Trainer trainer(g, config);
+  auto store = trainer.Train();
+  ASSERT_TRUE(store.ok());
+  TransE model(&*store, config.norm);
+  auto metrics = EvaluateLinkPrediction(model, g, held_out);
+  EXPECT_EQ(metrics.num_test_triples, 6u);
+  // Random ranking would give mean rank ~24; structure should beat it.
+  EXPECT_LT(metrics.mean_rank, 16.0);
+  EXPECT_GT(metrics.hits_at_10, 0.4);
+}
+
+TEST(EvaluatorTest, EmptyTestSetIsSafe) {
+  EmbeddingStore s(3, 1, 4);
+  TransE model(&s, Norm::kL2);
+  kg::KnowledgeGraph g = ChainGraph(3);
+  auto metrics = EvaluateLinkPrediction(model, g, {});
+  EXPECT_EQ(metrics.num_test_triples, 0u);
+  EXPECT_EQ(metrics.mean_rank, 0.0);
+}
+
+}  // namespace
+}  // namespace vkg::embedding

@@ -1,0 +1,154 @@
+// Parameterized property tests of the full query pipeline across
+// (alpha, eps, leaf capacity): the R-tree engine's precision against the
+// exact scan, monotonicity in eps, and agreement between cracking and
+// bulk over long workloads.
+
+#include <gtest/gtest.h>
+
+#include "data/amazon_gen.h"
+#include "data/workload.h"
+#include "query/metrics.h"
+#include "query/topk_engine.h"
+#include "transform/jl_transform.h"
+
+namespace vkg::query {
+namespace {
+
+struct PipelineCase {
+  size_t alpha;
+  double eps;
+  size_t leaf;
+  double min_precision;
+};
+
+class PipelineTest : public ::testing::TestWithParam<PipelineCase> {
+ protected:
+  static void SetUpTestSuite() {
+    data::AmazonConfig config;
+    config.num_users = 1500;
+    config.num_products = 1000;
+    config.seed = 101;
+    ds_ = new data::Dataset(data::GenerateAmazonLike(config));
+    data::WorkloadConfig wc;
+    wc.num_queries = 25;
+    wc.seed = 102;
+    workload_ =
+        new std::vector<data::Query>(data::GenerateWorkload(ds_->graph, wc));
+  }
+  static void TearDownTestSuite() {
+    delete ds_;
+    delete workload_;
+  }
+  static data::Dataset* ds_;
+  static std::vector<data::Query>* workload_;
+};
+data::Dataset* PipelineTest::ds_ = nullptr;
+std::vector<data::Query>* PipelineTest::workload_ = nullptr;
+
+TEST_P(PipelineTest, PrecisionAboveFloor) {
+  const auto& p = GetParam();
+  transform::JlTransform jl(ds_->embeddings.dim(), p.alpha, 103);
+  index::PointSet points(jl.ApplyToEntities(ds_->embeddings), p.alpha);
+  index::RTreeConfig config;
+  config.leaf_capacity = p.leaf;
+  index::CrackingRTree tree(&points, config);
+  RTreeTopKEngine engine(&ds_->graph, &ds_->embeddings, &jl, &tree, p.eps,
+                         true, "crack");
+  LinearTopKEngine truth(&ds_->graph, &ds_->embeddings);
+
+  double precision = 0;
+  for (const data::Query& q : *workload_) {
+    precision += PrecisionAtK(engine.TopKQuery(q, 10),
+                              truth.TopKQuery(q, 10));
+  }
+  precision /= workload_->size();
+  EXPECT_GE(precision, p.min_precision)
+      << "alpha=" << p.alpha << " eps=" << p.eps << " leaf=" << p.leaf;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PipelineTest,
+    ::testing::Values(
+        // Theorem 2: bigger eps and bigger alpha ⇒ better recall floors.
+        PipelineCase{2, 0.25, 32, 0.55}, PipelineCase{2, 1.0, 32, 0.80},
+        PipelineCase{3, 0.5, 32, 0.80}, PipelineCase{3, 1.0, 32, 0.90},
+        PipelineCase{3, 2.0, 32, 0.95}, PipelineCase{4, 1.0, 32, 0.93},
+        PipelineCase{6, 1.0, 32, 0.95}, PipelineCase{3, 1.0, 4, 0.90},
+        PipelineCase{3, 1.0, 128, 0.90}),
+    [](const ::testing::TestParamInfo<PipelineCase>& info) {
+      const auto& p = info.param;
+      return "a" + std::to_string(p.alpha) + "eps" +
+             std::to_string(static_cast<int>(p.eps * 100)) + "N" +
+             std::to_string(p.leaf);
+    });
+
+TEST(PipelineAgreementTest, CrackingAndBulkAgreeOnSameTransform) {
+  // With identical transforms and eps, the cracking and bulk-loaded
+  // engines search the same geometry: their results must be identical
+  // (the index shape affects only cost, not the answer).
+  data::AmazonConfig config;
+  config.num_users = 900;
+  config.num_products = 600;
+  config.seed = 104;
+  data::Dataset ds = data::GenerateAmazonLike(config);
+  transform::JlTransform jl(ds.embeddings.dim(), 3, 105);
+  index::PointSet points(jl.ApplyToEntities(ds.embeddings), 3);
+
+  index::CrackingRTree crack_tree(&points, index::RTreeConfig{});
+  RTreeTopKEngine crack(&ds.graph, &ds.embeddings, &jl, &crack_tree, 1.0,
+                        true, "crack");
+  index::CrackingRTree bulk_tree(&points, index::RTreeConfig{});
+  bulk_tree.BuildFull();
+  RTreeTopKEngine bulk(&ds.graph, &ds.embeddings, &jl, &bulk_tree, 1.0,
+                       false, "bulk");
+
+  data::WorkloadConfig wc;
+  wc.num_queries = 30;
+  wc.seed = 106;
+  for (const data::Query& q : data::GenerateWorkload(ds.graph, wc)) {
+    TopKResult a = crack.TopKQuery(q, 8);
+    TopKResult b = bulk.TopKQuery(q, 8);
+    ASSERT_EQ(a.hits.size(), b.hits.size());
+    for (size_t i = 0; i < a.hits.size(); ++i) {
+      EXPECT_EQ(a.hits[i].entity, b.hits[i].entity);
+      EXPECT_NEAR(a.hits[i].distance, b.hits[i].distance, 1e-9);
+    }
+  }
+}
+
+TEST(PipelineAgreementTest, SplitChoiceVariantsAgreeOnResults) {
+  // The A* variants change the index shape, never the answer.
+  data::AmazonConfig config;
+  config.num_users = 700;
+  config.num_products = 500;
+  config.seed = 107;
+  data::Dataset ds = data::GenerateAmazonLike(config);
+  transform::JlTransform jl(ds.embeddings.dim(), 3, 108);
+  index::PointSet points(jl.ApplyToEntities(ds.embeddings), 3);
+
+  data::WorkloadConfig wc;
+  wc.num_queries = 20;
+  wc.seed = 109;
+  auto queries = data::GenerateWorkload(ds.graph, wc);
+
+  std::vector<std::vector<uint32_t>> per_variant;
+  for (size_t choices : {1ul, 2ul, 4ul}) {
+    index::RTreeConfig config_rt;
+    config_rt.split_choices = choices;
+    index::CrackingRTree tree(&points, config_rt);
+    RTreeTopKEngine engine(&ds.graph, &ds.embeddings, &jl, &tree, 1.0, true,
+                           "crack");
+    std::vector<uint32_t> flat;
+    for (const data::Query& q : queries) {
+      for (const auto& h : engine.TopKQuery(q, 5).hits) {
+        flat.push_back(h.entity);
+      }
+    }
+    per_variant.push_back(std::move(flat));
+  }
+  EXPECT_EQ(per_variant[0], per_variant[1]);
+  EXPECT_EQ(per_variant[0], per_variant[2]);
+}
+
+}  // namespace
+}  // namespace vkg::query

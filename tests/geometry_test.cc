@@ -1,0 +1,124 @@
+// Tests for S2 geometry: points, rectangles, and the point set.
+
+#include <gtest/gtest.h>
+
+#include "index/geometry.h"
+
+namespace vkg::index {
+namespace {
+
+Rect MakeRect(std::vector<float> lo, std::vector<float> hi) {
+  Rect r = Rect::Empty(lo.size());
+  r.ExpandToFit(lo);
+  r.ExpandToFit(hi);
+  return r;
+}
+
+TEST(PointTest, FromSpan) {
+  std::vector<float> v{1, 2, 3};
+  Point p = Point::FromSpan(v);
+  EXPECT_EQ(p.dim, 3);
+  EXPECT_EQ(p.c[1], 2.0f);
+  auto s = p.AsSpan();
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(RectTest, EmptyAndExpand) {
+  Rect r = Rect::Empty(2);
+  EXPECT_TRUE(r.IsEmpty());
+  std::vector<float> p{1, 2};
+  r.ExpandToFit(p);
+  EXPECT_FALSE(r.IsEmpty());
+  EXPECT_TRUE(r.Contains(p));
+  EXPECT_DOUBLE_EQ(r.Volume(), 0.0);  // degenerate point box
+  std::vector<float> q{3, 5};
+  r.ExpandToFit(q);
+  EXPECT_DOUBLE_EQ(r.Volume(), 2.0 * 3.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 5.0);
+}
+
+TEST(RectTest, ExpandToFitRect) {
+  Rect a = MakeRect({0, 0}, {1, 1});
+  Rect b = MakeRect({2, 2}, {3, 3});
+  a.ExpandToFit(b);
+  EXPECT_TRUE(a.Contains(std::vector<float>{3, 3}));
+  Rect empty = Rect::Empty(2);
+  Rect before = a;
+  a.ExpandToFit(empty);  // no-op
+  EXPECT_EQ(a.lo, before.lo);
+  EXPECT_EQ(a.hi, before.hi);
+}
+
+TEST(RectTest, ContainsBoundaries) {
+  Rect r = MakeRect({0, 0}, {1, 1});
+  EXPECT_TRUE(r.Contains(std::vector<float>{0, 0}));
+  EXPECT_TRUE(r.Contains(std::vector<float>{1, 1}));
+  EXPECT_FALSE(r.Contains(std::vector<float>{1.0001f, 0.5f}));
+}
+
+TEST(RectTest, Intersection) {
+  Rect a = MakeRect({0, 0}, {2, 2});
+  Rect b = MakeRect({1, 1}, {3, 3});
+  Rect c = MakeRect({5, 5}, {6, 6});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(c), 0.0);
+  // Touching edges intersect with zero overlap volume.
+  Rect d = MakeRect({2, 0}, {4, 2});
+  EXPECT_TRUE(a.Intersects(d));
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(d), 0.0);
+}
+
+TEST(RectTest, MinDist) {
+  Rect r = MakeRect({0, 0}, {2, 2});
+  EXPECT_DOUBLE_EQ(r.MinDistSquared(std::vector<float>{1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(r.MinDistSquared(std::vector<float>{3, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(r.MinDistSquared(std::vector<float>{3, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(r.MinDistSquared(std::vector<float>{-2, 1}), 4.0);
+}
+
+TEST(RectTest, BallBoundingBox) {
+  Point c = Point::FromSpan(std::vector<float>{1, 1, 1});
+  Rect r = Rect::BoundingBoxOfBall(c, 0.5);
+  EXPECT_TRUE(r.Contains(std::vector<float>{1.4f, 1, 1}));
+  EXPECT_FALSE(r.Contains(std::vector<float>{1.6f, 1, 1}));
+  EXPECT_NEAR(r.Volume(), 1.0, 1e-5);
+}
+
+TEST(RectTest, ToStringIsNonEmpty) {
+  Rect r = MakeRect({0}, {1});
+  EXPECT_FALSE(r.ToString().empty());
+}
+
+TEST(PointSetTest, AccessAndBound) {
+  // Three 2-d points.
+  PointSet ps({0, 0, 1, 2, 4, 1}, 2);
+  EXPECT_EQ(ps.size(), 3u);
+  EXPECT_EQ(ps.dim(), 2u);
+  EXPECT_EQ(ps.coord(1, 1), 2.0f);
+  std::vector<uint32_t> ids{0, 1, 2};
+  Rect b = ps.Bound(ids);
+  EXPECT_DOUBLE_EQ(b.Volume(), 4.0 * 2.0);
+  std::vector<uint32_t> one{1};
+  Rect b1 = ps.Bound(one);
+  EXPECT_TRUE(b1.Contains(ps.at(1)));
+  EXPECT_DOUBLE_EQ(b1.Volume(), 0.0);
+}
+
+TEST(PointSetTest, DistSquared) {
+  PointSet ps({0, 0, 3, 4}, 2);
+  std::vector<float> q{0, 0};
+  EXPECT_DOUBLE_EQ(ps.DistSquared(1, q), 25.0);
+  EXPECT_DOUBLE_EQ(ps.DistSquared(0, q), 0.0);
+}
+
+TEST(PointSetTest, EmptySet) {
+  PointSet ps;
+  EXPECT_TRUE(ps.empty());
+  EXPECT_EQ(ps.size(), 0u);
+}
+
+}  // namespace
+}  // namespace vkg::index

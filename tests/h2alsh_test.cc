@@ -1,0 +1,150 @@
+// Tests for the H2-ALSH baseline: MIPS recall against brute force,
+// norm-partition invariants, and edge cases.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "index/h2alsh.h"
+#include "util/random.h"
+
+namespace vkg::index {
+namespace {
+
+std::vector<float> RandomData(size_t n, size_t d, uint64_t seed,
+                              double norm_spread = 3.0) {
+  util::Rng rng(seed);
+  std::vector<float> data(n * d);
+  for (size_t i = 0; i < n; ++i) {
+    double scale = rng.Uniform(0.5, norm_spread);
+    for (size_t j = 0; j < d; ++j) {
+      data[i * d + j] = static_cast<float>(rng.Gaussian() * scale);
+    }
+  }
+  return data;
+}
+
+std::vector<std::pair<double, uint32_t>> BruteMips(
+    const std::vector<float>& data, size_t n, size_t d,
+    std::span<const float> q, size_t k) {
+  std::vector<std::pair<double, uint32_t>> all;
+  for (uint32_t i = 0; i < n; ++i) {
+    double ip = 0;
+    for (size_t j = 0; j < d; ++j) {
+      ip += static_cast<double>(data[i * d + j]) * q[j];
+    }
+    all.emplace_back(ip, i);
+  }
+  std::sort(all.begin(), all.end(), std::greater<>());
+  all.resize(std::min(k, all.size()));
+  return all;
+}
+
+TEST(H2AlshTest, HighRecallOnMips) {
+  const size_t n = 2000, d = 16, k = 10;
+  auto data = RandomData(n, d, 1);
+  H2AlshConfig config;
+  H2Alsh index(data, n, d, config);
+  util::Rng rng(2);
+  double total_recall = 0;
+  const int queries = 20;
+  for (int t = 0; t < queries; ++t) {
+    std::vector<float> q(d);
+    for (float& v : q) v = static_cast<float>(rng.Gaussian());
+    auto truth = BruteMips(data, n, d, q, k);
+    auto got = index.TopK(q, k);
+    std::set<uint32_t> truth_ids;
+    for (const auto& [ip, id] : truth) truth_ids.insert(id);
+    size_t hit = 0;
+    for (const auto& [ip, id] : got) hit += truth_ids.count(id);
+    total_recall += static_cast<double>(hit) / k;
+  }
+  EXPECT_GE(total_recall / queries, 0.7);
+}
+
+TEST(H2AlshTest, ScoresAreDescendingAndExact) {
+  const size_t n = 500, d = 8;
+  auto data = RandomData(n, d, 3);
+  H2Alsh index(data, n, d, H2AlshConfig{});
+  std::vector<float> q(d, 1.0f);
+  auto got = index.TopK(q, 5);
+  ASSERT_FALSE(got.empty());
+  for (size_t i = 1; i < got.size(); ++i) {
+    EXPECT_GE(got[i - 1].first, got[i].first);
+  }
+  // Returned scores must equal the true inner products.
+  for (const auto& [ip, id] : got) {
+    double expected = 0;
+    for (size_t j = 0; j < d; ++j) {
+      expected += static_cast<double>(data[id * d + j]) * q[j];
+    }
+    EXPECT_NEAR(ip, expected, 1e-9);
+  }
+}
+
+TEST(H2AlshTest, NormPartitionIsDescending) {
+  const size_t n = 3000, d = 8;
+  auto data = RandomData(n, d, 4, /*norm_spread=*/5.0);
+  H2AlshConfig config;
+  config.norm_ratio = 0.6;
+  H2Alsh index(data, n, d, config);
+  EXPECT_GT(index.num_subsets(), 1u);
+  EXPECT_EQ(index.size(), n);
+}
+
+TEST(H2AlshTest, SkipFunction) {
+  const size_t n = 300, d = 8;
+  auto data = RandomData(n, d, 5);
+  H2Alsh index(data, n, d, H2AlshConfig{});
+  std::vector<float> q(d, 0.5f);
+  auto first = index.TopK(q, 3);
+  ASSERT_FALSE(first.empty());
+  uint32_t banned = first[0].second;
+  auto filtered = index.TopK(q, 3, [banned](uint32_t id) {
+    return id == banned;
+  });
+  for (const auto& [ip, id] : filtered) EXPECT_NE(id, banned);
+}
+
+TEST(H2AlshTest, SmallSubsetsScannedExactly) {
+  // With n below the LSH threshold every subset is scanned linearly:
+  // results must be exact.
+  const size_t n = 50, d = 6, k = 5;
+  auto data = RandomData(n, d, 6);
+  H2AlshConfig config;
+  config.min_subset_for_lsh = 1000;
+  H2Alsh index(data, n, d, config);
+  util::Rng rng(7);
+  std::vector<float> q(d);
+  for (float& v : q) v = static_cast<float>(rng.Gaussian());
+  auto truth = BruteMips(data, n, d, q, k);
+  auto got = index.TopK(q, k);
+  ASSERT_EQ(got.size(), truth.size());
+  for (size_t i = 0; i < k; ++i) {
+    EXPECT_NEAR(got[i].first, truth[i].first, 1e-9);
+  }
+}
+
+TEST(H2AlshTest, EmptyAndTinyInputs) {
+  std::vector<float> empty;
+  H2Alsh index(empty, 0, 4, H2AlshConfig{});
+  std::vector<float> q(4, 1.0f);
+  EXPECT_TRUE(index.TopK(q, 3).empty());
+
+  std::vector<float> one{1, 2, 3, 4};
+  H2Alsh single(one, 1, 4, H2AlshConfig{});
+  auto got = single.TopK(q, 3);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].second, 0u);
+}
+
+TEST(H2AlshTest, MemoryAccounted) {
+  const size_t n = 1000, d = 8;
+  auto data = RandomData(n, d, 8);
+  H2Alsh index(data, n, d, H2AlshConfig{});
+  EXPECT_GT(index.MemoryBytes(), n * d * sizeof(float));
+}
+
+}  // namespace
+}  // namespace vkg::index

@@ -1,0 +1,215 @@
+// End-to-end tests: generated dataset -> embeddings -> transform ->
+// index -> top-k and aggregate queries, across every method kind.
+
+#include <gtest/gtest.h>
+
+#include "core/virtual_graph.h"
+#include "data/movielens_gen.h"
+#include "data/workload.h"
+#include "query/metrics.h"
+
+namespace vkg {
+namespace {
+
+using core::VirtualKnowledgeGraph;
+using core::VkgOptions;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::MovieLensConfig config;
+    config.num_users = 3000;
+    config.num_movies = 1200;
+    config.num_tags = 100;
+    config.seed = 7;
+    dataset_ = new data::Dataset(data::GenerateMovieLensLike(config));
+
+    data::WorkloadConfig wl;
+    wl.num_queries = 12;
+    wl.seed = 5;
+    workload_ = new std::vector<data::Query>(
+        data::GenerateWorkload(dataset_->graph, wl));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete workload_;
+    dataset_ = nullptr;
+    workload_ = nullptr;
+  }
+
+  static data::Dataset* dataset_;
+  static std::vector<data::Query>* workload_;
+};
+
+data::Dataset* IntegrationTest::dataset_ = nullptr;
+std::vector<data::Query>* IntegrationTest::workload_ = nullptr;
+
+std::unique_ptr<VirtualKnowledgeGraph> BuildVkg(const data::Dataset& ds,
+                                                index::MethodKind method) {
+  VkgOptions options;
+  options.method = method;
+  options.alpha = 3;
+  options.eps = 1.0;
+  embedding::EmbeddingStore store = ds.embeddings;  // copy
+  auto result = VirtualKnowledgeGraph::BuildWithEmbeddings(
+      &ds.graph, std::move(store), options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+class MethodPrecisionTest
+    : public IntegrationTest,
+      public ::testing::WithParamInterface<index::MethodKind> {};
+
+TEST_P(MethodPrecisionTest, HighPrecisionVsNoIndex) {
+  auto truth_vkg = BuildVkg(*dataset_, index::MethodKind::kNoIndex);
+  auto vkg = BuildVkg(*dataset_, GetParam());
+  const size_t k = 10;
+  double total_precision = 0.0;
+  for (const data::Query& q : *workload_) {
+    query::TopKResult truth = truth_vkg->TopK(q, k);
+    query::TopKResult got = vkg->TopK(q, k);
+    total_precision += query::PrecisionAtK(got, truth);
+  }
+  double avg = total_precision / workload_->size();
+  // The paper reports precision@K of at least ~0.95; allow slack for the
+  // tiny test dataset. H2-ALSH (hash-based) gets a looser bar.
+  double bar = GetParam() == index::MethodKind::kH2Alsh ? 0.55 : 0.85;
+  EXPECT_GE(avg, bar) << "method "
+                      << std::string(index::MethodName(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, MethodPrecisionTest,
+    ::testing::Values(index::MethodKind::kPhTree,
+                      index::MethodKind::kBulkRTree,
+                      index::MethodKind::kCracking,
+                      index::MethodKind::kCracking2,
+                      index::MethodKind::kCracking4,
+                      index::MethodKind::kH2Alsh),
+    [](const ::testing::TestParamInfo<index::MethodKind>& info) {
+      std::string name(index::MethodName(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST_F(IntegrationTest, PhTreeIsExact) {
+  // PH-tree answers in S1 directly, so its results must match the linear
+  // scan exactly (same distances).
+  auto truth_vkg = BuildVkg(*dataset_, index::MethodKind::kNoIndex);
+  auto vkg = BuildVkg(*dataset_, index::MethodKind::kPhTree);
+  for (const data::Query& q : *workload_) {
+    query::TopKResult truth = truth_vkg->TopK(q, 5);
+    query::TopKResult got = vkg->TopK(q, 5);
+    ASSERT_EQ(truth.hits.size(), got.hits.size());
+    for (size_t i = 0; i < truth.hits.size(); ++i) {
+      EXPECT_NEAR(truth.hits[i].distance, got.hits[i].distance, 1e-9);
+    }
+  }
+}
+
+TEST_F(IntegrationTest, ResultsExcludeExistingEdges) {
+  auto vkg = BuildVkg(*dataset_, index::MethodKind::kCracking);
+  for (const data::Query& q : *workload_) {
+    query::TopKResult got = vkg->TopK(q, 10);
+    for (const auto& hit : got.hits) {
+      EXPECT_NE(hit.entity, q.anchor);
+      if (q.direction == kg::Direction::kTail) {
+        EXPECT_FALSE(
+            dataset_->graph.HasEdge(q.anchor, q.relation, hit.entity));
+      } else {
+        EXPECT_FALSE(
+            dataset_->graph.HasEdge(hit.entity, q.relation, q.anchor));
+      }
+    }
+  }
+}
+
+TEST_F(IntegrationTest, ProbabilitiesAreCalibrated) {
+  auto vkg = BuildVkg(*dataset_, index::MethodKind::kCracking);
+  query::TopKResult got = vkg->TopK((*workload_)[0], 10);
+  ASSERT_FALSE(got.hits.empty());
+  EXPECT_DOUBLE_EQ(got.hits[0].probability, 1.0);
+  for (size_t i = 1; i < got.hits.size(); ++i) {
+    EXPECT_LE(got.hits[i].probability, got.hits[i - 1].probability);
+    EXPECT_GT(got.hits[i].probability, 0.0);
+  }
+}
+
+TEST_F(IntegrationTest, CrackingIndexStaysSparse) {
+  auto bulk = BuildVkg(*dataset_, index::MethodKind::kBulkRTree);
+  auto crack = BuildVkg(*dataset_, index::MethodKind::kCracking);
+  for (const data::Query& q : *workload_) crack->TopK(q, 10);
+  EXPECT_LT(crack->IndexStats().num_nodes, bulk->IndexStats().num_nodes);
+  EXPECT_LT(crack->IndexStats().binary_splits,
+            bulk->IndexStats().binary_splits);
+}
+
+TEST_F(IntegrationTest, AggregateMatchesExactWhenUnsampled) {
+  auto vkg = BuildVkg(*dataset_, index::MethodKind::kCracking);
+  query::AggregateSpec spec;
+  spec.query = (*workload_)[0];
+  spec.query.direction = kg::Direction::kTail;
+  spec.kind = query::AggKind::kCount;
+  spec.prob_threshold = 0.2;
+  spec.sample_size = 0;
+
+  auto approx = vkg->Aggregate(spec);
+  auto exact = vkg->ExactAggregate(spec);
+  ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  // Unsampled index aggregation sees the same ball (up to JL distortion
+  // at the boundary), so the counts should be close.
+  EXPECT_GT(query::AggregateAccuracy(approx->value, exact->value), 0.7);
+}
+
+TEST_F(IntegrationTest, AggregateAccuracyImprovesWithSampleSize) {
+  auto vkg = BuildVkg(*dataset_, index::MethodKind::kCracking);
+  query::AggregateSpec spec;
+  spec.query = (*workload_)[1];
+  spec.kind = query::AggKind::kCount;
+  spec.prob_threshold = 0.2;
+
+  auto exact = vkg->ExactAggregate(spec);
+  ASSERT_TRUE(exact.ok());
+  if (exact->value <= 0) GTEST_SKIP() << "degenerate ball";
+
+  spec.sample_size = 0;
+  auto full = vkg->Aggregate(spec);
+  ASSERT_TRUE(full.ok());
+  double acc_full = query::AggregateAccuracy(full->value, exact->value);
+
+  spec.sample_size = 2;
+  auto tiny = vkg->Aggregate(spec);
+  ASSERT_TRUE(tiny.ok());
+  // Full access should not be (meaningfully) worse than a 2-point sample.
+  double acc_tiny = query::AggregateAccuracy(tiny->value, exact->value);
+  EXPECT_GE(acc_full + 0.05, acc_tiny);
+}
+
+TEST_F(IntegrationTest, TopKByNameAndErrors) {
+  auto vkg = BuildVkg(*dataset_, index::MethodKind::kCracking);
+  auto bad = vkg->TopKByName("nobody", "likes", kg::Direction::kTail, 3);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), util::StatusCode::kNotFound);
+
+  const auto& names = dataset_->graph.entity_names();
+  auto good = vkg->TopKByName(names.Name(0), "likes", kg::Direction::kTail,
+                              3);
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_LE(good->hits.size(), 3u);
+}
+
+TEST_F(IntegrationTest, GuaranteeIsMeaningful) {
+  auto vkg = BuildVkg(*dataset_, index::MethodKind::kCracking);
+  query::TopKResult got = vkg->TopK((*workload_)[2], 5);
+  query::TopKGuarantee g = vkg->GuaranteeFor(got);
+  EXPECT_GT(g.success_probability, 0.0);
+  EXPECT_LE(g.success_probability, 1.0);
+  EXPECT_GE(g.expected_missing, 0.0);
+}
+
+}  // namespace
+}  // namespace vkg

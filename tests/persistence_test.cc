@@ -1,0 +1,153 @@
+// Tests for cracking R-tree persistence: round-trip fidelity, continued
+// cracking after load, and corruption/mismatch rejection.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "index/cracking_rtree.h"
+#include "util/random.h"
+
+namespace vkg::index {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+PointSet RandomPoints(size_t n, size_t dim, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> coords(n * dim);
+  for (float& v : coords) v = static_cast<float>(rng.Gaussian());
+  return PointSet(std::move(coords), dim);
+}
+
+Rect RegionAround(const PointSet& ps, uint32_t center, double radius) {
+  return Rect::BoundingBoxOfBall(Point::FromSpan(ps.at(center)), radius);
+}
+
+TEST(PersistenceTest, RoundTripPreservesStructureAndResults) {
+  PointSet ps = RandomPoints(3000, 3, 91);
+  RTreeConfig config;
+  config.leaf_capacity = 16;
+  config.split_choices = 2;
+  CrackingRTree tree(&ps, config);
+  util::Rng rng(92);
+  for (int i = 0; i < 8; ++i) {
+    tree.Crack(RegionAround(
+        ps, static_cast<uint32_t>(rng.UniformIndex(ps.size())), 0.4));
+  }
+  IndexStats before = tree.Stats();
+
+  std::string path = TempPath("vkg_index.bin");
+  ASSERT_TRUE(tree.Save(path).ok());
+  auto loaded = CrackingRTree::Load(path, &ps);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  IndexStats after = (*loaded)->Stats();
+  EXPECT_EQ(before.num_nodes, after.num_nodes);
+  EXPECT_EQ(before.partitions, after.partitions);
+  EXPECT_EQ(before.leaves, after.leaves);
+  EXPECT_EQ(before.binary_splits, after.binary_splits);
+  EXPECT_EQ((*loaded)->config().split_choices, 2u);
+
+  // Identical search results on random regions.
+  for (int i = 0; i < 10; ++i) {
+    Rect region = RegionAround(
+        ps, static_cast<uint32_t>(rng.UniformIndex(ps.size())), 0.5);
+    std::set<uint32_t> a, b;
+    tree.Search(region, [&](uint32_t id) { a.insert(id); });
+    (*loaded)->Search(region, [&](uint32_t id) { b.insert(id); });
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(PersistenceTest, LoadedTreeContinuesCracking) {
+  PointSet ps = RandomPoints(3000, 3, 93);
+  CrackingRTree tree(&ps, RTreeConfig{});
+  tree.Crack(RegionAround(ps, 5, 0.3));
+  std::string path = TempPath("vkg_index_cont.bin");
+  ASSERT_TRUE(tree.Save(path).ok());
+
+  auto loaded = CrackingRTree::Load(path, &ps);
+  ASSERT_TRUE(loaded.ok());
+  size_t splits = (*loaded)->Stats().binary_splits;
+  (*loaded)->Crack(RegionAround(ps, 2900, 0.3));
+  EXPECT_GT((*loaded)->Stats().binary_splits, splits);
+
+  // Lemma 1 invariant still holds after post-load cracking.
+  std::set<uint32_t> seen;
+  std::vector<const Node*> stack{&(*loaded)->root()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (n->kind == Node::Kind::kInternal) {
+      for (const auto& c : n->children) stack.push_back(c.get());
+      continue;
+    }
+    for (uint32_t id : (*loaded)->ElementIds(*n)) {
+      EXPECT_TRUE(seen.insert(id).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), ps.size());
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, FreshTreeRoundTrips) {
+  PointSet ps = RandomPoints(100, 2, 94);
+  CrackingRTree tree(&ps, RTreeConfig{});  // never cracked: lazy orders
+  std::string path = TempPath("vkg_index_fresh.bin");
+  ASSERT_TRUE(tree.Save(path).ok());
+  auto loaded = CrackingRTree::Load(path, &ps);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->Stats().num_nodes, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, RejectsDifferentPoints) {
+  PointSet ps = RandomPoints(500, 3, 95);
+  CrackingRTree tree(&ps, RTreeConfig{});
+  tree.Crack(RegionAround(ps, 1, 0.5));
+  std::string path = TempPath("vkg_index_mismatch.bin");
+  ASSERT_TRUE(tree.Save(path).ok());
+
+  PointSet other = RandomPoints(500, 3, 96);  // same shape, other data
+  auto loaded = CrackingRTree::Load(path, &other);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kFailedPrecondition);
+
+  PointSet smaller = RandomPoints(400, 3, 95);
+  EXPECT_FALSE(CrackingRTree::Load(path, &smaller).ok());
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, RejectsGarbageFiles) {
+  PointSet ps = RandomPoints(100, 2, 97);
+  std::string path = TempPath("vkg_index_garbage.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not an index";
+  }
+  EXPECT_FALSE(CrackingRTree::Load(path, &ps).ok());
+  EXPECT_FALSE(CrackingRTree::Load("/nonexistent/file.bin", &ps).ok());
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, RejectsTruncatedFiles) {
+  PointSet ps = RandomPoints(800, 3, 98);
+  CrackingRTree tree(&ps, RTreeConfig{});
+  tree.Crack(RegionAround(ps, 1, 0.5));
+  std::string path = TempPath("vkg_index_trunc.bin");
+  ASSERT_TRUE(tree.Save(path).ok());
+  // Truncate to 60%.
+  auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size * 6 / 10);
+  EXPECT_FALSE(CrackingRTree::Load(path, &ps).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vkg::index

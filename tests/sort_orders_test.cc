@@ -1,0 +1,146 @@
+// Tests for the shared sort-order arrays and in-place range splitting
+// (the SPLITONKEY machinery of Algorithm 1 / Lemma 2).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "index/sort_orders.h"
+#include "util/random.h"
+
+namespace vkg::index {
+namespace {
+
+PointSet RandomPoints(size_t n, size_t dim, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> coords(n * dim);
+  for (float& v : coords) v = static_cast<float>(rng.Gaussian());
+  return PointSet(std::move(coords), dim);
+}
+
+std::set<uint32_t> IdSet(std::span<const uint32_t> ids) {
+  return {ids.begin(), ids.end()};
+}
+
+TEST(SortOrdersTest, EachOrderIsSortedPermutation) {
+  PointSet ps = RandomPoints(200, 3, 1);
+  SortedOrders orders(ps);
+  EXPECT_EQ(orders.num_orders(), 3u);
+  for (size_t s = 0; s < 3; ++s) {
+    auto ids = orders.Range(s, 0, ps.size());
+    EXPECT_EQ(IdSet(ids).size(), ps.size());
+    for (size_t i = 0; i + 1 < ids.size(); ++i) {
+      EXPECT_TRUE(orders.Precedes(ids[i], ids[i + 1], s));
+    }
+  }
+}
+
+TEST(SortOrdersTest, SplitRangePartitionsConsistently) {
+  PointSet ps = RandomPoints(300, 3, 2);
+  SortedOrders orders(ps);
+  // Split the whole range at the median of order 1.
+  auto order1 = orders.Range(1, 0, 300);
+  uint32_t boundary = order1[150];
+  size_t left = orders.SplitRange(0, 300, 1, boundary);
+  EXPECT_EQ(left, 150u);
+  // All orders contain the same id set on each side.
+  std::set<uint32_t> left_set = IdSet(orders.Range(0, 0, left));
+  for (size_t s = 1; s < 3; ++s) {
+    EXPECT_EQ(IdSet(orders.Range(s, 0, left)), left_set);
+  }
+  // Each side stays sorted in every order (Lemma 2: positions only get
+  // closer, never reordered).
+  for (size_t s = 0; s < 3; ++s) {
+    auto l = orders.Range(s, 0, left);
+    for (size_t i = 0; i + 1 < l.size(); ++i) {
+      EXPECT_TRUE(orders.Precedes(l[i], l[i + 1], s));
+    }
+    auto r = orders.Range(s, left, 300);
+    for (size_t i = 0; i + 1 < r.size(); ++i) {
+      EXPECT_TRUE(orders.Precedes(r[i], r[i + 1], s));
+    }
+  }
+  // Left side strictly precedes boundary in the split order.
+  for (uint32_t id : orders.Range(1, 0, left)) {
+    EXPECT_TRUE(orders.Precedes(id, boundary, 1));
+  }
+  for (uint32_t id : orders.Range(1, left, 300)) {
+    EXPECT_FALSE(orders.Precedes(id, boundary, 1));
+  }
+}
+
+TEST(SortOrdersTest, NestedSplitsKeepInvariant) {
+  PointSet ps = RandomPoints(256, 2, 3);
+  SortedOrders orders(ps);
+  util::Rng rng(4);
+  // Perform a cascade of random splits, tracking ranges.
+  struct Range {
+    size_t begin, end;
+  };
+  std::vector<Range> ranges{{0, 256}};
+  for (int round = 0; round < 5; ++round) {
+    std::vector<Range> next;
+    for (const Range& r : ranges) {
+      if (r.end - r.begin < 4) {
+        next.push_back(r);
+        continue;
+      }
+      size_t s = rng.UniformIndex(2);
+      auto ids = orders.Range(s, r.begin, r.end);
+      uint32_t boundary = ids[ids.size() / 2];
+      size_t left = orders.SplitRange(r.begin, r.end, s, boundary);
+      ASSERT_GT(left, 0u);
+      ASSERT_LT(left, r.end - r.begin);
+      next.push_back({r.begin, r.begin + left});
+      next.push_back({r.begin + left, r.end});
+    }
+    ranges = next;
+    // Invariant: every range holds the same id set in both orders.
+    for (const Range& r : ranges) {
+      EXPECT_EQ(IdSet(orders.Range(0, r.begin, r.end)),
+                IdSet(orders.Range(1, r.begin, r.end)));
+    }
+  }
+  // All ranges together still cover every id exactly once (Lemma 1).
+  std::set<uint32_t> all;
+  for (const Range& r : ranges) {
+    for (uint32_t id : orders.Range(0, r.begin, r.end)) {
+      EXPECT_TRUE(all.insert(id).second);
+    }
+  }
+  EXPECT_EQ(all.size(), 256u);
+}
+
+TEST(SortOrdersTest, DuplicateCoordinatesSplitByIdTieBreak) {
+  // All points identical: the (coord, id) key still defines a strict
+  // total order, so splits are well defined.
+  std::vector<float> coords(50 * 2, 1.0f);
+  PointSet ps(std::move(coords), 2);
+  SortedOrders orders(ps);
+  auto ids = orders.Range(0, 0, 50);
+  uint32_t boundary = ids[25];
+  size_t left = orders.SplitRange(0, 50, 0, boundary);
+  EXPECT_EQ(left, 25u);
+}
+
+TEST(SortOrdersTest, OverwriteRange) {
+  PointSet ps = RandomPoints(10, 2, 5);
+  SortedOrders orders(ps);
+  std::vector<uint32_t> reversed(orders.Range(0, 0, 10).begin(),
+                                 orders.Range(0, 0, 10).end());
+  std::reverse(reversed.begin(), reversed.end());
+  orders.OverwriteRange(0, 0, reversed);
+  auto now = orders.Range(0, 0, 10);
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(now[i], reversed[i]);
+}
+
+TEST(SortOrdersTest, MemoryAccounting) {
+  PointSet ps = RandomPoints(100, 3, 6);
+  SortedOrders orders(ps);
+  // 3 orders x 100 ids x 4 bytes + scratch.
+  EXPECT_GE(orders.MemoryBytes(), 3 * 100 * sizeof(uint32_t));
+}
+
+}  // namespace
+}  // namespace vkg::index
