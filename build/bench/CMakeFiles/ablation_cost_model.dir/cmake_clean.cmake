@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cost_model.dir/ablation_cost_model.cc.o"
+  "CMakeFiles/ablation_cost_model.dir/ablation_cost_model.cc.o.d"
+  "ablation_cost_model"
+  "ablation_cost_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_freebase_time.dir/fig03_freebase_time.cc.o"
+  "CMakeFiles/fig03_freebase_time.dir/fig03_freebase_time.cc.o.d"
+  "fig03_freebase_time"
+  "fig03_freebase_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_freebase_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

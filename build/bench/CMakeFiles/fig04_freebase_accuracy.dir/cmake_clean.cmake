@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_freebase_accuracy.dir/fig04_freebase_accuracy.cc.o"
+  "CMakeFiles/fig04_freebase_accuracy.dir/fig04_freebase_accuracy.cc.o.d"
+  "fig04_freebase_accuracy"
+  "fig04_freebase_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_freebase_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

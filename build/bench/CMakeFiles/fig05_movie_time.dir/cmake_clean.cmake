@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_movie_time.dir/fig05_movie_time.cc.o"
+  "CMakeFiles/fig05_movie_time.dir/fig05_movie_time.cc.o.d"
+  "fig05_movie_time"
+  "fig05_movie_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_movie_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_movie_accuracy.dir/fig06_movie_accuracy.cc.o"
+  "CMakeFiles/fig06_movie_accuracy.dir/fig06_movie_accuracy.cc.o.d"
+  "fig06_movie_accuracy"
+  "fig06_movie_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_movie_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_amazon_time.dir/fig07_amazon_time.cc.o"
+  "CMakeFiles/fig07_amazon_time.dir/fig07_amazon_time.cc.o.d"
+  "fig07_amazon_time"
+  "fig07_amazon_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_amazon_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_amazon_accuracy.dir/fig08_amazon_accuracy.cc.o"
+  "CMakeFiles/fig08_amazon_accuracy.dir/fig08_amazon_accuracy.cc.o.d"
+  "fig08_amazon_accuracy"
+  "fig08_amazon_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_amazon_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

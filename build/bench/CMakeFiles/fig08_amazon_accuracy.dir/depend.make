@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_amazon_accuracy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_freebase_nodes.dir/fig09_freebase_nodes.cc.o"
+  "CMakeFiles/fig09_freebase_nodes.dir/fig09_freebase_nodes.cc.o.d"
+  "fig09_freebase_nodes"
+  "fig09_freebase_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_freebase_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_movie_indexsize.dir/fig10_movie_indexsize.cc.o"
+  "CMakeFiles/fig10_movie_indexsize.dir/fig10_movie_indexsize.cc.o.d"
+  "fig10_movie_indexsize"
+  "fig10_movie_indexsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_movie_indexsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

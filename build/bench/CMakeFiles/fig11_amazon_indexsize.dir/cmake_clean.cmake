@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_amazon_indexsize.dir/fig11_amazon_indexsize.cc.o"
+  "CMakeFiles/fig11_amazon_indexsize.dir/fig11_amazon_indexsize.cc.o.d"
+  "fig11_amazon_indexsize"
+  "fig11_amazon_indexsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_amazon_indexsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_freebase_count.dir/fig12_freebase_count.cc.o"
+  "CMakeFiles/fig12_freebase_count.dir/fig12_freebase_count.cc.o.d"
+  "fig12_freebase_count"
+  "fig12_freebase_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_freebase_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

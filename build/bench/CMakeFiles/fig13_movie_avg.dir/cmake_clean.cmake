@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_movie_avg.dir/fig13_movie_avg.cc.o"
+  "CMakeFiles/fig13_movie_avg.dir/fig13_movie_avg.cc.o.d"
+  "fig13_movie_avg"
+  "fig13_movie_avg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_movie_avg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_amazon_avg.dir/fig14_amazon_avg.cc.o"
+  "CMakeFiles/fig14_amazon_avg.dir/fig14_amazon_avg.cc.o.d"
+  "fig14_amazon_avg"
+  "fig14_amazon_avg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_amazon_avg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_freebase_max.dir/fig15_freebase_max.cc.o"
+  "CMakeFiles/fig15_freebase_max.dir/fig15_freebase_max.cc.o.d"
+  "fig15_freebase_max"
+  "fig15_freebase_max.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_freebase_max.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_movie_min.dir/fig16_movie_min.cc.o"
+  "CMakeFiles/fig16_movie_min.dir/fig16_movie_min.cc.o.d"
+  "fig16_movie_min"
+  "fig16_movie_min.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_movie_min.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_index_ops.dir/micro_index_ops.cc.o"
+  "CMakeFiles/micro_index_ops.dir/micro_index_ops.cc.o.d"
+  "micro_index_ops"
+  "micro_index_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_index_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

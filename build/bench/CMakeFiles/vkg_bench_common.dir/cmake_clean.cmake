@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vkg_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/vkg_bench_common.dir/bench_common.cc.o.d"
+  "libvkg_bench_common.a"
+  "libvkg_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vkg_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvkg_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregate_analytics.dir/aggregate_analytics.cpp.o"
+  "CMakeFiles/aggregate_analytics.dir/aggregate_analytics.cpp.o.d"
+  "aggregate_analytics"
+  "aggregate_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregate_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

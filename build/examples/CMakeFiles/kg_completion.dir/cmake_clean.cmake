@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_completion.dir/kg_completion.cpp.o"
+  "CMakeFiles/kg_completion.dir/kg_completion.cpp.o.d"
+  "kg_completion"
+  "kg_completion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_completion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

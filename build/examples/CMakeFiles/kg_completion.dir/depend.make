@@ -1,0 +1,2 @@
+# Empty dependencies file for kg_completion.
+# This may be replaced when dependencies are built.

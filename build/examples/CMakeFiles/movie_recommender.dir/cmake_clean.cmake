@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_recommender.dir/movie_recommender.cpp.o"
+  "CMakeFiles/movie_recommender.dir/movie_recommender.cpp.o.d"
+  "movie_recommender"
+  "movie_recommender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

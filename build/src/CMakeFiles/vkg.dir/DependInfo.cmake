@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/options.cc" "src/CMakeFiles/vkg.dir/core/options.cc.o" "gcc" "src/CMakeFiles/vkg.dir/core/options.cc.o.d"
+  "/root/repo/src/core/virtual_graph.cc" "src/CMakeFiles/vkg.dir/core/virtual_graph.cc.o" "gcc" "src/CMakeFiles/vkg.dir/core/virtual_graph.cc.o.d"
+  "/root/repo/src/data/amazon_gen.cc" "src/CMakeFiles/vkg.dir/data/amazon_gen.cc.o" "gcc" "src/CMakeFiles/vkg.dir/data/amazon_gen.cc.o.d"
+  "/root/repo/src/data/freebase_gen.cc" "src/CMakeFiles/vkg.dir/data/freebase_gen.cc.o" "gcc" "src/CMakeFiles/vkg.dir/data/freebase_gen.cc.o.d"
+  "/root/repo/src/data/latent_model.cc" "src/CMakeFiles/vkg.dir/data/latent_model.cc.o" "gcc" "src/CMakeFiles/vkg.dir/data/latent_model.cc.o.d"
+  "/root/repo/src/data/movielens_gen.cc" "src/CMakeFiles/vkg.dir/data/movielens_gen.cc.o" "gcc" "src/CMakeFiles/vkg.dir/data/movielens_gen.cc.o.d"
+  "/root/repo/src/data/powerlaw.cc" "src/CMakeFiles/vkg.dir/data/powerlaw.cc.o" "gcc" "src/CMakeFiles/vkg.dir/data/powerlaw.cc.o.d"
+  "/root/repo/src/data/workload.cc" "src/CMakeFiles/vkg.dir/data/workload.cc.o" "gcc" "src/CMakeFiles/vkg.dir/data/workload.cc.o.d"
+  "/root/repo/src/embedding/evaluator.cc" "src/CMakeFiles/vkg.dir/embedding/evaluator.cc.o" "gcc" "src/CMakeFiles/vkg.dir/embedding/evaluator.cc.o.d"
+  "/root/repo/src/embedding/sampler.cc" "src/CMakeFiles/vkg.dir/embedding/sampler.cc.o" "gcc" "src/CMakeFiles/vkg.dir/embedding/sampler.cc.o.d"
+  "/root/repo/src/embedding/store.cc" "src/CMakeFiles/vkg.dir/embedding/store.cc.o" "gcc" "src/CMakeFiles/vkg.dir/embedding/store.cc.o.d"
+  "/root/repo/src/embedding/trainer.cc" "src/CMakeFiles/vkg.dir/embedding/trainer.cc.o" "gcc" "src/CMakeFiles/vkg.dir/embedding/trainer.cc.o.d"
+  "/root/repo/src/embedding/transa.cc" "src/CMakeFiles/vkg.dir/embedding/transa.cc.o" "gcc" "src/CMakeFiles/vkg.dir/embedding/transa.cc.o.d"
+  "/root/repo/src/embedding/transe.cc" "src/CMakeFiles/vkg.dir/embedding/transe.cc.o" "gcc" "src/CMakeFiles/vkg.dir/embedding/transe.cc.o.d"
+  "/root/repo/src/embedding/transh.cc" "src/CMakeFiles/vkg.dir/embedding/transh.cc.o" "gcc" "src/CMakeFiles/vkg.dir/embedding/transh.cc.o.d"
+  "/root/repo/src/embedding/vector_ops.cc" "src/CMakeFiles/vkg.dir/embedding/vector_ops.cc.o" "gcc" "src/CMakeFiles/vkg.dir/embedding/vector_ops.cc.o.d"
+  "/root/repo/src/index/bulk_rtree.cc" "src/CMakeFiles/vkg.dir/index/bulk_rtree.cc.o" "gcc" "src/CMakeFiles/vkg.dir/index/bulk_rtree.cc.o.d"
+  "/root/repo/src/index/cost_model.cc" "src/CMakeFiles/vkg.dir/index/cost_model.cc.o" "gcc" "src/CMakeFiles/vkg.dir/index/cost_model.cc.o.d"
+  "/root/repo/src/index/cracking_rtree.cc" "src/CMakeFiles/vkg.dir/index/cracking_rtree.cc.o" "gcc" "src/CMakeFiles/vkg.dir/index/cracking_rtree.cc.o.d"
+  "/root/repo/src/index/factory.cc" "src/CMakeFiles/vkg.dir/index/factory.cc.o" "gcc" "src/CMakeFiles/vkg.dir/index/factory.cc.o.d"
+  "/root/repo/src/index/geometry.cc" "src/CMakeFiles/vkg.dir/index/geometry.cc.o" "gcc" "src/CMakeFiles/vkg.dir/index/geometry.cc.o.d"
+  "/root/repo/src/index/h2alsh.cc" "src/CMakeFiles/vkg.dir/index/h2alsh.cc.o" "gcc" "src/CMakeFiles/vkg.dir/index/h2alsh.cc.o.d"
+  "/root/repo/src/index/linear_scan.cc" "src/CMakeFiles/vkg.dir/index/linear_scan.cc.o" "gcc" "src/CMakeFiles/vkg.dir/index/linear_scan.cc.o.d"
+  "/root/repo/src/index/phtree.cc" "src/CMakeFiles/vkg.dir/index/phtree.cc.o" "gcc" "src/CMakeFiles/vkg.dir/index/phtree.cc.o.d"
+  "/root/repo/src/index/rtree_node.cc" "src/CMakeFiles/vkg.dir/index/rtree_node.cc.o" "gcc" "src/CMakeFiles/vkg.dir/index/rtree_node.cc.o.d"
+  "/root/repo/src/index/rtree_serialize.cc" "src/CMakeFiles/vkg.dir/index/rtree_serialize.cc.o" "gcc" "src/CMakeFiles/vkg.dir/index/rtree_serialize.cc.o.d"
+  "/root/repo/src/index/sort_orders.cc" "src/CMakeFiles/vkg.dir/index/sort_orders.cc.o" "gcc" "src/CMakeFiles/vkg.dir/index/sort_orders.cc.o.d"
+  "/root/repo/src/index/topk_splits.cc" "src/CMakeFiles/vkg.dir/index/topk_splits.cc.o" "gcc" "src/CMakeFiles/vkg.dir/index/topk_splits.cc.o.d"
+  "/root/repo/src/kg/adjacency.cc" "src/CMakeFiles/vkg.dir/kg/adjacency.cc.o" "gcc" "src/CMakeFiles/vkg.dir/kg/adjacency.cc.o.d"
+  "/root/repo/src/kg/attributes.cc" "src/CMakeFiles/vkg.dir/kg/attributes.cc.o" "gcc" "src/CMakeFiles/vkg.dir/kg/attributes.cc.o.d"
+  "/root/repo/src/kg/dictionary.cc" "src/CMakeFiles/vkg.dir/kg/dictionary.cc.o" "gcc" "src/CMakeFiles/vkg.dir/kg/dictionary.cc.o.d"
+  "/root/repo/src/kg/graph.cc" "src/CMakeFiles/vkg.dir/kg/graph.cc.o" "gcc" "src/CMakeFiles/vkg.dir/kg/graph.cc.o.d"
+  "/root/repo/src/kg/io.cc" "src/CMakeFiles/vkg.dir/kg/io.cc.o" "gcc" "src/CMakeFiles/vkg.dir/kg/io.cc.o.d"
+  "/root/repo/src/kg/triple_store.cc" "src/CMakeFiles/vkg.dir/kg/triple_store.cc.o" "gcc" "src/CMakeFiles/vkg.dir/kg/triple_store.cc.o.d"
+  "/root/repo/src/query/aggregate_bounds.cc" "src/CMakeFiles/vkg.dir/query/aggregate_bounds.cc.o" "gcc" "src/CMakeFiles/vkg.dir/query/aggregate_bounds.cc.o.d"
+  "/root/repo/src/query/aggregate_engine.cc" "src/CMakeFiles/vkg.dir/query/aggregate_engine.cc.o" "gcc" "src/CMakeFiles/vkg.dir/query/aggregate_engine.cc.o.d"
+  "/root/repo/src/query/metrics.cc" "src/CMakeFiles/vkg.dir/query/metrics.cc.o" "gcc" "src/CMakeFiles/vkg.dir/query/metrics.cc.o.d"
+  "/root/repo/src/query/prob_model.cc" "src/CMakeFiles/vkg.dir/query/prob_model.cc.o" "gcc" "src/CMakeFiles/vkg.dir/query/prob_model.cc.o.d"
+  "/root/repo/src/query/topk_bounds.cc" "src/CMakeFiles/vkg.dir/query/topk_bounds.cc.o" "gcc" "src/CMakeFiles/vkg.dir/query/topk_bounds.cc.o.d"
+  "/root/repo/src/query/topk_engine.cc" "src/CMakeFiles/vkg.dir/query/topk_engine.cc.o" "gcc" "src/CMakeFiles/vkg.dir/query/topk_engine.cc.o.d"
+  "/root/repo/src/transform/jl_bounds.cc" "src/CMakeFiles/vkg.dir/transform/jl_bounds.cc.o" "gcc" "src/CMakeFiles/vkg.dir/transform/jl_bounds.cc.o.d"
+  "/root/repo/src/transform/jl_transform.cc" "src/CMakeFiles/vkg.dir/transform/jl_transform.cc.o" "gcc" "src/CMakeFiles/vkg.dir/transform/jl_transform.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/vkg.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/vkg.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/vkg.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/vkg.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/math_util.cc" "src/CMakeFiles/vkg.dir/util/math_util.cc.o" "gcc" "src/CMakeFiles/vkg.dir/util/math_util.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/vkg.dir/util/random.cc.o" "gcc" "src/CMakeFiles/vkg.dir/util/random.cc.o.d"
+  "/root/repo/src/util/serialize.cc" "src/CMakeFiles/vkg.dir/util/serialize.cc.o" "gcc" "src/CMakeFiles/vkg.dir/util/serialize.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/vkg.dir/util/status.cc.o" "gcc" "src/CMakeFiles/vkg.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/vkg.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/vkg.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/vkg.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/vkg.dir/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for vkg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cracking_test.dir/cracking_test.cc.o"
+  "CMakeFiles/cracking_test.dir/cracking_test.cc.o.d"
+  "cracking_test"
+  "cracking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cracking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2alsh_test.dir/h2alsh_test.cc.o"
+  "CMakeFiles/h2alsh_test.dir/h2alsh_test.cc.o.d"
+  "h2alsh_test"
+  "h2alsh_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2alsh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

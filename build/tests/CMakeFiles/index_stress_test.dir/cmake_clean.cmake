@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_stress_test.dir/index_stress_test.cc.o"
+  "CMakeFiles/index_stress_test.dir/index_stress_test.cc.o.d"
+  "index_stress_test"
+  "index_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

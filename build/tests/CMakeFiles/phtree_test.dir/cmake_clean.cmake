@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phtree_test.dir/phtree_test.cc.o"
+  "CMakeFiles/phtree_test.dir/phtree_test.cc.o.d"
+  "phtree_test"
+  "phtree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_engine_test.dir/topk_engine_test.cc.o"
+  "CMakeFiles/topk_engine_test.dir/topk_engine_test.cc.o.d"
+  "topk_engine_test"
+  "topk_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

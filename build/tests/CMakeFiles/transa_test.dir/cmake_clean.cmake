@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transa_test.dir/transa_test.cc.o"
+  "CMakeFiles/transa_test.dir/transa_test.cc.o.d"
+  "transa_test"
+  "transa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

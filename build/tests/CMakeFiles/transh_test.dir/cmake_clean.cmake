@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transh_test.dir/transh_test.cc.o"
+  "CMakeFiles/transh_test.dir/transh_test.cc.o.d"
+  "transh_test"
+  "transh_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

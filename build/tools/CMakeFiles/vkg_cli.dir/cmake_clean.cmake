@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vkg_cli.dir/vkg_cli.cc.o"
+  "CMakeFiles/vkg_cli.dir/vkg_cli.cc.o.d"
+  "vkg_cli"
+  "vkg_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vkg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
