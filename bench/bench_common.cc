@@ -275,6 +275,35 @@ void PrintAggregateSweep(const std::string& title,
   }
 }
 
+void WriteBenchJson(
+    const std::string& path, const std::string& bench,
+    const std::vector<std::pair<std::string, double>>& context,
+    const std::vector<BenchRecord>& records) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+    return;
+  }
+  // %.17g round-trips doubles; names come from compile-time literals, so
+  // no string escaping is needed.
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"context\": {", bench.c_str());
+  for (size_t i = 0; i < context.size(); ++i) {
+    std::fprintf(f, "%s\n    \"%s\": %.17g", i == 0 ? "" : ",",
+                 context[i].first.c_str(), context[i].second);
+  }
+  std::fprintf(f, "\n  },\n  \"results\": [");
+  for (size_t i = 0; i < records.size(); ++i) {
+    std::fprintf(f,
+                 "%s\n    {\"name\": \"%s\", \"value\": %.17g, "
+                 "\"unit\": \"%s\"}",
+                 i == 0 ? "" : ",", records[i].name.c_str(),
+                 records[i].value, records[i].unit.c_str());
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+}
+
 void PrintTitle(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }

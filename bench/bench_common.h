@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "data/amazon_gen.h"
@@ -95,6 +96,23 @@ double MeasurePrecision(MethodRun& run, MethodRun& truth,
 void PrintTitle(const std::string& title);
 void PrintRow(const std::vector<std::string>& cells,
               const std::vector<int>& widths);
+
+/// One machine-readable benchmark measurement.
+struct BenchRecord {
+  std::string name;   // e.g. "blocked_kernel_100k_x_100"
+  double value = 0.0;
+  std::string unit;   // e.g. "ms", "qps", "x"
+};
+
+/// Writes records to `path` as a stable JSON document
+///   {"bench": <bench>, "context": {...}, "results": [{name,value,unit}]}
+/// so figure benches and micro benches share one output format and
+/// future PRs can diff perf trajectories. `context` entries are free-form
+/// key/value doubles (thread counts, dataset sizes, scale factor).
+void WriteBenchJson(
+    const std::string& path, const std::string& bench,
+    const std::vector<std::pair<std::string, double>>& context,
+    const std::vector<BenchRecord>& records);
 
 /// One point of the aggregate time/accuracy tradeoff (Figures 12-16).
 struct AggregateSweepRow {

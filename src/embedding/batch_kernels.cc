@@ -1,0 +1,159 @@
+#include "embedding/batch_kernels.h"
+
+#include "embedding/vector_ops.h"
+#include "util/check.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define VKG_KERNEL_DISPATCH 1
+#include <immintrin.h>
+#endif
+
+namespace vkg::embedding {
+
+namespace {
+
+#if defined(__GNUC__) || defined(__clang__)
+inline void PrefetchRow(const float* p) { __builtin_prefetch(p, 0, 1); }
+#else
+inline void PrefetchRow(const float*) {}
+#endif
+
+// One row's squared L2 distance. All variants accumulate in double with
+// a fixed lane layout over the dimension index, so a row's result
+// depends only on (row, q, dim) — never on its position in a batch —
+// and the blocked, gather and remainder paths agree exactly. The
+// portable variant splits the loop-carried double add into four
+// independent chains; the AVX variants widen those chains to 8 SIMD
+// lanes. Which variant runs is resolved once per process, so results
+// are deterministic within a run.
+
+double RowL2Portable(const float* r, const float* q, size_t dim) {
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  size_t j = 0;
+  for (; j + 4 <= dim; j += 4) {
+    const double d0 = static_cast<double>(r[j]) - q[j];
+    const double d1 = static_cast<double>(r[j + 1]) - q[j + 1];
+    const double d2 = static_cast<double>(r[j + 2]) - q[j + 2];
+    const double d3 = static_cast<double>(r[j + 3]) - q[j + 3];
+    a0 += d0 * d0;
+    a1 += d1 * d1;
+    a2 += d2 * d2;
+    a3 += d3 * d3;
+  }
+  double tail = 0.0;
+  for (; j < dim; ++j) {
+    const double d = static_cast<double>(r[j]) - q[j];
+    tail += d * d;
+  }
+  return (a0 + a1) + (a2 + a3) + tail;
+}
+
+#ifdef VKG_KERNEL_DISPATCH
+
+__attribute__((target("avx2,fma")))
+double RowL2Avx2(const float* r, const float* q, size_t dim) {
+  __m256d a0 = _mm256_setzero_pd();
+  __m256d a1 = _mm256_setzero_pd();
+  size_t j = 0;
+  for (; j + 8 <= dim; j += 8) {
+    const __m256d r0 = _mm256_cvtps_pd(_mm_loadu_ps(r + j));
+    const __m256d q0 = _mm256_cvtps_pd(_mm_loadu_ps(q + j));
+    const __m256d r1 = _mm256_cvtps_pd(_mm_loadu_ps(r + j + 4));
+    const __m256d q1 = _mm256_cvtps_pd(_mm_loadu_ps(q + j + 4));
+    const __m256d d0 = _mm256_sub_pd(r0, q0);
+    const __m256d d1 = _mm256_sub_pd(r1, q1);
+    a0 = _mm256_fmadd_pd(d0, d0, a0);
+    a1 = _mm256_fmadd_pd(d1, d1, a1);
+  }
+  double lanes[4];
+  _mm256_storeu_pd(lanes, _mm256_add_pd(a0, a1));
+  double acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; j < dim; ++j) {
+    const double d = static_cast<double>(r[j]) - q[j];
+    acc += d * d;
+  }
+  return acc;
+}
+
+__attribute__((target("avx512f")))
+double RowL2Avx512(const float* r, const float* q, size_t dim) {
+  __m512d a0 = _mm512_setzero_pd();
+  __m512d a1 = _mm512_setzero_pd();
+  size_t j = 0;
+  for (; j + 16 <= dim; j += 16) {
+    const __m512d r0 = _mm512_cvtps_pd(_mm256_loadu_ps(r + j));
+    const __m512d q0 = _mm512_cvtps_pd(_mm256_loadu_ps(q + j));
+    const __m512d r1 = _mm512_cvtps_pd(_mm256_loadu_ps(r + j + 8));
+    const __m512d q1 = _mm512_cvtps_pd(_mm256_loadu_ps(q + j + 8));
+    const __m512d d0 = _mm512_sub_pd(r0, q0);
+    const __m512d d1 = _mm512_sub_pd(r1, q1);
+    a0 = _mm512_fmadd_pd(d0, d0, a0);
+    a1 = _mm512_fmadd_pd(d1, d1, a1);
+  }
+  double acc = _mm512_reduce_add_pd(_mm512_add_pd(a0, a1));
+  for (; j < dim; ++j) {
+    const double d = static_cast<double>(r[j]) - q[j];
+    acc += d * d;
+  }
+  return acc;
+}
+
+using RowKernel = double (*)(const float*, const float*, size_t);
+
+RowKernel ResolveRowKernel() {
+  if (__builtin_cpu_supports("avx512f")) return RowL2Avx512;
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return RowL2Avx2;
+  }
+  return RowL2Portable;
+}
+
+double RowL2(const float* r, const float* q, size_t dim) {
+  static const RowKernel kernel = ResolveRowKernel();
+  return kernel(r, q, dim);
+}
+
+#else  // !VKG_KERNEL_DISPATCH
+
+inline double RowL2(const float* r, const float* q, size_t dim) {
+  return RowL2Portable(r, q, dim);
+}
+
+#endif  // VKG_KERNEL_DISPATCH
+
+}  // namespace
+
+void BatchL2DistanceSquared(std::span<const float> q, const float* rows,
+                            size_t n, double* out) {
+  const size_t dim = q.size();
+  const float* qp = q.data();
+  for (size_t i = 0; i < n; ++i) {
+    // Pull upcoming rows into cache while this one computes.
+    if (i + 4 < n) PrefetchRow(rows + (i + 4) * dim);
+    out[i] = RowL2(rows + i * dim, qp, dim);
+  }
+}
+
+void BatchL2DistanceSquared(std::span<const float> q,
+                            const EmbeddingStore& store, uint32_t first,
+                            size_t n, double* out) {
+  VKG_DCHECK(first + n <= store.num_entities());
+  VKG_DCHECK(q.size() == store.dim());
+  if (n == 0) return;
+  BatchL2DistanceSquared(q, store.Entity(first).data(), n, out);
+}
+
+void GatherL2DistanceSquared(std::span<const float> q,
+                             const EmbeddingStore& store,
+                             std::span<const uint32_t> ids, double* out) {
+  VKG_DCHECK(q.size() == store.dim());
+  const size_t dim = store.dim();
+  const float* qp = q.data();
+  const size_t n = ids.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (i + 4 < n) PrefetchRow(store.Entity(ids[i + 4]).data());
+    out[i] = RowL2(store.Entity(ids[i]).data(), qp, dim);
+  }
+}
+
+}  // namespace vkg::embedding

@@ -1,0 +1,45 @@
+#ifndef VKG_EMBEDDING_BATCH_KERNELS_H_
+#define VKG_EMBEDDING_BATCH_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "embedding/store.h"
+
+namespace vkg::embedding {
+
+/// Blocked distance kernels for the hot candidate-evaluation loops
+/// (LinearScan, Algorithm 3 exact re-rank, aggregate sampling).
+///
+/// Every kernel routes each row through one shared per-row function, so
+/// a row's result depends only on (row, q, dim) — the blocked, gather
+/// and remainder paths agree bit-for-bit and batched execution returns
+/// exactly what per-row execution would. The per-row function is picked
+/// once per process: a runtime-dispatched AVX-512 / AVX2+FMA kernel on
+/// x86-64 CPUs that support it, else a portable variant with four
+/// independent double accumulator chains. All variants accumulate in
+/// `double`; they may differ from the strictly-sequential scalar
+/// `L2DistanceSquared` in the last few ulps (different association of
+/// the same exact products), but are deterministic within a process.
+
+/// out[i] = ||rows[i*dim .. i*dim+dim) - q||^2 for i in [0, n).
+/// `rows` must hold n contiguous row-major vectors of size q.size().
+void BatchL2DistanceSquared(std::span<const float> q, const float* rows,
+                            size_t n, double* out);
+
+/// Convenience overload over a contiguous id range of the store:
+/// out[i] = ||store[first + i] - q||^2 for i in [0, n).
+void BatchL2DistanceSquared(std::span<const float> q,
+                            const EmbeddingStore& store, uint32_t first,
+                            size_t n, double* out);
+
+/// Gather path for candidate-ID lists (the re-rank step of Algorithm 3):
+/// out[i] = ||store[ids[i]] - q||^2.
+void GatherL2DistanceSquared(std::span<const float> q,
+                             const EmbeddingStore& store,
+                             std::span<const uint32_t> ids, double* out);
+
+}  // namespace vkg::embedding
+
+#endif  // VKG_EMBEDDING_BATCH_KERNELS_H_

@@ -47,9 +47,12 @@ CrackingRTree::CrackingRTree(const PointSet* points,
 }
 
 SortedOrders* CrackingRTree::EnsureOrders() const {
-  if (orders_ == nullptr) {
+  // call_once so concurrent const readers (ElementIds/ProbeSmallest via
+  // BatchTopK on a bulk-loaded tree) can race to materialize the lazily
+  // built sort orders safely.
+  std::call_once(orders_once_, [this] {
     orders_ = std::make_unique<SortedOrders>(*points_);
-  }
+  });
   return orders_.get();
 }
 

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 
@@ -107,6 +108,7 @@ class CrackingRTree {
 
   const PointSet* points_;
   RTreeConfig config_;
+  mutable std::once_flag orders_once_;
   mutable std::unique_ptr<SortedOrders> orders_;
   std::unique_ptr<Node> root_;
   ChunkingStats chunk_stats_;

@@ -116,9 +116,10 @@ uint64_t H2Alsh::Signature(const Subset& s, size_t table,
 
 std::vector<std::pair<double, uint32_t>> H2Alsh::TopK(
     std::span<const float> q, size_t k,
-    const std::function<bool(uint32_t)>& skip) const {
+    const std::function<bool(uint32_t)>& skip,
+    size_t* candidates_examined) const {
   VKG_CHECK(q.size() == d_);
-  last_candidates_ = 0;
+  size_t num_candidates = 0;
 
   double qnorm = 0.0;
   for (float v : q) qnorm += static_cast<double>(v) * v;
@@ -143,7 +144,7 @@ std::vector<std::pair<double, uint32_t>> H2Alsh::TopK(
     for (size_t i = 0; i < d_; ++i) {
       ip += static_cast<double>(x[i]) * q[i];
     }
-    ++last_candidates_;
+    ++num_candidates;
     if (best.size() < k) {
       best.emplace(ip, id);
     } else if (ip > best.top().first) {
@@ -181,6 +182,7 @@ std::vector<std::pair<double, uint32_t>> H2Alsh::TopK(
     best.pop();
   }
   std::reverse(out.begin(), out.end());  // descending score
+  if (candidates_examined != nullptr) *candidates_examined = num_candidates;
   return out;
 }
 

@@ -49,17 +49,18 @@ class H2Alsh {
          const H2AlshConfig& config);
 
   /// The k ids with the largest inner product against `q`, descending
-  /// by score. `skip` excludes items.
+  /// by score. `skip` excludes items. `candidates_examined` (optional)
+  /// receives the number of candidates scored; instrumentation is
+  /// returned through this out-parameter rather than stored on the
+  /// structure so concurrent TopK calls share no mutable state.
   std::vector<std::pair<double, uint32_t>> TopK(
       std::span<const float> q, size_t k,
-      const std::function<bool(uint32_t)>& skip = nullptr) const;
+      const std::function<bool(uint32_t)>& skip = nullptr,
+      size_t* candidates_examined = nullptr) const;
 
   size_t size() const { return n_; }
   size_t num_subsets() const { return subsets_.size(); }
   size_t MemoryBytes() const;
-
-  /// Candidates examined by the last TopK call (instrumentation).
-  size_t last_candidates() const { return last_candidates_; }
 
  private:
   struct HashTable {
@@ -87,7 +88,6 @@ class H2Alsh {
   H2AlshConfig config_;
   std::vector<float> data_;
   std::vector<Subset> subsets_;  // descending max_norm
-  mutable size_t last_candidates_ = 0;
 };
 
 }  // namespace vkg::index

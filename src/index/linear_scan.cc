@@ -1,49 +1,29 @@
 #include "index/linear_scan.h"
 
-#include <algorithm>
-#include <cmath>
-#include <queue>
-
-#include "embedding/vector_ops.h"
-
 namespace vkg::index {
+
+namespace {
+
+// Always-false predicate for the no-skip case; inlines to nothing.
+struct NoSkip {
+  bool operator()(uint32_t) const { return false; }
+};
+
+}  // namespace
 
 std::vector<std::pair<double, uint32_t>> LinearScan::TopK(
     std::span<const float> q, size_t k,
     const std::function<bool(uint32_t)>& skip) const {
-  // Max-heap of the best k (distance, id) pairs seen so far.
-  std::priority_queue<std::pair<double, uint32_t>> heap;
-  const size_t n = store_->num_entities();
-  for (uint32_t e = 0; e < n; ++e) {
-    if (skip && skip(e)) continue;
-    double d2 = embedding::L2DistanceSquared(store_->Entity(e), q);
-    if (heap.size() < k) {
-      heap.emplace(d2, e);
-    } else if (d2 < heap.top().first) {
-      heap.pop();
-      heap.emplace(d2, e);
-    }
-  }
-  std::vector<std::pair<double, uint32_t>> out;
-  out.reserve(heap.size());
-  while (!heap.empty()) {
-    out.emplace_back(std::sqrt(heap.top().first), heap.top().second);
-    heap.pop();
-  }
-  std::reverse(out.begin(), out.end());
-  return out;
+  if (!skip) return TopK(q, k, NoSkip{});
+  return TopK(q, k, [&skip](uint32_t e) { return skip(e); });
 }
 
 void LinearScan::Ball(std::span<const float> q, double radius,
                       const std::function<void(uint32_t, double)>& fn,
                       const std::function<bool(uint32_t)>& skip) const {
-  const double r2 = radius * radius;
-  const size_t n = store_->num_entities();
-  for (uint32_t e = 0; e < n; ++e) {
-    if (skip && skip(e)) continue;
-    double d2 = embedding::L2DistanceSquared(store_->Entity(e), q);
-    if (d2 <= r2) fn(e, std::sqrt(d2));
-  }
+  auto emit = [&fn](uint32_t e, double d) { fn(e, d); };
+  if (!skip) return Ball(q, radius, emit, NoSkip{});
+  Ball(q, radius, emit, [&skip](uint32_t e) { return skip(e); });
 }
 
 }  // namespace vkg::index

@@ -1,12 +1,16 @@
 #ifndef VKG_INDEX_LINEAR_SCAN_H_
 #define VKG_INDEX_LINEAR_SCAN_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <functional>
+#include <queue>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "embedding/batch_kernels.h"
 #include "embedding/store.h"
 
 namespace vkg::index {
@@ -14,6 +18,12 @@ namespace vkg::index {
 /// The no-index baseline (Section VI): iterate over every entity in the
 /// original embedding space S1 and keep the best matches. Also serves as
 /// the ground truth for precision@K of the approximate index methods.
+///
+/// Distances are evaluated through the blocked kernels in
+/// embedding/batch_kernels.h (bit-identical to the scalar kernel), and
+/// the skip predicate is a template parameter on the hot path so the
+/// per-entity test inlines instead of going through std::function
+/// dispatch; the std::function overloads below are thin wrappers.
 class LinearScan {
  public:
   /// `store` must outlive the scanner.
@@ -21,13 +31,66 @@ class LinearScan {
       : store_(store) {}
 
   /// The k entities nearest to `q` (size = store dim) by L2 distance,
-  /// ascending. `skip` (optional) excludes entities (e.g., existing
+  /// ascending. `skip(id) == true` excludes an entity (e.g., existing
   /// neighbors in E and the query anchor itself).
+  template <typename Skip>
+  std::vector<std::pair<double, uint32_t>> TopK(std::span<const float> q,
+                                                size_t k, Skip&& skip) const {
+    // Max-heap of the best k (distance, id) pairs seen so far.
+    std::priority_queue<std::pair<double, uint32_t>> heap;
+    const size_t n = store_->num_entities();
+    double dist[kBlock];
+    for (size_t base = 0; base < n; base += kBlock) {
+      const size_t len = std::min(kBlock, n - base);
+      embedding::BatchL2DistanceSquared(q, *store_,
+                                        static_cast<uint32_t>(base), len,
+                                        dist);
+      for (size_t i = 0; i < len; ++i) {
+        const uint32_t e = static_cast<uint32_t>(base + i);
+        if (skip(e)) continue;
+        const double d2 = dist[i];
+        if (heap.size() < k) {
+          heap.emplace(d2, e);
+        } else if (d2 < heap.top().first) {
+          heap.pop();
+          heap.emplace(d2, e);
+        }
+      }
+    }
+    std::vector<std::pair<double, uint32_t>> out;
+    out.reserve(heap.size());
+    while (!heap.empty()) {
+      out.emplace_back(std::sqrt(heap.top().first), heap.top().second);
+      heap.pop();
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+  /// Invokes fn(id, distance) for every entity within `radius` of `q`.
+  template <typename Fn, typename Skip>
+  void Ball(std::span<const float> q, double radius, Fn&& fn,
+            Skip&& skip) const {
+    const double r2 = radius * radius;
+    const size_t n = store_->num_entities();
+    double dist[kBlock];
+    for (size_t base = 0; base < n; base += kBlock) {
+      const size_t len = std::min(kBlock, n - base);
+      embedding::BatchL2DistanceSquared(q, *store_,
+                                        static_cast<uint32_t>(base), len,
+                                        dist);
+      for (size_t i = 0; i < len; ++i) {
+        const uint32_t e = static_cast<uint32_t>(base + i);
+        if (skip(e)) continue;
+        if (dist[i] <= r2) fn(e, std::sqrt(dist[i]));
+      }
+    }
+  }
+
+  // std::function wrappers (the original interface).
   std::vector<std::pair<double, uint32_t>> TopK(
       std::span<const float> q, size_t k,
       const std::function<bool(uint32_t)>& skip = nullptr) const;
-
-  /// Invokes fn(id, distance) for every entity within `radius` of `q`.
   void Ball(std::span<const float> q, double radius,
             const std::function<void(uint32_t, double)>& fn,
             const std::function<bool(uint32_t)>& skip = nullptr) const;
@@ -35,6 +98,8 @@ class LinearScan {
   size_t size() const { return store_->num_entities(); }
 
  private:
+  static constexpr size_t kBlock = 256;
+
   const embedding::EmbeddingStore* store_;
 };
 

@@ -5,6 +5,7 @@
 #include <limits>
 #include <queue>
 
+#include "embedding/batch_kernels.h"
 #include "embedding/vector_ops.h"
 #include "query/prob_model.h"
 #include "transform/jl_bounds.h"
@@ -39,7 +40,11 @@ AggregateEngine::AggregateEngine(const kg::KnowledgeGraph* graph,
       jl_(jl),
       tree_(tree),
       eps_(eps),
-      crack_after_query_(crack_after_query) {}
+      crack_after_query_(crack_after_query) {
+  top1_ = std::make_unique<RTreeTopKEngine>(graph_, store_, jl_, tree_, eps_,
+                                            /*crack_after_query=*/false,
+                                            "agg-top1");
+}
 
 namespace {
 
@@ -66,7 +71,7 @@ util::Status ValidateSpec(const kg::KnowledgeGraph& graph,
 }  // namespace
 
 util::Result<AggregateResult> AggregateEngine::Aggregate(
-    const AggregateSpec& spec) {
+    const AggregateSpec& spec, QueryContext& ctx) const {
   VKG_RETURN_IF_ERROR(ValidateSpec(*graph_, spec));
   const auto skip = MakeSkipFn(*graph_, spec.query);
   std::vector<float> q_s1 = store_->QueryCenter(
@@ -75,13 +80,7 @@ util::Result<AggregateResult> AggregateEngine::Aggregate(
 
   // d_min via a top-1 probe (shares Algorithm 3 machinery; no cracking —
   // the aggregate's own final region cracks below).
-  if (top1_ == nullptr) {
-    top1_ = std::make_unique<RTreeTopKEngine>(graph_, store_, jl_, tree_,
-                                              eps_,
-                                              /*crack_after_query=*/false,
-                                              "agg-top1");
-  }
-  TopKResult nearest = top1_->TopKQuery(spec.query, 1);
+  TopKResult nearest = top1_->TopKQuery(spec.query, 1, ctx);
   if (nearest.hits.empty()) return AggregateResult{};
   ProbabilityModel pm(nearest.hits[0].distance);
   const double r_tau = pm.RadiusForThreshold(spec.prob_threshold);
@@ -196,18 +195,22 @@ util::Result<AggregateResult> AggregateEngine::Aggregate(
 }
 
 util::Result<AggregateResult> AggregateEngine::ExactAggregate(
-    const AggregateSpec& spec) {
+    const AggregateSpec& spec) const {
   VKG_RETURN_IF_ERROR(ValidateSpec(*graph_, spec));
   const auto skip = MakeSkipFn(*graph_, spec.query);
   std::vector<float> q_s1 = store_->QueryCenter(
       spec.query.anchor, spec.query.relation, spec.query.direction);
 
-  // Exact d_min by full scan.
+  // Exact squared distances of every entity through the blocked kernel
+  // (one pass; both the d_min scan and the ball scan read from it).
   const size_t n = store_->num_entities();
+  std::vector<double> d2(n);
+  embedding::BatchL2DistanceSquared(q_s1, *store_, /*first=*/0, n,
+                                    d2.data());
   double d_min = -1.0;
   for (uint32_t e = 0; e < n; ++e) {
     if (skip(e)) continue;
-    double d = embedding::L2Distance(store_->Entity(e), q_s1);
+    double d = std::sqrt(d2[e]);
     if (d_min < 0 || d < d_min) d_min = d;
   }
   if (d_min < 0) return AggregateResult{};
@@ -217,7 +220,7 @@ util::Result<AggregateResult> AggregateEngine::ExactAggregate(
   std::vector<BallPoint> accessed;
   for (uint32_t e = 0; e < n; ++e) {
     if (skip(e)) continue;
-    double d = embedding::L2Distance(store_->Entity(e), q_s1);
+    double d = std::sqrt(d2[e]);
     if (d > r_tau) continue;
     double value = AttributeValue(*graph_, spec.kind, spec.attribute, e);
     if (spec.kind != AggKind::kCount && std::isnan(value)) continue;
@@ -233,7 +236,7 @@ util::Result<AggregateResult> AggregateEngine::ExactAggregate(
 
 util::Result<AggregateResult> AggregateEngine::Estimate(
     const AggregateSpec& spec, const std::vector<BallPoint>& accessed,
-    double unaccessed_mass, double unaccessed_count) {
+    double unaccessed_mass, double unaccessed_count) const {
   AggregateResult result;
   result.accessed = accessed.size();
   result.estimated_total =

@@ -66,13 +66,27 @@ class AggregateEngine {
                   index::CrackingRTree* tree, double eps,
                   bool crack_after_query);
 
-  /// Answers `spec`; NotFound if the attribute column does not exist
-  /// (except COUNT), InvalidArgument for a bad threshold.
-  util::Result<AggregateResult> Aggregate(const AggregateSpec& spec);
+  /// Answers `spec` using `ctx` for per-query scratch state; NotFound if
+  /// the attribute column does not exist (except COUNT), InvalidArgument
+  /// for a bad threshold. `ctx` must not be shared between concurrent
+  /// callers.
+  util::Result<AggregateResult> Aggregate(const AggregateSpec& spec,
+                                          QueryContext& ctx) const;
+
+  /// Single-query convenience form (fresh context per call).
+  util::Result<AggregateResult> Aggregate(const AggregateSpec& spec) const {
+    QueryContext ctx;
+    return Aggregate(spec, ctx);
+  }
 
   /// Exact ground truth: accesses every entity (no index), a = b, exact
   /// distances. Used for the accuracy metric of Figures 12-16.
-  util::Result<AggregateResult> ExactAggregate(const AggregateSpec& spec);
+  util::Result<AggregateResult> ExactAggregate(
+      const AggregateSpec& spec) const;
+
+  /// False when queries crack the shared tree; see
+  /// TopKEngine::SupportsConcurrentQueries.
+  bool SupportsConcurrentQueries() const { return !crack_after_query_; }
 
  private:
   struct BallPoint {
@@ -83,7 +97,7 @@ class AggregateEngine {
 
   util::Result<AggregateResult> Estimate(
       const AggregateSpec& spec, const std::vector<BallPoint>& accessed,
-      double unaccessed_mass, double unaccessed_count);
+      double unaccessed_mass, double unaccessed_count) const;
 
   const kg::KnowledgeGraph* graph_;
   const embedding::EmbeddingStore* store_;
@@ -91,8 +105,9 @@ class AggregateEngine {
   index::CrackingRTree* tree_;
   double eps_;
   bool crack_after_query_;
-  /// Top-1 probe reused across queries to find d_min (never cracks; the
-  /// aggregate's own final region does).
+  /// Top-1 probe shared across queries to find d_min (never cracks; the
+  /// aggregate's own final region does). Stateless per query, so safe to
+  /// share between concurrent callers with distinct contexts.
   std::unique_ptr<RTreeTopKEngine> top1_;
 };
 

@@ -1,0 +1,52 @@
+#include "query/batch_executor.h"
+
+namespace vkg::query {
+
+std::vector<TopKResult> BatchTopK(const TopKEngine& engine,
+                                  std::span<const data::Query> queries,
+                                  size_t k, util::ThreadPool* pool) {
+  std::vector<TopKResult> results(queries.size());
+  const bool parallel = pool != nullptr && pool->num_threads() > 1 &&
+                        engine.SupportsConcurrentQueries();
+  if (!parallel) {
+    QueryContext ctx;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      results[i] = engine.TopKQuery(queries[i], k, ctx);
+    }
+    return results;
+  }
+  pool->ParallelShards(
+      queries.size(), [&](size_t /*shard*/, size_t begin, size_t end) {
+        QueryContext ctx;  // per-shard: reused across the shard's queries
+        for (size_t i = begin; i < end; ++i) {
+          results[i] = engine.TopKQuery(queries[i], k, ctx);
+        }
+      });
+  return results;
+}
+
+std::vector<util::Result<AggregateResult>> BatchAggregate(
+    const AggregateEngine& engine, std::span<const AggregateSpec> specs,
+    util::ThreadPool* pool) {
+  std::vector<util::Result<AggregateResult>> results(
+      specs.size(), util::Status::Internal("unanswered"));
+  const bool parallel = pool != nullptr && pool->num_threads() > 1 &&
+                        engine.SupportsConcurrentQueries();
+  if (!parallel) {
+    QueryContext ctx;
+    for (size_t i = 0; i < specs.size(); ++i) {
+      results[i] = engine.Aggregate(specs[i], ctx);
+    }
+    return results;
+  }
+  pool->ParallelShards(
+      specs.size(), [&](size_t /*shard*/, size_t begin, size_t end) {
+        QueryContext ctx;
+        for (size_t i = begin; i < end; ++i) {
+          results[i] = engine.Aggregate(specs[i], ctx);
+        }
+      });
+  return results;
+}
+
+}  // namespace vkg::query

@@ -1,0 +1,41 @@
+#ifndef VKG_QUERY_BATCH_EXECUTOR_H_
+#define VKG_QUERY_BATCH_EXECUTOR_H_
+
+#include <span>
+#include <vector>
+
+#include "query/aggregate_engine.h"
+#include "query/topk_engine.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace vkg::query {
+
+/// Batched query execution: fans a span of queries out over a thread
+/// pool, one QueryContext (visit stamps + scratch buffers) per worker
+/// shard, so the per-query setup cost is amortized and all cores stay
+/// busy. Results are positionally aligned with the input span and are
+/// identical to answering each query sequentially through the same
+/// engine.
+///
+/// Engines that mutate shared index state per query (online cracking;
+/// engine.SupportsConcurrentQueries() == false) are automatically
+/// processed sequentially in input order — same API, same results, no
+/// data races. Passing `pool == nullptr` also selects the sequential
+/// path (with a single reused context, still faster than naive
+/// one-off calls).
+
+/// Answers queries[i] with `k` results each.
+std::vector<TopKResult> BatchTopK(const TopKEngine& engine,
+                                  std::span<const data::Query> queries,
+                                  size_t k,
+                                  util::ThreadPool* pool = nullptr);
+
+/// Answers aggregate specs[i]; statuses are reported per element.
+std::vector<util::Result<AggregateResult>> BatchAggregate(
+    const AggregateEngine& engine, std::span<const AggregateSpec> specs,
+    util::ThreadPool* pool = nullptr);
+
+}  // namespace vkg::query
+
+#endif  // VKG_QUERY_BATCH_EXECUTOR_H_

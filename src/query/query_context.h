@@ -1,0 +1,52 @@
+#ifndef VKG_QUERY_QUERY_CONTEXT_H_
+#define VKG_QUERY_QUERY_CONTEXT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace vkg::query {
+
+/// Per-query mutable scratch state. Engines themselves are immutable
+/// while answering a query (`TopKQuery` is const); everything a single
+/// query mutates — the visit-stamp deduplication array and reusable
+/// candidate/distance buffers — lives here. A context is cheap to reuse
+/// across queries and must not be shared between concurrent callers:
+/// batched execution keeps one context per worker thread.
+class QueryContext {
+ public:
+  QueryContext() = default;
+
+  /// The visit-stamp array sized for `n` entities, plus a fresh stamp
+  /// value. An entity was already examined in the current query iff
+  /// stamps[id] == stamp. Handles stamp wrap-around by zero-filling.
+  struct Stamped {
+    uint32_t* stamps;
+    uint32_t stamp;
+  };
+  Stamped BeginQuery(size_t n) {
+    if (visit_stamp_.size() != n) {
+      visit_stamp_.assign(n, 0);
+      stamp_ = 0;
+    }
+    if (++stamp_ == 0) {  // wrapped: every old stamp is stale
+      visit_stamp_.assign(n, 0);
+      stamp_ = 1;
+    }
+    return {visit_stamp_.data(), stamp_};
+  }
+
+  /// Scratch buffers for the batched exact re-rank (candidate ids and
+  /// their squared S1 distances).
+  std::vector<uint32_t>& id_scratch() { return id_scratch_; }
+  std::vector<double>& dist_scratch() { return dist_scratch_; }
+
+ private:
+  std::vector<uint32_t> visit_stamp_;
+  uint32_t stamp_ = 0;
+  std::vector<uint32_t> id_scratch_;
+  std::vector<double> dist_scratch_;
+};
+
+}  // namespace vkg::query
+
+#endif  // VKG_QUERY_QUERY_CONTEXT_H_

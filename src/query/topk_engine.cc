@@ -5,6 +5,7 @@
 #include <limits>
 #include <queue>
 
+#include "embedding/batch_kernels.h"
 #include "embedding/vector_ops.h"
 #include "query/prob_model.h"
 #include "util/check.h"
@@ -48,10 +49,12 @@ std::function<bool(uint32_t)> MakeSkipFn(const kg::KnowledgeGraph& graph,
 // LinearTopKEngine
 // ---------------------------------------------------------------------------
 
-TopKResult LinearTopKEngine::TopKQuery(const data::Query& query, size_t k) {
+TopKResult LinearTopKEngine::TopKQuery(const data::Query& query, size_t k,
+                                       QueryContext& /*ctx*/) const {
   std::vector<float> q =
       store_->QueryCenter(query.anchor, query.relation, query.direction);
-  auto pairs = scan_.TopK(q, k, MakeSkipFn(*graph_, query));
+  const auto skip = MakeSkipFn(*graph_, query);
+  auto pairs = scan_.TopK(q, k, [&skip](uint32_t e) { return skip(e); });
   return FinalizeHits(std::move(pairs), store_->num_entities());
 }
 
@@ -73,7 +76,6 @@ RTreeTopKEngine::RTreeTopKEngine(const kg::KnowledgeGraph* graph,
       crack_after_query_(crack_after_query),
       name_(name) {
   VKG_CHECK(eps > 0);
-  visit_stamp_.assign(store->num_entities(), 0);
 }
 
 std::vector<uint32_t> RTreeTopKEngine::SeedCandidates(
@@ -110,37 +112,50 @@ std::vector<uint32_t> RTreeTopKEngine::SeedCandidates(
   return seeds;
 }
 
-TopKResult RTreeTopKEngine::TopKQuery(const data::Query& query, size_t k) {
+TopKResult RTreeTopKEngine::TopKQuery(const data::Query& query, size_t k,
+                                      QueryContext& ctx) const {
   const std::function<bool(uint32_t)> skip = MakeSkipFn(*graph_, query);
   std::vector<float> q_s1 =
       store_->QueryCenter(query.anchor, query.relation, query.direction);
   index::Point q_s2 = index::Point::FromSpan(jl_->Apply(q_s1));
 
   if (store_->num_entities() == 0 || k == 0) return {};
-  ++stamp_;
-  const uint32_t stamp = stamp_;
+  const auto [visit_stamp, stamp] = ctx.BeginQuery(store_->num_entities());
 
   size_t candidates = 0;
   // Max-heap of the best k (S1 squared distance, id).
   std::priority_queue<std::pair<double, uint32_t>> best;
-  auto examine = [&](uint32_t id) {
-    if (visit_stamp_[id] == stamp) return;
-    visit_stamp_[id] = stamp;
-    if (skip(id)) return;
-    double d2 = embedding::L2DistanceSquared(store_->Entity(id), q_s1);
-    ++candidates;
-    if (best.size() < k) {
-      best.emplace(d2, id);
-    } else if (d2 < best.top().first) {
-      best.pop();
-      best.emplace(d2, id);
+  std::vector<uint32_t>& cand = ctx.id_scratch();
+  std::vector<double>& dist = ctx.dist_scratch();
+  // Exact S1 re-rank of a candidate batch: filter already-seen/skipped
+  // ids, evaluate the survivors through the gather kernel, then fold
+  // them into the heap in order (identical results to one-at-a-time).
+  auto examine = [&](std::span<const uint32_t> ids) {
+    cand.clear();
+    for (uint32_t id : ids) {
+      if (visit_stamp[id] == stamp) continue;
+      visit_stamp[id] = stamp;
+      if (skip(id)) continue;
+      cand.push_back(id);
+    }
+    dist.resize(cand.size());
+    embedding::GatherL2DistanceSquared(q_s1, *store_, cand, dist.data());
+    candidates += cand.size();
+    for (size_t i = 0; i < cand.size(); ++i) {
+      const double d2 = dist[i];
+      if (best.size() < k) {
+        best.emplace(d2, cand[i]);
+      } else if (d2 < best.top().first) {
+        best.pop();
+        best.emplace(d2, cand[i]);
+      }
     }
   };
 
   // Lines 1-3: probe for the element containing q and seed N_q, giving
   // the initial radius r_q = r_k*(N_q) (1 + eps).
   const index::Node* element = tree_->ProbeSmallest(q_s2.AsSpan());
-  for (uint32_t id : SeedCandidates(*element, q_s2, k, skip)) examine(id);
+  examine(SeedCandidates(*element, q_s2, k, skip));
 
   // Current S2 query radius; infinite until k candidates exist.
   constexpr double kInf = std::numeric_limits<double>::infinity();
@@ -172,9 +187,7 @@ TopKResult RTreeTopKEngine::TopKQuery(const data::Query& query, size_t k) {
       }
       continue;
     }
-    for (uint32_t id : tree_->ElementIds(*node)) {
-      examine(id);
-    }
+    examine(tree_->ElementIds(*node));
     r_q = current_radius();
   }
   if (r_q == kInf) {
@@ -200,7 +213,8 @@ TopKResult RTreeTopKEngine::TopKQuery(const data::Query& query, size_t k) {
 // PhTreeTopKEngine
 // ---------------------------------------------------------------------------
 
-TopKResult PhTreeTopKEngine::TopKQuery(const data::Query& query, size_t k) {
+TopKResult PhTreeTopKEngine::TopKQuery(const data::Query& query, size_t k,
+                                       QueryContext& /*ctx*/) const {
   std::vector<float> q =
       store_->QueryCenter(query.anchor, query.relation, query.direction);
   auto pairs = tree_->TopK(q, k, MakeSkipFn(*graph_, query));
@@ -231,7 +245,8 @@ H2AlshTopKEngine::H2AlshTopKEngine(const kg::KnowledgeGraph* graph,
   alsh_ = std::make_unique<index::H2Alsh>(augmented, n, d + 1, config);
 }
 
-TopKResult H2AlshTopKEngine::TopKQuery(const data::Query& query, size_t k) {
+TopKResult H2AlshTopKEngine::TopKQuery(const data::Query& query, size_t k,
+                                       QueryContext& /*ctx*/) const {
   std::vector<float> q =
       store_->QueryCenter(query.anchor, query.relation, query.direction);
   // Query vector [2q ; -1]: the inner product is 2 q·x - ||x||^2 =
@@ -241,7 +256,8 @@ TopKResult H2AlshTopKEngine::TopKQuery(const data::Query& query, size_t k) {
   qv[q.size()] = -1.0f;
   double qnorm2 = embedding::Dot(q, q);
 
-  auto scored = alsh_->TopK(qv, k, MakeSkipFn(*graph_, query));
+  size_t examined = 0;
+  auto scored = alsh_->TopK(qv, k, MakeSkipFn(*graph_, query), &examined);
   std::vector<std::pair<double, uint32_t>> pairs;
   pairs.reserve(scored.size());
   for (const auto& [ip, id] : scored) {
@@ -249,7 +265,7 @@ TopKResult H2AlshTopKEngine::TopKQuery(const data::Query& query, size_t k) {
     pairs.emplace_back(std::sqrt(d2), id);
   }
   std::sort(pairs.begin(), pairs.end());
-  return FinalizeHits(std::move(pairs), alsh_->last_candidates());
+  return FinalizeHits(std::move(pairs), examined);
 }
 
 }  // namespace vkg::query

@@ -12,6 +12,7 @@
 #include "index/linear_scan.h"
 #include "index/phtree.h"
 #include "kg/graph.h"
+#include "query/query_context.h"
 #include "transform/jl_transform.h"
 
 namespace vkg::query {
@@ -37,12 +38,34 @@ std::function<bool(uint32_t)> MakeSkipFn(const kg::KnowledgeGraph& graph,
                                          const data::Query& query);
 
 /// Interface implemented by every compared method.
+///
+/// Engines hold no per-query mutable state: `TopKQuery` is const and all
+/// scratch (visit stamps, candidate buffers) lives in the caller-supplied
+/// QueryContext, so one engine instance can serve concurrent queries as
+/// long as each thread uses its own context (see BatchTopK in
+/// query/batch_executor.h). The exception is shared *index* state:
+/// engines that crack the index online report
+/// SupportsConcurrentQueries() == false and are executed sequentially.
 class TopKEngine {
  public:
   virtual ~TopKEngine() = default;
 
-  /// Answers a predictive top-k entity query.
-  virtual TopKResult TopKQuery(const data::Query& query, size_t k) = 0;
+  /// Answers a predictive top-k entity query using `ctx` for scratch
+  /// state. `ctx` must not be shared between concurrent callers.
+  virtual TopKResult TopKQuery(const data::Query& query, size_t k,
+                               QueryContext& ctx) const = 0;
+
+  /// Single-query convenience form (fresh context per call; safe to call
+  /// concurrently whenever SupportsConcurrentQueries() holds).
+  TopKResult TopKQuery(const data::Query& query, size_t k) const {
+    QueryContext ctx;
+    return TopKQuery(query, k, ctx);
+  }
+
+  /// False when answering a query mutates shared index state (online
+  /// cracking): such engines must not run queries on multiple threads at
+  /// once.
+  virtual bool SupportsConcurrentQueries() const { return true; }
 
   /// Method label for reports.
   virtual std::string_view name() const = 0;
@@ -56,7 +79,9 @@ class LinearTopKEngine : public TopKEngine {
                    const embedding::EmbeddingStore* store)
       : graph_(graph), store_(store), scan_(store) {}
 
-  TopKResult TopKQuery(const data::Query& query, size_t k) override;
+  using TopKEngine::TopKQuery;
+  TopKResult TopKQuery(const data::Query& query, size_t k,
+                       QueryContext& ctx) const override;
   std::string_view name() const override { return "no-index"; }
 
  private:
@@ -78,7 +103,14 @@ class RTreeTopKEngine : public TopKEngine {
                   index::CrackingRTree* tree, double eps,
                   bool crack_after_query, std::string_view name);
 
-  TopKResult TopKQuery(const data::Query& query, size_t k) override;
+  using TopKEngine::TopKQuery;
+  TopKResult TopKQuery(const data::Query& query, size_t k,
+                       QueryContext& ctx) const override;
+  /// Cracking mutates the shared tree; only the bulk-loaded (non-
+  /// cracking) configuration is concurrency-safe.
+  bool SupportsConcurrentQueries() const override {
+    return !crack_after_query_;
+  }
   std::string_view name() const override { return name_; }
 
   /// Query-region expansion factor (1 + eps) currently in use.
@@ -98,9 +130,6 @@ class RTreeTopKEngine : public TopKEngine {
   double eps_;
   bool crack_after_query_;
   std::string name_;
-  // Visit-stamp array: marks entities already examined in this query.
-  std::vector<uint32_t> visit_stamp_;
-  uint32_t stamp_ = 0;
 };
 
 /// PH-tree baseline: kNN directly in the high-dimensional space S1.
@@ -111,7 +140,9 @@ class PhTreeTopKEngine : public TopKEngine {
                    const index::PhTree* tree)
       : graph_(graph), store_(store), tree_(tree) {}
 
-  TopKResult TopKQuery(const data::Query& query, size_t k) override;
+  using TopKEngine::TopKQuery;
+  TopKResult TopKQuery(const data::Query& query, size_t k,
+                       QueryContext& ctx) const override;
   std::string_view name() const override { return "ph-tree"; }
 
  private:
@@ -131,7 +162,9 @@ class H2AlshTopKEngine : public TopKEngine {
                    const embedding::EmbeddingStore* store,
                    const index::H2AlshConfig& config);
 
-  TopKResult TopKQuery(const data::Query& query, size_t k) override;
+  using TopKEngine::TopKQuery;
+  TopKResult TopKQuery(const data::Query& query, size_t k,
+                       QueryContext& ctx) const override;
   std::string_view name() const override { return "h2-alsh"; }
 
   const index::H2Alsh& alsh() const { return *alsh_; }

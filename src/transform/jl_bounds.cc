@@ -39,8 +39,8 @@ double FalseInclusionBound(double eps_prime, size_t alpha) {
 double MeanInverseDistanceRatio(size_t alpha) {
   if (alpha < 2) return std::numeric_limits<double>::infinity();
   double a = static_cast<double>(alpha);
-  double log_ratio = 0.5 * std::log(a / 2.0) + std::lgamma((a - 1.0) / 2.0) -
-                     std::lgamma(a / 2.0);
+  double log_ratio = 0.5 * std::log(a / 2.0) + util::LogGamma((a - 1.0) / 2.0) -
+                     util::LogGamma(a / 2.0);
   return std::exp(log_ratio);
 }
 
@@ -62,8 +62,8 @@ double ExpectedInverseMass(double d_min, double s2_dist, double radius_s1,
   double c = s2_dist * std::sqrt(a) / radius_s1;
   // E[chi * 1{chi >= c}] = sqrt(2) Γ((a+1)/2)/Γ(a/2) Q((a+1)/2, c^2/2).
   double coeff = std::exp(0.5 * std::log(2.0) +
-                          std::lgamma((a + 1.0) / 2.0) -
-                          std::lgamma(a / 2.0));
+                          util::LogGamma((a + 1.0) / 2.0) -
+                          util::LogGamma(a / 2.0));
   double mass = (d_min / (s2_dist * std::sqrt(a))) * coeff *
                 util::RegularizedGammaQ((a + 1.0) / 2.0, c * c / 2.0);
   // Per-point probabilities never exceed 1, so the conditional mass is

@@ -53,6 +53,18 @@ double SafeExp(double x) {
   return std::exp(x);
 }
 
+// glibc's lgamma writes the global `signgam`, which races when queries
+// run on a thread pool; lgamma_r is the reentrant form. The arguments
+// here are always positive, so the sign output is unused.
+double LogGamma(double a) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return lgamma_r(a, &sign);
+#else
+  return std::lgamma(a);
+#endif
+}
+
 namespace {
 
 // Series expansion of P(a, x), valid (fast) for x < a + 1.
@@ -66,7 +78,7 @@ double GammaPSeries(double a, double x) {
     sum += term;
     if (std::fabs(term) < std::fabs(sum) * 1e-15) break;
   }
-  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return sum * std::exp(-x + a * std::log(x) - LogGamma(a));
 }
 
 // Continued fraction for Q(a, x), valid for x >= a + 1 (modified Lentz).
@@ -88,7 +100,7 @@ double GammaQContinuedFraction(double a, double x) {
     h *= delta;
     if (std::fabs(delta - 1.0) < 1e-15) break;
   }
-  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return h * std::exp(-x + a * std::log(x) - LogGamma(a));
 }
 
 }  // namespace

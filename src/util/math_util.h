@@ -35,6 +35,10 @@ double Mean(const std::vector<double>& values);
 /// overflow; returns exp(x) for x <= 700, else +inf representation.
 double SafeExp(double x);
 
+/// ln Γ(a) for a > 0. Unlike std::lgamma, safe to call from multiple
+/// threads (glibc's lgamma writes the global `signgam`).
+double LogGamma(double a);
+
 /// Regularized lower incomplete gamma P(a, x) = γ(a, x) / Γ(a), for
 /// a > 0, x >= 0 (series for x < a + 1, continued fraction otherwise).
 double RegularizedGammaP(double a, double x);

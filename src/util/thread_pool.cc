@@ -52,6 +52,20 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   Wait();
 }
 
+void ThreadPool::ParallelShards(
+    size_t n, const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  size_t shards = std::min(n, workers_.size());
+  size_t chunk = (n + shards - 1) / shards;
+  for (size_t s = 0; s < shards; ++s) {
+    size_t begin = s * chunk;
+    size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    Submit([&fn, s, begin, end] { fn(s, begin, end); });
+  }
+  Wait();
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;

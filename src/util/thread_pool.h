@@ -33,6 +33,14 @@ class ThreadPool {
   /// waits for completion. `fn` must be safe to call concurrently.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Runs fn(shard, begin, end) once per shard, statically partitioning
+  /// [0, n) into at most num_threads() contiguous ranges, and waits for
+  /// completion. Gives callers a place to keep per-shard state (scratch
+  /// buffers, query contexts) that individual iterations share without
+  /// synchronization. `fn` must be safe to call concurrently.
+  void ParallelShards(
+      size_t n, const std::function<void(size_t, size_t, size_t)>& fn);
+
  private:
   void WorkerLoop();
 
