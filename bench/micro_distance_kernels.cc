@@ -167,7 +167,7 @@ int Run() {
     (void)query::BatchTopK(engine, queries, /*k=*/10, &pool);
     double ms = BestMillis(3, [&] {
       auto results = query::BatchTopK(engine, queries, /*k=*/10, &pool);
-      sink = sink + results.back().hits.front().distance;
+      sink = sink + results.back()->hits.front().distance;
     });
     if (threads == 1) single_ms = ms;
     double qps = static_cast<double>(num_queries) / (ms / 1e3);

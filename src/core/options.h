@@ -7,6 +7,7 @@
 #include "index/factory.h"
 #include "index/h2alsh.h"
 #include "index/rtree_node.h"
+#include "util/deadline.h"
 
 namespace vkg::core {
 
@@ -36,6 +37,15 @@ struct VkgOptions {
 
   /// TransE hyperparameters (used by BuildWithTraining).
   embedding::TrainerConfig trainer;
+
+  /// Per-query wall-clock deadline in milliseconds; 0 disables it. An
+  /// expired deadline degrades the answer (best-so-far hits, ResultQuality
+  /// marked) instead of failing the query.
+  double query_deadline_ms = 0.0;
+
+  /// Per-query resource limits (points examined, nodes cracked, scratch
+  /// bytes); zero fields are unlimited.
+  util::ResourceBudget query_budget;
 
   /// Returns options with `rtree.split_choices` made consistent with
   /// `method`.

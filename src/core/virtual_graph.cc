@@ -9,6 +9,22 @@
 
 namespace vkg::core {
 
+namespace {
+
+// Arms a per-query context with the resilience limits configured in
+// VkgOptions. The deadline is taken fresh here so it covers exactly one
+// query, not the lifetime of the options object.
+void ApplyQueryLimits(const VkgOptions& options,
+                      query::QueryContext& ctx) {
+  if (options.query_deadline_ms > 0.0) {
+    ctx.control().set_deadline(
+        util::Deadline::AfterMillis(options.query_deadline_ms));
+  }
+  ctx.control().set_budget(options.query_budget);
+}
+
+}  // namespace
+
 util::Result<std::unique_ptr<VirtualKnowledgeGraph>>
 VirtualKnowledgeGraph::BuildWithEmbeddings(const kg::KnowledgeGraph* graph,
                                            embedding::EmbeddingStore store,
@@ -124,7 +140,9 @@ query::TopKResult VirtualKnowledgeGraph::TopKHeads(kg::EntityId t,
 
 query::TopKResult VirtualKnowledgeGraph::TopK(const data::Query& query,
                                               size_t k) {
-  query::TopKResult result = topk_engine_->TopKQuery(query, k);
+  query::QueryContext ctx;
+  ApplyQueryLimits(options_, ctx);
+  query::TopKResult result = topk_engine_->TopKQuery(query, k, ctx);
   if (overlay_.empty()) return result;
 
   // Merge overlay entities (whose S2 index position may be stale) by
@@ -152,6 +170,7 @@ query::TopKResult VirtualKnowledgeGraph::TopK(const data::Query& query,
 
   query::TopKResult out;
   out.candidates_examined = result.candidates_examined + overlay_.size();
+  out.quality = result.quality;  // overlay entities are always exact
   if (!merged.empty()) {
     query::ProbabilityModel pm(merged[0].first);
     for (const auto& [dist, e] : merged) {
@@ -273,7 +292,9 @@ query::TopKGuarantee VirtualKnowledgeGraph::GuaranteeFor(
 
 util::Result<query::AggregateResult> VirtualKnowledgeGraph::Aggregate(
     const query::AggregateSpec& spec) {
-  return aggregate_engine_->Aggregate(spec);
+  query::QueryContext ctx;
+  ApplyQueryLimits(options_, ctx);
+  return aggregate_engine_->Aggregate(spec, ctx);
 }
 
 util::Result<query::AggregateResult> VirtualKnowledgeGraph::ExactAggregate(

@@ -58,6 +58,7 @@ util::Status EmbeddingStore::Save(const std::string& path) const {
   w.WriteU64(dim_);
   w.WriteF32Array(entities_);
   w.WriteF32Array(relations_);
+  w.WriteChecksum();
   return w.Close();
 }
 
@@ -74,6 +75,12 @@ util::Result<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
   if (dim == 0) {
     return util::Status::InvalidArgument("zero embedding dim in " + path);
   }
+  // A flipped count byte must not become a giant allocation: the arrays
+  // that follow cannot hold more floats than bytes remain in the file.
+  const uint64_t max_floats = r.Remaining() / sizeof(float);
+  if (ne > max_floats / dim || nr > max_floats / dim) {
+    return util::Status::DataLoss("corrupt embedding counts in " + path);
+  }
   EmbeddingStore store(ne, nr, dim);
   store.entities_ = r.ReadF32Array();
   store.relations_ = r.ReadF32Array();
@@ -82,6 +89,8 @@ util::Result<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
       store.relations_.size() != nr * dim) {
     return util::Status::InvalidArgument("truncated embedding file " + path);
   }
+  r.VerifyChecksum();
+  VKG_RETURN_IF_ERROR(r.status());
   return store;
 }
 

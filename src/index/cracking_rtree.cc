@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/failpoint.h"
 #include "util/math_util.h"
 
 namespace vkg::index {
@@ -56,16 +57,20 @@ SortedOrders* CrackingRTree::EnsureOrders() const {
   return orders_.get();
 }
 
-void CrackingRTree::Crack(const Rect& query) {
+void CrackingRTree::Crack(const Rect& query, util::QueryControl* control) {
   if (points_->empty()) return;
-  CrackNode(root_.get(), query);
+  if (control != nullptr && control->ShouldStop()) return;
+  CrackNode(root_.get(), query, control);
 }
 
-void CrackingRTree::CrackNode(Node* node, const Rect& query) {
+void CrackingRTree::CrackNode(Node* node, const Rect& query,
+                              util::QueryControl* control) {
   switch (node->kind) {
     case Node::Kind::kInternal:
       for (auto& child : node->children) {
-        if (child->mbr.Intersects(query)) CrackNode(child.get(), query);
+        if (child->mbr.Intersects(query)) {
+          CrackNode(child.get(), query, control);
+        }
       }
       return;
     case Node::Kind::kLeaf:
@@ -83,22 +88,29 @@ void CrackingRTree::CrackNode(Node* node, const Rect& query) {
         return;
       }
       if (node->height == 0) return;  // already a leaf-sized element
-      SplitPartitionNode(node, &query);
+      // Crack budget / deadline: refining stops here, the partition
+      // stays whole and later queries pick up where this one left off.
+      if (control != nullptr && !control->AllowCrack()) return;
+      if (!SplitPartitionNode(node, &query, control)) return;
       for (auto& child : node->children) {
-        if (child->mbr.Intersects(query)) CrackNode(child.get(), query);
+        if (child->mbr.Intersects(query)) {
+          CrackNode(child.get(), query, control);
+        }
       }
       return;
     }
   }
 }
 
-void CrackingRTree::SplitPartitionNode(Node* node, const Rect* query) {
+bool CrackingRTree::SplitPartitionNode(Node* node, const Rect* query,
+                                       util::QueryControl* control) {
   VKG_CHECK(node->kind == Node::Kind::kPartition);
   VKG_CHECK(node->height >= 1);
+  if (VKG_FAILPOINT("cracking.split")) return false;
   const size_t m = util::CeilDiv(node->size(), config_.fanout);
   std::vector<size_t> sizes =
       ChunkPartition(EnsureOrders(), node->begin, node->end, m, query,
-                     config_, node->height, &chunk_stats_);
+                     config_, node->height, &chunk_stats_, control);
   node->children.reserve(sizes.size());
   size_t offset = node->begin;
   for (size_t size : sizes) {
@@ -115,6 +127,7 @@ void CrackingRTree::SplitPartitionNode(Node* node, const Rect* query) {
   }
   VKG_CHECK(offset == node->end);
   node->kind = Node::Kind::kInternal;
+  return true;
 }
 
 void CrackingRTree::BuildFull() {
@@ -124,7 +137,7 @@ void CrackingRTree::BuildFull() {
 
 void CrackingRTree::BuildFullRec(Node* node) {
   if (node->kind != Node::Kind::kPartition) return;
-  SplitPartitionNode(node, nullptr);
+  if (!SplitPartitionNode(node, nullptr)) return;
   for (auto& child : node->children) BuildFullRec(child.get());
 }
 

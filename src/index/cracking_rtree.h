@@ -10,6 +10,7 @@
 #include "index/rtree_node.h"
 #include "index/sort_orders.h"
 #include "index/topk_splits.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace vkg::index {
@@ -51,7 +52,13 @@ class CrackingRTree {
 
   /// Incrementally builds the index for `query` (Section IV-C). Safe to
   /// call any number of times; later calls touch fewer nodes.
-  void Crack(const Rect& query);
+  ///
+  /// `control` (optional) bounds the work: once the deadline, the
+  /// cancellation token, or ResourceBudget::max_cracked_nodes trips, no
+  /// further partitions are split. Cracking only refines the index —
+  /// never answers — so an abandoned crack leaves a valid tree that
+  /// later queries continue to refine.
+  void Crack(const Rect& query, util::QueryControl* control = nullptr);
 
   /// Full offline bulk load (Algorithm 1 with the classic cost model).
   void BuildFull();
@@ -100,10 +107,14 @@ class CrackingRTree {
 
  private:
   SortedOrders* EnsureOrders() const;
-  void CrackNode(Node* node, const Rect& query);
+  void CrackNode(Node* node, const Rect& query,
+                 util::QueryControl* control);
   /// Chunks a partition node into child nodes (one level of
-  /// BULKLOADCHUNK); `query` == nullptr uses the classic cost.
-  void SplitPartitionNode(Node* node, const Rect* query);
+  /// BULKLOADCHUNK); `query` == nullptr uses the classic cost. Returns
+  /// false when the split was abandoned (cracking.split failpoint) —
+  /// the node is left an unsplit partition and the tree stays valid.
+  bool SplitPartitionNode(Node* node, const Rect* query,
+                          util::QueryControl* control = nullptr);
   void BuildFullRec(Node* node);
 
   const PointSet* points_;

@@ -13,17 +13,19 @@ struct NoSkip {
 
 std::vector<std::pair<double, uint32_t>> LinearScan::TopK(
     std::span<const float> q, size_t k,
-    const std::function<bool(uint32_t)>& skip) const {
-  if (!skip) return TopK(q, k, NoSkip{});
-  return TopK(q, k, [&skip](uint32_t e) { return skip(e); });
+    const std::function<bool(uint32_t)>& skip,
+    util::QueryControl* control) const {
+  if (!skip) return TopK(q, k, NoSkip{}, control);
+  return TopK(q, k, [&skip](uint32_t e) { return skip(e); }, control);
 }
 
 void LinearScan::Ball(std::span<const float> q, double radius,
                       const std::function<void(uint32_t, double)>& fn,
-                      const std::function<bool(uint32_t)>& skip) const {
+                      const std::function<bool(uint32_t)>& skip,
+                      util::QueryControl* control) const {
   auto emit = [&fn](uint32_t e, double d) { fn(e, d); };
-  if (!skip) return Ball(q, radius, emit, NoSkip{});
-  Ball(q, radius, emit, [&skip](uint32_t e) { return skip(e); });
+  if (!skip) return Ball(q, radius, emit, NoSkip{}, control);
+  Ball(q, radius, emit, [&skip](uint32_t e) { return skip(e); }, control);
 }
 
 }  // namespace vkg::index

@@ -12,6 +12,7 @@
 
 #include "embedding/batch_kernels.h"
 #include "embedding/store.h"
+#include "util/deadline.h"
 
 namespace vkg::index {
 
@@ -33,9 +34,16 @@ class LinearScan {
   /// The k entities nearest to `q` (size = store dim) by L2 distance,
   /// ascending. `skip(id) == true` excludes an entity (e.g., existing
   /// neighbors in E and the query anchor itself).
+  ///
+  /// `control` (optional) is consulted at block boundaries: the scan
+  /// accounts each block's distance evaluations and winds down early
+  /// when the deadline, cancellation, or point budget trips. The first
+  /// block is always evaluated, so even an already-expired deadline
+  /// yields a non-empty best-effort answer.
   template <typename Skip>
-  std::vector<std::pair<double, uint32_t>> TopK(std::span<const float> q,
-                                                size_t k, Skip&& skip) const {
+  std::vector<std::pair<double, uint32_t>> TopK(
+      std::span<const float> q, size_t k, Skip&& skip,
+      util::QueryControl* control = nullptr) const {
     // Max-heap of the best k (distance, id) pairs seen so far.
     std::priority_queue<std::pair<double, uint32_t>> heap;
     const size_t n = store_->num_entities();
@@ -56,6 +64,10 @@ class LinearScan {
           heap.emplace(d2, e);
         }
       }
+      if (control != nullptr) {
+        control->AddPoints(len);
+        if (control->ShouldStop()) break;
+      }
     }
     std::vector<std::pair<double, uint32_t>> out;
     out.reserve(heap.size());
@@ -68,9 +80,10 @@ class LinearScan {
   }
 
   /// Invokes fn(id, distance) for every entity within `radius` of `q`.
+  /// `control` behaves as in TopK (block-granular early stop).
   template <typename Fn, typename Skip>
-  void Ball(std::span<const float> q, double radius, Fn&& fn,
-            Skip&& skip) const {
+  void Ball(std::span<const float> q, double radius, Fn&& fn, Skip&& skip,
+            util::QueryControl* control = nullptr) const {
     const double r2 = radius * radius;
     const size_t n = store_->num_entities();
     double dist[kBlock];
@@ -84,16 +97,22 @@ class LinearScan {
         if (skip(e)) continue;
         if (dist[i] <= r2) fn(e, std::sqrt(dist[i]));
       }
+      if (control != nullptr) {
+        control->AddPoints(len);
+        if (control->ShouldStop()) break;
+      }
     }
   }
 
   // std::function wrappers (the original interface).
   std::vector<std::pair<double, uint32_t>> TopK(
       std::span<const float> q, size_t k,
-      const std::function<bool(uint32_t)>& skip = nullptr) const;
+      const std::function<bool(uint32_t)>& skip = nullptr,
+      util::QueryControl* control = nullptr) const;
   void Ball(std::span<const float> q, double radius,
             const std::function<void(uint32_t, double)>& fn,
-            const std::function<bool(uint32_t)>& skip = nullptr) const;
+            const std::function<bool(uint32_t)>& skip = nullptr,
+            util::QueryControl* control = nullptr) const;
 
   size_t size() const { return store_->num_entities(); }
 

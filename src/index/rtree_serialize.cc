@@ -13,7 +13,7 @@ namespace vkg::index {
 namespace {
 
 constexpr uint32_t kMagic = 0x564b4752;  // "VKGR"
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;         // v2: trailing content checksum
 
 // Cheap order-sensitive checksum over the point coordinates so a saved
 // index is never applied to different data.
@@ -41,15 +41,30 @@ void WriteRect(util::BinaryWriter& w, const Rect& r) {
   }
 }
 
-Rect ReadRect(util::BinaryReader& r) {
+// A corrupted dim must fail loudly: silently truncating the coordinate
+// loop would desynchronize the stream and misparse everything after it.
+Rect ReadRect(util::BinaryReader& r, util::Status* status) {
   Rect rect;
-  rect.dim = static_cast<uint8_t>(r.ReadU32());
-  for (size_t d = 0; d < rect.dim && d < kMaxDim; ++d) {
+  uint32_t dim = r.ReadU32();
+  if (dim == 0 || dim > kMaxDim) {
+    if (status->ok()) {
+      *status = util::Status::DataLoss(util::StrFormat(
+          "corrupt rect dimensionality %u (must be in [1, %zu])", dim,
+          kMaxDim));
+    }
+    return rect;
+  }
+  rect.dim = static_cast<uint8_t>(dim);
+  for (size_t d = 0; d < rect.dim; ++d) {
     rect.lo[d] = r.ReadF32();
     rect.hi[d] = r.ReadF32();
   }
   return rect;
 }
+
+// Deeper trees than this are unbuildable from any real point set; a
+// corrupt child_count chain must not recurse the stack away.
+constexpr size_t kMaxNodeDepth = 64;
 
 void WriteNode(util::BinaryWriter& w, const Node& node) {
   w.WriteU32(static_cast<uint32_t>(node.kind));
@@ -62,8 +77,12 @@ void WriteNode(util::BinaryWriter& w, const Node& node) {
 }
 
 std::unique_ptr<Node> ReadNode(util::BinaryReader& r, size_t max_end,
-                               util::Status* status) {
+                               util::Status* status, size_t depth = 0) {
   auto node = std::make_unique<Node>();
+  if (depth > kMaxNodeDepth) {
+    *status = util::Status::DataLoss("corrupt node tree: too deep");
+    return node;
+  }
   uint32_t kind = r.ReadU32();
   if (kind > 2) {
     *status = util::Status::InvalidArgument("corrupt node kind");
@@ -73,7 +92,8 @@ std::unique_ptr<Node> ReadNode(util::BinaryReader& r, size_t max_end,
   node->height = static_cast<int>(r.ReadU32());
   node->begin = r.ReadU64();
   node->end = r.ReadU64();
-  node->mbr = ReadRect(r);
+  node->mbr = ReadRect(r, status);
+  if (!status->ok()) return node;
   if (node->begin > node->end || node->end > max_end) {
     *status = util::Status::InvalidArgument("corrupt node range");
     return node;
@@ -84,7 +104,7 @@ std::unique_ptr<Node> ReadNode(util::BinaryReader& r, size_t max_end,
     return node;
   }
   for (uint64_t i = 0; i < child_count && status->ok(); ++i) {
-    node->children.push_back(ReadNode(r, max_end, status));
+    node->children.push_back(ReadNode(r, max_end, status, depth + 1));
   }
   return node;
 }
@@ -127,6 +147,7 @@ util::Status CrackingRTree::Save(const std::string& path) const {
   }
 
   WriteNode(w, *root_);
+  w.WriteChecksum();
   return w.Close();
 }
 
@@ -202,6 +223,10 @@ util::Result<std::unique_ptr<CrackingRTree>> CrackingRTree::Load(
   if (tree->root_->begin != 0 || tree->root_->end != points->size()) {
     return util::Status::InvalidArgument("corrupt root range");
   }
+  // Content checksum last: catches any bit flip the structural checks
+  // above cannot (coordinates, config floats, counters).
+  r.VerifyChecksum();
+  VKG_RETURN_IF_ERROR(r.status());
   return tree;
 }
 

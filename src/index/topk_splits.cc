@@ -160,7 +160,8 @@ State GreedyFinish(State state, const SortedOrders& orders, size_t m,
 std::vector<size_t> AStarChunk(SortedOrders* orders, size_t begin,
                                size_t end, size_t m, const Rect* query,
                                const RTreeConfig& config, int height,
-                               ChunkingStats* stats) {
+                               ChunkingStats* stats,
+                               util::QueryControl* control) {
   // Seed state: the whole element as one hypothetical partition.
   auto root = std::make_shared<Hypo>();
   const size_t s_count = orders->num_orders();
@@ -191,7 +192,11 @@ std::vector<size_t> AStarChunk(SortedOrders* orders, size_t begin,
       found = true;
       break;
     }
-    if (expansions >= config.max_astar_expansions) {
+    // A tripped deadline/budget ends the search like the expansion cap:
+    // finish the best candidate greedily so the commit below is always
+    // a complete chunking.
+    if (expansions >= config.max_astar_expansions ||
+        (control != nullptr && control->ShouldStop())) {
       winner = GreedyFinish(std::move(state), *orders, m, query, config,
                             height);
       found = true;
@@ -230,7 +235,8 @@ std::vector<size_t> AStarChunk(SortedOrders* orders, size_t begin,
 std::vector<size_t> ChunkPartition(SortedOrders* orders, size_t begin,
                                    size_t end, size_t m, const Rect* query,
                                    const RTreeConfig& config, int height,
-                                   ChunkingStats* stats) {
+                                   ChunkingStats* stats,
+                                   util::QueryControl* control) {
   VKG_CHECK(begin < end);
   VKG_CHECK(m >= 1);
   std::vector<size_t> sizes;
@@ -238,7 +244,8 @@ std::vector<size_t> ChunkPartition(SortedOrders* orders, size_t begin,
       config.split_algorithm == SplitAlgorithm::kBestBinary) {
     // A* cost bookkeeping assumes the (c_Q, c_O) candidate semantics;
     // alternative split heuristics (R*) run greedily.
-    return AStarChunk(orders, begin, end, m, query, config, height, stats);
+    return AStarChunk(orders, begin, end, m, query, config, height, stats,
+                      control);
   }
   GreedyChunk(orders, begin, end, m, query, config, height, stats, &sizes);
   return sizes;

@@ -6,6 +6,7 @@
 
 #include "index/rtree_node.h"
 #include "index/sort_orders.h"
+#include "util/deadline.h"
 
 namespace vkg::index {
 
@@ -35,10 +36,16 @@ struct ChunkingStats {
 ///   the first fully-chunked state popped is optimal. A cap on
 ///   expansions (config.max_astar_expansions) bounds the work; past it,
 ///   the best candidate so far is finished greedily.
+///
+/// `control` (optional) stops the A* search early — a tripped deadline
+/// or budget is treated exactly like the expansion cap: the best
+/// candidate so far is finished greedily, so the committed chunking is
+/// always complete and the tree stays valid.
 std::vector<size_t> ChunkPartition(SortedOrders* orders, size_t begin,
                                    size_t end, size_t m, const Rect* query,
                                    const RTreeConfig& config, int height,
-                                   ChunkingStats* stats);
+                                   ChunkingStats* stats,
+                                   util::QueryControl* control = nullptr);
 
 }  // namespace vkg::index
 

@@ -73,15 +73,25 @@ util::Status ValidateSpec(const kg::KnowledgeGraph& graph,
 util::Result<AggregateResult> AggregateEngine::Aggregate(
     const AggregateSpec& spec, QueryContext& ctx) const {
   VKG_RETURN_IF_ERROR(ValidateSpec(*graph_, spec));
+  util::QueryControl& control = ctx.control();
   const auto skip = MakeSkipFn(*graph_, spec.query);
   std::vector<float> q_s1 = store_->QueryCenter(
       spec.query.anchor, spec.query.relation, spec.query.direction);
   index::Point q_s2 = index::Point::FromSpan(jl_->Apply(q_s1));
 
   // d_min via a top-1 probe (shares Algorithm 3 machinery; no cracking —
-  // the aggregate's own final region cracks below).
+  // the aggregate's own final region cracks below). The probe shares
+  // ctx's control block, so its work draws down the same budget and a
+  // stop tripped here degrades the rest of the aggregate too.
   TopKResult nearest = top1_->TopKQuery(spec.query, 1, ctx);
-  if (nearest.hits.empty()) return AggregateResult{};
+  if (nearest.hits.empty()) {
+    AggregateResult empty;
+    if (control.stopped()) {
+      empty.quality.exact = false;
+      empty.quality.stop_reason = control.stop_reason();
+    }
+    return empty;
+  }
   ProbabilityModel pm(nearest.hits[0].distance);
   const double r_tau = pm.RadiusForThreshold(spec.prob_threshold);
   const double r_s2 = r_tau * (1.0 + eps_);
@@ -135,6 +145,15 @@ util::Result<AggregateResult> AggregateEngine::Aggregate(
                    &tree_->root());
   bool budget_exhausted = false;
   while (!frontier.empty()) {
+    // A tripped deadline / cancellation / point budget behaves exactly
+    // like an exhausted sample budget: stop accessing records and fall
+    // back to contour estimates for everything left in the ball — the
+    // answer stays usable, just with a wider Theorem 4 error. Gated on a
+    // non-empty sample so even an already-expired deadline accesses the
+    // first in-ball record instead of degenerating to value 0.
+    if (!budget_exhausted && !accessed.empty() && control.ShouldStop()) {
+      budget_exhausted = true;
+    }
     auto [d2, node] = frontier.top();
     frontier.pop();
     if (std::sqrt(d2) > r_s2) break;  // outside the ball entirely
@@ -169,15 +188,23 @@ util::Result<AggregateResult> AggregateEngine::Aggregate(
     size_t processed = 0;
     for (const auto& [s2_dist, id] : local) {
       if (accessed.size() >= budget) break;
+      // Once at least one record is in the sample, honor stops at a
+      // small stride; the guaranteed first access keeps an
+      // already-expired deadline from producing an empty sample.
+      if (!accessed.empty() && (processed & 15) == 0 &&
+          control.ShouldStop()) {
+        break;
+      }
       ++processed;
       if (skip(id)) continue;
+      control.AddPoints(1);
       double dist = embedding::L2Distance(store_->Entity(id), q_s1);
       if (dist > r_tau) continue;  // outside the ball in S1
       double value = AttributeValue(*graph_, spec.kind, spec.attribute, id);
       if (spec.kind != AggKind::kCount && std::isnan(value)) continue;
       accessed.push_back({id, dist, pm.ProbabilityAt(dist)});
     }
-    if (accessed.size() >= budget) {
+    if (accessed.size() >= budget || control.stopped()) {
       budget_exhausted = true;
       // Estimate the rest of this element point-wise (distances known).
       for (size_t i = processed; i < local.size(); ++i) {
@@ -190,8 +217,16 @@ util::Result<AggregateResult> AggregateEngine::Aggregate(
     }
   }
 
-  if (crack_after_query_) tree_->Crack(region);
-  return Estimate(spec, accessed, unaccessed_mass, unaccessed_count);
+  if (crack_after_query_ && !control.stopped()) {
+    tree_->Crack(region, &control);
+  }
+  util::Result<AggregateResult> result =
+      Estimate(spec, accessed, unaccessed_mass, unaccessed_count);
+  if (result.ok() && control.stopped()) {
+    result->quality.exact = false;
+    result->quality.stop_reason = control.stop_reason();
+  }
+  return result;
 }
 
 util::Result<AggregateResult> AggregateEngine::ExactAggregate(

@@ -44,6 +44,10 @@ struct AggregateResult {
   double prob_mass_estimated = 0.0;  // estimated sum over all b points
   /// Values v_i of the accessed points (for Theorem 4 evaluation).
   std::vector<double> sample_values;
+  /// Degradation marker: a deadline / budget trip shrinks the accessed
+  /// sample (the unaccessed remainder is still estimated from the
+  /// contour, widening the Theorem 4 error), it never fails the query.
+  ResultQuality quality;
 };
 
 /// Approximate aggregate query processing over the S2 R-tree index
@@ -87,6 +91,9 @@ class AggregateEngine {
   /// False when queries crack the shared tree; see
   /// TopKEngine::SupportsConcurrentQueries.
   bool SupportsConcurrentQueries() const { return !crack_after_query_; }
+
+  /// The knowledge graph answered over (for batch-side validation).
+  const kg::KnowledgeGraph* graph() const { return graph_; }
 
  private:
   struct BallPoint {

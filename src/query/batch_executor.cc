@@ -1,50 +1,114 @@
 #include "query/batch_executor.h"
 
+#include <exception>
+#include <new>
+
+#include "util/failpoint.h"
+
 namespace vkg::query {
 
-std::vector<TopKResult> BatchTopK(const TopKEngine& engine,
-                                  std::span<const data::Query> queries,
-                                  size_t k, util::ThreadPool* pool) {
-  std::vector<TopKResult> results(queries.size());
+namespace {
+
+// Queries outside the graph's id space would trip VKG_CHECK invariants
+// deep in the engines (process-fatal); reject them at the batch boundary
+// so a bad slot cannot take the whole batch down.
+util::Status ValidateAgainstGraph(const kg::KnowledgeGraph* graph,
+                                  const data::Query& query) {
+  if (graph == nullptr) return util::Status::OK();
+  if (query.anchor >= graph->num_entities()) {
+    return util::Status::InvalidArgument("query anchor out of range");
+  }
+  if (query.relation >= graph->num_relations()) {
+    return util::Status::InvalidArgument("query relation out of range");
+  }
+  return util::Status::OK();
+}
+
+void ConfigureContext(QueryContext& ctx, const BatchOptions& options) {
+  ctx.control().set_deadline(options.deadline);
+  ctx.control().set_cancel_token(options.cancel);
+  ctx.control().set_budget(options.budget);
+}
+
+// Runs one query through `run`, translating every failure mode into a
+// per-slot Status. `run` is invoked with a control that has been reset
+// for this query (fresh point/crack counters, same deadline).
+template <typename ResultT, typename RunFn>
+util::Result<ResultT> AnswerOne(const kg::KnowledgeGraph* graph,
+                                const data::Query& query,
+                                QueryContext& ctx, const RunFn& run) {
+  if (VKG_FAILPOINT("batch.query")) {
+    return util::Status::Internal("injected failure: batch.query");
+  }
+  VKG_RETURN_IF_ERROR(ValidateAgainstGraph(graph, query));
+  ctx.control().ResetForQuery();
+  try {
+    return run();
+  } catch (const std::bad_alloc&) {
+    return util::Status::ResourceExhausted(
+        "allocation failed while answering query");
+  } catch (const std::exception& e) {
+    return util::Status::Internal(std::string("query failed: ") +
+                                  e.what());
+  }
+}
+
+}  // namespace
+
+std::vector<util::Result<TopKResult>> BatchTopK(
+    const TopKEngine& engine, std::span<const data::Query> queries,
+    size_t k, util::ThreadPool* pool, const BatchOptions& options) {
+  std::vector<util::Result<TopKResult>> results(
+      queries.size(), util::Status::Internal("unanswered"));
+  auto answer = [&](size_t i, QueryContext& ctx) {
+    results[i] = AnswerOne<TopKResult>(
+        engine.graph(), queries[i], ctx,
+        [&]() -> util::Result<TopKResult> {
+          return engine.TopKQuery(queries[i], k, ctx);
+        });
+  };
   const bool parallel = pool != nullptr && pool->num_threads() > 1 &&
                         engine.SupportsConcurrentQueries();
   if (!parallel) {
     QueryContext ctx;
-    for (size_t i = 0; i < queries.size(); ++i) {
-      results[i] = engine.TopKQuery(queries[i], k, ctx);
-    }
+    ConfigureContext(ctx, options);
+    for (size_t i = 0; i < queries.size(); ++i) answer(i, ctx);
     return results;
   }
   pool->ParallelShards(
       queries.size(), [&](size_t /*shard*/, size_t begin, size_t end) {
         QueryContext ctx;  // per-shard: reused across the shard's queries
-        for (size_t i = begin; i < end; ++i) {
-          results[i] = engine.TopKQuery(queries[i], k, ctx);
-        }
+        ConfigureContext(ctx, options);
+        for (size_t i = begin; i < end; ++i) answer(i, ctx);
       });
   return results;
 }
 
 std::vector<util::Result<AggregateResult>> BatchAggregate(
     const AggregateEngine& engine, std::span<const AggregateSpec> specs,
-    util::ThreadPool* pool) {
+    util::ThreadPool* pool, const BatchOptions& options) {
   std::vector<util::Result<AggregateResult>> results(
       specs.size(), util::Status::Internal("unanswered"));
+  auto answer = [&](size_t i, QueryContext& ctx) {
+    results[i] = AnswerOne<AggregateResult>(
+        engine.graph(), specs[i].query, ctx,
+        [&]() -> util::Result<AggregateResult> {
+          return engine.Aggregate(specs[i], ctx);
+        });
+  };
   const bool parallel = pool != nullptr && pool->num_threads() > 1 &&
                         engine.SupportsConcurrentQueries();
   if (!parallel) {
     QueryContext ctx;
-    for (size_t i = 0; i < specs.size(); ++i) {
-      results[i] = engine.Aggregate(specs[i], ctx);
-    }
+    ConfigureContext(ctx, options);
+    for (size_t i = 0; i < specs.size(); ++i) answer(i, ctx);
     return results;
   }
   pool->ParallelShards(
       specs.size(), [&](size_t /*shard*/, size_t begin, size_t end) {
         QueryContext ctx;
-        for (size_t i = begin; i < end; ++i) {
-          results[i] = engine.Aggregate(specs[i], ctx);
-        }
+        ConfigureContext(ctx, options);
+        for (size_t i = begin; i < end; ++i) answer(i, ctx);
       });
   return results;
 }

@@ -6,6 +6,7 @@
 
 #include "query/aggregate_engine.h"
 #include "query/topk_engine.h"
+#include "util/deadline.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -24,17 +25,33 @@ namespace vkg::query {
 /// data races. Passing `pool == nullptr` also selects the sequential
 /// path (with a single reused context, still faster than naive
 /// one-off calls).
+///
+/// Failures are isolated per slot: a malformed query, an injected
+/// failpoint, or an allocation failure turns into an error Status in
+/// that slot while every other query still gets its answer. A deadline
+/// or budget trip is NOT an error — the slot holds a best-effort result
+/// with result.quality describing the degradation.
+
+/// Shared resilience limits applied to every query in a batch. The
+/// deadline and cancel token are batch-wide (one wall-clock cutoff for
+/// the whole span); the resource budget is per query (each query's
+/// counters reset before it runs).
+struct BatchOptions {
+  util::Deadline deadline;                     // default: infinite
+  const util::CancelToken* cancel = nullptr;   // optional external cancel
+  util::ResourceBudget budget;                 // default: unlimited
+};
 
 /// Answers queries[i] with `k` results each.
-std::vector<TopKResult> BatchTopK(const TopKEngine& engine,
-                                  std::span<const data::Query> queries,
-                                  size_t k,
-                                  util::ThreadPool* pool = nullptr);
+std::vector<util::Result<TopKResult>> BatchTopK(
+    const TopKEngine& engine, std::span<const data::Query> queries,
+    size_t k, util::ThreadPool* pool = nullptr,
+    const BatchOptions& options = {});
 
 /// Answers aggregate specs[i]; statuses are reported per element.
 std::vector<util::Result<AggregateResult>> BatchAggregate(
     const AggregateEngine& engine, std::span<const AggregateSpec> specs,
-    util::ThreadPool* pool = nullptr);
+    util::ThreadPool* pool = nullptr, const BatchOptions& options = {});
 
 }  // namespace vkg::query
 

@@ -31,6 +31,21 @@ TopKResult FinalizeHits(std::vector<std::pair<double, uint32_t>> pairs,
 
 }  // namespace
 
+util::Status ValidateQuery(const TopKEngine& engine,
+                           const data::Query& query) {
+  const kg::KnowledgeGraph* graph = engine.graph();
+  if (graph == nullptr) return util::Status::OK();
+  if (query.anchor >= graph->num_entities()) {
+    return util::Status::InvalidArgument(
+        "query anchor is not an entity of the graph");
+  }
+  if (query.relation >= graph->num_relations()) {
+    return util::Status::InvalidArgument(
+        "query relation is not a relation of the graph");
+  }
+  return util::Status::OK();
+}
+
 std::function<bool(uint32_t)> MakeSkipFn(const kg::KnowledgeGraph& graph,
                                          const data::Query& query) {
   if (query.direction == kg::Direction::kTail) {
@@ -50,12 +65,23 @@ std::function<bool(uint32_t)> MakeSkipFn(const kg::KnowledgeGraph& graph,
 // ---------------------------------------------------------------------------
 
 TopKResult LinearTopKEngine::TopKQuery(const data::Query& query, size_t k,
-                                       QueryContext& /*ctx*/) const {
+                                       QueryContext& ctx) const {
+  util::QueryControl& control = ctx.control();
   std::vector<float> q =
       store_->QueryCenter(query.anchor, query.relation, query.direction);
   const auto skip = MakeSkipFn(*graph_, query);
-  auto pairs = scan_.TopK(q, k, [&skip](uint32_t e) { return skip(e); });
-  return FinalizeHits(std::move(pairs), store_->num_entities());
+  const size_t points_before = control.points();
+  auto pairs = scan_.TopK(
+      q, k, [&skip](uint32_t e) { return skip(e); }, &control);
+  TopKResult result =
+      FinalizeHits(std::move(pairs), control.points() - points_before);
+  if (control.stopped()) {
+    // Best-effort: the scan wound down at a block boundary. The scan
+    // order carries no spatial meaning, so nothing is certified.
+    result.quality.exact = false;
+    result.quality.stop_reason = control.stop_reason();
+  }
+  return result;
 }
 
 // ---------------------------------------------------------------------------
@@ -114,12 +140,15 @@ std::vector<uint32_t> RTreeTopKEngine::SeedCandidates(
 
 TopKResult RTreeTopKEngine::TopKQuery(const data::Query& query, size_t k,
                                       QueryContext& ctx) const {
+  util::QueryControl& control = ctx.control();
   const std::function<bool(uint32_t)> skip = MakeSkipFn(*graph_, query);
   std::vector<float> q_s1 =
       store_->QueryCenter(query.anchor, query.relation, query.direction);
   index::Point q_s2 = index::Point::FromSpan(jl_->Apply(q_s1));
 
   if (store_->num_entities() == 0 || k == 0) return {};
+  // May flag the query stopped (scratch budget): the seeds below are
+  // still examined, so even then the answer is non-empty.
   const auto [visit_stamp, stamp] = ctx.BeginQuery(store_->num_entities());
 
   size_t candidates = 0;
@@ -130,24 +159,34 @@ TopKResult RTreeTopKEngine::TopKQuery(const data::Query& query, size_t k,
   // Exact S1 re-rank of a candidate batch: filter already-seen/skipped
   // ids, evaluate the survivors through the gather kernel, then fold
   // them into the heap in order (identical results to one-at-a-time).
-  auto examine = [&](std::span<const uint32_t> ids) {
-    cand.clear();
-    for (uint32_t id : ids) {
-      if (visit_stamp[id] == stamp) continue;
-      visit_stamp[id] = stamp;
-      if (skip(id)) continue;
-      cand.push_back(id);
-    }
-    dist.resize(cand.size());
-    embedding::GatherL2DistanceSquared(q_s1, *store_, cand, dist.data());
-    candidates += cand.size();
-    for (size_t i = 0; i < cand.size(); ++i) {
-      const double d2 = dist[i];
-      if (best.size() < k) {
-        best.emplace(d2, cand[i]);
-      } else if (d2 < best.top().first) {
-        best.pop();
-        best.emplace(d2, cand[i]);
+  // Candidates are processed in blocks so a deadline / budget trip is
+  // observed mid-element; the seed batch runs unchecked (enforce ==
+  // false) so every query — even one that starts already expired —
+  // returns a non-empty best-effort answer.
+  constexpr size_t kExamineBlock = 256;
+  auto examine = [&](std::span<const uint32_t> ids, bool enforce) {
+    for (size_t base = 0; base < ids.size(); base += kExamineBlock) {
+      if (enforce && control.ShouldStop()) return;
+      const size_t len = std::min(kExamineBlock, ids.size() - base);
+      cand.clear();
+      for (uint32_t id : ids.subspan(base, len)) {
+        if (visit_stamp[id] == stamp) continue;
+        visit_stamp[id] = stamp;
+        if (skip(id)) continue;
+        cand.push_back(id);
+      }
+      dist.resize(cand.size());
+      embedding::GatherL2DistanceSquared(q_s1, *store_, cand, dist.data());
+      candidates += cand.size();
+      control.AddPoints(cand.size());
+      for (size_t i = 0; i < cand.size(); ++i) {
+        const double d2 = dist[i];
+        if (best.size() < k) {
+          best.emplace(d2, cand[i]);
+        } else if (d2 < best.top().first) {
+          best.pop();
+          best.emplace(d2, cand[i]);
+        }
       }
     }
   };
@@ -155,7 +194,7 @@ TopKResult RTreeTopKEngine::TopKQuery(const data::Query& query, size_t k,
   // Lines 1-3: probe for the element containing q and seed N_q, giving
   // the initial radius r_q = r_k*(N_q) (1 + eps).
   const index::Node* element = tree_->ProbeSmallest(q_s2.AsSpan());
-  examine(SeedCandidates(*element, q_s2, k, skip));
+  examine(SeedCandidates(*element, q_s2, k, skip), /*enforce=*/false);
 
   // Current S2 query radius; infinite until k candidates exist.
   constexpr double kInf = std::numeric_limits<double>::infinity();
@@ -170,16 +209,29 @@ TopKResult RTreeTopKEngine::TopKQuery(const data::Query& query, size_t k,
   // the refined region are never touched — the paper's "iteratively
   // reduce the query rectangle region until all points in Q have been
   // examined".
+  //
+  // Pops come off the frontier in non-decreasing MBR distance, so when
+  // the query stops early every point strictly closer than the last pop
+  // has been examined: that distance is the certified radius within
+  // which the Theorem 2/3 guarantees still hold.
   double r_q = current_radius();
+  double certified = 0.0;
+  bool complete = true;
   using Frontier = std::pair<double, const index::Node*>;  // (mindist, node)
   std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>>
       frontier;
   frontier.emplace(tree_->root().mbr.MinDistSquared(q_s2.AsSpan()),
                    &tree_->root());
   while (!frontier.empty()) {
+    if (control.ShouldStop()) {
+      complete = false;
+      break;
+    }
     auto [d2, node] = frontier.top();
     frontier.pop();
-    if (std::sqrt(d2) > r_q) break;  // everything left is outside Q
+    const double mindist = std::sqrt(d2);
+    if (mindist > r_q) break;  // everything left is outside Q
+    certified = mindist;
     if (node->kind == index::Node::Kind::kInternal) {
       for (const auto& child : node->children) {
         double cd2 = child->mbr.MinDistSquared(q_s2.AsSpan());
@@ -187,17 +239,33 @@ TopKResult RTreeTopKEngine::TopKQuery(const data::Query& query, size_t k,
       }
       continue;
     }
-    examine(tree_->ElementIds(*node));
+    examine(tree_->ElementIds(*node), /*enforce=*/true);
+    if (control.stopped()) {
+      complete = false;  // bailed mid-element
+      break;
+    }
     r_q = current_radius();
   }
   if (r_q == kInf) {
     // Fewer than k valid entities in the whole dataset.
     r_q = tree_->root().mbr.Margin() + 1.0;
   }
+  if (complete) certified = r_q;
   index::Rect region = index::Rect::BoundingBoxOfBall(q_s2, r_q);
 
-  // Line 9: incremental index build with the final region.
-  if (crack_after_query_) tree_->Crack(region);
+  ResultQuality quality;
+  quality.certified_radius = certified;
+  if (control.stopped()) {
+    quality.exact = false;
+    quality.stop_reason = control.stop_reason();
+  }
+
+  // Line 9: incremental index build with the final region. A degraded
+  // query skips it — its region underestimates Q, and its time is up —
+  // while a healthy query cracks under the remaining crack budget.
+  if (crack_after_query_ && !control.stopped()) {
+    tree_->Crack(region, &control);
+  }
 
   std::vector<std::pair<double, uint32_t>> pairs;
   pairs.reserve(best.size());
@@ -206,7 +274,9 @@ TopKResult RTreeTopKEngine::TopKQuery(const data::Query& query, size_t k,
     best.pop();
   }
   std::reverse(pairs.begin(), pairs.end());
-  return FinalizeHits(std::move(pairs), candidates);
+  TopKResult result = FinalizeHits(std::move(pairs), candidates);
+  result.quality = quality;
+  return result;
 }
 
 // ---------------------------------------------------------------------------

@@ -14,6 +14,7 @@
 #include "kg/graph.h"
 #include "query/query_context.h"
 #include "transform/jl_transform.h"
+#include "util/status.h"
 
 namespace vkg::query {
 
@@ -29,6 +30,9 @@ struct TopKResult {
   std::vector<TopKHit> hits;  // ascending distance
   /// Entities whose exact S1 distance was evaluated (work measure).
   size_t candidates_examined = 0;
+  /// Whether the answer is complete or a best-effort result produced
+  /// under a deadline / cancellation / resource budget.
+  ResultQuality quality;
 };
 
 /// Skip predicate of the E'-only query semantics (Section II): the
@@ -67,9 +71,20 @@ class TopKEngine {
   /// once.
   virtual bool SupportsConcurrentQueries() const { return true; }
 
+  /// The knowledge graph the engine answers over (null only for engines
+  /// without one; used by ValidateQuery / the batch executor to reject
+  /// malformed queries before they reach the hot path).
+  virtual const kg::KnowledgeGraph* graph() const { return nullptr; }
+
   /// Method label for reports.
   virtual std::string_view name() const = 0;
 };
+
+/// InvalidArgument when `query` references an entity or relation outside
+/// the engine's graph (such ids would trip internal invariants deep in
+/// the query path). OK for engines that expose no graph.
+util::Status ValidateQuery(const TopKEngine& engine,
+                           const data::Query& query);
 
 /// The no-index baseline: exact scan in S1 (also the precision@K ground
 /// truth).
@@ -82,6 +97,7 @@ class LinearTopKEngine : public TopKEngine {
   using TopKEngine::TopKQuery;
   TopKResult TopKQuery(const data::Query& query, size_t k,
                        QueryContext& ctx) const override;
+  const kg::KnowledgeGraph* graph() const override { return graph_; }
   std::string_view name() const override { return "no-index"; }
 
  private:
@@ -111,6 +127,7 @@ class RTreeTopKEngine : public TopKEngine {
   bool SupportsConcurrentQueries() const override {
     return !crack_after_query_;
   }
+  const kg::KnowledgeGraph* graph() const override { return graph_; }
   std::string_view name() const override { return name_; }
 
   /// Query-region expansion factor (1 + eps) currently in use.
@@ -143,6 +160,7 @@ class PhTreeTopKEngine : public TopKEngine {
   using TopKEngine::TopKQuery;
   TopKResult TopKQuery(const data::Query& query, size_t k,
                        QueryContext& ctx) const override;
+  const kg::KnowledgeGraph* graph() const override { return graph_; }
   std::string_view name() const override { return "ph-tree"; }
 
  private:
@@ -165,6 +183,7 @@ class H2AlshTopKEngine : public TopKEngine {
   using TopKEngine::TopKQuery;
   TopKResult TopKQuery(const data::Query& query, size_t k,
                        QueryContext& ctx) const override;
+  const kg::KnowledgeGraph* graph() const override { return graph_; }
   std::string_view name() const override { return "h2-alsh"; }
 
   const index::H2Alsh& alsh() const { return *alsh_; }

@@ -1,0 +1,21 @@
+#include "util/deadline.h"
+
+namespace vkg::util {
+
+std::string_view StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone:
+      return "none";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kCancelled:
+      return "cancelled";
+    case StopReason::kPointBudget:
+      return "point-budget";
+    case StopReason::kScratchBudget:
+      return "scratch-budget";
+  }
+  return "?";
+}
+
+}  // namespace vkg::util

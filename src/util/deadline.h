@@ -1,0 +1,183 @@
+#ifndef VKG_UTIL_DEADLINE_H_
+#define VKG_UTIL_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace vkg::util {
+
+/// Cooperative cancellation flag shared between a query issuer and the
+/// thread answering the query. The issuer calls Cancel(); the query loop
+/// observes it at its next check point and degrades to a best-effort
+/// result. Safe for concurrent use.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// A wall-clock deadline (monotonic clock). Default-constructed deadlines
+/// are infinite and cost a single branch to check.
+class Deadline {
+ public:
+  Deadline() = default;  // infinite
+
+  static Deadline Infinite() { return Deadline(); }
+  static Deadline AfterMillis(double ms) {
+    return AfterSeconds(ms * 1e-3);
+  }
+  static Deadline AfterSeconds(double seconds) {
+    Deadline d;
+    d.has_deadline_ = true;
+    d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(seconds));
+    return d;
+  }
+  /// A deadline that has already passed (queries degrade immediately).
+  static Deadline AlreadyExpired() { return AfterSeconds(-1.0); }
+
+  bool infinite() const { return !has_deadline_; }
+  bool Expired() const {
+    return has_deadline_ && Clock::now() >= at_;
+  }
+  /// Milliseconds left; +infinity when infinite, <= 0 when expired.
+  double RemainingMillis() const {
+    if (!has_deadline_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double, std::milli>(at_ - Clock::now())
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool has_deadline_ = false;
+  Clock::time_point at_{};
+};
+
+/// Why a query stopped early (ResultQuality::stop_reason).
+enum class StopReason : uint8_t {
+  kNone = 0,       // ran to completion
+  kDeadline,       // wall-clock deadline expired
+  kCancelled,      // CancelToken fired
+  kPointBudget,    // ResourceBudget::max_points exhausted
+  kScratchBudget,  // scratch allocation would exceed max_scratch_bytes
+};
+
+std::string_view StopReasonName(StopReason reason);
+
+/// Per-query work limits. A zero field means unlimited.
+struct ResourceBudget {
+  /// Max entities whose exact S1 distance is evaluated.
+  size_t max_points = 0;
+  /// Max partition nodes cracked (split) per query. Exhausting this
+  /// budget silently stops further index refinement — cracking only
+  /// affects performance, never answers — so it does not mark the query
+  /// as degraded.
+  size_t max_cracked_nodes = 0;
+  /// Max bytes of per-query scratch (the visit-stamp array). A budget
+  /// below the required floor degrades the result to the seed
+  /// candidates instead of refusing the query.
+  size_t max_scratch_bytes = 0;
+
+  bool Unlimited() const {
+    return max_points == 0 && max_cracked_nodes == 0 &&
+           max_scratch_bytes == 0;
+  }
+};
+
+/// Per-query control block: deadline + cancellation + resource budget,
+/// with the running counters they are checked against. Engines call
+/// ShouldStop() at their natural loop boundaries (R-tree frontier pops,
+/// LinearScan blocks, A* expansions, aggregate sample accesses); once it
+/// returns true they wind down and return the best-so-far answer with
+/// the stop reason recorded in ResultQuality.
+///
+/// Not thread-safe: one QueryControl per QueryContext per worker. The
+/// only cross-thread member is the (externally owned) CancelToken.
+class QueryControl {
+ public:
+  QueryControl() = default;
+
+  void set_deadline(Deadline d) { deadline_ = d; }
+  const Deadline& deadline() const { return deadline_; }
+  void set_cancel_token(const CancelToken* token) { cancel_ = token; }
+  void set_budget(const ResourceBudget& budget) { budget_ = budget; }
+  const ResourceBudget& budget() const { return budget_; }
+
+  /// Clears the per-query counters and stop state; configuration
+  /// (deadline, token, budget) is kept. Called by the batch executor
+  /// before each query; direct callers reusing a context across queries
+  /// should do the same.
+  void ResetForQuery() {
+    points_ = 0;
+    cracked_ = 0;
+    stop_ = StopReason::kNone;
+  }
+
+  /// Accounts `n` exact distance evaluations.
+  void AddPoints(size_t n) { points_ += n; }
+  size_t points() const { return points_; }
+
+  /// Accounts one partition split; false once the crack budget is spent
+  /// or the query has already stopped (cracking is then abandoned — the
+  /// tree stays valid, later queries pick up where this one left off).
+  bool AllowCrack() {
+    if (stop_ != StopReason::kNone) return false;
+    if (budget_.max_cracked_nodes > 0 &&
+        cracked_ >= budget_.max_cracked_nodes) {
+      return false;
+    }
+    ++cracked_;
+    return true;
+  }
+  size_t cracked_nodes() const { return cracked_; }
+
+  /// Cooperative stop check. Cheap (two branches plus a clock read only
+  /// when a deadline is set); sticky once tripped.
+  bool ShouldStop() {
+    if (stop_ != StopReason::kNone) return true;
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      stop_ = StopReason::kCancelled;
+      return true;
+    }
+    if (budget_.max_points > 0 && points_ >= budget_.max_points) {
+      stop_ = StopReason::kPointBudget;
+      return true;
+    }
+    if (deadline_.Expired()) {
+      stop_ = StopReason::kDeadline;
+      return true;
+    }
+    return false;
+  }
+
+  /// Marks the query stopped because scratch allocation would exceed the
+  /// budget (see ResourceBudget::max_scratch_bytes).
+  void NoteScratchOverflow() {
+    if (stop_ == StopReason::kNone) stop_ = StopReason::kScratchBudget;
+  }
+
+  bool stopped() const { return stop_ != StopReason::kNone; }
+  StopReason stop_reason() const { return stop_; }
+
+ private:
+  Deadline deadline_;
+  const CancelToken* cancel_ = nullptr;
+  ResourceBudget budget_;
+  size_t points_ = 0;
+  size_t cracked_ = 0;
+  StopReason stop_ = StopReason::kNone;
+};
+
+}  // namespace vkg::util
+
+#endif  // VKG_UTIL_DEADLINE_H_

@@ -1,0 +1,153 @@
+#include "util/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vkg::util {
+
+namespace {
+
+// Number of armed sites across the process; the VKG_FAILPOINT fast path
+// reads only this.
+std::atomic<size_t> g_armed_sites{0};
+
+// Splits `s` on `sep`, keeping empty pieces out.
+std::vector<std::string> SplitNonEmpty(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t end = s.find(sep, start);
+    if (end == std::string_view::npos) end = s.size();
+    if (end > start) out.emplace_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool FailPointsArmed() {
+  return g_armed_sites.load(std::memory_order_relaxed) > 0;
+}
+
+FailPointRegistry& FailPointRegistry::Instance() {
+  static FailPointRegistry* registry = new FailPointRegistry();
+  return *registry;
+}
+
+FailPointRegistry::FailPointRegistry() {
+  const char* env = std::getenv("VKG_FAILPOINTS");
+  if (env == nullptr || env[0] == '\0') return;
+  Status s = Configure(env);
+  if (!s.ok()) {
+    std::fprintf(stderr, "ignoring bad VKG_FAILPOINTS spec: %s\n",
+                 s.ToString().c_str());
+  }
+}
+
+Status FailPointRegistry::ConfigureFromEnv() {
+  const char* env = std::getenv("VKG_FAILPOINTS");
+  if (env == nullptr || env[0] == '\0') return Status::OK();
+  return Configure(env);
+}
+
+Status FailPointRegistry::Configure(const std::string& spec) {
+  for (const std::string& entry : SplitNonEmpty(spec, ';')) {
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("failpoint entry must be name=actions: " +
+                                     entry);
+    }
+    VKG_RETURN_IF_ERROR(
+        ConfigureSite(entry.substr(0, eq), entry.substr(eq + 1)));
+  }
+  return Status::OK();
+}
+
+Status FailPointRegistry::ConfigureSite(const std::string& name,
+                                        const std::string& actions) {
+  if (name.empty()) {
+    return Status::InvalidArgument("empty failpoint name");
+  }
+  // "off" alone disarms the site.
+  if (actions == "off") {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sites_.erase(name) > 0) {
+      g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+    }
+    return Status::OK();
+  }
+
+  Site site;
+  for (const std::string& token : SplitNonEmpty(actions, ',')) {
+    ActionStep step;
+    std::string_view action = token;
+    size_t star = token.find('*');
+    if (star != std::string::npos) {
+      char* end = nullptr;
+      unsigned long long count = std::strtoull(token.c_str(), &end, 10);
+      if (end != token.c_str() + star || count == 0) {
+        return Status::InvalidArgument("bad failpoint count in: " + token);
+      }
+      step.count = static_cast<size_t>(count);
+      action = action.substr(star + 1);
+    }
+    if (action == "fail") {
+      step.fail = true;
+    } else if (action == "off") {
+      step.fail = false;
+    } else {
+      return Status::InvalidArgument("unknown failpoint action: " + token);
+    }
+    site.steps.push_back(step);
+  }
+  if (site.steps.empty()) {
+    return Status::InvalidArgument("empty action list for failpoint " + name);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = sites_.insert_or_assign(name, std::move(site));
+  (void)it;
+  if (inserted) g_armed_sites.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void FailPointRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!sites_.empty()) {
+    g_armed_sites.fetch_sub(sites_.size(), std::memory_order_relaxed);
+    sites_.clear();
+  }
+}
+
+bool FailPointRegistry::ShouldFail(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  Site& s = it->second;
+  ++s.hits;
+  if (s.step_index >= s.steps.size()) return false;  // sequence exhausted
+  const ActionStep& step = s.steps[s.step_index];
+  bool fail = step.fail;
+  if (step.count > 0 && ++s.consumed_in_step >= step.count) {
+    ++s.step_index;
+    s.consumed_in_step = 0;
+  }
+  return fail;
+}
+
+size_t FailPointRegistry::HitCount(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> FailPointRegistry::ArmedSites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(sites_.size());
+  for (const auto& [name, site] : sites_) names.push_back(name);
+  return names;
+}
+
+}  // namespace vkg::util

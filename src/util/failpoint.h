@@ -1,0 +1,93 @@
+#ifndef VKG_UTIL_FAILPOINT_H_
+#define VKG_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace vkg::util {
+
+/// Deterministic fault injection for tests (modelled on fail-rs/TiKV
+/// failpoints). Code plants named sites with VKG_FAILPOINT("name");
+/// tests (or the VKG_FAILPOINTS environment variable, or the CLI's
+/// --failpoints flag) arm sites with an action sequence, e.g.
+///
+///   VKG_FAILPOINTS="cracking.split=1*off,5*fail;serialize.read=3*off,1*fail"
+///
+/// Each action is ACTION or COUNT*ACTION with ACTION in {off, fail}:
+/// "1*off,5*fail" passes the first evaluation, fails the next five, then
+/// stays off. A bare action without COUNT applies forever. Configuring a
+/// site to exactly "off" disarms it.
+///
+/// Site naming convention: <subsystem>.<operation>, lowercase
+/// (cracking.split, serialize.read, serialize.write, alloc.scratch,
+/// threadpool.dispatch, batch.query).
+///
+/// Evaluation is thread-safe; an unarmed process pays one relaxed atomic
+/// load per site evaluation.
+class FailPointRegistry {
+ public:
+  /// The process-wide registry. On first use it arms itself from the
+  /// VKG_FAILPOINTS environment variable (parse errors are logged and
+  /// ignored so a bad spec cannot take the process down).
+  static FailPointRegistry& Instance();
+
+  /// Arms sites from a "name=actions;name2=actions" spec. Sites already
+  /// armed keep their state unless re-specified.
+  Status Configure(const std::string& spec);
+
+  /// Arms one site with a comma-separated action sequence.
+  Status ConfigureSite(const std::string& name, const std::string& actions);
+
+  /// Re-reads VKG_FAILPOINTS (no-op Status when unset).
+  Status ConfigureFromEnv();
+
+  /// Disarms every site.
+  void Clear();
+
+  /// Evaluates a site and advances its action sequence. False for
+  /// unarmed sites.
+  bool ShouldFail(std::string_view site);
+
+  /// Total evaluations of an armed site since it was configured.
+  size_t HitCount(std::string_view site) const;
+
+  /// Names of currently armed sites (diagnostics).
+  std::vector<std::string> ArmedSites() const;
+
+ private:
+  FailPointRegistry();
+
+  struct ActionStep {
+    size_t count = 0;  // evaluations this step consumes; 0 = forever
+    bool fail = false;
+  };
+  struct Site {
+    std::vector<ActionStep> steps;
+    size_t step_index = 0;
+    size_t consumed_in_step = 0;
+    size_t hits = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Site, std::less<>> sites_;
+};
+
+/// True when any failpoint is armed (single relaxed atomic load — the
+/// whole cost of the framework in production).
+bool FailPointsArmed();
+
+}  // namespace vkg::util
+
+/// Evaluates the named failpoint; true means the site should simulate a
+/// failure now. Near-zero cost while no failpoints are armed.
+#define VKG_FAILPOINT(site_name)             \
+  (::vkg::util::FailPointsArmed() &&         \
+   ::vkg::util::FailPointRegistry::Instance().ShouldFail(site_name))
+
+#endif  // VKG_UTIL_FAILPOINT_H_

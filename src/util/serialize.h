@@ -28,16 +28,28 @@ class BinaryWriter {
   void WriteString(const std::string& s);
   void WriteF32Array(const std::vector<float>& v);
 
+  /// Appends an FNV-1a checksum of every byte written so far. A reader
+  /// calls VerifyChecksum at the matching position; any flipped bit in
+  /// the preceding content then surfaces as kDataLoss instead of being
+  /// parsed into a silently-wrong structure.
+  void WriteChecksum();
+
   Status Close();
 
  private:
   void WriteBytes(const void* data, size_t n);
 
   std::FILE* file_ = nullptr;
+  uint64_t crc_ = 1469598103934665603ULL;  // FNV-1a offset basis
   Status status_;
 };
 
 /// Binary reader matching BinaryWriter's encoding.
+///
+/// Corruption hardening: length-prefixed reads (ReadString,
+/// ReadF32Array) validate the length against the bytes actually left in
+/// the file before allocating, so a flipped length byte yields a
+/// kDataLoss status instead of a multi-gigabyte allocation attempt.
 class BinaryReader {
  public:
   explicit BinaryReader(const std::string& path);
@@ -55,10 +67,24 @@ class BinaryReader {
   std::string ReadString();
   std::vector<float> ReadF32Array();
 
+  /// Bytes left between the read position and end of file.
+  size_t Remaining() const { return size_ - pos_; }
+
+  /// Reads a checksum written by BinaryWriter::WriteChecksum and compares
+  /// it against the running checksum of every byte read so far. On
+  /// mismatch sets a kDataLoss status and returns false.
+  bool VerifyChecksum();
+
  private:
   void ReadBytes(void* data, size_t n);
+  /// Sets a kDataLoss status (and returns false) when a length field
+  /// requests more than the remaining file contents.
+  bool CheckLength(uint64_t n, size_t elem_size, const char* what);
 
   std::FILE* file_ = nullptr;
+  size_t size_ = 0;  // total file size in bytes
+  size_t pos_ = 0;   // current read offset
+  uint64_t crc_ = 1469598103934665603ULL;  // FNV-1a offset basis
   Status status_;
 };
 

@@ -22,6 +22,14 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

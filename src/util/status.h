@@ -19,6 +19,10 @@ enum class StatusCode {
   kIoError = 6,
   kInternal = 7,
   kUnimplemented = 8,
+  kDeadlineExceeded = 9,
+  kResourceExhausted = 10,
+  kDataLoss = 11,
+  kCancelled = 12,
 };
 
 /// Returns a human-readable name for `code` (e.g., "InvalidArgument").
@@ -64,6 +68,18 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/failpoint.h"
+
 namespace vkg::util {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -24,6 +26,13 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Simulates worker starvation / dispatch failure: the task still runs
+  // (callers rely on completion for Wait() correctness) but on the
+  // submitting thread, exactly as a degraded pool would behave.
+  if (VKG_FAILPOINT("threadpool.dispatch")) {
+    task();
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     tasks_.push(std::move(task));

@@ -66,6 +66,20 @@ class BatchQueryTest : public ::testing::Test {
     }
   }
 
+  // Per-slot statuses must all be OK for healthy queries; unwrap them so
+  // the parity checks compare plain results.
+  static std::vector<TopKResult> Unwrap(
+      std::vector<util::Result<TopKResult>> batch) {
+    std::vector<TopKResult> out;
+    out.reserve(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_TRUE(batch[i].ok())
+          << "query " << i << ": " << batch[i].status().ToString();
+      if (batch[i].ok()) out.push_back(std::move(batch[i].value()));
+    }
+    return out;
+  }
+
   static std::vector<TopKResult> Sequential(const TopKEngine& engine,
                                             size_t k) {
     std::vector<TopKResult> out;
@@ -81,11 +95,11 @@ class BatchQueryTest : public ::testing::Test {
     for (size_t threads : {size_t{1}, size_t{8}}) {
       util::ThreadPool pool(threads);
       std::vector<TopKResult> batch =
-          BatchTopK(engine, *workload_, k, &pool);
+          Unwrap(BatchTopK(engine, *workload_, k, &pool));
       ExpectIdentical(batch, seq);
     }
     // No pool at all: sequential path with one reused context.
-    ExpectIdentical(BatchTopK(engine, *workload_, k, nullptr), seq);
+    ExpectIdentical(Unwrap(BatchTopK(engine, *workload_, k, nullptr)), seq);
   }
 
   static data::Dataset* ds_;
@@ -128,7 +142,7 @@ TEST_F(BatchQueryTest, CrackingRTreeEngineBatchMatchesSequential) {
       make([&](const TopKEngine& e) { return Sequential(e, 10); });
   util::ThreadPool pool(8);
   std::vector<TopKResult> batch = make([&](const TopKEngine& e) {
-    return BatchTopK(e, *workload_, 10, &pool);
+    return Unwrap(BatchTopK(e, *workload_, 10, &pool));
   });
   ExpectIdentical(batch, seq);
 }
@@ -174,7 +188,8 @@ TEST_F(BatchQueryTest, ConcurrentStressSharedEngine) {
   for (const TopKEngine* engine :
        {static_cast<const TopKEngine*>(&rtree_engine),
         static_cast<const TopKEngine*>(&linear_engine)}) {
-    std::vector<TopKResult> batch = BatchTopK(*engine, many, 5, &pool);
+    std::vector<TopKResult> batch =
+        Unwrap(BatchTopK(*engine, many, 5, &pool));
     ASSERT_EQ(batch.size(), many.size());
     for (size_t i = 0; i < batch.size(); ++i) {
       // Identical queries (i and i mod workload size) must get
@@ -223,6 +238,42 @@ TEST_F(BatchQueryTest, BatchAggregateMatchesSequential) {
       EXPECT_EQ(batch[i].value().estimated_total,
                 seq[i].value().estimated_total);
     }
+  }
+}
+
+// A malformed query must fail in its own slot only: every other query in
+// the batch still gets its normal answer (satellite of the resilience
+// layer; the full failure matrix lives in resilience_test.cc).
+TEST_F(BatchQueryTest, InvalidQueryFailsOnlyItsSlot) {
+  LinearTopKEngine engine(&ds_->graph, &ds_->embeddings);
+  std::vector<TopKResult> seq = Sequential(engine, 5);
+
+  std::vector<data::Query> queries = *workload_;
+  const size_t bad = queries.size() / 2;
+  queries[bad].anchor =
+      static_cast<kg::EntityId>(ds_->graph.num_entities());  // out of range
+
+  {
+    auto batch = BatchTopK(engine, queries, 5, nullptr);
+    ASSERT_EQ(batch.size(), queries.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (i == bad) {
+        ASSERT_FALSE(batch[i].ok());
+        EXPECT_EQ(batch[i].status().code(),
+                  util::StatusCode::kInvalidArgument);
+      } else {
+        ASSERT_TRUE(batch[i].ok()) << batch[i].status().ToString();
+        ASSERT_EQ(batch[i]->hits.size(), seq[i].hits.size());
+        EXPECT_EQ(batch[i]->hits[0].entity, seq[i].hits[0].entity);
+      }
+    }
+  }
+  util::ThreadPool pool(8);
+  auto batch = BatchTopK(engine, queries, 5, &pool);
+  ASSERT_EQ(batch.size(), queries.size());
+  EXPECT_FALSE(batch[bad].ok());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (i != bad) EXPECT_TRUE(batch[i].ok());
   }
 }
 

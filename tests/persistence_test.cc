@@ -7,9 +7,12 @@
 #include <filesystem>
 #include <fstream>
 #include <set>
+#include <vector>
 
+#include "embedding/store.h"
 #include "index/cracking_rtree.h"
 #include "util/random.h"
+#include "util/serialize.h"
 
 namespace vkg::index {
 namespace {
@@ -133,6 +136,138 @@ TEST(PersistenceTest, RejectsGarbageFiles) {
   }
   EXPECT_FALSE(CrackingRTree::Load(path, &ps).ok());
   EXPECT_FALSE(CrackingRTree::Load("/nonexistent/file.bin", &ps).ok());
+  std::remove(path.c_str());
+}
+
+std::vector<char> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// Every single-byte corruption of a saved index must be rejected with a
+// clean Status — no crash, no silently-wrong tree. The trailing content
+// checksum catches flips the structural checks cannot (coordinates,
+// config floats, counters).
+TEST(PersistenceTest, ByteFlipsInIndexFileAreAlwaysDetected) {
+  PointSet ps = RandomPoints(600, 3, 99);
+  CrackingRTree tree(&ps, RTreeConfig{});
+  tree.Crack(RegionAround(ps, 7, 0.4));
+  std::string path = TempPath("vkg_index_flip.bin");
+  ASSERT_TRUE(tree.Save(path).ok());
+  const std::vector<char> original = ReadFile(path);
+  ASSERT_FALSE(original.empty());
+
+  // The whole header densely, then the rest at a prime stride to keep
+  // the loop fast while still covering every region of the file.
+  std::vector<size_t> offsets;
+  for (size_t i = 0; i < std::min<size_t>(64, original.size()); ++i) {
+    offsets.push_back(i);
+  }
+  for (size_t i = 64; i < original.size(); i += 97) offsets.push_back(i);
+  offsets.push_back(original.size() - 1);  // inside the checksum itself
+
+  for (size_t off : offsets) {
+    std::vector<char> corrupted = original;
+    corrupted[off] ^= 0x40;
+    WriteFile(path, corrupted);
+    auto loaded = CrackingRTree::Load(path, &ps);
+    EXPECT_FALSE(loaded.ok()) << "flip at byte " << off
+                              << " loaded successfully";
+  }
+  // Restoring the original bytes loads fine again.
+  WriteFile(path, original);
+  EXPECT_TRUE(CrackingRTree::Load(path, &ps).ok());
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, TruncationsOfIndexFileAreAlwaysDetected) {
+  PointSet ps = RandomPoints(600, 3, 100);
+  CrackingRTree tree(&ps, RTreeConfig{});
+  tree.Crack(RegionAround(ps, 11, 0.4));
+  std::string path = TempPath("vkg_index_trunc_loop.bin");
+  ASSERT_TRUE(tree.Save(path).ok());
+  const auto size = std::filesystem::file_size(path);
+  for (double frac : {0.0, 0.1, 0.33, 0.5, 0.75, 0.9, 0.99}) {
+    auto keep = static_cast<std::uintmax_t>(
+        static_cast<double>(size) * frac);
+    std::filesystem::resize_file(path, keep);
+    EXPECT_FALSE(CrackingRTree::Load(path, &ps).ok())
+        << "kept " << keep << " of " << size << " bytes";
+    // Re-save for the next iteration (resize only shrinks).
+    ASSERT_TRUE(tree.Save(path).ok());
+  }
+  // Off-by-one: drop just the last byte (of the checksum).
+  std::filesystem::resize_file(path, size - 1);
+  EXPECT_FALSE(CrackingRTree::Load(path, &ps).ok());
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, EmbeddingStoreSurvivesCorruptionLoops) {
+  util::Rng rng(101);
+  embedding::EmbeddingStore store(40, 4, 16);
+  store.RandomInitialize(rng);
+  std::string path = TempPath("vkg_emb_corrupt.bin");
+  ASSERT_TRUE(store.Save(path).ok());
+
+  // Clean round trip first.
+  auto reloaded = embedding::EmbeddingStore::Load(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->num_entities(), 40u);
+
+  const std::vector<char> original = ReadFile(path);
+  for (size_t off = 0; off < original.size();
+       off += (off < 64 ? 1 : 53)) {
+    std::vector<char> corrupted = original;
+    corrupted[off] ^= 0x10;
+    WriteFile(path, corrupted);
+    auto loaded = embedding::EmbeddingStore::Load(path);
+    EXPECT_FALSE(loaded.ok()) << "flip at byte " << off;
+  }
+  for (double frac : {0.0, 0.25, 0.5, 0.95}) {
+    WriteFile(path, original);
+    std::filesystem::resize_file(
+        path, static_cast<std::uintmax_t>(
+                  static_cast<double>(original.size()) * frac));
+    EXPECT_FALSE(embedding::EmbeddingStore::Load(path).ok());
+  }
+  WriteFile(path, original);
+  EXPECT_TRUE(embedding::EmbeddingStore::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+// A crafted length field asking for far more data than the file holds
+// must fail with kDataLoss before any allocation is attempted.
+TEST(PersistenceTest, HugeLengthFieldsFailWithDataLoss) {
+  std::string path = TempPath("vkg_huge_len.bin");
+  {
+    util::BinaryWriter w(path);
+    w.WriteU32(0x564b4745);  // embedding store magic "VKGE"
+    w.WriteU64(1ULL << 61);  // num_entities: absurd
+    w.WriteU64(4);
+    w.WriteU64(16);
+    ASSERT_TRUE(w.Close().ok());
+  }
+  auto loaded = embedding::EmbeddingStore::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kDataLoss);
+
+  // Same attack on the raw reader primitives.
+  {
+    util::BinaryWriter w(path);
+    w.WriteU64(1ULL << 60);  // array length field
+    w.WriteF32(1.0f);
+    ASSERT_TRUE(w.Close().ok());
+  }
+  util::BinaryReader r(path);
+  std::vector<float> v = r.ReadF32Array();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kDataLoss);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,654 @@
+// Tests for the query-time resilience layer: deadlines, cooperative
+// cancellation, resource budgets, graceful degradation (best-so-far
+// answers with ResultQuality attached), and the failpoint fault-
+// injection framework. Every engine is driven through injected failures
+// and must degrade — never hang, crash, or return silently-wrong data.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/movielens_gen.h"
+#include "data/workload.h"
+#include "index/cracking_rtree.h"
+#include "query/aggregate_engine.h"
+#include "query/batch_executor.h"
+#include "query/topk_engine.h"
+#include "transform/jl_transform.h"
+#include "util/deadline.h"
+#include "util/failpoint.h"
+#include "util/serialize.h"
+#include "util/thread_pool.h"
+
+namespace vkg::query {
+namespace {
+
+using util::CancelToken;
+using util::Deadline;
+using util::FailPointRegistry;
+using util::ResourceBudget;
+using util::StopReason;
+
+// ---------------------------------------------------------------------------
+// Failpoint framework
+// ---------------------------------------------------------------------------
+
+// Every test leaves the global registry clean so armed sites cannot leak
+// into unrelated tests.
+class FailPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailPointRegistry::Instance().Clear(); }
+  void TearDown() override { FailPointRegistry::Instance().Clear(); }
+};
+
+TEST_F(FailPointTest, UnarmedSitesNeverFail) {
+  EXPECT_FALSE(util::FailPointsArmed());
+  EXPECT_FALSE(VKG_FAILPOINT("nonexistent.site"));
+}
+
+TEST_F(FailPointTest, ActionSequencesAreDeterministic) {
+  auto& reg = FailPointRegistry::Instance();
+  ASSERT_TRUE(reg.ConfigureSite("test.seq", "2*off,3*fail").ok());
+  EXPECT_TRUE(util::FailPointsArmed());
+  std::vector<bool> observed;
+  for (int i = 0; i < 8; ++i) observed.push_back(VKG_FAILPOINT("test.seq"));
+  EXPECT_EQ(observed, (std::vector<bool>{false, false, true, true, true,
+                                         false, false, false}));
+  EXPECT_EQ(reg.HitCount("test.seq"), 8u);
+}
+
+TEST_F(FailPointTest, BareActionAppliesForever) {
+  auto& reg = FailPointRegistry::Instance();
+  ASSERT_TRUE(reg.ConfigureSite("test.forever", "fail").ok());
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(VKG_FAILPOINT("test.forever"));
+}
+
+TEST_F(FailPointTest, MultiSiteSpecAndDisarm) {
+  auto& reg = FailPointRegistry::Instance();
+  ASSERT_TRUE(reg.Configure("a.one=fail;b.two=1*fail").ok());
+  EXPECT_TRUE(VKG_FAILPOINT("a.one"));
+  EXPECT_TRUE(VKG_FAILPOINT("b.two"));
+  EXPECT_FALSE(VKG_FAILPOINT("b.two"));  // sequence exhausted
+
+  // "off" alone disarms the site.
+  ASSERT_TRUE(reg.ConfigureSite("a.one", "off").ok());
+  EXPECT_FALSE(VKG_FAILPOINT("a.one"));
+  std::vector<std::string> armed = reg.ArmedSites();
+  for (const std::string& name : armed) EXPECT_NE(name, "a.one");
+}
+
+TEST_F(FailPointTest, RejectsMalformedSpecs) {
+  auto& reg = FailPointRegistry::Instance();
+  EXPECT_FALSE(reg.Configure("no-equals-sign").ok());
+  EXPECT_FALSE(reg.ConfigureSite("s", "3*bogus").ok());
+  EXPECT_FALSE(reg.ConfigureSite("s", "").ok());
+  EXPECT_FALSE(VKG_FAILPOINT("s"));
+}
+
+// Smoke test for env-var arming, exercised by CI which runs this binary
+// with VKG_FAILPOINTS="resilience.env.smoke=fail". Skipped otherwise.
+TEST_F(FailPointTest, EnvVarArmsSites) {
+  const char* env = std::getenv("VKG_FAILPOINTS");
+  if (env == nullptr ||
+      std::strstr(env, "resilience.env.smoke") == nullptr) {
+    GTEST_SKIP() << "VKG_FAILPOINTS does not arm resilience.env.smoke";
+  }
+  ASSERT_TRUE(FailPointRegistry::Instance().ConfigureFromEnv().ok());
+  EXPECT_TRUE(VKG_FAILPOINT("resilience.env.smoke"));
+}
+
+// ---------------------------------------------------------------------------
+// Deadline / QueryControl primitives
+// ---------------------------------------------------------------------------
+
+TEST(DeadlineTest, InfiniteExpiredAndRemaining) {
+  Deadline inf;
+  EXPECT_TRUE(inf.infinite());
+  EXPECT_FALSE(inf.Expired());
+  EXPECT_GT(inf.RemainingMillis(), 1e18);
+
+  Deadline expired = Deadline::AlreadyExpired();
+  EXPECT_FALSE(expired.infinite());
+  EXPECT_TRUE(expired.Expired());
+  EXPECT_LE(expired.RemainingMillis(), 0.0);
+
+  Deadline later = Deadline::AfterSeconds(3600);
+  EXPECT_FALSE(later.Expired());
+  EXPECT_GT(later.RemainingMillis(), 0.0);
+}
+
+TEST(DeadlineTest, StopReasonNames) {
+  EXPECT_EQ(util::StopReasonName(StopReason::kNone), "none");
+  EXPECT_EQ(util::StopReasonName(StopReason::kDeadline), "deadline");
+  EXPECT_EQ(util::StopReasonName(StopReason::kCancelled), "cancelled");
+  EXPECT_EQ(util::StopReasonName(StopReason::kPointBudget),
+            "point-budget");
+  EXPECT_EQ(util::StopReasonName(StopReason::kScratchBudget),
+            "scratch-budget");
+}
+
+TEST(QueryControlTest, PointBudgetTripsAndSticks) {
+  util::QueryControl control;
+  ResourceBudget budget;
+  budget.max_points = 10;
+  control.set_budget(budget);
+  EXPECT_FALSE(control.ShouldStop());
+  control.AddPoints(10);
+  EXPECT_TRUE(control.ShouldStop());
+  EXPECT_EQ(control.stop_reason(), StopReason::kPointBudget);
+  // Sticky even though nothing changed.
+  EXPECT_TRUE(control.ShouldStop());
+
+  control.ResetForQuery();
+  EXPECT_FALSE(control.stopped());
+  EXPECT_EQ(control.points(), 0u);
+  EXPECT_FALSE(control.ShouldStop());
+}
+
+TEST(QueryControlTest, CancellationWinsOverBudget) {
+  util::QueryControl control;
+  CancelToken token;
+  control.set_cancel_token(&token);
+  ResourceBudget budget;
+  budget.max_points = 1;
+  control.set_budget(budget);
+  control.AddPoints(5);
+  token.Cancel();
+  EXPECT_TRUE(control.ShouldStop());
+  EXPECT_EQ(control.stop_reason(), StopReason::kCancelled);
+}
+
+TEST(QueryControlTest, CrackBudgetIsSeparateFromStop) {
+  util::QueryControl control;
+  ResourceBudget budget;
+  budget.max_cracked_nodes = 2;
+  control.set_budget(budget);
+  EXPECT_TRUE(control.AllowCrack());
+  EXPECT_TRUE(control.AllowCrack());
+  EXPECT_FALSE(control.AllowCrack());  // budget spent
+  // Spending the crack budget is not a stop: answers stay exact.
+  EXPECT_FALSE(control.ShouldStop());
+
+  control.ResetForQuery();
+  EXPECT_TRUE(control.AllowCrack());
+}
+
+TEST(QueryControlTest, ScratchOverflowMarksStopped) {
+  util::QueryControl control;
+  control.NoteScratchOverflow();
+  EXPECT_TRUE(control.stopped());
+  EXPECT_EQ(control.stop_reason(), StopReason::kScratchBudget);
+}
+
+// ---------------------------------------------------------------------------
+// Engine degradation
+// ---------------------------------------------------------------------------
+
+class ResilienceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::MovieLensConfig config;
+    config.num_users = 1000;
+    config.num_movies = 500;
+    config.seed = 71;
+    ds_ = new data::Dataset(data::GenerateMovieLensLike(config));
+    data::WorkloadConfig wc;
+    wc.num_queries = 16;
+    wc.seed = 72;
+    workload_ =
+        new std::vector<data::Query>(data::GenerateWorkload(ds_->graph, wc));
+  }
+  static void TearDownTestSuite() {
+    delete ds_;
+    delete workload_;
+  }
+  void SetUp() override { FailPointRegistry::Instance().Clear(); }
+  void TearDown() override { FailPointRegistry::Instance().Clear(); }
+
+  // A fresh cracking (or bulk) R-tree engine with its own tree; jl/points
+  // are owned by the returned holder so engines can't outlive them.
+  struct RTreeHolder {
+    std::unique_ptr<transform::JlTransform> jl;
+    std::unique_ptr<index::PointSet> points;
+    std::unique_ptr<index::CrackingRTree> tree;
+    std::unique_ptr<RTreeTopKEngine> engine;
+  };
+  static RTreeHolder MakeRTree(bool cracking) {
+    RTreeHolder h;
+    h.jl = std::make_unique<transform::JlTransform>(
+        ds_->embeddings.dim(), 3, 73);
+    h.points = std::make_unique<index::PointSet>(
+        h.jl->ApplyToEntities(ds_->embeddings), 3);
+    h.tree = std::make_unique<index::CrackingRTree>(h.points.get(),
+                                                    index::RTreeConfig{});
+    if (!cracking) h.tree->BuildFull();
+    h.engine = std::make_unique<RTreeTopKEngine>(
+        &ds_->graph, &ds_->embeddings, h.jl.get(), h.tree.get(),
+        /*eps=*/1.0, /*crack_after_query=*/cracking,
+        cracking ? "crack" : "bulk");
+    return h;
+  }
+
+  static data::Dataset* ds_;
+  static std::vector<data::Query>* workload_;
+};
+data::Dataset* ResilienceTest::ds_ = nullptr;
+std::vector<data::Query>* ResilienceTest::workload_ = nullptr;
+
+// The acceptance criterion of the resilience layer: a query whose
+// deadline has already expired still returns a NON-EMPTY best-effort
+// answer, marked degraded — it never hangs, aborts, or comes back empty.
+TEST_F(ResilienceTest, ExpiredDeadlineStillAnswersNonEmpty) {
+  RTreeHolder rt = MakeRTree(/*cracking=*/true);
+  LinearTopKEngine linear(&ds_->graph, &ds_->embeddings);
+  for (const TopKEngine* engine :
+       {static_cast<const TopKEngine*>(rt.engine.get()),
+        static_cast<const TopKEngine*>(&linear)}) {
+    QueryContext ctx;
+    ctx.control().set_deadline(Deadline::AlreadyExpired());
+    for (const data::Query& q : *workload_) {
+      ctx.control().ResetForQuery();
+      TopKResult result = engine->TopKQuery(q, 10, ctx);
+      ASSERT_FALSE(result.hits.empty()) << engine->name();
+      EXPECT_FALSE(result.quality.exact);
+      EXPECT_TRUE(result.quality.deadline_exceeded());
+      EXPECT_TRUE(result.quality.truncated());
+      // Hits are sorted and carry real distances.
+      for (size_t h = 1; h < result.hits.size(); ++h) {
+        EXPECT_LE(result.hits[h - 1].distance, result.hits[h].distance);
+      }
+    }
+  }
+}
+
+TEST_F(ResilienceTest, GenerousDeadlineStaysExact) {
+  RTreeHolder rt = MakeRTree(/*cracking=*/true);
+  QueryContext ctx;
+  ctx.control().set_deadline(Deadline::AfterSeconds(3600));
+  for (const data::Query& q : *workload_) {
+    ctx.control().ResetForQuery();
+    TopKResult result = rt.engine->TopKQuery(q, 10, ctx);
+    EXPECT_TRUE(result.quality.exact);
+    EXPECT_EQ(result.quality.stop_reason, StopReason::kNone);
+    EXPECT_GT(result.quality.certified_radius, 0.0);
+  }
+}
+
+TEST_F(ResilienceTest, CancellationDegradesWithReason) {
+  RTreeHolder rt = MakeRTree(/*cracking=*/false);
+  CancelToken token;
+  token.Cancel();  // cancelled before the query even starts
+  QueryContext ctx;
+  ctx.control().set_cancel_token(&token);
+  TopKResult result = rt.engine->TopKQuery((*workload_)[0], 10, ctx);
+  ASSERT_FALSE(result.hits.empty());
+  EXPECT_FALSE(result.quality.exact);
+  EXPECT_EQ(result.quality.stop_reason, StopReason::kCancelled);
+}
+
+TEST_F(ResilienceTest, PointBudgetBoundsWorkAndIsReported) {
+  RTreeHolder rt = MakeRTree(/*cracking=*/false);
+  constexpr size_t kMaxPoints = 64;
+  QueryContext ctx;
+  ResourceBudget budget;
+  budget.max_points = kMaxPoints;
+  ctx.control().set_budget(budget);
+  bool some_tripped = false;
+  for (const data::Query& q : *workload_) {
+    ctx.control().ResetForQuery();
+    TopKResult result = rt.engine->TopKQuery(q, 10, ctx);
+    ASSERT_FALSE(result.hits.empty());
+    if (result.quality.exact) {
+      // Finished under budget: it must really have stayed under.
+      EXPECT_LT(ctx.control().points(), kMaxPoints);
+    } else {
+      some_tripped = true;
+      EXPECT_EQ(result.quality.stop_reason, StopReason::kPointBudget);
+      // Overshoot is bounded by one unchecked seed batch plus one
+      // examine block past the trip point.
+      EXPECT_LE(ctx.control().points(), kMaxPoints + 256 + 10);
+    }
+  }
+  EXPECT_TRUE(some_tripped);
+}
+
+TEST_F(ResilienceTest, CrackBudgetLimitsRefinementNotAnswers) {
+  RTreeHolder budgeted = MakeRTree(/*cracking=*/true);
+  RTreeHolder reference = MakeRTree(/*cracking=*/true);
+  QueryContext ctx;
+  ResourceBudget budget;
+  budget.max_cracked_nodes = 1;
+  ctx.control().set_budget(budget);
+  QueryContext ref_ctx;
+  for (const data::Query& q : *workload_) {
+    ctx.control().ResetForQuery();
+    TopKResult got = budgeted.engine->TopKQuery(q, 10, ctx);
+    TopKResult want = reference.engine->TopKQuery(q, 10, ref_ctx);
+    // Crack-budget exhaustion is performance-only: answers stay exact
+    // and identical to an unbudgeted engine fed the same sequence.
+    EXPECT_TRUE(got.quality.exact);
+    ASSERT_EQ(got.hits.size(), want.hits.size());
+    for (size_t h = 0; h < got.hits.size(); ++h) {
+      EXPECT_EQ(got.hits[h].entity, want.hits[h].entity);
+      EXPECT_EQ(got.hits[h].distance, want.hits[h].distance);
+    }
+  }
+  // The budget really limited index refinement.
+  EXPECT_LE(budgeted.tree->Stats().binary_splits,
+            reference.tree->Stats().binary_splits);
+}
+
+TEST_F(ResilienceTest, ScratchBudgetDegradesToSeeds) {
+  RTreeHolder rt = MakeRTree(/*cracking=*/false);
+  QueryContext ctx;
+  ResourceBudget budget;
+  budget.max_scratch_bytes = 16;  // far below n * sizeof(uint32_t)
+  ctx.control().set_budget(budget);
+  TopKResult result = rt.engine->TopKQuery((*workload_)[0], 10, ctx);
+  ASSERT_FALSE(result.hits.empty());  // the seeds are still examined
+  EXPECT_FALSE(result.quality.exact);
+  EXPECT_EQ(result.quality.stop_reason, StopReason::kScratchBudget);
+}
+
+TEST_F(ResilienceTest, DegradedRTreeAnswersArePrefixCorrect) {
+  // Whatever a degraded query returns must be consistent with the full
+  // answer: every certified hit (distance < certified_radius in S2 terms
+  // is hard to map back, so check the weaker prefix property) appears in
+  // the exact top-k at the same or better rank.
+  RTreeHolder rt = MakeRTree(/*cracking=*/false);
+  LinearTopKEngine exact(&ds_->graph, &ds_->embeddings);
+  QueryContext ctx;
+  ResourceBudget budget;
+  budget.max_points = 128;
+  ctx.control().set_budget(budget);
+  for (const data::Query& q : *workload_) {
+    ctx.control().ResetForQuery();
+    TopKResult degraded = rt.engine->TopKQuery(q, 5, ctx);
+    TopKResult truth = exact.TopKQuery(q, 5);
+    ASSERT_FALSE(degraded.hits.empty());
+    // Degraded distances can only be >= the true k-th distance ...
+    EXPECT_GE(degraded.hits.back().distance + 1e-9,
+              truth.hits.back().distance);
+    // ... and the best degraded hit can never beat the true best.
+    EXPECT_GE(degraded.hits.front().distance + 1e-9,
+              truth.hits.front().distance);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failpoints in the index / serialization / dispatch paths
+// ---------------------------------------------------------------------------
+
+TEST_F(ResilienceTest, CrackingSplitFailpointLeavesTreeUsable) {
+  ASSERT_TRUE(FailPointRegistry::Instance()
+                  .ConfigureSite("cracking.split", "fail")
+                  .ok());
+  RTreeHolder rt = MakeRTree(/*cracking=*/true);
+  RTreeHolder reference = MakeRTree(/*cracking=*/true);
+  QueryContext ctx;
+  QueryContext ref_ctx;
+  std::vector<TopKResult> with_failpoint;
+  for (const data::Query& q : *workload_) {
+    with_failpoint.push_back(rt.engine->TopKQuery(q, 10, ctx));
+  }
+  // No split ever succeeded ...
+  EXPECT_EQ(rt.tree->Stats().binary_splits, 0u);
+  FailPointRegistry::Instance().Clear();
+  // ... yet every answer matches a healthy engine's (answers never
+  // depend on how refined the index is).
+  for (size_t i = 0; i < workload_->size(); ++i) {
+    TopKResult want =
+        reference.engine->TopKQuery((*workload_)[i], 10, ref_ctx);
+    ASSERT_EQ(with_failpoint[i].hits.size(), want.hits.size());
+    for (size_t h = 0; h < want.hits.size(); ++h) {
+      EXPECT_EQ(with_failpoint[i].hits[h].entity, want.hits[h].entity);
+      EXPECT_EQ(with_failpoint[i].hits[h].distance,
+                want.hits[h].distance);
+    }
+    EXPECT_TRUE(with_failpoint[i].quality.exact);
+  }
+  // With the failpoint gone the same tree resumes cracking.
+  QueryContext ctx2;
+  for (const data::Query& q : *workload_) {
+    (void)rt.engine->TopKQuery(q, 10, ctx2);
+  }
+  EXPECT_GT(rt.tree->Stats().binary_splits, 0u);
+}
+
+TEST_F(ResilienceTest, IntermittentSplitFailuresKeepInvariants) {
+  // Fail every other split attempt over a whole workload; the tree must
+  // keep Lemma 1 (leaves partition the id space) throughout.
+  ASSERT_TRUE(FailPointRegistry::Instance()
+                  .ConfigureSite("cracking.split", "1*off,1*fail,1*off,1*fail,1*off,1*fail,1*off,1*fail,fail")
+                  .ok());
+  RTreeHolder rt = MakeRTree(/*cracking=*/true);
+  QueryContext ctx;
+  for (const data::Query& q : *workload_) {
+    TopKResult result = rt.engine->TopKQuery(q, 10, ctx);
+    EXPECT_TRUE(result.quality.exact);
+  }
+  FailPointRegistry::Instance().Clear();
+  // Every point id appears exactly once across the leaves.
+  std::vector<bool> seen(rt.points->size(), false);
+  std::vector<const index::Node*> stack{&rt.tree->root()};
+  size_t count = 0;
+  while (!stack.empty()) {
+    const index::Node* n = stack.back();
+    stack.pop_back();
+    if (n->kind == index::Node::Kind::kInternal) {
+      for (const auto& c : n->children) stack.push_back(c.get());
+      continue;
+    }
+    for (uint32_t id : rt.tree->ElementIds(*n)) {
+      ASSERT_LT(id, seen.size());
+      EXPECT_FALSE(seen[id]);
+      seen[id] = true;
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, rt.points->size());
+}
+
+TEST_F(ResilienceTest, SerializationFailpointsSurfaceAsStatus) {
+  RTreeHolder rt = MakeRTree(/*cracking=*/true);
+  QueryContext ctx;
+  for (size_t i = 0; i < 4; ++i) {
+    (void)rt.engine->TopKQuery((*workload_)[i], 10, ctx);
+  }
+  std::string path =
+      (std::filesystem::temp_directory_path() / "vkg_resilience_idx.bin")
+          .string();
+
+  // Write failures at several byte offsets: Save must report an error,
+  // never write a silently-truncated file that later loads.
+  for (const char* spec : {"fail", "3*off,1*fail", "20*off,1*fail"}) {
+    ASSERT_TRUE(FailPointRegistry::Instance()
+                    .ConfigureSite("serialize.write", spec)
+                    .ok());
+    util::Status s = rt.tree->Save(path);
+    EXPECT_FALSE(s.ok()) << "spec " << spec;
+    FailPointRegistry::Instance().Clear();
+  }
+
+  // Healthy save, then read failures at several offsets.
+  ASSERT_TRUE(rt.tree->Save(path).ok());
+  for (const char* spec : {"fail", "2*off,1*fail", "30*off,1*fail"}) {
+    ASSERT_TRUE(FailPointRegistry::Instance()
+                    .ConfigureSite("serialize.read", spec)
+                    .ok());
+    auto loaded = index::CrackingRTree::Load(path, rt.points.get());
+    EXPECT_FALSE(loaded.ok()) << "spec " << spec;
+    FailPointRegistry::Instance().Clear();
+  }
+  // And with all failpoints disarmed the file loads fine.
+  EXPECT_TRUE(index::CrackingRTree::Load(path, rt.points.get()).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(ResilienceTest, ScratchAllocFailureIsolatedPerBatchSlot) {
+  RTreeHolder rt = MakeRTree(/*cracking=*/false);
+  // The third BeginQuery throws bad_alloc; with the sequential path the
+  // evaluation order is the slot order.
+  ASSERT_TRUE(FailPointRegistry::Instance()
+                  .ConfigureSite("alloc.scratch", "2*off,1*fail")
+                  .ok());
+  auto batch = BatchTopK(*rt.engine, *workload_, 10, nullptr);
+  ASSERT_EQ(batch.size(), workload_->size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (i == 2) {
+      ASSERT_FALSE(batch[i].ok());
+      EXPECT_EQ(batch[i].status().code(),
+                util::StatusCode::kResourceExhausted);
+    } else {
+      EXPECT_TRUE(batch[i].ok()) << "slot " << i << ": "
+                                 << batch[i].status().ToString();
+    }
+  }
+}
+
+TEST_F(ResilienceTest, BatchQueryFailpointIsolatedPerSlot) {
+  LinearTopKEngine engine(&ds_->graph, &ds_->embeddings);
+  ASSERT_TRUE(FailPointRegistry::Instance()
+                  .ConfigureSite("batch.query", "1*off,1*fail")
+                  .ok());
+  auto batch = BatchTopK(engine, *workload_, 5, nullptr);
+  ASSERT_EQ(batch.size(), workload_->size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (i == 1) {
+      ASSERT_FALSE(batch[i].ok());
+      EXPECT_EQ(batch[i].status().code(), util::StatusCode::kInternal);
+    } else {
+      EXPECT_TRUE(batch[i].ok());
+    }
+  }
+}
+
+TEST_F(ResilienceTest, ThreadPoolDispatchFailpointRunsInline) {
+  // With dispatch failing, Submit degrades to inline execution on the
+  // submitting thread; ParallelShards and Wait stay correct.
+  ASSERT_TRUE(FailPointRegistry::Instance()
+                  .ConfigureSite("threadpool.dispatch", "fail")
+                  .ok());
+  RTreeHolder rt = MakeRTree(/*cracking=*/false);
+  util::ThreadPool pool(4);
+  auto batch = BatchTopK(*rt.engine, *workload_, 10, &pool);
+  FailPointRegistry::Instance().Clear();
+
+  QueryContext ctx;
+  ASSERT_EQ(batch.size(), workload_->size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok());
+    TopKResult want = rt.engine->TopKQuery((*workload_)[i], 10, ctx);
+    ASSERT_EQ(batch[i]->hits.size(), want.hits.size());
+    for (size_t h = 0; h < want.hits.size(); ++h) {
+      EXPECT_EQ(batch[i]->hits[h].entity, want.hits[h].entity);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batch-level deadlines and aggregate degradation
+// ---------------------------------------------------------------------------
+
+TEST_F(ResilienceTest, BatchDeadlineDegradesEverySlotNonEmpty) {
+  RTreeHolder rt = MakeRTree(/*cracking=*/false);
+  BatchOptions options;
+  options.deadline = Deadline::AlreadyExpired();
+  util::ThreadPool pool(4);
+  for (util::ThreadPool* p : {static_cast<util::ThreadPool*>(nullptr),
+                              &pool}) {
+    auto batch = BatchTopK(*rt.engine, *workload_, 10, p, options);
+    ASSERT_EQ(batch.size(), workload_->size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_TRUE(batch[i].ok());
+      EXPECT_FALSE(batch[i]->hits.empty()) << "slot " << i;
+      EXPECT_TRUE(batch[i]->quality.deadline_exceeded());
+    }
+  }
+}
+
+TEST_F(ResilienceTest, BatchCancellationReportsPerSlotQuality) {
+  RTreeHolder rt = MakeRTree(/*cracking=*/false);
+  CancelToken token;
+  token.Cancel();
+  BatchOptions options;
+  options.cancel = &token;
+  auto batch = BatchTopK(*rt.engine, *workload_, 10, nullptr, options);
+  for (const auto& r : batch) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r->hits.empty());
+    EXPECT_EQ(r->quality.stop_reason, StopReason::kCancelled);
+  }
+}
+
+TEST_F(ResilienceTest, AggregateDegradesGracefullyUnderDeadline) {
+  RTreeHolder rt = MakeRTree(/*cracking=*/false);
+  AggregateEngine engine(&ds_->graph, &ds_->embeddings, rt.jl.get(),
+                         rt.tree.get(), /*eps=*/1.0,
+                         /*crack_after_query=*/false);
+  AggregateSpec spec;
+  spec.query = (*workload_)[0];
+  spec.kind = AggKind::kCount;
+  spec.prob_threshold = 0.05;
+
+  // Healthy run for reference.
+  auto healthy = engine.Aggregate(spec);
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_TRUE(healthy->quality.exact);
+
+  QueryContext ctx;
+  ctx.control().set_deadline(Deadline::AlreadyExpired());
+  auto degraded = engine.Aggregate(spec, ctx);
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_FALSE(degraded->quality.exact);
+  EXPECT_TRUE(degraded->quality.deadline_exceeded());
+  // The truncated sample still contains at least one record whenever the
+  // ball is non-empty, so the estimate never degenerates to "nothing".
+  if (degraded->estimated_total > 0) {
+    EXPECT_GE(degraded->accessed, 1u);
+    EXPECT_GT(degraded->value, 0.0);
+  }
+}
+
+TEST_F(ResilienceTest, BatchAggregateRespectsOptionsAndIsolation) {
+  RTreeHolder rt = MakeRTree(/*cracking=*/false);
+  AggregateEngine engine(&ds_->graph, &ds_->embeddings, rt.jl.get(),
+                         rt.tree.get(), /*eps=*/1.0,
+                         /*crack_after_query=*/false);
+  std::vector<AggregateSpec> specs;
+  for (size_t i = 0; i < 6; ++i) {
+    AggregateSpec spec;
+    spec.query = (*workload_)[i];
+    spec.kind = AggKind::kCount;
+    spec.prob_threshold = 0.05;
+    specs.push_back(spec);
+  }
+  // One malformed spec: unknown anchor fails its slot only.
+  specs[3].query.anchor =
+      static_cast<kg::EntityId>(ds_->graph.num_entities());
+
+  BatchOptions options;
+  options.deadline = Deadline::AlreadyExpired();
+  auto batch = BatchAggregate(engine, specs, nullptr, options);
+  ASSERT_EQ(batch.size(), specs.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (i == 3) {
+      ASSERT_FALSE(batch[i].ok());
+      EXPECT_EQ(batch[i].status().code(),
+                util::StatusCode::kInvalidArgument);
+      continue;
+    }
+    ASSERT_TRUE(batch[i].ok()) << batch[i].status().ToString();
+    EXPECT_FALSE(batch[i]->quality.exact);
+    EXPECT_TRUE(batch[i]->quality.deadline_exceeded());
+  }
+}
+
+}  // namespace
+}  // namespace vkg::query

@@ -9,10 +9,16 @@
 //                     [--lr 0.01] [--margin 1.0] [--holdout 0]
 //   vkg_cli topk      --triples t.tsv --embeddings e.bin --anchor NAME
 //                     --relation NAME [--heads] [--k 10] [--method crack]
+//                     [--deadline-ms 0] [--max-points 0]
 //   vkg_cli aggregate --triples t.tsv --embeddings e.bin --anchor NAME
 //                     --relation NAME --kind count|sum|avg|max|min
 //                     [--attribute FILE.tsv --attribute-name year]
 //                     [--threshold 0.05] [--sample 0]
+//
+// Global flags: --deadline-ms MS bounds each query's wall-clock time and
+// --max-points N its exact-distance evaluations (degraded answers are
+// labeled, never dropped); --failpoints "site=spec,..." arms the fault-
+// injection registry (same syntax as the VKG_FAILPOINTS env var).
 
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +34,8 @@
 #include "embedding/trainer.h"
 #include "embedding/transe.h"
 #include "kg/io.h"
+#include "util/deadline.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -291,6 +299,8 @@ util::Result<std::unique_ptr<core::VirtualKnowledgeGraph>> BuildVkg(
   }
   options.alpha = flags.GetSize("alpha", 3);
   options.eps = flags.GetDouble("eps", 1.0);
+  options.query_deadline_ms = flags.GetDouble("deadline-ms", 0.0);
+  options.query_budget.max_points = flags.GetSize("max-points", 0);
   return core::VirtualKnowledgeGraph::BuildWithEmbeddings(
       graph, std::move(store), options);
 }
@@ -331,6 +341,13 @@ int CmdTopK(const Flags& flags) {
   std::printf("(%zu candidates, %.2f ms; Theorem 2 success >= %.3f)\n",
               result->candidates_examined, ms,
               guarantee.success_probability);
+  if (!result->quality.exact) {
+    std::printf("(degraded: stopped by %s; exact within radius %.4f)\n",
+                std::string(util::StopReasonName(
+                                result->quality.stop_reason))
+                    .c_str(),
+                result->quality.certified_radius);
+  }
   return 0;
 }
 
@@ -399,6 +416,16 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
   Flags flags(argc, argv, 2);
+  std::string failpoints = flags.Get("failpoints");
+  if (!failpoints.empty()) {
+    util::Status s =
+        util::FailPointRegistry::Instance().Configure(failpoints);
+    if (!s.ok()) {
+      std::fprintf(stderr, "bad --failpoints: %s\n",
+                   s.ToString().c_str());
+      return 2;
+    }
+  }
   if (command == "generate") return CmdGenerate(flags);
   if (command == "stats") return CmdStats(flags);
   if (command == "train") return CmdTrain(flags);
