@@ -1,0 +1,136 @@
+// Concurrency benchmark for the online-cracking R-tree: BatchTopK
+// throughput with 1/2/4/8 worker threads all cracking ONE shared tree
+// (the configuration DESIGN.md §6d makes safe). For each thread count a
+// fresh tree is built so every run pays the same cracking work, and two
+// passes are timed:
+//   cold — first pass over the workload, queries racing to crack;
+//   warm — second pass on the now-refined tree (read-mostly).
+// Also reports the contention counters (publishes / coalesced /
+// abandoned / waits) accumulated during the cold storm.
+//
+// Emits BENCH_concurrent.json (see WriteBenchJson). Interpret scaling
+// against the recorded hardware_concurrency: on a 1-CPU host all curves
+// are flat.
+//
+// Env knobs: VKG_BENCH_SCALE scales the dataset; VKG_BENCH_QUERIES
+// overrides the workload size.
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "bench_common.h"
+#include "query/batch_executor.h"
+#include "query/metrics.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace vkg::bench {
+namespace {
+
+size_t EnvCount(const char* name, size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  long v = std::atol(env);
+  return v > 0 ? static_cast<size_t>(v) : fallback;
+}
+
+int Run() {
+  const auto& ds = MovieDataset();
+  const size_t num_queries = EnvCount("VKG_BENCH_QUERIES", 256);
+  auto queries = StandardWorkload(ds, num_queries, 51);
+  if (queries.empty()) {
+    std::fprintf(stderr, "empty workload\n");
+    return 1;
+  }
+  const size_t k = 10;
+
+  std::vector<BenchRecord> records;
+  std::vector<std::pair<std::string, double>> context = {
+      {"num_entities", static_cast<double>(ds.graph.num_entities())},
+      {"num_queries", static_cast<double>(queries.size())},
+      {"hardware_concurrency",
+       static_cast<double>(std::thread::hardware_concurrency())},
+      {"scale_factor", ScaleFactor()},
+  };
+
+  PrintTitle("Concurrent cracking: BatchTopK on one shared tree (" +
+             std::to_string(queries.size()) + " queries, k=" +
+             std::to_string(k) + ")");
+  std::vector<int> w{10, 12, 12, 12, 12, 34};
+  PrintRow({"threads", "cold(ms)", "cold qps", "warm(ms)", "warm qps",
+            "cold-storm contention"},
+           w);
+
+  double single_cold_ms = 0.0;
+  double single_warm_ms = 0.0;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    // Fresh tree per thread count so every run starts from the same
+    // uncracked state and pays the same refinement work.
+    MethodRun run = MakeMethod(ds, index::MethodKind::kCracking);
+    util::ThreadPool pool(threads);
+
+    index::IndexStats before = run.rtree->Stats();
+    util::WallTimer cold_timer;
+    auto cold = query::BatchTopK(*run.engine, queries, k, &pool);
+    double cold_ms = cold_timer.ElapsedMillis();
+    query::ContentionSnapshot contention =
+        query::ContentionDelta(before, run.rtree->Stats());
+
+    util::WallTimer warm_timer;
+    auto warm = query::BatchTopK(*run.engine, queries, k, &pool);
+    double warm_ms = warm_timer.ElapsedMillis();
+    for (const auto& r : cold) {
+      if (!r.ok()) {
+        std::fprintf(stderr, "query failed: %s\n", r.status().ToString().c_str());
+        return 1;
+      }
+    }
+    (void)warm;
+
+    if (threads == 1) {
+      single_cold_ms = cold_ms;
+      single_warm_ms = warm_ms;
+    }
+    double cold_qps = static_cast<double>(queries.size()) / (cold_ms / 1e3);
+    double warm_qps = static_cast<double>(queries.size()) / (warm_ms / 1e3);
+    PrintRow({std::to_string(threads), util::StrFormat("%.2f", cold_ms),
+              util::StrFormat("%.0f", cold_qps),
+              util::StrFormat("%.2f", warm_ms),
+              util::StrFormat("%.0f", warm_qps),
+              query::FormatContention(contention)},
+             w);
+
+    const std::string t = std::to_string(threads) + "t";
+    records.push_back({"cold_batch_" + t + "_ms", cold_ms, "ms"});
+    records.push_back({"cold_batch_" + t + "_qps", cold_qps, "qps"});
+    records.push_back({"warm_batch_" + t + "_ms", warm_ms, "ms"});
+    records.push_back({"warm_batch_" + t + "_qps", warm_qps, "qps"});
+    records.push_back({"cold_crack_publishes_" + t,
+                       static_cast<double>(contention.crack_publishes),
+                       "count"});
+    records.push_back({"cold_crack_coalesced_" + t,
+                       static_cast<double>(contention.coalesced_cracks),
+                       "count"});
+    records.push_back({"cold_crack_waits_" + t,
+                       static_cast<double>(contention.crack_waits), "count"});
+    if (threads == 8) {
+      double cold_scaling = single_cold_ms / cold_ms;
+      double warm_scaling = single_warm_ms / warm_ms;
+      std::printf("1 -> 8 thread scaling: cold %.2fx, warm %.2fx\n",
+                  cold_scaling, warm_scaling);
+      records.push_back({"cold_8t_vs_1t_scaling", cold_scaling, "x"});
+      records.push_back({"warm_8t_vs_1t_scaling", warm_scaling, "x"});
+    }
+  }
+
+  WriteBenchJson("BENCH_concurrent.json", "concurrent_cracking", context,
+                 records);
+  return 0;
+}
+
+}  // namespace
+}  // namespace vkg::bench
+
+int main() { return vkg::bench::Run(); }

@@ -47,6 +47,13 @@ struct VkgOptions {
   /// bytes); zero fields are unlimited.
   util::ResourceBudget query_budget;
 
+  /// Worker threads for batch queries (BatchTopK / BatchAggregate).
+  /// 0 or 1 serves batches sequentially on the calling thread; >= 2
+  /// lazily spins up a util::ThreadPool of that size. Safe with
+  /// cracking methods: the index serializes cracks internally
+  /// (DESIGN.md §6d).
+  size_t query_threads = 0;
+
   /// Returns options with `rtree.split_choices` made consistent with
   /// `method`.
   VkgOptions Normalized() const;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "embedding/vector_ops.h"
+#include "query/batch_executor.h"
 #include "query/prob_model.h"
 #include "util/string_util.h"
 
@@ -21,6 +22,17 @@ void ApplyQueryLimits(const VkgOptions& options,
         util::Deadline::AfterMillis(options.query_deadline_ms));
   }
   ctx.control().set_budget(options.query_budget);
+}
+
+// Maps VkgOptions limits onto a batch: the budget stays per query, the
+// deadline becomes the batch-wide cutoff (see BatchOptions).
+query::BatchOptions MakeBatchOptions(const VkgOptions& options) {
+  query::BatchOptions batch;
+  if (options.query_deadline_ms > 0.0) {
+    batch.deadline = util::Deadline::AfterMillis(options.query_deadline_ms);
+  }
+  batch.budget = options.query_budget;
+  return batch;
 }
 
 }  // namespace
@@ -178,6 +190,28 @@ query::TopKResult VirtualKnowledgeGraph::TopK(const data::Query& query,
     }
   }
   return out;
+}
+
+util::ThreadPool* VirtualKnowledgeGraph::QueryPool() {
+  if (options_.query_threads < 2) return nullptr;
+  if (query_pool_ == nullptr) {
+    query_pool_ = std::make_unique<util::ThreadPool>(options_.query_threads);
+  }
+  return query_pool_.get();
+}
+
+std::vector<util::Result<query::TopKResult>>
+VirtualKnowledgeGraph::BatchTopK(std::span<const data::Query> queries,
+                                 size_t k) {
+  return query::BatchTopK(*topk_engine_, queries, k, QueryPool(),
+                          MakeBatchOptions(options_));
+}
+
+std::vector<util::Result<query::AggregateResult>>
+VirtualKnowledgeGraph::BatchAggregate(
+    std::span<const query::AggregateSpec> specs) {
+  return query::BatchAggregate(*aggregate_engine_, specs, QueryPool(),
+                               MakeBatchOptions(options_));
 }
 
 util::Result<std::vector<query::TopKHit>>

@@ -16,6 +16,7 @@
 #include "query/topk_engine.h"
 #include "transform/jl_transform.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace vkg::core {
 
@@ -33,10 +34,14 @@ namespace vkg::core {
 ///
 /// The referenced KnowledgeGraph must outlive this object.
 ///
-/// Thread safety: top-k and aggregate queries incrementally build the
-/// index, so a VirtualKnowledgeGraph is not safe for concurrent use
-/// without external synchronization (one instance per thread, or a
-/// mutex around queries).
+/// Thread safety: the query path is safe for concurrent use — top-k and
+/// aggregate queries incrementally build the index, but the cracking
+/// R-tree serializes that mutation behind its own reader-writer latch
+/// (DESIGN.md §6d). BatchTopK / BatchAggregate below exploit this by
+/// fanning a query span over options.query_threads workers. Dynamic
+/// updates (UpdateEntityEmbedding / CompactUpdates / LoadIndex) swap
+/// engine state and must still be externally synchronized against
+/// in-flight queries.
 class VirtualKnowledgeGraph {
  public:
   /// Builds from precomputed S1 embeddings (the paper's setting: the
@@ -67,6 +72,21 @@ class VirtualKnowledgeGraph {
                                              std::string_view relation,
                                              kg::Direction direction,
                                              size_t k);
+
+  /// Answers queries[i] with k results each, fanned over the pool sized
+  /// by options.query_threads (sequentially when < 2). Per-slot
+  /// statuses. options.query_budget applies per query;
+  /// options.query_deadline_ms becomes one batch-wide wall-clock cutoff
+  /// (BatchOptions semantics — late queries degrade, never fail).
+  /// Note: the batch path queries the index directly — entities with
+  /// pending embedding updates (pending_updates() > 0) are merged only
+  /// by the single-query TopK() form.
+  std::vector<util::Result<query::TopKResult>> BatchTopK(
+      std::span<const data::Query> queries, size_t k);
+
+  /// Batch form of Aggregate(), fanned the same way.
+  std::vector<util::Result<query::AggregateResult>> BatchAggregate(
+      std::span<const query::AggregateSpec> specs);
 
   /// Theorem 2 guarantee for a returned result.
   query::TopKGuarantee GuaranteeFor(const query::TopKResult& result) const;
@@ -159,6 +179,10 @@ class VirtualKnowledgeGraph {
 
   util::Status Initialize();
 
+  /// The lazily constructed batch-query pool; nullptr when
+  /// options_.query_threads < 2 (sequential batches).
+  util::ThreadPool* QueryPool();
+
   const kg::KnowledgeGraph* graph_;
   embedding::EmbeddingStore store_;
   VkgOptions options_;
@@ -169,6 +193,7 @@ class VirtualKnowledgeGraph {
   std::unique_ptr<index::PhTree> phtree_;  // only for kPhTree
   std::unique_ptr<query::TopKEngine> topk_engine_;
   std::unique_ptr<query::AggregateEngine> aggregate_engine_;
+  std::unique_ptr<util::ThreadPool> query_pool_;
   /// Entities whose embedding changed since the last compaction.
   std::vector<kg::EntityId> overlay_;
 };

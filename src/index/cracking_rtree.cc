@@ -1,7 +1,9 @@
 #include "index/cracking_rtree.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "util/failpoint.h"
 #include "util/math_util.h"
@@ -21,7 +23,70 @@ int TreeHeight(size_t n, size_t leaf_capacity, size_t fanout) {
   return h;
 }
 
+// Per-thread registry of trees whose read latch this thread holds, with
+// hold depths. Lets ReadGuard be re-entrant (nested read phases reuse
+// the outer shared hold instead of re-acquiring, which could deadlock
+// behind a queued writer) and lets Crack() detect that the calling
+// thread holds its own read guard (acquiring exclusive would then
+// self-deadlock, so the crack is abandoned instead).
+struct HeldLatch {
+  const void* tree;
+  int depth;
+};
+thread_local std::vector<HeldLatch> t_held_read_latches;
+
+int* HeldReadDepth(const void* tree) {
+  for (HeldLatch& held : t_held_read_latches) {
+    if (held.tree == tree) return &held.depth;
+  }
+  return nullptr;
+}
+
+// Capacity of the published-crack coalescing ring. Small: it only needs
+// to cover the regions in flight during a storm of near-duplicate
+// queries; misses cost one re-traversal that hits stopping conditions.
+constexpr size_t kPublishedRing = 8;
+
 }  // namespace
+
+CrackingRTree::ReadGuard::ReadGuard(const CrackingRTree* tree)
+    : tree_(tree) {
+  if (tree_ == nullptr) return;
+  if (int* depth = HeldReadDepth(tree_)) {
+    ++*depth;
+    return;
+  }
+  tree_->latch_.lock_shared();
+  t_held_read_latches.push_back({tree_, 1});
+}
+
+CrackingRTree::ReadGuard& CrackingRTree::ReadGuard::operator=(
+    ReadGuard&& other) noexcept {
+  if (this != &other) {
+    this->~ReadGuard();
+    tree_ = other.tree_;
+    other.tree_ = nullptr;
+  }
+  return *this;
+}
+
+CrackingRTree::ReadGuard::~ReadGuard() {
+  if (tree_ == nullptr) return;
+  int* depth = HeldReadDepth(tree_);
+  VKG_DCHECK(depth != nullptr);
+  if (--*depth == 0) {
+    auto& held = t_held_read_latches;
+    for (size_t i = 0; i < held.size(); ++i) {
+      if (held[i].tree == tree_) {
+        held[i] = held.back();
+        held.pop_back();
+        break;
+      }
+    }
+    tree_->latch_.unlock_shared();
+  }
+  tree_ = nullptr;
+}
 
 CrackingRTree::CrackingRTree(const PointSet* points,
                              const RTreeConfig& config)
@@ -57,49 +122,131 @@ SortedOrders* CrackingRTree::EnsureOrders() const {
   return orders_.get();
 }
 
+bool CrackingRTree::CoveredByPublishedCrack(const Rect& query) const {
+  std::lock_guard<std::mutex> lock(published_mu_);
+  for (const Rect& published : published_cracks_) {
+    if (published.ContainsRect(query)) return true;
+  }
+  return false;
+}
+
+void CrackingRTree::NotePublishedCrack(const Rect& query) {
+  std::lock_guard<std::mutex> lock(published_mu_);
+  if (published_cracks_.size() < kPublishedRing) {
+    published_cracks_.push_back(query);
+    return;
+  }
+  published_cracks_[published_next_] = query;
+  published_next_ = (published_next_ + 1) % kPublishedRing;
+}
+
+CrackingRTree::CrackLatch CrackingRTree::AcquireCrackLatch(
+    const Rect& query, util::QueryControl* control) {
+  // This thread holding its own read guard can never be granted the
+  // exclusive latch — abandon instead of self-deadlocking.
+  if (HeldReadDepth(this) != nullptr) return CrackLatch::kAbandoned;
+  if (latch_.try_lock()) return CrackLatch::kAcquired;
+  crack_waits_.fetch_add(1, std::memory_order_relaxed);
+  // Bounded waits in small slices: between slices the crack re-checks
+  // the caller's deadline/cancel/budget (degrading beats stalling — the
+  // query's answer never needs this crack) and whether a concurrent
+  // crack just published a covering region (then this one is a no-op).
+  // Polls try_lock + sleep rather than try_lock_for: on glibc the timed
+  // acquire is pthread_rwlock_clockwrlock, which TSan does not
+  // intercept, so a latch taken that way is invisible to the race
+  // detector and every crack write reports as a false race.
+  while (true) {
+    if (control != nullptr && control->ShouldStop()) {
+      return CrackLatch::kAbandoned;
+    }
+    if (CoveredByPublishedCrack(query)) return CrackLatch::kCoalesced;
+    if (latch_.try_lock()) return CrackLatch::kAcquired;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
 void CrackingRTree::Crack(const Rect& query, util::QueryControl* control) {
   if (points_->empty()) return;
   if (control != nullptr && control->ShouldStop()) return;
-  CrackNode(root_.get(), query, control);
+  // Coalescing fast path: a fully-published crack region covering this
+  // query already did every split this call would do (the tree only
+  // ever gets more refined). Skipping is always sound — cracking
+  // affects cost, never answers.
+  if (CoveredByPublishedCrack(query)) {
+    coalesced_cracks_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Materialize the sort orders before going exclusive: the first-query
+  // sort is the heaviest single step and call_once already makes it
+  // safe against concurrent readers.
+  EnsureOrders();
+  switch (AcquireCrackLatch(query, control)) {
+    case CrackLatch::kCoalesced:
+      coalesced_cracks_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    case CrackLatch::kAbandoned:
+      abandoned_cracks_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    case CrackLatch::kAcquired:
+      break;
+  }
+  std::unique_lock<std::shared_timed_mutex> lock(latch_, std::adopt_lock);
+  // Publication failpoint: `fail` abandons the crack before any
+  // mutation (readers keep the pre-crack tree); `delay` stalls here
+  // with the exclusive latch held — the stalled-publish scenario the
+  // chaos harness drives readers and crack waiters through.
+  if (VKG_FAILPOINT("cracking.publish")) {
+    abandoned_cracks_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const bool complete = CrackNode(root_.get(), query, control);
+  crack_publishes_.fetch_add(1, std::memory_order_relaxed);
+  // Only a crack that ran to its stopping conditions makes the region
+  // coalescable; a throttled one must be retryable by later queries.
+  if (complete) NotePublishedCrack(query);
 }
 
-void CrackingRTree::CrackNode(Node* node, const Rect& query,
+bool CrackingRTree::CrackNode(Node* node, const Rect& query,
                               util::QueryControl* control) {
   switch (node->kind) {
-    case Node::Kind::kInternal:
+    case Node::Kind::kInternal: {
+      bool complete = true;
       for (auto& child : node->children) {
         if (child->mbr.Intersects(query)) {
-          CrackNode(child.get(), query, control);
+          complete &= CrackNode(child.get(), query, control);
         }
       }
-      return;
+      return complete;
+    }
     case Node::Kind::kLeaf:
-      return;
+      return true;
     case Node::Kind::kPartition: {
-      if (!node->mbr.Intersects(query)) return;
+      if (!node->mbr.Intersects(query)) return true;
       size_t q_count =
           CountInRegion(ElementIds(*node), *points_, query);
       // Stopping condition (Section IV-C step 3): irrelevant to Q, or
       // splitting cannot reduce the leaf pages needed for Q.
-      if (q_count == 0) return;
+      if (q_count == 0) return true;
       if (config_.use_stopping_condition &&
           util::CeilDiv(q_count, config_.leaf_capacity) ==
               util::CeilDiv(node->size(), config_.leaf_capacity)) {
-        return;
+        return true;
       }
-      if (node->height == 0) return;  // already a leaf-sized element
+      if (node->height == 0) return true;  // already a leaf-sized element
       // Crack budget / deadline: refining stops here, the partition
       // stays whole and later queries pick up where this one left off.
-      if (control != nullptr && !control->AllowCrack()) return;
-      if (!SplitPartitionNode(node, &query, control)) return;
+      if (control != nullptr && !control->AllowCrack()) return false;
+      if (!SplitPartitionNode(node, &query, control)) return false;
+      bool complete = true;
       for (auto& child : node->children) {
         if (child->mbr.Intersects(query)) {
-          CrackNode(child.get(), query, control);
+          complete &= CrackNode(child.get(), query, control);
         }
       }
-      return;
+      return complete;
     }
   }
+  return true;
 }
 
 bool CrackingRTree::SplitPartitionNode(Node* node, const Rect* query,
@@ -132,6 +279,9 @@ bool CrackingRTree::SplitPartitionNode(Node* node, const Rect* query,
 
 void CrackingRTree::BuildFull() {
   if (points_->empty()) return;
+  EnsureOrders();
+  VKG_CHECK(HeldReadDepth(this) == nullptr);
+  std::unique_lock<std::shared_timed_mutex> lock(latch_);
   BuildFullRec(root_.get());
 }
 
@@ -144,6 +294,7 @@ void CrackingRTree::BuildFullRec(Node* node) {
 void CrackingRTree::Search(const Rect& region,
                            const std::function<void(uint32_t)>& fn) const {
   if (points_->empty()) return;
+  ReadGuard guard = LockForRead();
   // Iterative DFS; contour elements scan their points.
   std::vector<const Node*> stack{root_.get()};
   while (!stack.empty()) {
@@ -163,6 +314,7 @@ void CrackingRTree::Search(const Rect& region,
 void CrackingRTree::VisitContour(
     const Rect& region, const std::function<void(const Node&)>& fn) const {
   if (points_->empty()) return;
+  ReadGuard guard = LockForRead();
   std::vector<const Node*> stack{root_.get()};
   while (!stack.empty()) {
     const Node* node = stack.back();
@@ -177,6 +329,7 @@ void CrackingRTree::VisitContour(
 }
 
 const Node* CrackingRTree::ProbeSmallest(std::span<const float> q) const {
+  ReadGuard guard = LockForRead();
   const Node* node = root_.get();
   while (node->kind == Node::Kind::kInternal) {
     const Node* best_containing = nullptr;
@@ -201,6 +354,7 @@ const Node* CrackingRTree::ProbeSmallest(std::span<const float> q) const {
 }
 
 IndexStats CrackingRTree::Stats() const {
+  ReadGuard guard = LockForRead();
   IndexStats s;
   NodeCounts counts = CountNodes(*root_);
   s.num_nodes = counts.total();
@@ -212,6 +366,10 @@ IndexStats CrackingRTree::Stats() const {
   s.node_bytes = SubtreeMemoryBytes(*root_);
   s.base_array_bytes = orders_ == nullptr ? 0 : orders_->MemoryBytes();
   s.height = root_->height;
+  s.crack_publishes = crack_publishes_.load(std::memory_order_relaxed);
+  s.coalesced_cracks = coalesced_cracks_.load(std::memory_order_relaxed);
+  s.abandoned_cracks = abandoned_cracks_.load(std::memory_order_relaxed);
+  s.crack_waits = crack_waits_.load(std::memory_order_relaxed);
   return s;
 }
 

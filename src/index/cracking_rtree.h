@@ -1,11 +1,14 @@
 #ifndef VKG_INDEX_CRACKING_RTREE_H_
 #define VKG_INDEX_CRACKING_RTREE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "index/rtree_node.h"
 #include "index/sort_orders.h"
@@ -26,14 +29,34 @@ struct IndexStats {
   size_t node_bytes = 0;        // index structure overhead
   size_t base_array_bytes = 0;  // shared sort-order arrays (data)
   int height = 0;
+
+  // Crack-contention counters (concurrent serving; DESIGN.md §6d).
+  size_t crack_publishes = 0;   // cracks that mutated and published
+  size_t coalesced_cracks = 0;  // skipped: covered by a published crack
+  size_t abandoned_cracks = 0;  // gave up: contention, stop, or failpoint
+  size_t crack_waits = 0;       // exclusive acquisitions that had to wait
 };
 
 /// The cracking, uneven R-tree of Section IV.
 ///
 /// Thread safety: queries crack the index (that is the point), so the
-/// tree is single-writer — external synchronization is required to
-/// share one tree across threads. Search()/VisitContour() alone are
-/// const and safe concurrently *between* cracks.
+/// tree guards itself with one reader-writer latch. Readers hold the
+/// latch shared via a ReadGuard for the duration of a traversal and see
+/// a consistent, fully-published tree; cracks serialize on the
+/// exclusive side and publish atomically by releasing it. Concretely:
+///
+///  * Search()/VisitContour()/ProbeSmallest()/Stats()/Save() acquire a
+///    shared ReadGuard internally (re-entrant per thread, so an engine
+///    already holding a guard pays only a thread-local lookup).
+///  * Engines that traverse node pointers or ElementIds() spans across
+///    multiple calls must hold one LockForRead() guard for the whole
+///    read phase — the spans point into the shared sort-order arrays
+///    that cracks rearrange in place.
+///  * Crack() acquires the latch exclusively with bounded, QueryControl-
+///    aware waits: a contended crack past the caller's deadline/cancel
+///    is abandoned (cracking refines performance, never answers), and a
+///    crack whose region was just published by another thread is
+///    coalesced away without touching the latch.
 ///
 /// The tree starts as a single partition holding every point and is
 /// *cracked* incrementally: each query region triggers top-down splits
@@ -44,41 +67,77 @@ struct IndexStats {
 /// paper's bulk-loaded baseline; both share all machinery.
 class CrackingRTree {
  public:
+  /// RAII shared hold on the tree latch. Re-entrant per thread: nested
+  /// guards on the same tree (an engine's traversal calling Stats(), an
+  /// aggregate's top-1 probe) reuse the outer hold instead of
+  /// re-acquiring — re-acquiring shared could deadlock behind a writer
+  /// queued between the two acquisitions. Hold one across every multi-
+  /// call read phase; release it before calling Crack().
+  class ReadGuard {
+   public:
+    ReadGuard() = default;
+    explicit ReadGuard(const CrackingRTree* tree);
+    ReadGuard(ReadGuard&& other) noexcept : tree_(other.tree_) {
+      other.tree_ = nullptr;
+    }
+    ReadGuard& operator=(ReadGuard&& other) noexcept;
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+    ~ReadGuard();
+
+   private:
+    const CrackingRTree* tree_ = nullptr;
+  };
+
   /// `points` must outlive the tree.
   CrackingRTree(const PointSet* points, const RTreeConfig& config);
 
   CrackingRTree(const CrackingRTree&) = delete;
   CrackingRTree& operator=(const CrackingRTree&) = delete;
 
+  /// Acquires the tree latch shared for this thread (see ReadGuard).
+  ReadGuard LockForRead() const { return ReadGuard(this); }
+
   /// Incrementally builds the index for `query` (Section IV-C). Safe to
-  /// call any number of times; later calls touch fewer nodes.
+  /// call concurrently from any number of threads: cracks serialize on
+  /// the tree's exclusive latch and readers never observe a partially
+  /// split node.
   ///
   /// `control` (optional) bounds the work: once the deadline, the
   /// cancellation token, or ResourceBudget::max_cracked_nodes trips, no
-  /// further partitions are split. Cracking only refines the index —
-  /// never answers — so an abandoned crack leaves a valid tree that
-  /// later queries continue to refine.
+  /// further partitions are split — including while *waiting* for the
+  /// latch, so a contended crack degrades instead of stalling the
+  /// query. Cracking only refines the index — never answers — so an
+  /// abandoned crack leaves a valid tree that later queries continue to
+  /// refine. Calling Crack() while this thread holds a ReadGuard would
+  /// self-deadlock; such cracks are detected and abandoned.
   void Crack(const Rect& query, util::QueryControl* control = nullptr);
 
   /// Full offline bulk load (Algorithm 1 with the classic cost model).
+  /// Takes the exclusive latch (setup-time call; it blocks).
   void BuildFull();
 
   /// Invokes `fn(point_id)` for every point inside `region`. Does not
-  /// modify the index.
+  /// modify the index. Takes a shared ReadGuard internally.
   void Search(const Rect& region,
               const std::function<void(uint32_t)>& fn) const;
 
   /// Visits every contour element (leaf or partition) whose MBR
-  /// intersects `region`, without scanning points.
+  /// intersects `region`, without scanning points. Takes a shared
+  /// ReadGuard internally; the Node references are valid only while the
+  /// caller's (re-entrant) guard is held.
   void VisitContour(const Rect& region,
                     const std::function<void(const Node&)>& fn) const;
 
   /// Descends to the smallest contour element containing `q` (or the
-  /// nearest one when no MBR contains it). Never null.
+  /// nearest one when no MBR contains it). Never null. Takes a shared
+  /// ReadGuard internally; hold your own guard if you keep the pointer.
   const Node* ProbeSmallest(std::span<const float> q) const;
 
   /// Point ids of a contour element, in sort order `s` (ascending
   /// coordinate s — the traversal order used by FINDTOP-KENTITIES).
+  /// Concurrent callers must hold a ReadGuard: the span aliases the
+  /// shared sort-order arrays that cracks rearrange in place.
   std::span<const uint32_t> ElementIds(const Node& node, size_t s = 0) const {
     VKG_DCHECK(node.IsContourElement());
     return orders().Range(s, node.begin, node.end);
@@ -106,8 +165,22 @@ class CrackingRTree {
       const std::string& path, const PointSet* points);
 
  private:
+  enum class CrackLatch { kAcquired, kCoalesced, kAbandoned };
+
   SortedOrders* EnsureOrders() const;
-  void CrackNode(Node* node, const Rect& query,
+  /// Deadline/cancel-aware exclusive acquisition (see Crack()).
+  CrackLatch AcquireCrackLatch(const Rect& query,
+                               util::QueryControl* control);
+  /// True when a fully-published crack region contains `query`.
+  bool CoveredByPublishedCrack(const Rect& query) const;
+  /// Records a completed, unthrottled crack region for coalescing.
+  void NotePublishedCrack(const Rect& query);
+
+  /// Returns true when the subtree was refined to its stopping
+  /// conditions; false when any split was skipped (budget, deadline, or
+  /// failpoint) and re-cracking the same region could still make
+  /// progress.
+  bool CrackNode(Node* node, const Rect& query,
                  util::QueryControl* control);
   /// Chunks a partition node into child nodes (one level of
   /// BULKLOADCHUNK); `query` == nullptr uses the classic cost. Returns
@@ -123,6 +196,24 @@ class CrackingRTree {
   mutable std::unique_ptr<SortedOrders> orders_;
   std::unique_ptr<Node> root_;
   ChunkingStats chunk_stats_;
+
+  /// The tree latch: shared for traversals, exclusive for cracks. All
+  /// node and sort-order mutation happens under the exclusive side, so
+  /// releasing it is the publication point.
+  mutable std::shared_timed_mutex latch_;
+
+  /// Ring of recently published (complete) crack regions, used to
+  /// coalesce duplicate cracks without taking the latch. Regions only
+  /// ever get *more* cracked, so an entry stays valid forever; eviction
+  /// merely loses a coalescing opportunity.
+  mutable std::mutex published_mu_;
+  std::vector<Rect> published_cracks_;
+  size_t published_next_ = 0;
+
+  std::atomic<size_t> crack_publishes_{0};
+  std::atomic<size_t> coalesced_cracks_{0};
+  std::atomic<size_t> abandoned_cracks_{0};
+  std::atomic<size_t> crack_waits_{0};
 };
 
 }  // namespace vkg::index

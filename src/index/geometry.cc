@@ -61,6 +61,15 @@ bool Rect::Contains(std::span<const float> p) const {
   return true;
 }
 
+bool Rect::ContainsRect(const Rect& other) const {
+  VKG_DCHECK(other.dim == dim);
+  if (other.IsEmpty()) return true;
+  for (size_t d = 0; d < dim; ++d) {
+    if (other.lo[d] < lo[d] || other.hi[d] > hi[d]) return false;
+  }
+  return true;
+}
+
 bool Rect::Intersects(const Rect& other) const {
   VKG_DCHECK(other.dim == dim);
   for (size_t d = 0; d < dim; ++d) {

@@ -47,6 +47,10 @@ struct Rect {
   void ExpandToFit(const Rect& other);
 
   bool Contains(std::span<const float> p) const;
+  /// True when `other` lies entirely inside this box (empty boxes are
+  /// contained by everything). Used to coalesce duplicate cracks: a
+  /// query region covered by an already-cracked region needs no work.
+  bool ContainsRect(const Rect& other) const;
   bool Intersects(const Rect& other) const;
 
   /// Product of side lengths; 0 for degenerate/empty boxes.

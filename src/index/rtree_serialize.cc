@@ -112,6 +112,9 @@ std::unique_ptr<Node> ReadNode(util::BinaryReader& r, size_t max_end,
 }  // namespace
 
 util::Status CrackingRTree::Save(const std::string& path) const {
+  // Snapshot consistency: hold the tree latch shared so a concurrent
+  // crack cannot rearrange the sort orders mid-write.
+  ReadGuard guard = LockForRead();
   util::BinaryWriter w(path);
   VKG_RETURN_IF_ERROR(w.status());
   w.WriteU32(kMagic);

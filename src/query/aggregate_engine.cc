@@ -138,6 +138,10 @@ util::Result<AggregateResult> AggregateEngine::Aggregate(
                                    pm.d_min(), dist_s2, r_tau, alpha);
   };
 
+  // The contour traversal holds the tree latch shared: Node pointers in
+  // the frontier and ElementIds() spans alias structure that concurrent
+  // cracks rearrange in place. Released before Crack() below.
+  index::CrackingRTree::ReadGuard guard = tree_->LockForRead();
   using Frontier = std::pair<double, const index::Node*>;
   std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>>
       frontier;
@@ -217,6 +221,7 @@ util::Result<AggregateResult> AggregateEngine::Aggregate(
     }
   }
 
+  guard = index::CrackingRTree::ReadGuard();  // release before cracking
   if (crack_after_query_ && !control.stopped()) {
     tree_->Crack(region, &control);
   }

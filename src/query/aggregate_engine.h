@@ -88,9 +88,10 @@ class AggregateEngine {
   util::Result<AggregateResult> ExactAggregate(
       const AggregateSpec& spec) const;
 
-  /// False when queries crack the shared tree; see
+  /// The cracking tree serializes its own mutation (DESIGN.md §6d), so
+  /// concurrent aggregates are safe even when they crack; see
   /// TopKEngine::SupportsConcurrentQueries.
-  bool SupportsConcurrentQueries() const { return !crack_after_query_; }
+  bool SupportsConcurrentQueries() const { return true; }
 
   /// The knowledge graph answered over (for batch-side validation).
   const kg::KnowledgeGraph* graph() const { return graph_; }

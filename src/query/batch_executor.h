@@ -19,9 +19,12 @@ namespace vkg::query {
 /// identical to answering each query sequentially through the same
 /// engine.
 ///
-/// Engines that mutate shared index state per query (online cracking;
-/// engine.SupportsConcurrentQueries() == false) are automatically
-/// processed sequentially in input order — same API, same results, no
+/// Online-cracking engines run on the parallel path too: the cracking
+/// R-tree serializes cracks behind its own reader-writer latch
+/// (DESIGN.md §6d), so SupportsConcurrentQueries() holds for them. The
+/// rare engine that mutates shared state without internal
+/// synchronization (SupportsConcurrentQueries() == false) is
+/// automatically processed sequentially in input order — same API, no
 /// data races. Passing `pool == nullptr` also selects the sequential
 /// path (with a single reused context, still faster than naive
 /// one-off calls).

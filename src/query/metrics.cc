@@ -42,4 +42,21 @@ double LatencySeries::TotalSeconds() const {
   return total;
 }
 
+ContentionSnapshot ContentionDelta(const index::IndexStats& before,
+                                   const index::IndexStats& after) {
+  ContentionSnapshot c;
+  c.crack_publishes = after.crack_publishes - before.crack_publishes;
+  c.coalesced_cracks = after.coalesced_cracks - before.coalesced_cracks;
+  c.abandoned_cracks = after.abandoned_cracks - before.abandoned_cracks;
+  c.crack_waits = after.crack_waits - before.crack_waits;
+  return c;
+}
+
+std::string FormatContention(const ContentionSnapshot& c) {
+  return "cracks: " + std::to_string(c.crack_publishes) + " published, " +
+         std::to_string(c.coalesced_cracks) + " coalesced, " +
+         std::to_string(c.abandoned_cracks) + " abandoned, " +
+         std::to_string(c.crack_waits) + " waits";
+}
+
 }  // namespace vkg::query

@@ -1,8 +1,10 @@
 #ifndef VKG_QUERY_METRICS_H_
 #define VKG_QUERY_METRICS_H_
 
+#include <string>
 #include <vector>
 
+#include "index/cracking_rtree.h"
 #include "query/topk_engine.h"
 
 namespace vkg::query {
@@ -33,6 +35,25 @@ class LatencySeries {
  private:
   std::vector<double> samples_;
 };
+
+/// Crack-contention counters of a serving window (concurrent cracking;
+/// DESIGN.md §6d). Deltas between two IndexStats snapshots, so a report
+/// can describe one storm rather than the tree's whole lifetime.
+struct ContentionSnapshot {
+  size_t crack_publishes = 0;
+  size_t coalesced_cracks = 0;
+  size_t abandoned_cracks = 0;
+  size_t crack_waits = 0;
+};
+
+/// Contention counters of `after` minus `before`; pass a default-
+/// constructed `before` for lifetime totals.
+ContentionSnapshot ContentionDelta(const index::IndexStats& before,
+                                   const index::IndexStats& after);
+
+/// One-line human-readable rendering, e.g.
+/// "cracks: 12 published, 3 coalesced, 1 abandoned, 5 waits".
+std::string FormatContention(const ContentionSnapshot& c);
 
 }  // namespace vkg::query
 

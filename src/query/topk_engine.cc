@@ -191,11 +191,6 @@ TopKResult RTreeTopKEngine::TopKQuery(const data::Query& query, size_t k,
     }
   };
 
-  // Lines 1-3: probe for the element containing q and seed N_q, giving
-  // the initial radius r_q = r_k*(N_q) (1 + eps).
-  const index::Node* element = tree_->ProbeSmallest(q_s2.AsSpan());
-  examine(SeedCandidates(*element, q_s2, k, skip), /*enforce=*/false);
-
   // Current S2 query radius; infinite until k candidates exist.
   constexpr double kInf = std::numeric_limits<double>::infinity();
   auto current_radius = [&]() {
@@ -203,48 +198,68 @@ TopKResult RTreeTopKEngine::TopKQuery(const data::Query& query, size_t k,
     return std::sqrt(best.top().first) * (1.0 + eps_);
   };
 
-  // Lines 4-8: iteratively shrink Q while examining its points. The
-  // contour is traversed best-first by MBR distance to q; every point
-  // examined can tighten r_k* and hence Q, so elements that fall outside
-  // the refined region are never touched — the paper's "iteratively
-  // reduce the query rectangle region until all points in Q have been
-  // examined".
-  //
-  // Pops come off the frontier in non-decreasing MBR distance, so when
-  // the query stops early every point strictly closer than the last pop
-  // has been examined: that distance is the certified radius within
-  // which the Theorem 2/3 guarantees still hold.
-  double r_q = current_radius();
+  double r_q = kInf;
   double certified = 0.0;
   bool complete = true;
-  using Frontier = std::pair<double, const index::Node*>;  // (mindist, node)
-  std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>>
-      frontier;
-  frontier.emplace(tree_->root().mbr.MinDistSquared(q_s2.AsSpan()),
-                   &tree_->root());
-  while (!frontier.empty()) {
-    if (control.ShouldStop()) {
-      complete = false;
-      break;
-    }
-    auto [d2, node] = frontier.top();
-    frontier.pop();
-    const double mindist = std::sqrt(d2);
-    if (mindist > r_q) break;  // everything left is outside Q
-    certified = mindist;
-    if (node->kind == index::Node::Kind::kInternal) {
-      for (const auto& child : node->children) {
-        double cd2 = child->mbr.MinDistSquared(q_s2.AsSpan());
-        if (std::sqrt(cd2) <= r_q) frontier.emplace(cd2, child.get());
-      }
-      continue;
-    }
-    examine(tree_->ElementIds(*node), /*enforce=*/true);
-    if (control.stopped()) {
-      complete = false;  // bailed mid-element
-      break;
-    }
+  {
+    // The whole read phase — probe, seeding, frontier traversal — runs
+    // under one shared hold of the tree latch: the Node pointers and
+    // ElementIds() spans below alias structure that concurrent cracks
+    // rearrange in place. Released before Crack() (a thread holding its
+    // own read guard can never be granted the exclusive latch).
+    index::CrackingRTree::ReadGuard guard = tree_->LockForRead();
+
+    // Lines 1-3: probe for the element containing q and seed N_q, giving
+    // the initial radius r_q = r_k*(N_q) (1 + eps).
+    const index::Node* element = tree_->ProbeSmallest(q_s2.AsSpan());
+    examine(SeedCandidates(*element, q_s2, k, skip), /*enforce=*/false);
+
+    // Lines 4-8: iteratively shrink Q while examining its points. The
+    // contour is traversed best-first by MBR distance to q; every point
+    // examined can tighten r_k* and hence Q, so elements that fall outside
+    // the refined region are never touched — the paper's "iteratively
+    // reduce the query rectangle region until all points in Q have been
+    // examined".
+    //
+    // Pops come off the frontier in non-decreasing MBR distance, so when
+    // the query stops early every point strictly closer than the last pop
+    // has been examined: that distance is the certified radius within
+    // which the Theorem 2/3 guarantees still hold.
     r_q = current_radius();
+    using Frontier = std::pair<double, const index::Node*>;  // (mindist, node)
+    std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>>
+        frontier;
+    frontier.emplace(tree_->root().mbr.MinDistSquared(q_s2.AsSpan()),
+                     &tree_->root());
+    while (!frontier.empty()) {
+      // An empty heap means nothing has been answered yet (the seed
+      // element held only skipped entities): keep examining unchecked
+      // until one candidate exists, so even an already-expired query
+      // returns a non-empty best-effort answer.
+      const bool must_progress = best.empty();
+      if (!must_progress && control.ShouldStop()) {
+        complete = false;
+        break;
+      }
+      auto [d2, node] = frontier.top();
+      frontier.pop();
+      const double mindist = std::sqrt(d2);
+      if (mindist > r_q) break;  // everything left is outside Q
+      certified = mindist;
+      if (node->kind == index::Node::Kind::kInternal) {
+        for (const auto& child : node->children) {
+          double cd2 = child->mbr.MinDistSquared(q_s2.AsSpan());
+          if (std::sqrt(cd2) <= r_q) frontier.emplace(cd2, child.get());
+        }
+        continue;
+      }
+      examine(tree_->ElementIds(*node), /*enforce=*/!must_progress);
+      if (!must_progress && control.stopped()) {
+        complete = false;  // bailed mid-element
+        break;
+      }
+      r_q = current_radius();
+    }
   }
   if (r_q == kInf) {
     // Fewer than k valid entities in the whole dataset.

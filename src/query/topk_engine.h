@@ -47,9 +47,11 @@ std::function<bool(uint32_t)> MakeSkipFn(const kg::KnowledgeGraph& graph,
 /// scratch (visit stamps, candidate buffers) lives in the caller-supplied
 /// QueryContext, so one engine instance can serve concurrent queries as
 /// long as each thread uses its own context (see BatchTopK in
-/// query/batch_executor.h). The exception is shared *index* state:
-/// engines that crack the index online report
-/// SupportsConcurrentQueries() == false and are executed sequentially.
+/// query/batch_executor.h). Shared *index* state guards itself: the
+/// cracking R-tree serializes cracks behind a reader-writer latch
+/// (DESIGN.md §6d), so even online-cracking engines report
+/// SupportsConcurrentQueries() == true. An engine returns false only
+/// when its index mutates without internal synchronization.
 class TopKEngine {
  public:
   virtual ~TopKEngine() = default;
@@ -66,9 +68,10 @@ class TopKEngine {
     return TopKQuery(query, k, ctx);
   }
 
-  /// False when answering a query mutates shared index state (online
-  /// cracking): such engines must not run queries on multiple threads at
-  /// once.
+  /// False when answering a query mutates shared state without internal
+  /// synchronization: such engines must not run queries on multiple
+  /// threads at once. Online-cracking R-tree engines qualify as true —
+  /// the tree latches itself (see index::CrackingRTree).
   virtual bool SupportsConcurrentQueries() const { return true; }
 
   /// The knowledge graph the engine answers over (null only for engines
@@ -122,11 +125,6 @@ class RTreeTopKEngine : public TopKEngine {
   using TopKEngine::TopKQuery;
   TopKResult TopKQuery(const data::Query& query, size_t k,
                        QueryContext& ctx) const override;
-  /// Cracking mutates the shared tree; only the bulk-loaded (non-
-  /// cracking) configuration is concurrency-safe.
-  bool SupportsConcurrentQueries() const override {
-    return !crack_after_query_;
-  }
   const kg::KnowledgeGraph* graph() const override { return graph_; }
   std::string_view name() const override { return name_; }
 

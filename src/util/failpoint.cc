@@ -1,7 +1,9 @@
 #include "util/failpoint.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 namespace vkg::util {
 
@@ -96,6 +98,16 @@ Status FailPointRegistry::ConfigureSite(const std::string& name,
       step.fail = true;
     } else if (action == "off") {
       step.fail = false;
+    } else if (action == "delay") {
+      step.delay_ms = 1.0;
+    } else if (action.rfind("delay(", 0) == 0 && action.back() == ')') {
+      std::string ms(action.substr(6, action.size() - 7));
+      char* end = nullptr;
+      double parsed = std::strtod(ms.c_str(), &end);
+      if (end != ms.c_str() + ms.size() || parsed < 0.0) {
+        return Status::InvalidArgument("bad failpoint delay in: " + token);
+      }
+      step.delay_ms = parsed;
     } else {
       return Status::InvalidArgument("unknown failpoint action: " + token);
     }
@@ -121,17 +133,28 @@ void FailPointRegistry::Clear() {
 }
 
 bool FailPointRegistry::ShouldFail(std::string_view site) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = sites_.find(site);
-  if (it == sites_.end()) return false;
-  Site& s = it->second;
-  ++s.hits;
-  if (s.step_index >= s.steps.size()) return false;  // sequence exhausted
-  const ActionStep& step = s.steps[s.step_index];
-  bool fail = step.fail;
-  if (step.count > 0 && ++s.consumed_in_step >= step.count) {
-    ++s.step_index;
-    s.consumed_in_step = 0;
+  double delay_ms = 0.0;
+  bool fail = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) return false;
+    Site& s = it->second;
+    ++s.hits;
+    if (s.step_index >= s.steps.size()) return false;  // sequence exhausted
+    const ActionStep& step = s.steps[s.step_index];
+    fail = step.fail;
+    delay_ms = step.delay_ms;
+    if (step.count > 0 && ++s.consumed_in_step >= step.count) {
+      ++s.step_index;
+      s.consumed_in_step = 0;
+    }
+  }
+  // Sleep outside the registry lock so a delay action stalls only the
+  // evaluating thread (the stall the test wants), not every site.
+  if (delay_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms));
   }
   return fail;
 }

@@ -19,14 +19,27 @@ namespace vkg::util {
 ///
 ///   VKG_FAILPOINTS="cracking.split=1*off,5*fail;serialize.read=3*off,1*fail"
 ///
-/// Each action is ACTION or COUNT*ACTION with ACTION in {off, fail}:
+/// Each action is ACTION or COUNT*ACTION with ACTION one of
+///   off        — the evaluation passes
+///   fail       — the evaluation reports failure (the site's error path)
+///   delay(MS)  — sleep MS milliseconds, then pass (a stall, not a
+///                failure; MS defaults to 1 when omitted: "delay")
 /// "1*off,5*fail" passes the first evaluation, fails the next five, then
 /// stays off. A bare action without COUNT applies forever. Configuring a
 /// site to exactly "off" disarms it.
 ///
-/// Site naming convention: <subsystem>.<operation>, lowercase
-/// (cracking.split, serialize.read, serialize.write, alloc.scratch,
-/// threadpool.dispatch, batch.query).
+/// Site naming convention: <subsystem>.<operation>, lowercase. Planted
+/// sites:
+///   cracking.split      — abandon one partition split (tree stays valid)
+///   cracking.publish    — evaluated under the tree's exclusive crack
+///                         latch, before any mutation: `fail` abandons
+///                         the whole crack, `delay` stalls publication
+///                         while readers queue behind the latch
+///   serialize.read      — injected read error in the persistence layer
+///   serialize.write     — injected write error in the persistence layer
+///   alloc.scratch       — per-query scratch allocation throws bad_alloc
+///   threadpool.dispatch — task dispatch failure in util::ThreadPool
+///   batch.query         — one batch slot fails with an internal error
 ///
 /// Evaluation is thread-safe; an unarmed process pays one relaxed atomic
 /// load per site evaluation.
@@ -66,6 +79,7 @@ class FailPointRegistry {
   struct ActionStep {
     size_t count = 0;  // evaluations this step consumes; 0 = forever
     bool fail = false;
+    double delay_ms = 0.0;  // sleep before passing (delay action)
   };
   struct Site {
     std::vector<ActionStep> steps;

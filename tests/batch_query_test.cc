@@ -48,13 +48,20 @@ class BatchQueryTest : public ::testing::Test {
   // Batch results must be *identical* to sequential ones, not merely
   // close: both paths evaluate every distance through the same per-row
   // kernel, so even the tie-breaking inputs match bit-for-bit.
+  // `compare_work` additionally requires equal candidates_examined; skip
+  // it for online-cracking engines, where the crack schedule (and hence
+  // the tree shape steering the traversal) differs run to run even
+  // though the answers cannot.
   static void ExpectIdentical(const std::vector<TopKResult>& batch,
-                              const std::vector<TopKResult>& seq) {
+                              const std::vector<TopKResult>& seq,
+                              bool compare_work = true) {
     ASSERT_EQ(batch.size(), seq.size());
     for (size_t i = 0; i < batch.size(); ++i) {
       ASSERT_EQ(batch[i].hits.size(), seq[i].hits.size()) << "query " << i;
-      EXPECT_EQ(batch[i].candidates_examined, seq[i].candidates_examined)
-          << "query " << i;
+      if (compare_work) {
+        EXPECT_EQ(batch[i].candidates_examined, seq[i].candidates_examined)
+            << "query " << i;
+      }
       for (size_t h = 0; h < batch[i].hits.size(); ++h) {
         EXPECT_EQ(batch[i].hits[h].entity, seq[i].hits[h].entity)
             << "query " << i << " hit " << h;
@@ -126,16 +133,18 @@ TEST_F(BatchQueryTest, BulkRTreeEngineBatchMatchesSequential) {
 }
 
 TEST_F(BatchQueryTest, CrackingRTreeEngineBatchMatchesSequential) {
-  // A cracking engine mutates the shared tree per query, so BatchTopK
-  // must fall back to sequential in-order execution; two fresh engines
-  // fed the same query sequence then evolve (and answer) identically.
+  // A cracking engine mutates the shared tree per query, but the tree
+  // latches itself, so BatchTopK runs the parallel path. The crack
+  // *order* (and hence tree shape) differs between runs — answers never
+  // do: cracking refines cost, not results. Two fresh engines fed the
+  // same queries must answer identically regardless of schedule.
   auto make = [&](auto&& run) {
     transform::JlTransform jl(ds_->embeddings.dim(), 3, 64);
     index::PointSet points(jl.ApplyToEntities(ds_->embeddings), 3);
     index::CrackingRTree tree(&points, index::RTreeConfig{});
     RTreeTopKEngine engine(&ds_->graph, &ds_->embeddings, &jl, &tree, 1.0,
                            /*crack_after_query=*/true, "crack");
-    EXPECT_FALSE(engine.SupportsConcurrentQueries());
+    EXPECT_TRUE(engine.SupportsConcurrentQueries());
     return run(engine);
   };
   std::vector<TopKResult> seq =
@@ -144,7 +153,7 @@ TEST_F(BatchQueryTest, CrackingRTreeEngineBatchMatchesSequential) {
   std::vector<TopKResult> batch = make([&](const TopKEngine& e) {
     return Unwrap(BatchTopK(e, *workload_, 10, &pool));
   });
-  ExpectIdentical(batch, seq);
+  ExpectIdentical(batch, seq, /*compare_work=*/false);
 }
 
 TEST_F(BatchQueryTest, PhTreeEngineBatchMatchesSequential) {

@@ -14,10 +14,15 @@
 //                     --relation NAME --kind count|sum|avg|max|min
 //                     [--attribute FILE.tsv --attribute-name year]
 //                     [--threshold 0.05] [--sample 0]
+//   vkg_cli batch     --triples t.tsv --embeddings e.bin [--queries 256]
+//                     [--k 10] [--skew 0] [--seed 11] [--threads N]
+//                     (generated workload through BatchTopK; prints
+//                      throughput, degraded slots, crack contention)
 //
 // Global flags: --deadline-ms MS bounds each query's wall-clock time and
 // --max-points N its exact-distance evaluations (degraded answers are
-// labeled, never dropped); --failpoints "site=spec,..." arms the fault-
+// labeled, never dropped); --threads N sizes the batch-query worker pool
+// (0/1 = sequential); --failpoints "site=spec,..." arms the fault-
 // injection registry (same syntax as the VKG_FAILPOINTS env var).
 
 #include <cstdio>
@@ -28,6 +33,8 @@
 
 #include "core/virtual_graph.h"
 #include "data/amazon_gen.h"
+#include "data/workload.h"
+#include "query/metrics.h"
 #include "data/freebase_gen.h"
 #include "data/movielens_gen.h"
 #include "embedding/evaluator.h"
@@ -301,6 +308,7 @@ util::Result<std::unique_ptr<core::VirtualKnowledgeGraph>> BuildVkg(
   options.eps = flags.GetDouble("eps", 1.0);
   options.query_deadline_ms = flags.GetDouble("deadline-ms", 0.0);
   options.query_budget.max_points = flags.GetSize("max-points", 0);
+  options.query_threads = flags.GetSize("threads", 0);
   return core::VirtualKnowledgeGraph::BuildWithEmbeddings(
       graph, std::move(store), options);
 }
@@ -349,6 +357,55 @@ int CmdTopK(const Flags& flags) {
                 result->quality.certified_radius);
   }
   return 0;
+}
+
+// Answers a generated workload through BatchTopK — the concurrent
+// serving path (--threads N fans queries over N workers while the
+// cracking index latches itself). Reports throughput, degraded slots,
+// and crack-contention counters.
+int CmdBatch(const Flags& flags) {
+  auto graph = LoadGraph(flags);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  auto vkg = BuildVkg(flags, &*graph);
+  if (!vkg.ok()) {
+    std::fprintf(stderr, "%s\n", vkg.status().ToString().c_str());
+    return 1;
+  }
+  data::WorkloadConfig wc;
+  wc.num_queries = flags.GetSize("queries", 256);
+  wc.skew_exponent = flags.GetDouble("skew", 0.0);
+  wc.seed = flags.GetSize("seed", 11);
+  std::vector<data::Query> workload = data::GenerateWorkload(*graph, wc);
+  const size_t k = flags.GetSize("k", 10);
+
+  index::IndexStats before = (*vkg)->IndexStats();
+  util::WallTimer timer;
+  auto results = (*vkg)->BatchTopK(workload, k);
+  double seconds = timer.ElapsedSeconds();
+  index::IndexStats after = (*vkg)->IndexStats();
+
+  size_t failed = 0;
+  size_t degraded = 0;
+  for (const auto& r : results) {
+    if (!r.ok()) {
+      ++failed;
+    } else if (!r->quality.exact) {
+      ++degraded;
+    }
+  }
+  std::printf("%zu queries in %.3fs (%.0f qps, threads=%zu)\n",
+              workload.size(), seconds,
+              seconds > 0 ? static_cast<double>(workload.size()) / seconds
+                          : 0.0,
+              (*vkg)->options().query_threads);
+  std::printf("%zu degraded, %zu failed\n", degraded, failed);
+  std::printf("%s\n",
+              query::FormatContention(query::ContentionDelta(before, after))
+                  .c_str());
+  return failed == 0 ? 0 : 1;
 }
 
 int CmdAggregate(const Flags& flags) {
@@ -431,5 +488,6 @@ int main(int argc, char** argv) {
   if (command == "train") return CmdTrain(flags);
   if (command == "topk") return CmdTopK(flags);
   if (command == "aggregate") return CmdAggregate(flags);
+  if (command == "batch") return CmdBatch(flags);
   return Usage();
 }
