@@ -1,0 +1,141 @@
+// Observability overhead microbench (DESIGN.md §6e): proves the span /
+// metrics instrumentation stays under its <3% budget on the fig03
+// workload (Freebase-like dataset, 200 Zipf-skewed top-k queries,
+// k=10, cracking method).
+//
+// A single binary cannot link both the instrumented and the
+// VKG_OBS_COMPILED_OUT library variants, so the comparison here is the
+// runtime kill-switch: the same warm query loop is timed with the
+// registry enabled (the shipping default), with obs::SetEnabled(false)
+// (counters short-circuit before touching a shard), and with a
+// per-query Trace attached (the most expensive, opt-in mode). The
+// passes are interleaved round-robin over one converged tree so clock
+// drift and cache state hit all three modes equally. The compile-out
+// gate removes even the enabled-path cost and is exercised by the
+// VKG_OBS_COMPILED_OUT CMake option, not here.
+//
+// Emits BENCH_obs.json; the headline record is enabled_overhead_pct
+// (enabled vs disabled, target < 3).
+//
+// Env knobs: VKG_BENCH_SCALE scales the dataset; VKG_BENCH_QUERIES
+// overrides the workload size; VKG_BENCH_ROUNDS the interleaved rounds.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_common.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "query/query_context.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace vkg::bench {
+namespace {
+
+size_t EnvCount(const char* name, size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  long v = std::atol(env);
+  return v > 0 ? static_cast<size_t>(v) : fallback;
+}
+
+enum class Mode { kDisabled, kEnabled, kTraced };
+
+// One pass over the workload in `mode`; returns elapsed seconds. The
+// context is reused across queries (the serving configuration) and the
+// traced mode clears one Trace per query, as BatchOptions::trace_hook
+// does.
+double TimePass(MethodRun& run, const std::vector<data::Query>& queries,
+                size_t k, Mode mode, query::QueryContext& ctx,
+                obs::Trace& trace) {
+  obs::SetEnabled(mode != Mode::kDisabled);
+  ctx.set_trace(mode == Mode::kTraced ? &trace : nullptr);
+  util::WallTimer timer;
+  for (const data::Query& q : queries) {
+    if (mode == Mode::kTraced) trace.Clear();
+    run.engine->TopKQuery(q, k, ctx);
+  }
+  double seconds = timer.ElapsedSeconds();
+  ctx.set_trace(nullptr);
+  obs::SetEnabled(true);
+  return seconds;
+}
+
+int Run() {
+  const auto& ds = FreebaseDataset();
+  const size_t num_queries = EnvCount("VKG_BENCH_QUERIES", 200);
+  auto queries = StandardWorkload(ds, num_queries, 42);
+  if (queries.empty()) {
+    std::fprintf(stderr, "empty workload\n");
+    return 1;
+  }
+  const size_t k = 10;
+  const size_t rounds = EnvCount("VKG_BENCH_ROUNDS", 5);
+
+  MethodRun run = MakeMethod(ds, index::MethodKind::kCracking);
+  query::QueryContext ctx;
+  obs::Trace trace("obs-overhead");
+
+  // Converge the index first (two full passes): the measured loop then
+  // re-answers a stable workload, so the three modes see an identical
+  // tree and identical work.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const data::Query& q : queries) run.engine->TopKQuery(q, k, ctx);
+  }
+
+  double total_s[3] = {0.0, 0.0, 0.0};
+  // Unmeasured primer pass so the first measured round is not paying
+  // one-time warmup (registry allocation, branch history).
+  TimePass(run, queries, k, Mode::kDisabled, ctx, trace);
+  TimePass(run, queries, k, Mode::kEnabled, ctx, trace);
+  TimePass(run, queries, k, Mode::kTraced, ctx, trace);
+  for (size_t round = 0; round < rounds; ++round) {
+    for (Mode mode : {Mode::kDisabled, Mode::kEnabled, Mode::kTraced}) {
+      total_s[static_cast<size_t>(mode)] +=
+          TimePass(run, queries, k, mode, ctx, trace);
+    }
+  }
+
+  const double n =
+      static_cast<double>(rounds) * static_cast<double>(queries.size());
+  const double disabled_us = total_s[0] * 1e6 / n;
+  const double enabled_us = total_s[1] * 1e6 / n;
+  const double traced_us = total_s[2] * 1e6 / n;
+  const double enabled_pct = (enabled_us / disabled_us - 1.0) * 100.0;
+  const double traced_pct = (traced_us / disabled_us - 1.0) * 100.0;
+
+  PrintTitle(util::StrFormat(
+      "Observability overhead: fig03 workload, %zu warm queries x %zu "
+      "rounds per mode",
+      queries.size(), rounds));
+  std::vector<int> w{12, 14, 14};
+  PrintRow({"mode", "avg us/query", "vs disabled"}, w);
+  PrintRow({"disabled", util::StrFormat("%.2f", disabled_us), "-"}, w);
+  PrintRow({"enabled", util::StrFormat("%.2f", enabled_us),
+            util::StrFormat("%+.2f%%", enabled_pct)},
+           w);
+  PrintRow({"traced", util::StrFormat("%.2f", traced_us),
+            util::StrFormat("%+.2f%%", traced_pct)},
+           w);
+  std::printf("budget: enabled overhead < 3%% -> %s\n",
+              enabled_pct < 3.0 ? "OK" : "EXCEEDED");
+
+  WriteBenchJson(
+      "BENCH_obs.json", "micro_obs_overhead",
+      {{"num_queries", static_cast<double>(queries.size())},
+       {"rounds", static_cast<double>(rounds)},
+       {"scale_factor", ScaleFactor()}},
+      {{"disabled_warm_us", disabled_us, "us"},
+       {"enabled_warm_us", enabled_us, "us"},
+       {"traced_warm_us", traced_us, "us"},
+       {"enabled_overhead_pct", enabled_pct, "pct"},
+       {"traced_overhead_pct", traced_pct, "pct"}});
+  return 0;
+}
+
+}  // namespace
+}  // namespace vkg::bench
+
+int main() { return vkg::bench::Run(); }

@@ -151,9 +151,10 @@ query::TopKResult VirtualKnowledgeGraph::TopKHeads(kg::EntityId t,
 }
 
 query::TopKResult VirtualKnowledgeGraph::TopK(const data::Query& query,
-                                              size_t k) {
+                                              size_t k, obs::Trace* trace) {
   query::QueryContext ctx;
   ApplyQueryLimits(options_, ctx);
+  ctx.set_trace(trace);
   query::TopKResult result = topk_engine_->TopKQuery(query, k, ctx);
   if (overlay_.empty()) return result;
 
@@ -307,12 +308,12 @@ util::Status VirtualKnowledgeGraph::CompactUpdates() {
 
 util::Result<query::TopKResult> VirtualKnowledgeGraph::TopKByName(
     std::string_view anchor, std::string_view relation,
-    kg::Direction direction, size_t k) {
+    kg::Direction direction, size_t k, obs::Trace* trace) {
   VKG_ASSIGN_OR_RETURN(kg::EntityId a,
                        graph_->entity_names().Require(anchor));
   VKG_ASSIGN_OR_RETURN(kg::RelationId r,
                        graph_->relation_names().Require(relation));
-  return TopK({a, r, direction}, k);
+  return TopK({a, r, direction}, k, trace);
 }
 
 query::TopKGuarantee VirtualKnowledgeGraph::GuaranteeFor(
@@ -325,9 +326,10 @@ query::TopKGuarantee VirtualKnowledgeGraph::GuaranteeFor(
 }
 
 util::Result<query::AggregateResult> VirtualKnowledgeGraph::Aggregate(
-    const query::AggregateSpec& spec) {
+    const query::AggregateSpec& spec, obs::Trace* trace) {
   query::QueryContext ctx;
   ApplyQueryLimits(options_, ctx);
+  ctx.set_trace(trace);
   return aggregate_engine_->Aggregate(spec, ctx);
 }
 

@@ -64,14 +64,18 @@ class VirtualKnowledgeGraph {
   query::TopKResult TopKTails(kg::EntityId h, kg::RelationId r, size_t k);
   /// Top-k most likely heads h for (h, r, t) not already in E.
   query::TopKResult TopKHeads(kg::EntityId t, kg::RelationId r, size_t k);
-  /// Generic form.
-  query::TopKResult TopK(const data::Query& query, size_t k);
+  /// Generic form. `trace` (optional) collects the query's phase spans
+  /// — probe, seed, frontier, crack — for `vkg_cli --trace` style
+  /// inspection (DESIGN.md §6e); null keeps the untraced hot path.
+  query::TopKResult TopK(const data::Query& query, size_t k,
+                         obs::Trace* trace = nullptr);
 
   /// Name-based convenience (NotFound for unknown names).
   util::Result<query::TopKResult> TopKByName(std::string_view anchor,
                                              std::string_view relation,
                                              kg::Direction direction,
-                                             size_t k);
+                                             size_t k,
+                                             obs::Trace* trace = nullptr);
 
   /// Answers queries[i] with k results each, fanned over the pool sized
   /// by options.query_threads (sequentially when < 2). Per-slot
@@ -93,9 +97,10 @@ class VirtualKnowledgeGraph {
 
   // --- Aggregate queries (Section V-B) ------------------------------------
 
-  /// Approximate aggregate via the index; see AggregateEngine.
+  /// Approximate aggregate via the index; see AggregateEngine. `trace`
+  /// as in TopK().
   util::Result<query::AggregateResult> Aggregate(
-      const query::AggregateSpec& spec);
+      const query::AggregateSpec& spec, obs::Trace* trace = nullptr);
 
   /// Exact (no-index) aggregate: the accuracy baseline.
   util::Result<query::AggregateResult> ExactAggregate(

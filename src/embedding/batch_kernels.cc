@@ -75,6 +75,14 @@ double RowL2Avx2(const float* r, const float* q, size_t dim) {
   return acc;
 }
 
+// GCC's own avx512fintrin.h uses an `__m256d __Y = __Y;` self-init
+// idiom that -Wuninitialized/-Wmaybe-uninitialized flag when inlined
+// here (GCC bug 105593); suppress just for this function.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
 __attribute__((target("avx512f")))
 double RowL2Avx512(const float* r, const float* q, size_t dim) {
   __m512d a0 = _mm512_setzero_pd();
@@ -97,6 +105,9 @@ double RowL2Avx512(const float* r, const float* q, size_t dim) {
   }
   return acc;
 }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 using RowKernel = double (*)(const float*, const float*, size_t);
 

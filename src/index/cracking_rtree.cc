@@ -5,12 +5,40 @@
 #include <cmath>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "util/failpoint.h"
 #include "util/math_util.h"
 
 namespace vkg::index {
 
 namespace {
+
+// Global metrics for crack contention (DESIGN.md §6e). The per-tree
+// IndexStats atomics stay authoritative for per-window ContentionDelta
+// reports; these fold the same events into the process-wide registry so
+// all serving metrics share one exposition surface.
+struct CrackMetrics {
+  obs::Counter& publishes;
+  obs::Counter& coalesced;
+  obs::Counter& abandoned;
+  obs::Counter& waits;
+  obs::Histogram& latch_wait_us;
+  obs::Histogram& crack_us;
+
+  static CrackMetrics& Get() {
+    static CrackMetrics* metrics = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      return new CrackMetrics{
+          reg.GetCounter("vkg_crack_publishes_total"),
+          reg.GetCounter("vkg_crack_coalesced_total"),
+          reg.GetCounter("vkg_crack_abandoned_total"),
+          reg.GetCounter("vkg_crack_waits_total"),
+          reg.GetHistogram("vkg_crack_latch_wait_us"),
+          reg.GetHistogram("vkg_crack_us")};
+    }();
+    return *metrics;
+  }
+};
 
 // Smallest h with n <= N * M^h: the bulk-load tree height.
 int TreeHeight(size_t n, size_t leaf_capacity, size_t fanout) {
@@ -147,6 +175,8 @@ CrackingRTree::CrackLatch CrackingRTree::AcquireCrackLatch(
   if (HeldReadDepth(this) != nullptr) return CrackLatch::kAbandoned;
   if (latch_.try_lock()) return CrackLatch::kAcquired;
   crack_waits_.fetch_add(1, std::memory_order_relaxed);
+  CrackMetrics::Get().waits.Inc();
+  obs::ScopedLatencyUs wait_timer(CrackMetrics::Get().latch_wait_us);
   // Bounded waits in small slices: between slices the crack re-checks
   // the caller's deadline/cancel/budget (degrading beats stalling — the
   // query's answer never needs this crack) and whether a concurrent
@@ -165,15 +195,19 @@ CrackingRTree::CrackLatch CrackingRTree::AcquireCrackLatch(
   }
 }
 
-void CrackingRTree::Crack(const Rect& query, util::QueryControl* control) {
+void CrackingRTree::Crack(const Rect& query, util::QueryControl* control,
+                          obs::Trace* trace) {
   if (points_->empty()) return;
   if (control != nullptr && control->ShouldStop()) return;
+  obs::Span span(trace, "crack");
   // Coalescing fast path: a fully-published crack region covering this
   // query already did every split this call would do (the tree only
   // ever gets more refined). Skipping is always sound — cracking
   // affects cost, never answers.
   if (CoveredByPublishedCrack(query)) {
     coalesced_cracks_.fetch_add(1, std::memory_order_relaxed);
+    CrackMetrics::Get().coalesced.Inc();
+    span.SetAttr("outcome", "coalesced");
     return;
   }
   // Materialize the sort orders before going exclusive: the first-query
@@ -183,24 +217,37 @@ void CrackingRTree::Crack(const Rect& query, util::QueryControl* control) {
   switch (AcquireCrackLatch(query, control)) {
     case CrackLatch::kCoalesced:
       coalesced_cracks_.fetch_add(1, std::memory_order_relaxed);
+      CrackMetrics::Get().coalesced.Inc();
+      span.SetAttr("outcome", "coalesced");
       return;
     case CrackLatch::kAbandoned:
       abandoned_cracks_.fetch_add(1, std::memory_order_relaxed);
+      CrackMetrics::Get().abandoned.Inc();
+      span.SetAttr("outcome", "abandoned");
       return;
     case CrackLatch::kAcquired:
       break;
   }
   std::unique_lock<std::shared_timed_mutex> lock(latch_, std::adopt_lock);
+  obs::ScopedLatencyUs crack_timer(CrackMetrics::Get().crack_us);
   // Publication failpoint: `fail` abandons the crack before any
   // mutation (readers keep the pre-crack tree); `delay` stalls here
   // with the exclusive latch held — the stalled-publish scenario the
   // chaos harness drives readers and crack waiters through.
   if (VKG_FAILPOINT("cracking.publish")) {
     abandoned_cracks_.fetch_add(1, std::memory_order_relaxed);
+    CrackMetrics::Get().abandoned.Inc();
+    span.SetAttr("outcome", "abandoned");
     return;
   }
+  const size_t splits_before = chunk_stats_.binary_splits;
   const bool complete = CrackNode(root_.get(), query, control);
   crack_publishes_.fetch_add(1, std::memory_order_relaxed);
+  CrackMetrics::Get().publishes.Inc();
+  span.SetAttr("outcome", "published");
+  span.SetAttr("splits",
+               static_cast<double>(chunk_stats_.binary_splits -
+                                   splits_before));
   // Only a crack that ran to its stopping conditions makes the region
   // coalescable; a throttled one must be retryable by later queries.
   if (complete) NotePublishedCrack(query);

@@ -13,6 +13,7 @@
 #include "index/rtree_node.h"
 #include "index/sort_orders.h"
 #include "index/topk_splits.h"
+#include "obs/trace.h"
 #include "util/deadline.h"
 #include "util/status.h"
 
@@ -111,7 +112,12 @@ class CrackingRTree {
   /// abandoned crack leaves a valid tree that later queries continue to
   /// refine. Calling Crack() while this thread holds a ReadGuard would
   /// self-deadlock; such cracks are detected and abandoned.
-  void Crack(const Rect& query, util::QueryControl* control = nullptr);
+  ///
+  /// `trace` (optional) records the crack as a span — with its outcome
+  /// (published / coalesced / abandoned) — in the calling query's trace
+  /// (DESIGN.md §6e).
+  void Crack(const Rect& query, util::QueryControl* control = nullptr,
+             obs::Trace* trace = nullptr);
 
   /// Full offline bulk load (Algorithm 1 with the classic cost model).
   /// Takes the exclusive latch (setup-time call; it blocks).

@@ -4,6 +4,7 @@
 #include <memory>
 #include <queue>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/math_util.h"
 
@@ -239,15 +240,27 @@ std::vector<size_t> ChunkPartition(SortedOrders* orders, size_t begin,
                                    util::QueryControl* control) {
   VKG_CHECK(begin < end);
   VKG_CHECK(m >= 1);
+  const ChunkingStats before = *stats;
   std::vector<size_t> sizes;
   if (query != nullptr && config.split_choices > 1 &&
       config.split_algorithm == SplitAlgorithm::kBestBinary) {
     // A* cost bookkeeping assumes the (c_Q, c_O) candidate semantics;
     // alternative split heuristics (R*) run greedily.
-    return AStarChunk(orders, begin, end, m, query, config, height, stats,
-                      control);
+    sizes = AStarChunk(orders, begin, end, m, query, config, height, stats,
+                       control);
+  } else {
+    GreedyChunk(orders, begin, end, m, query, config, height, stats,
+                &sizes);
   }
-  GreedyChunk(orders, begin, end, m, query, config, height, stats, &sizes);
+  // Fold the per-call deltas into the global registry (DESIGN.md §6e) —
+  // the per-tree ChunkingStats keeps feeding IndexStats as before.
+  static obs::Counter& splits = obs::MetricsRegistry::Global().GetCounter(
+      "vkg_binary_splits_total");
+  static obs::Counter& expansions =
+      obs::MetricsRegistry::Global().GetCounter(
+          "vkg_astar_expansions_total");
+  splits.Inc(stats->binary_splits - before.binary_splits);
+  expansions.Inc(stats->astar_expansions - before.astar_expansions);
   return sizes;
 }
 

@@ -1,0 +1,185 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace vkg::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+// Renders a bucket bound the way Prometheus expects ("1", "0.25",
+// "1e+06"); %g keeps integers undecorated.
+std::string BoundLabel(double bound) {
+  return util::StrFormat("%g", bound);
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+size_t ShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+}  // namespace detail
+
+Histogram::Histogram(std::string name, std::span<const double> bounds)
+    : name_(std::move(name)), bounds_(bounds.begin(), bounds.end()) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()),
+                bounds_.end());
+  for (Shard& shard : shards_) {
+    shard.counts =
+        std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+    for (size_t b = 0; b <= bounds_.size(); ++b) {
+      shard.counts[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t b = 0; b <= bounds_.size(); ++b) {
+      snap.counts[b] += shard.counts[b].load(std::memory_order_relaxed);
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  for (uint64_t c : snap.counts) snap.count += c;
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    for (size_t b = 0; b <= bounds_.size(); ++b) {
+      shard.counts[b].store(0, std::memory_order_relaxed);
+    }
+    shard.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+std::span<const double> Histogram::LatencyBucketsUs() {
+  // 1us..~67s in powers of 4: covers a sub-microsecond probe through a
+  // degraded multi-second scan with 13 finite buckets.
+  static const double kBounds[] = {1,     4,      16,     64,      256,
+                                   1024,  4096,   16384,  65536,   262144,
+                                   1048576, 4194304, 16777216};
+  return kBounds;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::make_unique<Counter>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::span<const double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) bounds = Histogram::LatencyBucketsUs();
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(
+                                             std::string(name), bounds))
+             .first;
+  }
+  return *it->second;
+}
+
+uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->Value();
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(counter->Value()) + "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    Histogram::Snapshot snap = hist->Snap();
+    out += "# TYPE " + name + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < snap.bounds.size(); ++b) {
+      cumulative += snap.counts[b];
+      out += name + "_bucket{le=\"" + BoundLabel(snap.bounds[b]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(snap.count) +
+           "\n";
+    out += name + "_sum " + util::StrFormat("%.17g", snap.sum) + "\n";
+    out += name + "_count " + std::to_string(snap.count) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::JsonText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out += util::StrFormat("%s\n    \"%s\": %llu", first ? "" : ",",
+                           name.c_str(),
+                           static_cast<unsigned long long>(
+                               counter->Value()));
+    first = false;
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    Histogram::Snapshot snap = hist->Snap();
+    out += util::StrFormat("%s\n    \"%s\": {\"buckets\": [",
+                           first ? "" : ",", name.c_str());
+    for (size_t b = 0; b <= snap.bounds.size(); ++b) {
+      const std::string le =
+          b < snap.bounds.size() ? BoundLabel(snap.bounds[b]) : "+Inf";
+      out += util::StrFormat("%s[\"%s\", %llu]", b == 0 ? "" : ", ",
+                             le.c_str(),
+                             static_cast<unsigned long long>(
+                                 snap.counts[b]));
+    }
+    out += util::StrFormat("], \"sum\": %.17g, \"count\": %llu}",
+                           snap.sum,
+                           static_cast<unsigned long long>(snap.count));
+    first = false;
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+}  // namespace vkg::obs

@@ -1,0 +1,221 @@
+#ifndef VKG_OBS_METRICS_H_
+#define VKG_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vkg::obs {
+
+/// The query-path metrics surface (DESIGN.md §6e): named counters and
+/// fixed-bucket histograms, sharded per thread so a hot-path increment
+/// is one relaxed atomic fetch_add on a cache line that (almost always)
+/// only this thread touches. Reads merge the shards, so Value() and the
+/// exposition formats see every increment that happened-before the read.
+///
+/// Handles returned by MetricsRegistry are stable for the life of the
+/// process — cache a Counter*/Histogram* (e.g. in a function-local
+/// static) and increment it directly; never re-lookup on the hot path.
+///
+/// Compile-out: building with -DVKG_OBS_COMPILED_OUT (CMake option
+/// VKG_OBS_COMPILED_OUT) turns Inc()/Observe() and span recording into
+/// empty inline functions, removing the instrumentation entirely for
+/// overhead measurements. SetEnabled(false) is the runtime equivalent:
+/// increments reduce to one relaxed bool load and a predictable branch.
+
+/// Runtime kill-switch for all metric and span recording. Defaults to
+/// enabled. Reading it is a relaxed atomic load.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+namespace detail {
+/// Shard picked by the calling thread: threads are assigned round-robin
+/// slots on first use, so two threads only collide once more threads
+/// than shards are live — and even then the counter stays exact, the
+/// collision merely costs cache-line sharing.
+inline constexpr size_t kShards = 16;
+size_t ShardIndex();
+}  // namespace detail
+
+/// A monotonically increasing counter.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+#ifdef VKG_OBS_COMPILED_OUT
+  void Inc(uint64_t = 1) {}
+#else
+  void Inc(uint64_t n = 1) {
+    if (!Enabled()) return;
+    shards_[detail::ShardIndex()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+#endif
+
+  /// Merged value over all shards.
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Zeroes every shard (tests and bench resets only — concurrent
+  /// increments may be lost).
+  void Reset() {
+    for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  std::string name_;
+  std::array<Shard, detail::kShards> shards_;
+};
+
+/// A histogram over fixed, ascending bucket upper bounds (Prometheus
+/// `le` semantics: a value lands in the first bucket whose bound is >=
+/// the value; values above the last bound land in +Inf). The bounds are
+/// fixed at construction so Observe() needs no locking: per-shard bucket
+/// counts plus a per-shard running sum.
+class Histogram {
+ public:
+  Histogram(std::string name, std::span<const double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+#ifdef VKG_OBS_COMPILED_OUT
+  void Observe(double) {}
+#else
+  void Observe(double value) {
+    if (!Enabled()) return;
+    Shard& shard = shards_[detail::ShardIndex()];
+    shard.counts[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+#endif
+
+  /// Merged view of the histogram.
+  struct Snapshot {
+    std::vector<double> bounds;    // upper bounds, ascending
+    std::vector<uint64_t> counts;  // bounds.size() + 1 (last is +Inf)
+    uint64_t count = 0;            // total observations
+    double sum = 0.0;
+  };
+  Snapshot Snap() const;
+
+  void Reset();
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Default bounds for microsecond latencies: 1us .. ~8.4s in powers
+  /// of 4 (13 finite buckets).
+  static std::span<const double> LatencyBucketsUs();
+
+ private:
+  size_t BucketOf(double value) const {
+    size_t b = 0;
+    while (b < bounds_.size() && value > bounds_[b]) ++b;
+    return b;
+  }
+
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<uint64_t>[]> counts;
+    std::atomic<double> sum{0.0};
+  };
+
+  std::string name_;
+  std::vector<double> bounds_;
+  std::array<Shard, detail::kShards> shards_;
+};
+
+/// RAII latency sample: records the scope's wall time into `hist` in
+/// microseconds. When recording is disabled (runtime or compile-time)
+/// the clock is never read.
+class ScopedLatencyUs {
+ public:
+#ifdef VKG_OBS_COMPILED_OUT
+  explicit ScopedLatencyUs(Histogram&) {}
+  ~ScopedLatencyUs() = default;
+#else
+  explicit ScopedLatencyUs(Histogram& hist)
+      : hist_(Enabled() ? &hist : nullptr) {
+    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedLatencyUs() {
+    if (hist_ == nullptr) return;
+    hist_->Observe(std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count());
+  }
+#endif
+  ScopedLatencyUs(const ScopedLatencyUs&) = delete;
+  ScopedLatencyUs& operator=(const ScopedLatencyUs&) = delete;
+
+ private:
+#ifndef VKG_OBS_COMPILED_OUT
+  Histogram* hist_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
+#endif
+};
+
+/// Owns every named counter and histogram. Lookup is mutex-guarded (cold
+/// path: done once per call site, the handle is cached); increments
+/// through the returned references never lock. `Global()` is the
+/// process-wide registry all engine instrumentation lands in; tests
+/// construct private registries for deterministic exposition.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  /// The counter named `name`, created on first use. The reference is
+  /// valid for the registry's lifetime.
+  Counter& GetCounter(std::string_view name);
+
+  /// The histogram named `name`, created on first use with `bounds`
+  /// (empty = Histogram::LatencyBucketsUs()). Bounds of an existing
+  /// histogram are never changed.
+  Histogram& GetHistogram(std::string_view name,
+                          std::span<const double> bounds = {});
+
+  /// Merged value of `name`, or 0 when no such counter exists.
+  uint64_t CounterValue(std::string_view name) const;
+
+  /// Prometheus text exposition (stable: sorted by name).
+  std::string PrometheusText() const;
+
+  /// JSON exposition: {"counters": {...}, "histograms": {...}}.
+  std::string JsonText() const;
+
+  /// Zeroes every metric (handles stay valid). Test/bench use only.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+      histograms_;
+};
+
+}  // namespace vkg::obs
+
+#endif  // VKG_OBS_METRICS_H_

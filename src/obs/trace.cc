@@ -1,0 +1,110 @@
+#include "obs/trace.h"
+
+#include <atomic>
+
+#include "util/string_util.h"
+
+namespace vkg::obs {
+
+namespace {
+
+uint64_t NextTraceId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string RenderAttrs(const std::vector<SpanAttr>& attrs) {
+  std::string out;
+  for (const SpanAttr& attr : attrs) {
+    out += attr.is_text
+               ? util::StrFormat("  %s=%s", attr.key, attr.text.c_str())
+               : util::StrFormat("  %s=%g", attr.key, attr.num);
+  }
+  return out;
+}
+
+}  // namespace
+
+Trace::Trace(std::string label)
+    : trace_id_(NextTraceId()),
+      label_(std::move(label)),
+      start_(Clock::now()) {}
+
+double Trace::NowUs() const {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+      .count();
+}
+
+size_t Trace::BeginSpan(const char* name) {
+  const size_t index = spans_.size();
+  SpanRecord record;
+  record.name = name;
+  record.depth = static_cast<int>(open_.size());
+  record.start_us = NowUs();
+  spans_.push_back(std::move(record));
+  open_.push_back(index);
+  return index;
+}
+
+void Trace::EndSpan(size_t index) {
+  spans_[index].duration_us = NowUs() - spans_[index].start_us;
+  // Scoping makes spans close LIFO; tolerate a stray out-of-order close
+  // rather than corrupting the open stack.
+  if (!open_.empty() && open_.back() == index) open_.pop_back();
+}
+
+double Trace::TotalUs() const {
+  double total = 0.0;
+  for (const SpanRecord& s : spans_) {
+    total = std::max(total, s.start_us + s.duration_us);
+  }
+  return total;
+}
+
+std::string Trace::Render() const {
+  std::string out = util::StrFormat("trace #%llu",
+                                    static_cast<unsigned long long>(
+                                        trace_id_));
+  if (!label_.empty()) out += " " + label_;
+  out += util::StrFormat(" (total %.3f ms)\n", TotalUs() * 1e-3);
+  for (const SpanRecord& s : spans_) {
+    const int indent = 2 + 2 * s.depth;
+    const int pad = indent + static_cast<int>(std::string(s.name).size());
+    out += util::StrFormat("%*s%s%*s%10.1f us%s\n", indent, "", s.name,
+                           pad < 30 ? 30 - pad : 1, "", s.duration_us,
+                           RenderAttrs(s.attrs).c_str());
+  }
+  return out;
+}
+
+std::string Trace::Json() const {
+  std::string out = util::StrFormat(
+      "{\"trace_id\": %llu, \"label\": \"%s\", \"spans\": [",
+      static_cast<unsigned long long>(trace_id_), label_.c_str());
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const SpanRecord& s = spans_[i];
+    out += util::StrFormat(
+        "%s\n  {\"name\": \"%s\", \"depth\": %d, \"start_us\": %.3f, "
+        "\"duration_us\": %.3f, \"attrs\": {",
+        i == 0 ? "" : ",", s.name, s.depth, s.start_us, s.duration_us);
+    for (size_t a = 0; a < s.attrs.size(); ++a) {
+      const SpanAttr& attr = s.attrs[a];
+      out += attr.is_text
+                 ? util::StrFormat("%s\"%s\": \"%s\"", a == 0 ? "" : ", ",
+                                   attr.key, attr.text.c_str())
+                 : util::StrFormat("%s\"%s\": %.17g", a == 0 ? "" : ", ",
+                                   attr.key, attr.num);
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void Trace::Clear() {
+  spans_.clear();
+  open_.clear();
+  start_ = Clock::now();
+}
+
+}  // namespace vkg::obs

@@ -1,0 +1,139 @@
+#ifndef VKG_OBS_TRACE_H_
+#define VKG_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vkg::obs {
+
+/// Per-query phase tracing (DESIGN.md §6e). A Trace collects the spans
+/// of ONE query — JL projection, contour probe, frontier traversal, S1
+/// re-rank, cracking — as a nested tree stamped with monotonic-clock
+/// times. A Trace is single-threaded by design: it lives alongside the
+/// QueryContext of the worker answering the query, so recording needs no
+/// synchronization. Concurrent queries each carry their own Trace
+/// (see BatchOptions::trace_hook).
+///
+/// Tracing is opt-in per query: engines record through a `Trace*` that
+/// is null in normal serving, so the untraced hot path pays one pointer
+/// compare per span site. With VKG_OBS_COMPILED_OUT even that
+/// disappears.
+
+/// One attribute attached to a span: a numeric or short text value.
+struct SpanAttr {
+  const char* key = "";
+  double num = 0.0;
+  std::string text;
+  bool is_text = false;
+};
+
+/// One finished (or still open) span. Records are stored in start
+/// order with their nesting depth, which — since spans close strictly
+/// LIFO — is exactly a pre-order rendering of the span tree.
+struct SpanRecord {
+  const char* name = "";
+  int depth = 0;
+  double start_us = 0.0;     // offset from the trace's start
+  double duration_us = 0.0;  // 0 while the span is open
+  std::vector<SpanAttr> attrs;
+};
+
+class Trace {
+ public:
+  /// `label` describes the query (e.g. "topk anchor=alice k=10").
+  explicit Trace(std::string label = "");
+
+  /// Process-unique id, assigned at construction.
+  uint64_t trace_id() const { return trace_id_; }
+  const std::string& label() const { return label_; }
+  void set_label(std::string label) { label_ = std::move(label); }
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+
+  /// Total wall time covered: end of the last finished span, in
+  /// microseconds since the trace started.
+  double TotalUs() const;
+
+  /// Human-readable nested tree, e.g.
+  ///   trace #12 topk anchor=u101 (total 1.74 ms)
+  ///     topk.rtree                1735.1 us  k=10 radius=0.412
+  ///       probe                      8.2 us
+  ///       seed                      41.0 us  seeds=10
+  ///       frontier                1402.9 us  candidates=931
+  ///       crack                    280.7 us  outcome=published
+  std::string Render() const;
+
+  /// Machine-readable form: {"trace_id": ..., "spans": [...]}.
+  std::string Json() const;
+
+  /// Drops all recorded spans (the id is kept). Used when one Trace
+  /// object is reused across queries.
+  void Clear();
+
+ private:
+  friend class Span;
+  using Clock = std::chrono::steady_clock;
+
+  size_t BeginSpan(const char* name);
+  void EndSpan(size_t index);
+  double NowUs() const;
+
+  uint64_t trace_id_;
+  std::string label_;
+  Clock::time_point start_;
+  std::vector<SpanRecord> spans_;
+  std::vector<size_t> open_;  // indices of currently open spans
+};
+
+/// RAII span: constructing starts the phase, destruction stops the
+/// clock and seals the record. With a null trace every member is a
+/// no-op. Spans must be closed LIFO, which scoping enforces.
+class Span {
+ public:
+#ifdef VKG_OBS_COMPILED_OUT
+  Span(Trace*, const char*) {}
+  ~Span() = default;
+  void End() {}
+  void SetAttr(const char*, double) {}
+  void SetAttr(const char*, std::string_view) {}
+#else
+  Span(Trace* trace, const char* name) : trace_(trace) {
+    if (trace_ != nullptr) index_ = trace_->BeginSpan(name);
+  }
+  ~Span() { End(); }
+  /// Seals the record early (idempotent) so a sibling phase that starts
+  /// before this object goes out of scope is not nested under it.
+  void End() {
+    if (trace_ == nullptr) return;
+    trace_->EndSpan(index_);
+    trace_ = nullptr;
+  }
+  /// Attaches a numeric attribute (shown as %g).
+  void SetAttr(const char* key, double value) {
+    if (trace_ == nullptr) return;
+    trace_->spans_[index_].attrs.push_back({key, value, {}, false});
+  }
+  /// Attaches a short text attribute (e.g. a stop reason).
+  void SetAttr(const char* key, std::string_view value) {
+    if (trace_ == nullptr) return;
+    trace_->spans_[index_].attrs.push_back(
+        {key, 0.0, std::string(value), true});
+  }
+#endif
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+#ifndef VKG_OBS_COMPILED_OUT
+  Trace* trace_ = nullptr;
+  size_t index_ = 0;
+#endif
+};
+
+}  // namespace vkg::obs
+
+#endif  // VKG_OBS_TRACE_H_

@@ -7,12 +7,38 @@
 
 #include "embedding/batch_kernels.h"
 #include "embedding/vector_ops.h"
+#include "obs/metrics.h"
 #include "query/prob_model.h"
 #include "transform/jl_bounds.h"
 #include "query/topk_engine.h"
 #include "util/check.h"
 
 namespace vkg::query {
+
+namespace {
+
+// Registry handles shared by every aggregate engine (cached once; see
+// DESIGN.md §6e).
+struct AggMetrics {
+  obs::Counter& queries;
+  obs::Counter& degraded;
+  obs::Counter& accessed;
+  obs::Histogram& latency_us;
+
+  static AggMetrics& Get() {
+    static AggMetrics* metrics = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      return new AggMetrics{
+          reg.GetCounter("vkg_agg_queries_total"),
+          reg.GetCounter("vkg_agg_degraded_total"),
+          reg.GetCounter("vkg_agg_accessed_total"),
+          reg.GetHistogram("vkg_agg_latency_us")};
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 std::string_view AggKindName(AggKind kind) {
   switch (kind) {
@@ -73,6 +99,11 @@ util::Status ValidateSpec(const kg::KnowledgeGraph& graph,
 util::Result<AggregateResult> AggregateEngine::Aggregate(
     const AggregateSpec& spec, QueryContext& ctx) const {
   VKG_RETURN_IF_ERROR(ValidateSpec(*graph_, spec));
+  obs::ScopedLatencyUs latency(AggMetrics::Get().latency_us);
+  obs::Trace* trace = ctx.trace();
+  obs::Span span(trace, "aggregate");
+  span.SetAttr("kind", AggKindName(spec.kind));
+  AggMetrics::Get().queries.Inc();
   util::QueryControl& control = ctx.control();
   const auto skip = MakeSkipFn(*graph_, spec.query);
   std::vector<float> q_s1 = store_->QueryCenter(
@@ -89,6 +120,9 @@ util::Result<AggregateResult> AggregateEngine::Aggregate(
     if (control.stopped()) {
       empty.quality.exact = false;
       empty.quality.stop_reason = control.stop_reason();
+      AggMetrics::Get().degraded.Inc();
+      span.SetAttr("stop_reason",
+                   util::StopReasonName(empty.quality.stop_reason));
     }
     return empty;
   }
@@ -96,6 +130,7 @@ util::Result<AggregateResult> AggregateEngine::Aggregate(
   const double r_tau = pm.RadiusForThreshold(spec.prob_threshold);
   const double r_s2 = r_tau * (1.0 + eps_);
   index::Rect region = index::Rect::BoundingBoxOfBall(q_s2, r_s2);
+  span.SetAttr("r_tau", r_tau);
 
 
   // Best-first traversal by element distance: the a closest records are
@@ -142,6 +177,7 @@ util::Result<AggregateResult> AggregateEngine::Aggregate(
   // the frontier and ElementIds() spans alias structure that concurrent
   // cracks rearrange in place. Released before Crack() below.
   index::CrackingRTree::ReadGuard guard = tree_->LockForRead();
+  obs::Span contour_span(trace, "agg.contour");
   using Frontier = std::pair<double, const index::Node*>;
   std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>>
       frontier;
@@ -221,15 +257,26 @@ util::Result<AggregateResult> AggregateEngine::Aggregate(
     }
   }
 
+  contour_span.SetAttr("accessed", static_cast<double>(accessed.size()));
+  contour_span.SetAttr("estimated_count", unaccessed_count);
+  contour_span.End();
   guard = index::CrackingRTree::ReadGuard();  // release before cracking
   if (crack_after_query_ && !control.stopped()) {
-    tree_->Crack(region, &control);
+    tree_->Crack(region, &control, trace);
   }
   util::Result<AggregateResult> result =
       Estimate(spec, accessed, unaccessed_mass, unaccessed_count);
   if (result.ok() && control.stopped()) {
     result->quality.exact = false;
     result->quality.stop_reason = control.stop_reason();
+    AggMetrics::Get().degraded.Inc();
+    span.SetAttr("stop_reason",
+                 util::StopReasonName(result->quality.stop_reason));
+  }
+  if (result.ok()) {
+    AggMetrics::Get().accessed.Inc(result->accessed);
+    span.SetAttr("accessed", static_cast<double>(result->accessed));
+    span.SetAttr("estimated_total", result->estimated_total);
   }
   return result;
 }

@@ -2,12 +2,37 @@
 
 #include <exception>
 #include <new>
+#include <optional>
+#include <string>
 
+#include "obs/metrics.h"
 #include "util/failpoint.h"
 
 namespace vkg::query {
 
 namespace {
+
+// Registry handles shared by all batch runs (cached once; see
+// DESIGN.md §6e). Counters are bumped from worker threads — the
+// thread-sharded registry makes that a relaxed atomic add.
+struct BatchMetrics {
+  obs::Counter& queries;
+  obs::Counter& failed;
+  obs::Counter& degraded;
+  obs::Histogram& slot_latency_us;
+
+  static BatchMetrics& Get() {
+    static BatchMetrics* metrics = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      return new BatchMetrics{
+          reg.GetCounter("vkg_batch_queries_total"),
+          reg.GetCounter("vkg_batch_failed_total"),
+          reg.GetCounter("vkg_batch_degraded_total"),
+          reg.GetHistogram("vkg_batch_slot_latency_us")};
+    }();
+    return *metrics;
+  }
+};
 
 // Queries outside the graph's id space would trip VKG_CHECK invariants
 // deep in the engines (process-fatal); reject them at the batch boundary
@@ -61,11 +86,26 @@ std::vector<util::Result<TopKResult>> BatchTopK(
   std::vector<util::Result<TopKResult>> results(
       queries.size(), util::Status::Internal("unanswered"));
   auto answer = [&](size_t i, QueryContext& ctx) {
+    BatchMetrics& bm = BatchMetrics::Get();
+    bm.queries.Inc();
+    obs::ScopedLatencyUs slot_timer(bm.slot_latency_us);
+    std::optional<obs::Trace> trace;
+    if (options.trace_hook) {
+      trace.emplace("topk slot " + std::to_string(i));
+      ctx.set_trace(&*trace);
+    }
     results[i] = AnswerOne<TopKResult>(
         engine.graph(), queries[i], ctx,
         [&]() -> util::Result<TopKResult> {
           return engine.TopKQuery(queries[i], k, ctx);
         });
+    ctx.set_trace(nullptr);
+    if (!results[i].ok()) {
+      bm.failed.Inc();
+    } else if (!results[i]->quality.exact) {
+      bm.degraded.Inc();
+    }
+    if (options.trace_hook) options.trace_hook(i, *trace);
   };
   const bool parallel = pool != nullptr && pool->num_threads() > 1 &&
                         engine.SupportsConcurrentQueries();
@@ -90,11 +130,26 @@ std::vector<util::Result<AggregateResult>> BatchAggregate(
   std::vector<util::Result<AggregateResult>> results(
       specs.size(), util::Status::Internal("unanswered"));
   auto answer = [&](size_t i, QueryContext& ctx) {
+    BatchMetrics& bm = BatchMetrics::Get();
+    bm.queries.Inc();
+    obs::ScopedLatencyUs slot_timer(bm.slot_latency_us);
+    std::optional<obs::Trace> trace;
+    if (options.trace_hook) {
+      trace.emplace("aggregate slot " + std::to_string(i));
+      ctx.set_trace(&*trace);
+    }
     results[i] = AnswerOne<AggregateResult>(
         engine.graph(), specs[i].query, ctx,
         [&]() -> util::Result<AggregateResult> {
           return engine.Aggregate(specs[i], ctx);
         });
+    ctx.set_trace(nullptr);
+    if (!results[i].ok()) {
+      bm.failed.Inc();
+    } else if (!results[i]->quality.exact) {
+      bm.degraded.Inc();
+    }
+    if (options.trace_hook) options.trace_hook(i, *trace);
   };
   const bool parallel = pool != nullptr && pool->num_threads() > 1 &&
                         engine.SupportsConcurrentQueries();

@@ -1,9 +1,11 @@
 #ifndef VKG_QUERY_BATCH_EXECUTOR_H_
 #define VKG_QUERY_BATCH_EXECUTOR_H_
 
+#include <functional>
 #include <span>
 #include <vector>
 
+#include "obs/trace.h"
 #include "query/aggregate_engine.h"
 #include "query/topk_engine.h"
 #include "util/deadline.h"
@@ -43,6 +45,15 @@ struct BatchOptions {
   util::Deadline deadline;                     // default: infinite
   const util::CancelToken* cancel = nullptr;   // optional external cancel
   util::ResourceBudget budget;                 // default: unlimited
+
+  /// Per-slot trace export (DESIGN.md §6e). When set, every query runs
+  /// with a fresh obs::Trace attached to its context, and the hook is
+  /// invoked with (slot, trace) right after the slot's result is
+  /// stored. Workers call the hook concurrently from different slots —
+  /// it must be thread-safe — but each trace itself is complete and
+  /// no longer written to by the time the hook sees it. Leaving the
+  /// hook empty keeps the untraced hot path (a null trace pointer).
+  std::function<void(size_t slot, const obs::Trace& trace)> trace_hook;
 };
 
 /// Answers queries[i] with `k` results each.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "obs/metrics.h"
 #include "util/math_util.h"
 
 namespace vkg::query {
@@ -49,6 +50,16 @@ ContentionSnapshot ContentionDelta(const index::IndexStats& before,
   c.coalesced_cracks = after.coalesced_cracks - before.coalesced_cracks;
   c.abandoned_cracks = after.abandoned_cracks - before.abandoned_cracks;
   c.crack_waits = after.crack_waits - before.crack_waits;
+  return c;
+}
+
+ContentionSnapshot ContentionFromRegistry() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  ContentionSnapshot c;
+  c.crack_publishes = reg.CounterValue("vkg_crack_publishes_total");
+  c.coalesced_cracks = reg.CounterValue("vkg_crack_coalesced_total");
+  c.abandoned_cracks = reg.CounterValue("vkg_crack_abandoned_total");
+  c.crack_waits = reg.CounterValue("vkg_crack_waits_total");
   return c;
 }
 

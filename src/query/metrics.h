@@ -55,6 +55,12 @@ ContentionSnapshot ContentionDelta(const index::IndexStats& before,
 /// "cracks: 12 published, 3 coalesced, 1 abandoned, 5 waits".
 std::string FormatContention(const ContentionSnapshot& c);
 
+/// The same counters read from the global obs::MetricsRegistry
+/// (vkg_crack_*_total; DESIGN.md §6e). Unlike ContentionDelta these are
+/// process-wide lifetime totals across every tree, which is what the
+/// `vkg_cli stats` and Prometheus surfaces report.
+ContentionSnapshot ContentionFromRegistry();
+
 }  // namespace vkg::query
 
 #endif  // VKG_QUERY_METRICS_H_

@@ -5,6 +5,7 @@
 #include <new>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/deadline.h"
 #include "util/failpoint.h"
 
@@ -85,8 +86,17 @@ class QueryContext {
   std::vector<uint32_t>& id_scratch() { return id_scratch_; }
   std::vector<double>& dist_scratch() { return dist_scratch_; }
 
+  /// The per-query trace the engines record phase spans into, or null
+  /// (the default) when this query is not being traced. The context does
+  /// not own the trace; the caller attaches one before the query and
+  /// reads it after (see BatchOptions::trace_hook and the CLI --trace
+  /// flag). Untraced queries pay one pointer compare per span site.
+  obs::Trace* trace() const { return trace_; }
+  void set_trace(obs::Trace* trace) { trace_ = trace; }
+
  private:
   util::QueryControl control_;
+  obs::Trace* trace_ = nullptr;
   std::vector<uint32_t> visit_stamp_;
   uint32_t stamp_ = 0;
   std::vector<uint32_t> id_scratch_;

@@ -7,12 +7,40 @@
 
 #include "embedding/batch_kernels.h"
 #include "embedding/vector_ops.h"
+#include "obs/metrics.h"
 #include "query/prob_model.h"
 #include "util/check.h"
 
 namespace vkg::query {
 
 namespace {
+
+// Registry handles shared by every top-k engine (cached once; see
+// DESIGN.md §6e).
+struct TopKMetrics {
+  obs::Counter& queries;
+  obs::Counter& degraded;
+  obs::Counter& candidates;
+  obs::Histogram& latency_us;
+
+  static TopKMetrics& Get() {
+    static TopKMetrics* metrics = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      return new TopKMetrics{
+          reg.GetCounter("vkg_topk_queries_total"),
+          reg.GetCounter("vkg_topk_degraded_total"),
+          reg.GetCounter("vkg_topk_candidates_total"),
+          reg.GetHistogram("vkg_topk_latency_us")};
+    }();
+    return *metrics;
+  }
+
+  void Record(const TopKResult& result) {
+    queries.Inc();
+    candidates.Inc(result.candidates_examined);
+    if (!result.quality.exact) degraded.Inc();
+  }
+};
 
 // Builds a TopKResult from (distance, id) pairs sorted ascending,
 // attaching calibrated probabilities.
@@ -66,6 +94,8 @@ std::function<bool(uint32_t)> MakeSkipFn(const kg::KnowledgeGraph& graph,
 
 TopKResult LinearTopKEngine::TopKQuery(const data::Query& query, size_t k,
                                        QueryContext& ctx) const {
+  obs::ScopedLatencyUs latency(TopKMetrics::Get().latency_us);
+  obs::Span span(ctx.trace(), "topk.linear");
   util::QueryControl& control = ctx.control();
   std::vector<float> q =
       store_->QueryCenter(query.anchor, query.relation, query.direction);
@@ -80,7 +110,12 @@ TopKResult LinearTopKEngine::TopKQuery(const data::Query& query, size_t k,
     // order carries no spatial meaning, so nothing is certified.
     result.quality.exact = false;
     result.quality.stop_reason = control.stop_reason();
+    span.SetAttr("stop_reason",
+                 util::StopReasonName(result.quality.stop_reason));
   }
+  span.SetAttr("candidates",
+               static_cast<double>(result.candidates_examined));
+  TopKMetrics::Get().Record(result);
   return result;
 }
 
@@ -140,11 +175,18 @@ std::vector<uint32_t> RTreeTopKEngine::SeedCandidates(
 
 TopKResult RTreeTopKEngine::TopKQuery(const data::Query& query, size_t k,
                                       QueryContext& ctx) const {
+  obs::ScopedLatencyUs latency(TopKMetrics::Get().latency_us);
+  obs::Trace* trace = ctx.trace();
+  obs::Span span(trace, "topk.rtree");
+  span.SetAttr("k", static_cast<double>(k));
   util::QueryControl& control = ctx.control();
   const std::function<bool(uint32_t)> skip = MakeSkipFn(*graph_, query);
   std::vector<float> q_s1 =
       store_->QueryCenter(query.anchor, query.relation, query.direction);
-  index::Point q_s2 = index::Point::FromSpan(jl_->Apply(q_s1));
+  index::Point q_s2 = [&] {
+    obs::Span jl_span(trace, "jl.project");
+    return index::Point::FromSpan(jl_->Apply(q_s1));
+  }();
 
   if (store_->num_entities() == 0 || k == 0) return {};
   // May flag the query stopped (scratch budget): the seeds below are
@@ -211,8 +253,16 @@ TopKResult RTreeTopKEngine::TopKQuery(const data::Query& query, size_t k,
 
     // Lines 1-3: probe for the element containing q and seed N_q, giving
     // the initial radius r_q = r_k*(N_q) (1 + eps).
-    const index::Node* element = tree_->ProbeSmallest(q_s2.AsSpan());
-    examine(SeedCandidates(*element, q_s2, k, skip), /*enforce=*/false);
+    const index::Node* element = [&] {
+      obs::Span probe_span(trace, "probe");
+      return tree_->ProbeSmallest(q_s2.AsSpan());
+    }();
+    {
+      obs::Span seed_span(trace, "seed");
+      std::vector<uint32_t> seeds = SeedCandidates(*element, q_s2, k, skip);
+      seed_span.SetAttr("seeds", static_cast<double>(seeds.size()));
+      examine(seeds, /*enforce=*/false);
+    }
 
     // Lines 4-8: iteratively shrink Q while examining its points. The
     // contour is traversed best-first by MBR distance to q; every point
@@ -226,12 +276,15 @@ TopKResult RTreeTopKEngine::TopKQuery(const data::Query& query, size_t k,
     // has been examined: that distance is the certified radius within
     // which the Theorem 2/3 guarantees still hold.
     r_q = current_radius();
+    obs::Span frontier_span(trace, "frontier");
+    size_t frontier_pops = 0;
     using Frontier = std::pair<double, const index::Node*>;  // (mindist, node)
     std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>>
         frontier;
     frontier.emplace(tree_->root().mbr.MinDistSquared(q_s2.AsSpan()),
                      &tree_->root());
     while (!frontier.empty()) {
+      ++frontier_pops;
       // An empty heap means nothing has been answered yet (the seed
       // element held only skipped entities): keep examining unchecked
       // until one candidate exists, so even an already-expired query
@@ -260,6 +313,8 @@ TopKResult RTreeTopKEngine::TopKQuery(const data::Query& query, size_t k,
       }
       r_q = current_radius();
     }
+    frontier_span.SetAttr("pops", static_cast<double>(frontier_pops));
+    frontier_span.SetAttr("candidates", static_cast<double>(candidates));
   }
   if (r_q == kInf) {
     // Fewer than k valid entities in the whole dataset.
@@ -279,7 +334,7 @@ TopKResult RTreeTopKEngine::TopKQuery(const data::Query& query, size_t k,
   // query skips it — its region underestimates Q, and its time is up —
   // while a healthy query cracks under the remaining crack budget.
   if (crack_after_query_ && !control.stopped()) {
-    tree_->Crack(region, &control);
+    tree_->Crack(region, &control, trace);
   }
 
   std::vector<std::pair<double, uint32_t>> pairs;
@@ -291,6 +346,13 @@ TopKResult RTreeTopKEngine::TopKQuery(const data::Query& query, size_t k,
   std::reverse(pairs.begin(), pairs.end());
   TopKResult result = FinalizeHits(std::move(pairs), candidates);
   result.quality = quality;
+  span.SetAttr("radius", r_q);
+  span.SetAttr("certified_radius", certified);
+  span.SetAttr("candidates", static_cast<double>(candidates));
+  if (!quality.exact) {
+    span.SetAttr("stop_reason", util::StopReasonName(quality.stop_reason));
+  }
+  TopKMetrics::Get().Record(result);
   return result;
 }
 

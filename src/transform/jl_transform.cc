@@ -2,10 +2,23 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/random.h"
 
 namespace vkg::transform {
+
+namespace {
+
+// Rows pushed through the projection (query centers and bulk entity
+// loads alike): one counter, incremented per Apply call / per batch.
+obs::Counter& ProjectionCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "vkg_jl_projections_total");
+  return counter;
+}
+
+}  // namespace
 
 JlTransform::JlTransform(size_t input_dim, size_t output_dim, uint64_t seed)
     : input_dim_(input_dim), output_dim_(output_dim) {
@@ -24,6 +37,7 @@ void JlTransform::Apply(std::span<const float> in,
                         std::span<float> out) const {
   VKG_CHECK(in.size() == input_dim_);
   VKG_CHECK(out.size() == output_dim_);
+  ProjectionCounter().Inc();
   for (size_t a = 0; a < output_dim_; ++a) {
     const float* row = matrix_.data() + a * input_dim_;
     double acc = 0.0;

@@ -282,7 +282,9 @@ TEST_F(BatchQueryTest, InvalidQueryFailsOnlyItsSlot) {
   ASSERT_EQ(batch.size(), queries.size());
   EXPECT_FALSE(batch[bad].ok());
   for (size_t i = 0; i < batch.size(); ++i) {
-    if (i != bad) EXPECT_TRUE(batch[i].ok());
+    if (i != bad) {
+      EXPECT_TRUE(batch[i].ok());
+    }
   }
 }
 

@@ -1,0 +1,294 @@
+// Tests for the observability layer (DESIGN.md §6e): the thread-sharded
+// metrics registry (merge correctness, histogram bucket edges, the
+// Prometheus/JSON exposition), the per-query span traces, and — the
+// concurrency contract — an 8-thread BatchTopK storm with per-slot
+// trace export, run under TSan in CI.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "data/movielens_gen.h"
+#include "data/workload.h"
+#include "index/cracking_rtree.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "query/batch_executor.h"
+#include "query/topk_engine.h"
+#include "transform/jl_transform.h"
+#include "util/thread_pool.h"
+
+namespace vkg::obs {
+namespace {
+
+TEST(CounterTest, ThreadShardedMergeIsExact) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("storm_total");
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Inc(42);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(CounterTest, RegistryReturnsStableHandles) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("same_name");
+  Counter& b = registry.GetCounter("same_name");
+  EXPECT_EQ(&a, &b);
+  a.Inc();
+  EXPECT_EQ(registry.CounterValue("same_name"), 1u);
+  EXPECT_EQ(registry.CounterValue("never_created"), 0u);
+
+  // ResetAll zeroes values but keeps the handle valid.
+  registry.ResetAll();
+  a.Inc(7);
+  EXPECT_EQ(registry.CounterValue("same_name"), 7u);
+}
+
+TEST(CounterTest, DisabledIncrementsAreDropped) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("gated_total");
+  SetEnabled(false);
+  counter.Inc(100);
+  SetEnabled(true);
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Inc();
+  EXPECT_EQ(counter.Value(), 1u);
+}
+
+TEST(HistogramTest, BucketEdgesFollowPrometheusLeSemantics) {
+  MetricsRegistry registry;
+  const double bounds[] = {1.0, 2.0, 4.0};
+  Histogram& hist = registry.GetHistogram("edges", bounds);
+  // A value lands in the first bucket whose bound is >= the value;
+  // values above the last bound land in +Inf.
+  for (double v : {0.5, 1.0, 1.5, 2.0, 4.0, 5.0}) hist.Observe(v);
+
+  Histogram::Snapshot snap = hist.Snap();
+  ASSERT_EQ(snap.bounds.size(), 3u);
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2u);  // 0.5, 1.0 (le="1" is inclusive)
+  EXPECT_EQ(snap.counts[1], 2u);  // 1.5, 2.0
+  EXPECT_EQ(snap.counts[2], 1u);  // 4.0
+  EXPECT_EQ(snap.counts[3], 1u);  // 5.0 -> +Inf
+  EXPECT_EQ(snap.count, 6u);
+  EXPECT_DOUBLE_EQ(snap.sum, 14.0);
+
+  hist.Reset();
+  snap = hist.Snap();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.0);
+}
+
+TEST(HistogramTest, MergesConcurrentObservations) {
+  MetricsRegistry registry;
+  const double bounds[] = {10.0};
+  Histogram& hist = registry.GetHistogram("conc", bounds);
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      // Even threads observe below the bound, odd threads above.
+      const double v = (t % 2 == 0) ? 1.0 : 100.0;
+      for (size_t i = 0; i < kPerThread; ++i) hist.Observe(v);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  Histogram::Snapshot snap = hist.Snap();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  EXPECT_EQ(snap.counts[0], kThreads / 2 * kPerThread);
+  EXPECT_EQ(snap.counts[1], kThreads / 2 * kPerThread);
+  EXPECT_DOUBLE_EQ(snap.sum, 4 * kPerThread * 1.0 + 4 * kPerThread * 100.0);
+}
+
+TEST(HistogramTest, DefaultBoundsAreLatencyBuckets) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.GetHistogram("lat_us");
+  EXPECT_EQ(hist.bounds().size(),
+            Histogram::LatencyBucketsUs().size());
+  {
+    ScopedLatencyUs timer(hist);
+  }
+  EXPECT_EQ(hist.Snap().count, 1u);
+}
+
+TEST(ExpositionTest, PrometheusTextGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("requests_total").Inc(3);
+  const double bounds[] = {1.0, 2.0, 4.0};
+  Histogram& hist = registry.GetHistogram("lat", bounds);
+  for (double v : {0.5, 1.0, 1.5, 2.0, 4.0, 5.0}) hist.Observe(v);
+
+  // Buckets are cumulative in the text format.
+  EXPECT_EQ(registry.PrometheusText(),
+            "# TYPE requests_total counter\n"
+            "requests_total 3\n"
+            "# TYPE lat histogram\n"
+            "lat_bucket{le=\"1\"} 2\n"
+            "lat_bucket{le=\"2\"} 4\n"
+            "lat_bucket{le=\"4\"} 5\n"
+            "lat_bucket{le=\"+Inf\"} 6\n"
+            "lat_sum 14\n"
+            "lat_count 6\n");
+}
+
+TEST(ExpositionTest, JsonTextGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("b_total").Inc(2);
+  registry.GetCounter("a_total").Inc(1);
+  const double bounds[] = {10.0};
+  registry.GetHistogram("h", bounds).Observe(3.0);
+
+  // Counters are sorted by name; histogram buckets are per-bucket (not
+  // cumulative) in the JSON form.
+  EXPECT_EQ(registry.JsonText(),
+            "{\n"
+            "  \"counters\": {\n"
+            "    \"a_total\": 1,\n"
+            "    \"b_total\": 2\n"
+            "  },\n"
+            "  \"histograms\": {\n"
+            "    \"h\": {\"buckets\": [[\"10\", 1], [\"+Inf\", 0]], "
+            "\"sum\": 3, \"count\": 1}\n"
+            "  }\n"
+            "}\n");
+}
+
+TEST(TraceTest, SpansNestByScopeAndCarryAttrs) {
+  Trace trace("unit test");
+  {
+    Span outer(&trace, "outer");
+    outer.SetAttr("k", 10.0);
+    {
+      Span inner(&trace, "inner");
+      inner.SetAttr("reason", "deadline");
+    }
+    Span sibling(&trace, "sibling");
+  }
+  ASSERT_EQ(trace.spans().size(), 3u);
+  EXPECT_STREQ(trace.spans()[0].name, "outer");
+  EXPECT_EQ(trace.spans()[0].depth, 0);
+  EXPECT_STREQ(trace.spans()[1].name, "inner");
+  EXPECT_EQ(trace.spans()[1].depth, 1);
+  EXPECT_STREQ(trace.spans()[2].name, "sibling");
+  EXPECT_EQ(trace.spans()[2].depth, 1);
+
+  ASSERT_EQ(trace.spans()[0].attrs.size(), 1u);
+  EXPECT_FALSE(trace.spans()[0].attrs[0].is_text);
+  EXPECT_DOUBLE_EQ(trace.spans()[0].attrs[0].num, 10.0);
+  ASSERT_EQ(trace.spans()[1].attrs.size(), 1u);
+  EXPECT_TRUE(trace.spans()[1].attrs[0].is_text);
+  EXPECT_EQ(trace.spans()[1].attrs[0].text, "deadline");
+
+  std::string rendered = trace.Render();
+  EXPECT_NE(rendered.find("unit test"), std::string::npos);
+  EXPECT_NE(rendered.find("outer"), std::string::npos);
+  EXPECT_NE(rendered.find("k=10"), std::string::npos);
+  EXPECT_NE(rendered.find("reason=deadline"), std::string::npos);
+  std::string json = trace.Json();
+  EXPECT_NE(json.find("\"name\": \"inner\""), std::string::npos);
+
+  trace.Clear();
+  EXPECT_TRUE(trace.spans().empty());
+}
+
+TEST(TraceTest, ExplicitEndClosesBeforeSibling) {
+  Trace trace;
+  {
+    Span phase_a(&trace, "phase_a");
+    phase_a.End();
+    phase_a.SetAttr("late", 1.0);  // dropped: the span is sealed
+    Span phase_b(&trace, "phase_b");
+  }
+  ASSERT_EQ(trace.spans().size(), 2u);
+  // phase_b started after phase_a ended, so it is a sibling (depth 0),
+  // not a child — even though phase_a's object was still in scope.
+  EXPECT_EQ(trace.spans()[1].depth, 0);
+  EXPECT_TRUE(trace.spans()[0].attrs.empty());
+}
+
+TEST(TraceTest, NullTraceSpansAreNoOps) {
+  Span span(nullptr, "nothing");
+  span.SetAttr("k", 1.0);
+  span.SetAttr("s", "x");
+  span.End();  // must not crash
+}
+
+// The storm contract: 8 worker threads answering one batch over a
+// shared cracking tree, every slot carrying its own Trace, while all
+// engine counters land in the global sharded registry. TSan (CI) must
+// see no races; this test asserts the per-slot traces are complete.
+TEST(ObsStormTest, BatchTopKTraceHookCoversEverySlot) {
+  data::MovieLensConfig config;
+  config.num_users = 400;
+  config.num_movies = 200;
+  config.seed = 91;
+  data::Dataset ds = data::GenerateMovieLensLike(config);
+  data::WorkloadConfig wc;
+  wc.num_queries = 64;
+  wc.seed = 92;
+  std::vector<data::Query> workload =
+      data::GenerateWorkload(ds.graph, wc);
+
+  transform::JlTransform jl(ds.embeddings.dim(), 3, 93);
+  index::PointSet points(jl.ApplyToEntities(ds.embeddings), 3);
+  index::CrackingRTree tree(&points, index::RTreeConfig{});
+  query::RTreeTopKEngine engine(&ds.graph, &ds.embeddings, &jl, &tree,
+                                /*eps=*/1.0, /*crack_after_query=*/true,
+                                "crack");
+
+  const uint64_t topk_before =
+      MetricsRegistry::Global().CounterValue("vkg_topk_queries_total");
+
+  std::mutex mu;
+  std::vector<size_t> span_counts(workload.size(), 0);
+  std::vector<uint64_t> trace_ids(workload.size(), 0);
+  query::BatchOptions options;
+  options.trace_hook = [&](size_t slot, const Trace& trace) {
+    std::lock_guard<std::mutex> lock(mu);
+    span_counts[slot] = trace.spans().size();
+    trace_ids[slot] = trace.trace_id();
+  };
+
+  util::ThreadPool pool(8);
+  auto results =
+      query::BatchTopK(engine, workload, /*k=*/5, &pool, options);
+
+  ASSERT_EQ(results.size(), workload.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+    // Every slot's trace has at least the root span, and the root phase
+    // recorded is the R-tree engine.
+    EXPECT_GE(span_counts[i], 1u) << "slot " << i;
+    EXPECT_NE(trace_ids[i], 0u) << "slot " << i;
+  }
+  // Trace ids are process-unique even when assigned from 8 threads.
+  std::vector<uint64_t> sorted_ids = trace_ids;
+  std::sort(sorted_ids.begin(), sorted_ids.end());
+  EXPECT_EQ(std::adjacent_find(sorted_ids.begin(), sorted_ids.end()),
+            sorted_ids.end());
+
+  // The sharded registry absorbed one count per query from the workers.
+  const uint64_t topk_after =
+      MetricsRegistry::Global().CounterValue("vkg_topk_queries_total");
+  EXPECT_EQ(topk_after - topk_before, workload.size());
+}
+
+}  // namespace
+}  // namespace vkg::obs

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare BENCH_*.json files against baselines.
+
+Every bench binary emits a stable JSON document (see WriteBenchJson in
+bench/bench_common.cc):
+
+    {"bench": ..., "context": {...},
+     "results": [{"name": ..., "value": ..., "unit": ...}, ...]}
+
+This script compares fresh smoke-bench output against the checked-in
+baselines in bench/baselines/ with a deliberately generous gate — CI
+runners are noisy and the smoke configuration is tiny — so only
+catastrophic regressions (a 3x slowdown, a 3x throughput collapse)
+fail the build:
+
+  * time units (us, ms, s):  FAIL when new > 3 * baseline + slack
+  * rate/ratio units (qps, x): FAIL when new < baseline / 3 (no slack:
+    the absolute floors below make tiny baselines skip instead)
+  * count, pct, bytes, anything else: informational only (counts are
+    workload-dependent and pct records carry their own in-bench gates)
+
+Records whose baseline is below an absolute noise floor are skipped:
+micro-benches at smoke scale measure microseconds, where scheduler
+jitter alone exceeds any honest ratio.
+
+Usage:
+    tools/bench_check.py [--baseline-dir bench/baselines]
+                         [--results-dir .] [result.json ...]
+
+With no explicit files, checks every BENCH_*.json in --results-dir that
+has a matching baseline. Exits 1 on any gated regression.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+# Gate parameters. RATIO is shared; the floors are per unit, in that
+# unit, below which a record is too small to compare honestly.
+RATIO = 3.0
+TIME_SLACK = {"us": 50.0, "ms": 5.0, "s": 0.5}
+TIME_FLOOR = {"us": 5.0, "ms": 0.05, "s": 0.001}
+RATE_FLOOR = {"qps": 10.0, "x": 0.1}
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    return {r["name"]: (float(r["value"]), r.get("unit", "")) for r in doc.get("results", [])}
+
+
+def check_file(result_path, baseline_path):
+    """Returns (failures, checked, skipped) for one bench file."""
+    new = load(result_path)
+    base = load(baseline_path)
+    failures = []
+    checked = 0
+    skipped = 0
+    for name, (base_value, base_unit) in sorted(base.items()):
+        if name not in new:
+            print(f"  [warn] {name}: missing from new results")
+            skipped += 1
+            continue
+        new_value, unit = new[name]
+        if unit != base_unit:
+            print(f"  [warn] {name}: unit changed {base_unit} -> {unit}")
+            skipped += 1
+            continue
+        if unit in TIME_SLACK:
+            if base_value < TIME_FLOOR[unit]:
+                skipped += 1
+                continue
+            limit = RATIO * base_value + TIME_SLACK[unit]
+            checked += 1
+            if new_value > limit:
+                failures.append(
+                    f"{name}: {new_value:.3f}{unit} > limit {limit:.3f}{unit}"
+                    f" (baseline {base_value:.3f}{unit})")
+        elif unit in RATE_FLOOR:
+            if base_value < RATE_FLOOR[unit]:
+                skipped += 1
+                continue
+            limit = base_value / RATIO
+            checked += 1
+            if new_value < limit:
+                failures.append(
+                    f"{name}: {new_value:.3f}{unit} < limit {limit:.3f}{unit}"
+                    f" (baseline {base_value:.3f}{unit})")
+        else:
+            skipped += 1  # informational unit (count, pct, ...)
+    for name in sorted(set(new) - set(base)):
+        print(f"  [info] {name}: no baseline (new record)")
+    return failures, checked, skipped
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--results-dir", default=".")
+    parser.add_argument("files", nargs="*",
+                        help="explicit BENCH_*.json result files")
+    args = parser.parse_args()
+
+    files = args.files or sorted(
+        glob.glob(os.path.join(args.results_dir, "BENCH_*.json")))
+    if not files:
+        print(f"no BENCH_*.json files found in {args.results_dir}")
+        return 1
+
+    any_failures = False
+    compared = 0
+    for result_path in files:
+        baseline_path = os.path.join(args.baseline_dir,
+                                     os.path.basename(result_path))
+        if not os.path.exists(baseline_path):
+            print(f"{result_path}: no baseline "
+                  f"({baseline_path} missing), skipping")
+            continue
+        print(f"{result_path} vs {baseline_path}:")
+        failures, checked, skipped = check_file(result_path, baseline_path)
+        compared += 1
+        print(f"  {checked} gated, {skipped} informational/skipped, "
+              f"{len(failures)} failed")
+        for failure in failures:
+            print(f"  [FAIL] {failure}")
+        any_failures = any_failures or bool(failures)
+
+    if compared == 0:
+        print("no result files had baselines; nothing compared")
+        return 0
+    if any_failures:
+        print("bench_check: REGRESSION (see [FAIL] lines; gate is "
+              f"{RATIO}x, so this is a large, real change — if intended, "
+              "refresh bench/baselines/)")
+        return 1
+    print("bench_check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

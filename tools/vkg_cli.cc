@@ -9,7 +9,7 @@
 //                     [--lr 0.01] [--margin 1.0] [--holdout 0]
 //   vkg_cli topk      --triples t.tsv --embeddings e.bin --anchor NAME
 //                     --relation NAME [--heads] [--k 10] [--method crack]
-//                     [--deadline-ms 0] [--max-points 0]
+//                     [--deadline-ms 0] [--max-points 0] [--trace]
 //   vkg_cli aggregate --triples t.tsv --embeddings e.bin --anchor NAME
 //                     --relation NAME --kind count|sum|avg|max|min
 //                     [--attribute FILE.tsv --attribute-name year]
@@ -24,6 +24,11 @@
 // labeled, never dropped); --threads N sizes the batch-query worker pool
 // (0/1 = sequential); --failpoints "site=spec,..." arms the fault-
 // injection registry (same syntax as the VKG_FAILPOINTS env var).
+//
+// Observability (DESIGN.md §6e): --trace on topk/aggregate prints the
+// query's nested phase-span tree; --metrics[=prom|json] on
+// topk/aggregate/batch dumps the global metrics registry (Prometheus
+// text by default) after the command's own output.
 
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +46,8 @@
 #include "embedding/trainer.h"
 #include "embedding/transe.h"
 #include "kg/io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/deadline.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
@@ -104,9 +111,22 @@ class Flags {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: vkg_cli <generate|stats|train|topk|aggregate> "
+               "usage: vkg_cli <generate|stats|train|topk|aggregate|batch> "
                "[flags]\n(see the header of tools/vkg_cli.cc)\n");
   return 2;
+}
+
+// Dumps the global metrics registry when --metrics[=prom|json] is set
+// (after the command's own output, so scripts can split the two).
+void MaybeDumpMetrics(const Flags& flags) {
+  if (!flags.GetBool("metrics")) return;
+  const std::string format = flags.Get("metrics", "prom");
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  if (format == "json") {
+    std::printf("%s\n", reg.JsonText().c_str());
+  } else {
+    std::printf("%s", reg.PrometheusText().c_str());
+  }
 }
 
 int CmdGenerate(const Flags& flags) {
@@ -333,8 +353,14 @@ int CmdTopK(const Flags& flags) {
       flags.GetBool("heads") ? kg::Direction::kHead : kg::Direction::kTail;
   size_t k = flags.GetSize("k", 10);
 
+  const bool trace_on = flags.GetBool("trace");
+  obs::Trace trace(util::StrFormat("topk anchor=%s relation=%s k=%zu",
+                                   anchor.c_str(), relation.c_str(), k));
+
   util::WallTimer timer;
-  auto result = (*vkg)->TopKByName(anchor, relation, dir, k);
+  auto result =
+      (*vkg)->TopKByName(anchor, relation, dir, k,
+                         trace_on ? &trace : nullptr);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
@@ -356,6 +382,8 @@ int CmdTopK(const Flags& flags) {
                     .c_str(),
                 result->quality.certified_radius);
   }
+  if (trace_on) std::printf("%s", trace.Render().c_str());
+  MaybeDumpMetrics(flags);
   return 0;
 }
 
@@ -405,6 +433,7 @@ int CmdBatch(const Flags& flags) {
   std::printf("%s\n",
               query::FormatContention(query::ContentionDelta(before, after))
                   .c_str());
+  MaybeDumpMetrics(flags);
   return failed == 0 ? 0 : 1;
 }
 
@@ -454,8 +483,14 @@ int CmdAggregate(const Flags& flags) {
   spec.prob_threshold = flags.GetDouble("threshold", 0.05);
   spec.sample_size = flags.GetSize("sample", 0);
 
+  const bool trace_on = flags.GetBool("trace");
+  obs::Trace trace(
+      util::StrFormat("aggregate %s anchor=%s relation=%s",
+                      std::string(query::AggKindName(spec.kind)).c_str(),
+                      anchor.c_str(), relation.c_str()));
+
   util::WallTimer timer;
-  auto result = (*vkg)->Aggregate(spec);
+  auto result = (*vkg)->Aggregate(spec, trace_on ? &trace : nullptr);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
@@ -464,6 +499,8 @@ int CmdAggregate(const Flags& flags) {
               std::string(query::AggKindName(spec.kind)).c_str(),
               result->value, result->accessed, result->estimated_total,
               timer.ElapsedMillis());
+  if (trace_on) std::printf("%s", trace.Render().c_str());
+  MaybeDumpMetrics(flags);
   return 0;
 }
 
