@@ -1,8 +1,10 @@
 #include "bench_common.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <span>
+#include <thread>
 
 #include "index/bulk_rtree.h"
 #include "query/metrics.h"
@@ -278,15 +280,28 @@ void PrintAggregateSweep(const std::string& title,
 void WriteBenchJson(
     const std::string& path, const std::string& bench,
     const std::vector<std::pair<std::string, double>>& context,
-    const std::vector<BenchRecord>& records) {
+    const std::vector<BenchRecord>& records, size_t max_threads) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
     return;
   }
+  // hardware_concurrency() may return 0 ("unknown"); treat that as a
+  // 1-core host so unknown hardware can never validate a scaling claim.
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  const bool scaling_valid = max_threads <= cores;
+  if (!scaling_valid) {
+    std::fprintf(stderr,
+                 "[bench] %zu threads > %u cores: marking scaling_valid "
+                 "false in %s\n",
+                 max_threads, cores, path.c_str());
+  }
   // %.17g round-trips doubles; names come from compile-time literals, so
   // no string escaping is needed.
-  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"context\": {", bench.c_str());
+  std::fprintf(f,
+               "{\n  \"bench\": \"%s\",\n  \"scaling_valid\": %s,\n"
+               "  \"context\": {",
+               bench.c_str(), scaling_valid ? "true" : "false");
   for (size_t i = 0; i < context.size(); ++i) {
     std::fprintf(f, "%s\n    \"%s\": %.17g", i == 0 ? "" : ",",
                  context[i].first.c_str(), context[i].second);
@@ -295,9 +310,9 @@ void WriteBenchJson(
   for (size_t i = 0; i < records.size(); ++i) {
     std::fprintf(f,
                  "%s\n    {\"name\": \"%s\", \"value\": %.17g, "
-                 "\"unit\": \"%s\"}",
+                 "\"unit\": \"%s\", \"hardware_concurrency\": %u}",
                  i == 0 ? "" : ",", records[i].name.c_str(),
-                 records[i].value, records[i].unit.c_str());
+                 records[i].value, records[i].unit.c_str(), cores);
   }
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);

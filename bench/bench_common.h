@@ -105,14 +105,23 @@ struct BenchRecord {
 };
 
 /// Writes records to `path` as a stable JSON document
-///   {"bench": <bench>, "context": {...}, "results": [{name,value,unit}]}
+///   {"bench": <bench>, "scaling_valid": <bool>, "context": {...},
+///    "results": [{name,value,unit,hardware_concurrency}]}
 /// so figure benches and micro benches share one output format and
 /// future PRs can diff perf trajectories. `context` entries are free-form
 /// key/value doubles (thread counts, dataset sizes, scale factor).
+///
+/// Every result block records the host's hardware_concurrency, and the
+/// top-level "scaling_valid" flag is false whenever `max_threads`
+/// exceeds the core count — numbers produced by oversubscribed threads
+/// (e.g. an 8-thread ladder on a 1-CPU host) must never be read as
+/// scaling evidence, and tools/bench_check.py skips its scaling gate
+/// when the flag is false. Single-threaded benches pass the default
+/// `max_threads = 1`.
 void WriteBenchJson(
     const std::string& path, const std::string& bench,
     const std::vector<std::pair<std::string, double>>& context,
-    const std::vector<BenchRecord>& records);
+    const std::vector<BenchRecord>& records, size_t max_threads = 1);
 
 /// One point of the aggregate time/accuracy tradeoff (Figures 12-16).
 struct AggregateSweepRow {

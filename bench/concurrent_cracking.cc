@@ -1,16 +1,20 @@
 // Concurrency benchmark for the online-cracking R-tree: BatchTopK
-// throughput with 1/2/4/8 worker threads all cracking ONE shared tree
-// (the configuration DESIGN.md §6d makes safe). For each thread count a
-// fresh tree is built so every run pays the same cracking work, and two
-// passes are timed:
+// throughput with 1/2/4/8/16 worker threads all cracking ONE shared
+// tree (reads are lock-free over epoch-published versions; DESIGN.md
+// §6f). For each thread count a fresh tree is built so every run pays
+// the same cracking work, and two passes are timed:
 //   cold — first pass over the workload, queries racing to crack;
 //   warm — second pass on the now-refined tree (read-mostly).
 // Also reports the contention counters (publishes / coalesced /
-// abandoned / waits) accumulated during the cold storm.
+// abandoned / waits) accumulated during the cold storm, and the epoch
+// reclamation deltas (versions retired/reclaimed, bytes left in limbo,
+// worst epoch lag) that show retirement keeping up with the storm.
 //
-// Emits BENCH_concurrent.json (see WriteBenchJson). Interpret scaling
-// against the recorded hardware_concurrency: on a 1-CPU host all curves
-// are flat.
+// Emits BENCH_concurrent.json (see WriteBenchJson). When the ladder
+// exceeds the host's cores the document carries
+// "scaling_valid": false and tools/bench_check.py skips its scaling
+// gate — oversubscribed curves are flat and must not be read as
+// scaling evidence.
 //
 // Env knobs: VKG_BENCH_SCALE scales the dataset; VKG_BENCH_QUERIES
 // overrides the workload size; VKG_BENCH_THREADS caps the thread-count
@@ -24,6 +28,7 @@
 #include "bench_common.h"
 #include "query/batch_executor.h"
 #include "query/metrics.h"
+#include "util/epoch.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -65,9 +70,10 @@ int Run() {
             "cold-storm contention"},
            w);
 
-  const size_t max_threads = EnvCount("VKG_BENCH_THREADS", 8);
+  const size_t max_threads = EnvCount("VKG_BENCH_THREADS", 16);
   std::vector<size_t> ladder;
-  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+  for (size_t threads :
+       {size_t{1}, size_t{2}, size_t{4}, size_t{8}, size_t{16}}) {
     if (threads == 1 || threads <= max_threads) ladder.push_back(threads);
   }
   context.emplace_back("max_threads", static_cast<double>(ladder.back()));
@@ -81,6 +87,8 @@ int Run() {
     util::ThreadPool pool(threads);
 
     index::IndexStats before = run.rtree->Stats();
+    util::EpochManager::Stats epoch_before =
+        util::EpochManager::Global().GetStats();
     util::WallTimer cold_timer;
     auto cold = query::BatchTopK(*run.engine, queries, k, &pool);
     double cold_ms = cold_timer.ElapsedMillis();
@@ -124,6 +132,28 @@ int Run() {
                        "count"});
     records.push_back({"cold_crack_waits_" + t,
                        static_cast<double>(contention.crack_waits), "count"});
+    // Epoch reclamation health during the storm: retirement must track
+    // publication (retired ≈ reclaimed once the storm quiesces), and
+    // limbo must drain rather than grow with the thread count.
+    util::EpochManager& epochs = util::EpochManager::Global();
+    epochs.TryReclaim();
+    util::EpochManager::Stats epoch_after = epochs.GetStats();
+    records.push_back(
+        {"epoch_versions_retired_" + t,
+         static_cast<double>(epoch_after.versions_retired -
+                             epoch_before.versions_retired),
+         "count"});
+    records.push_back(
+        {"epoch_versions_reclaimed_" + t,
+         static_cast<double>(epoch_after.versions_reclaimed -
+                             epoch_before.versions_reclaimed),
+         "count"});
+    records.push_back({"epoch_bytes_pinned_" + t,
+                       static_cast<double>(epoch_after.bytes_pinned),
+                       "bytes"});
+    records.push_back({"epoch_max_lag_" + t,
+                       static_cast<double>(epoch_after.max_lag),
+                       "epochs"});
     if (threads == ladder.back() && threads > 1) {
       double cold_scaling = single_cold_ms / cold_ms;
       double warm_scaling = single_warm_ms / warm_ms;
@@ -137,7 +167,7 @@ int Run() {
   }
 
   WriteBenchJson("BENCH_concurrent.json", "concurrent_cracking", context,
-                 records);
+                 records, ladder.back());
   return 0;
 }
 

@@ -185,7 +185,7 @@ int Run() {
   }
 
   WriteBenchJson("BENCH_kernels.json", "micro_distance_kernels", context,
-                 records);
+                 records, /*max_threads=*/8);
   return 0;
 }
 

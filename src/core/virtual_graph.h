@@ -35,9 +35,10 @@ namespace vkg::core {
 /// The referenced KnowledgeGraph must outlive this object.
 ///
 /// Thread safety: the query path is safe for concurrent use — top-k and
-/// aggregate queries incrementally build the index, but the cracking
-/// R-tree serializes that mutation behind its own reader-writer latch
-/// (DESIGN.md §6d). BatchTopK / BatchAggregate below exploit this by
+/// aggregate queries incrementally build the index, but readers
+/// traverse immutable epoch-published tree versions lock-free and the
+/// cracking R-tree serializes that mutation on a writer-side mutex
+/// (DESIGN.md §6f). BatchTopK / BatchAggregate below exploit this by
 /// fanning a query span over options.query_threads workers. Dynamic
 /// updates (UpdateEntityEmbedding / CompactUpdates / LoadIndex) swap
 /// engine state and must still be externally synchronized against

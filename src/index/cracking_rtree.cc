@@ -22,7 +22,7 @@ struct CrackMetrics {
   obs::Counter& coalesced;
   obs::Counter& abandoned;
   obs::Counter& waits;
-  obs::Histogram& latch_wait_us;
+  obs::Histogram& wait_us;
   obs::Histogram& crack_us;
 
   static CrackMetrics& Get() {
@@ -33,7 +33,7 @@ struct CrackMetrics {
           reg.GetCounter("vkg_crack_coalesced_total"),
           reg.GetCounter("vkg_crack_abandoned_total"),
           reg.GetCounter("vkg_crack_waits_total"),
-          reg.GetHistogram("vkg_crack_latch_wait_us"),
+          reg.GetHistogram("vkg_crack_wait_us"),
           reg.GetHistogram("vkg_crack_us")};
     }();
     return *metrics;
@@ -51,70 +51,27 @@ int TreeHeight(size_t n, size_t leaf_capacity, size_t fanout) {
   return h;
 }
 
-// Per-thread registry of trees whose read latch this thread holds, with
-// hold depths. Lets ReadGuard be re-entrant (nested read phases reuse
-// the outer shared hold instead of re-acquiring, which could deadlock
-// behind a queued writer) and lets Crack() detect that the calling
-// thread holds its own read guard (acquiring exclusive would then
-// self-deadlock, so the crack is abandoned instead).
-struct HeldLatch {
-  const void* tree;
-  int depth;
-};
-thread_local std::vector<HeldLatch> t_held_read_latches;
-
-int* HeldReadDepth(const void* tree) {
-  for (HeldLatch& held : t_held_read_latches) {
-    if (held.tree == tree) return &held.depth;
-  }
-  return nullptr;
+// A private (not yet published) node carrying `source`'s header. Used
+// as the replacement shell a copy-on-write split writes its children
+// onto.
+Node* CloneHeader(const Node& source) {
+  Node* node = new Node();
+  node->kind = source.kind;
+  node->height = source.height;
+  node->mbr = source.mbr;
+  node->begin = source.begin;
+  node->end = source.end;
+  return node;
 }
 
-// Capacity of the published-crack coalescing ring. Small: it only needs
-// to cover the regions in flight during a storm of near-duplicate
-// queries; misses cost one re-traversal that hits stopping conditions.
-constexpr size_t kPublishedRing = 8;
+// Accounting hint for retiring a node: the struct plus its owned ids
+// (children and their blocks are retired separately).
+size_t NodeBytes(const Node& node) {
+  return sizeof(Node) + node.owned_ids.capacity() * sizeof(uint32_t) +
+         node.children.capacity() * sizeof(Node*);
+}
 
 }  // namespace
-
-CrackingRTree::ReadGuard::ReadGuard(const CrackingRTree* tree)
-    : tree_(tree) {
-  if (tree_ == nullptr) return;
-  if (int* depth = HeldReadDepth(tree_)) {
-    ++*depth;
-    return;
-  }
-  tree_->latch_.lock_shared();
-  t_held_read_latches.push_back({tree_, 1});
-}
-
-CrackingRTree::ReadGuard& CrackingRTree::ReadGuard::operator=(
-    ReadGuard&& other) noexcept {
-  if (this != &other) {
-    this->~ReadGuard();
-    tree_ = other.tree_;
-    other.tree_ = nullptr;
-  }
-  return *this;
-}
-
-CrackingRTree::ReadGuard::~ReadGuard() {
-  if (tree_ == nullptr) return;
-  int* depth = HeldReadDepth(tree_);
-  VKG_DCHECK(depth != nullptr);
-  if (--*depth == 0) {
-    auto& held = t_held_read_latches;
-    for (size_t i = 0; i < held.size(); ++i) {
-      if (held[i].tree == tree_) {
-        held[i] = held.back();
-        held.pop_back();
-        break;
-      }
-    }
-    tree_->latch_.unlock_shared();
-  }
-  tree_ = nullptr;
-}
 
 CrackingRTree::CrackingRTree(const PointSet* points,
                              const RTreeConfig& config)
@@ -123,27 +80,42 @@ CrackingRTree::CrackingRTree(const PointSet* points,
   VKG_CHECK(config.fanout >= 2);
   VKG_CHECK(config.beta >= 1.0);
   VKG_CHECK(config.split_choices >= 1);
-  root_ = std::make_unique<Node>();
-  root_->begin = 0;
-  root_->end = points->size();
-  root_->height = TreeHeight(points->size(), config.leaf_capacity,
-                             config.fanout);
-  root_->kind = root_->height == 0 ? Node::Kind::kLeaf
-                                   : Node::Kind::kPartition;
+  Node* root = new Node();
+  root->begin = 0;
+  root->end = points->size();
+  root->height = TreeHeight(points->size(), config.leaf_capacity,
+                            config.fanout);
+  root->kind = root->height == 0 ? Node::Kind::kLeaf
+                                 : Node::Kind::kPartition;
   if (!points->empty()) {
-    root_->mbr = Rect::Empty(points->dim());
+    root->mbr = Rect::Empty(points->dim());
     for (uint32_t i = 0; i < points->size(); ++i) {
-      root_->mbr.ExpandToFit(points->at(i));
+      root->mbr.ExpandToFit(points->at(i));
     }
   } else {
-    root_->mbr = Rect::Empty(points->dim() == 0 ? 1 : points->dim());
+    root->mbr = Rect::Empty(points->dim() == 0 ? 1 : points->dim());
   }
+  root_.store(root, std::memory_order_release);
+}
+
+CrackingRTree::~CrackingRTree() {
+  // Destruction contract: no concurrent readers or cracks. The current
+  // version is deleted directly; nodes retired by earlier cracks are
+  // self-contained (they own their id blocks and never point back into
+  // the tree), so any that stay in epoch limbo past this dtor are freed
+  // by a later reclaim without touching freed memory.
+  DeleteSubtree(root_.load(std::memory_order_relaxed));
+  for (std::atomic<const Rect*>& slot : published_cracks_) {
+    delete slot.load(std::memory_order_relaxed);
+  }
+  util::EpochManager::Global().TryReclaim();
 }
 
 SortedOrders* CrackingRTree::EnsureOrders() const {
   // call_once so concurrent const readers (ElementIds/ProbeSmallest via
   // BatchTopK on a bulk-loaded tree) can race to materialize the lazily
-  // built sort orders safely.
+  // built sort orders safely. Once built, the base arrays are immutable
+  // — copy-on-write cracks chunk detached copies.
   std::call_once(orders_once_, [this] {
     orders_ = std::make_unique<SortedOrders>(*points_);
   });
@@ -151,47 +123,27 @@ SortedOrders* CrackingRTree::EnsureOrders() const {
 }
 
 bool CrackingRTree::CoveredByPublishedCrack(const Rect& query) const {
-  std::lock_guard<std::mutex> lock(published_mu_);
-  for (const Rect& published : published_cracks_) {
-    if (published.ContainsRect(query)) return true;
+  if (published_gen_.load(std::memory_order_acquire) == 0) return false;
+  // Lock-free ring scan: slots hold immutable heap Rects, so a pin plus
+  // an acquire load make dereferencing safe against concurrent
+  // overwrite-and-retire.
+  util::EpochManager::Guard pin = util::EpochManager::Global().Enter();
+  for (const std::atomic<const Rect*>& slot : published_cracks_) {
+    const Rect* published = slot.load(std::memory_order_acquire);
+    if (published != nullptr && published->ContainsRect(query)) return true;
   }
   return false;
 }
 
 void CrackingRTree::NotePublishedCrack(const Rect& query) {
-  std::lock_guard<std::mutex> lock(published_mu_);
-  if (published_cracks_.size() < kPublishedRing) {
-    published_cracks_.push_back(query);
-    return;
-  }
-  published_cracks_[published_next_] = query;
+  const Rect* fresh = new Rect(query);
+  const Rect* old = published_cracks_[published_next_].exchange(
+      fresh, std::memory_order_release);
   published_next_ = (published_next_ + 1) % kPublishedRing;
-}
-
-CrackingRTree::CrackLatch CrackingRTree::AcquireCrackLatch(
-    const Rect& query, util::QueryControl* control) {
-  // This thread holding its own read guard can never be granted the
-  // exclusive latch — abandon instead of self-deadlocking.
-  if (HeldReadDepth(this) != nullptr) return CrackLatch::kAbandoned;
-  if (latch_.try_lock()) return CrackLatch::kAcquired;
-  crack_waits_.fetch_add(1, std::memory_order_relaxed);
-  CrackMetrics::Get().waits.Inc();
-  obs::ScopedLatencyUs wait_timer(CrackMetrics::Get().latch_wait_us);
-  // Bounded waits in small slices: between slices the crack re-checks
-  // the caller's deadline/cancel/budget (degrading beats stalling — the
-  // query's answer never needs this crack) and whether a concurrent
-  // crack just published a covering region (then this one is a no-op).
-  // Polls try_lock + sleep rather than try_lock_for: on glibc the timed
-  // acquire is pthread_rwlock_clockwrlock, which TSan does not
-  // intercept, so a latch taken that way is invisible to the race
-  // detector and every crack write reports as a false race.
-  while (true) {
-    if (control != nullptr && control->ShouldStop()) {
-      return CrackLatch::kAbandoned;
-    }
-    if (CoveredByPublishedCrack(query)) return CrackLatch::kCoalesced;
-    if (latch_.try_lock()) return CrackLatch::kAcquired;
-    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  published_gen_.fetch_add(1, std::memory_order_release);
+  if (old != nullptr) {
+    util::EpochManager::Global().RetireObject(const_cast<Rect*>(old),
+                                              sizeof(Rect));
   }
 }
 
@@ -210,57 +162,158 @@ void CrackingRTree::Crack(const Rect& query, util::QueryControl* control,
     span.SetAttr("outcome", "coalesced");
     return;
   }
-  // Materialize the sort orders before going exclusive: the first-query
-  // sort is the heaviest single step and call_once already makes it
-  // safe against concurrent readers.
+  // Materialize the sort orders before serializing with other writers:
+  // the first-query sort is the heaviest single step and call_once
+  // already makes it safe against concurrent readers.
   EnsureOrders();
-  switch (AcquireCrackLatch(query, control)) {
-    case CrackLatch::kCoalesced:
-      coalesced_cracks_.fetch_add(1, std::memory_order_relaxed);
-      CrackMetrics::Get().coalesced.Inc();
-      span.SetAttr("outcome", "coalesced");
-      return;
-    case CrackLatch::kAbandoned:
-      abandoned_cracks_.fetch_add(1, std::memory_order_relaxed);
-      CrackMetrics::Get().abandoned.Inc();
-      span.SetAttr("outcome", "abandoned");
-      return;
-    case CrackLatch::kAcquired:
-      break;
+  // Writers serialize on crack_mu_; readers never touch it, so
+  // crack_waits counts writer-writer contention only. Waiting polls in
+  // small slices: between slices the crack re-checks the caller's
+  // deadline/cancel (degrading beats stalling — the query's answer
+  // never needs this crack) and whether a concurrent crack just
+  // published a covering region (then this one is a no-op).
+  if (!crack_mu_.try_lock()) {
+    crack_waits_.fetch_add(1, std::memory_order_relaxed);
+    CrackMetrics::Get().waits.Inc();
+    obs::ScopedLatencyUs wait_timer(CrackMetrics::Get().wait_us);
+    while (true) {
+      if (control != nullptr && control->ShouldStop()) {
+        abandoned_cracks_.fetch_add(1, std::memory_order_relaxed);
+        CrackMetrics::Get().abandoned.Inc();
+        span.SetAttr("outcome", "abandoned");
+        return;
+      }
+      if (CoveredByPublishedCrack(query)) {
+        coalesced_cracks_.fetch_add(1, std::memory_order_relaxed);
+        CrackMetrics::Get().coalesced.Inc();
+        span.SetAttr("outcome", "coalesced");
+        return;
+      }
+      if (crack_mu_.try_lock()) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
   }
-  std::unique_lock<std::shared_timed_mutex> lock(latch_, std::adopt_lock);
+  std::lock_guard<std::mutex> lock(crack_mu_, std::adopt_lock);
   obs::ScopedLatencyUs crack_timer(CrackMetrics::Get().crack_us);
-  // Publication failpoint: `fail` abandons the crack before any
-  // mutation (readers keep the pre-crack tree); `delay` stalls here
-  // with the exclusive latch held — the stalled-publish scenario the
-  // chaos harness drives readers and crack waiters through.
+  // Publication failpoint: `fail` abandons the crack before any new
+  // version is built (readers keep the pre-crack tree); `delay` stalls
+  // here with the crack mutex held — readers are unaffected (lock-free)
+  // while crack waiters drive their degraded paths.
   if (VKG_FAILPOINT("cracking.publish")) {
     abandoned_cracks_.fetch_add(1, std::memory_order_relaxed);
     CrackMetrics::Get().abandoned.Inc();
     span.SetAttr("outcome", "abandoned");
     return;
   }
-  const size_t splits_before = chunk_stats_.binary_splits;
-  const bool complete = CrackNode(root_.get(), query, control);
+  const size_t splits_before =
+      binary_splits_.load(std::memory_order_relaxed);
+  const Node* old_root = root_.load(std::memory_order_relaxed);
+  bool complete = true;
+  std::vector<const Node*> retired;
+  const Node* new_root =
+      CrackCow(old_root, query, control, &complete, &retired);
+  if (new_root != old_root) {
+    // Version swap: the release store pairs with readers' acquire load
+    // of root_. Replaced nodes are unlinked from the published
+    // structure by this store and only then retired — the ordering the
+    // epoch scheme's safety argument requires.
+    root_.store(const_cast<Node*>(new_root), std::memory_order_release);
+    util::EpochManager& epoch = util::EpochManager::Global();
+    for (const Node* node : retired) {
+      epoch.RetireObject(const_cast<Node*>(node), NodeBytes(*node));
+    }
+  }
   crack_publishes_.fetch_add(1, std::memory_order_relaxed);
   CrackMetrics::Get().publishes.Inc();
   span.SetAttr("outcome", "published");
   span.SetAttr("splits",
-               static_cast<double>(chunk_stats_.binary_splits -
-                                   splits_before));
+               static_cast<double>(
+                   binary_splits_.load(std::memory_order_relaxed) -
+                   splits_before));
   // Only a crack that ran to its stopping conditions makes the region
   // coalescable; a throttled one must be retryable by later queries.
   if (complete) NotePublishedCrack(query);
 }
 
-bool CrackingRTree::CrackNode(Node* node, const Rect& query,
-                              util::QueryControl* control) {
+bool CrackingRTree::WantsSplit(const Node& node, const Rect& query) const {
+  if (node.height == 0) return false;  // already a leaf-sized element
+  const size_t q_count = CountInRegion(ElementIds(node), *points_, query);
+  // Stopping condition (Section IV-C step 3): irrelevant to Q, or
+  // splitting cannot reduce the leaf pages needed for Q.
+  if (q_count == 0) return false;
+  if (config_.use_stopping_condition &&
+      util::CeilDiv(q_count, config_.leaf_capacity) ==
+          util::CeilDiv(node.size(), config_.leaf_capacity)) {
+    return false;
+  }
+  return true;
+}
+
+const Node* CrackingRTree::CrackCow(const Node* node, const Rect& query,
+                                    util::QueryControl* control,
+                                    bool* complete,
+                                    std::vector<const Node*>* retired) {
+  switch (node->kind) {
+    case Node::Kind::kInternal: {
+      // Path copying: recurse into touched children; clone this node
+      // only when some child was replaced, sharing every untouched
+      // subtree with the previous version.
+      std::vector<Node*> new_children;
+      new_children.reserve(node->children.size());
+      bool changed = false;
+      for (Node* child : node->children) {
+        const Node* replacement = child;
+        if (child->mbr.Intersects(query)) {
+          replacement = CrackCow(child, query, control, complete, retired);
+        }
+        changed |= replacement != child;
+        new_children.push_back(const_cast<Node*>(replacement));
+      }
+      if (!changed) return node;
+      Node* clone = CloneHeader(*node);
+      clone->children = std::move(new_children);
+      retired->push_back(node);
+      return clone;
+    }
+    case Node::Kind::kLeaf:
+      return node;
+    case Node::Kind::kPartition: {
+      if (!node->mbr.Intersects(query)) return node;
+      if (!WantsSplit(*node, query)) return node;
+      // Crack budget / deadline: refining stops here, the partition
+      // stays whole and later queries pick up where this one left off.
+      if (control != nullptr && !control->AllowCrack()) {
+        *complete = false;
+        return node;
+      }
+      Node* fresh = CloneHeader(*node);
+      if (!SplitPartitionCow(*node, fresh, &query, control)) {
+        delete fresh;
+        *complete = false;
+        return node;
+      }
+      // The replacement subtree is private until the version swap, so
+      // deeper refinement mutates it in place.
+      for (Node* child : fresh->children) {
+        if (child->mbr.Intersects(query)) {
+          *complete &= CrackPrivate(child, query, control);
+        }
+      }
+      retired->push_back(node);
+      return fresh;
+    }
+  }
+  return node;
+}
+
+bool CrackingRTree::CrackPrivate(Node* node, const Rect& query,
+                                 util::QueryControl* control) {
   switch (node->kind) {
     case Node::Kind::kInternal: {
       bool complete = true;
-      for (auto& child : node->children) {
+      for (Node* child : node->children) {
         if (child->mbr.Intersects(query)) {
-          complete &= CrackNode(child.get(), query, control);
+          complete &= CrackPrivate(child, query, control);
         }
       }
       return complete;
@@ -269,25 +322,13 @@ bool CrackingRTree::CrackNode(Node* node, const Rect& query,
       return true;
     case Node::Kind::kPartition: {
       if (!node->mbr.Intersects(query)) return true;
-      size_t q_count =
-          CountInRegion(ElementIds(*node), *points_, query);
-      // Stopping condition (Section IV-C step 3): irrelevant to Q, or
-      // splitting cannot reduce the leaf pages needed for Q.
-      if (q_count == 0) return true;
-      if (config_.use_stopping_condition &&
-          util::CeilDiv(q_count, config_.leaf_capacity) ==
-              util::CeilDiv(node->size(), config_.leaf_capacity)) {
-        return true;
-      }
-      if (node->height == 0) return true;  // already a leaf-sized element
-      // Crack budget / deadline: refining stops here, the partition
-      // stays whole and later queries pick up where this one left off.
+      if (!WantsSplit(*node, query)) return true;
       if (control != nullptr && !control->AllowCrack()) return false;
-      if (!SplitPartitionNode(node, &query, control)) return false;
+      if (!SplitPartitionCow(*node, node, &query, control)) return false;
       bool complete = true;
-      for (auto& child : node->children) {
+      for (Node* child : node->children) {
         if (child->mbr.Intersects(query)) {
-          complete &= CrackNode(child.get(), query, control);
+          complete &= CrackPrivate(child, query, control);
         }
       }
       return complete;
@@ -296,60 +337,132 @@ bool CrackingRTree::CrackNode(Node* node, const Rect& query,
   return true;
 }
 
-bool CrackingRTree::SplitPartitionNode(Node* node, const Rect* query,
-                                       util::QueryControl* control) {
-  VKG_CHECK(node->kind == Node::Kind::kPartition);
-  VKG_CHECK(node->height >= 1);
+bool CrackingRTree::SplitPartitionCow(const Node& source, Node* dest,
+                                      const Rect* query,
+                                      util::QueryControl* control) {
+  VKG_CHECK(source.kind == Node::Kind::kPartition);
+  VKG_CHECK(source.height >= 1);
   if (VKG_FAILPOINT("cracking.split")) return false;
-  const size_t m = util::CeilDiv(node->size(), config_.fanout);
+  SortedOrders* base = EnsureOrders();
+  const size_t num_orders = base->num_orders();
+  const size_t n = source.size();
+  // Detached working copy of this element's ids: the chunking machinery
+  // (greedy binary splits or the A* search) rearranges it freely
+  // without touching the immutable base arrays or any published node.
+  // Copied before dest is mutated, so source == dest is fine.
+  std::vector<std::vector<uint32_t>> ids(num_orders);
+  for (size_t s = 0; s < num_orders; ++s) {
+    std::span<const uint32_t> order = ElementIds(source, s);
+    ids[s].assign(order.begin(), order.end());
+  }
+  SortedOrders local(*points_, std::move(ids));
+  const size_t m = util::CeilDiv(n, config_.fanout);
+  ChunkingStats stats;
   std::vector<size_t> sizes =
-      ChunkPartition(EnsureOrders(), node->begin, node->end, m, query,
-                     config_, node->height, &chunk_stats_, control);
-  node->children.reserve(sizes.size());
-  size_t offset = node->begin;
+      ChunkPartition(&local, 0, n, m, query, config_, source.height,
+                     &stats, control);
+  binary_splits_.fetch_add(stats.binary_splits,
+                           std::memory_order_relaxed);
+  astar_expansions_.fetch_add(stats.astar_expansions,
+                              std::memory_order_relaxed);
+  std::vector<Node*> children;
+  children.reserve(sizes.size());
+  size_t offset = 0;
   for (size_t size : sizes) {
-    auto child = std::make_unique<Node>();
-    child->begin = offset;
-    child->end = offset + size;
-    child->height = node->height - 1;
+    Node* child = new Node();
+    child->begin = source.begin + offset;
+    child->end = source.begin + offset + size;
+    child->height = source.height - 1;
     child->kind = child->height == 0 ? Node::Kind::kLeaf
                                      : Node::Kind::kPartition;
-    child->mbr =
-        points_->Bound(orders().Range(0, child->begin, child->end));
+    child->owned_ids.reserve(num_orders * size);
+    for (size_t s = 0; s < num_orders; ++s) {
+      std::span<const uint32_t> chunk =
+          local.Range(s, offset, offset + size);
+      child->owned_ids.insert(child->owned_ids.end(), chunk.begin(),
+                              chunk.end());
+    }
+    child->mbr = points_->Bound(local.Range(0, offset, offset + size));
     offset += size;
-    node->children.push_back(std::move(child));
+    children.push_back(child);
   }
-  VKG_CHECK(offset == node->end);
-  node->kind = Node::Kind::kInternal;
+  VKG_CHECK(offset == n);
+  dest->children = std::move(children);
+  dest->kind = Node::Kind::kInternal;
+  // An internal node's id set is the union of its children's; drop the
+  // now-redundant block (dest may be a split-in-place private node).
+  dest->owned_ids.clear();
+  dest->owned_ids.shrink_to_fit();
   return true;
 }
 
 void CrackingRTree::BuildFull() {
   if (points_->empty()) return;
   EnsureOrders();
-  VKG_CHECK(HeldReadDepth(this) == nullptr);
-  std::unique_lock<std::shared_timed_mutex> lock(latch_);
-  BuildFullRec(root_.get());
+  std::lock_guard<std::mutex> lock(crack_mu_);
+  const Node* old_root = root_.load(std::memory_order_relaxed);
+  std::vector<const Node*> retired;
+  const Node* new_root = BuildFullCow(old_root, &retired);
+  if (new_root == old_root) return;
+  root_.store(const_cast<Node*>(new_root), std::memory_order_release);
+  util::EpochManager& epoch = util::EpochManager::Global();
+  for (const Node* node : retired) {
+    epoch.RetireObject(const_cast<Node*>(node), NodeBytes(*node));
+  }
 }
 
-void CrackingRTree::BuildFullRec(Node* node) {
+const Node* CrackingRTree::BuildFullCow(const Node* node,
+                                        std::vector<const Node*>* retired) {
+  switch (node->kind) {
+    case Node::Kind::kLeaf:
+      return node;
+    case Node::Kind::kInternal: {
+      std::vector<Node*> new_children;
+      new_children.reserve(node->children.size());
+      bool changed = false;
+      for (Node* child : node->children) {
+        const Node* replacement = BuildFullCow(child, retired);
+        changed |= replacement != child;
+        new_children.push_back(const_cast<Node*>(replacement));
+      }
+      if (!changed) return node;
+      Node* clone = CloneHeader(*node);
+      clone->children = std::move(new_children);
+      retired->push_back(node);
+      return clone;
+    }
+    case Node::Kind::kPartition: {
+      Node* fresh = CloneHeader(*node);
+      if (!SplitPartitionCow(*node, fresh, nullptr)) {
+        delete fresh;
+        return node;
+      }
+      for (Node* child : fresh->children) BuildFullPrivate(child);
+      retired->push_back(node);
+      return fresh;
+    }
+  }
+  return node;
+}
+
+void CrackingRTree::BuildFullPrivate(Node* node) {
   if (node->kind != Node::Kind::kPartition) return;
-  if (!SplitPartitionNode(node, nullptr)) return;
-  for (auto& child : node->children) BuildFullRec(child.get());
+  if (!SplitPartitionCow(*node, node, nullptr)) return;
+  for (Node* child : node->children) BuildFullPrivate(child);
 }
 
 void CrackingRTree::Search(const Rect& region,
                            const std::function<void(uint32_t)>& fn) const {
   if (points_->empty()) return;
-  ReadGuard guard = LockForRead();
-  // Iterative DFS; contour elements scan their points.
-  std::vector<const Node*> stack{root_.get()};
+  ReadPin pin = PinForRead();
+  // Iterative DFS over one version; contour elements scan their points.
+  std::vector<const Node*> stack{&root()};
   while (!stack.empty()) {
     const Node* node = stack.back();
     stack.pop_back();
     if (!node->mbr.Intersects(region)) continue;
     if (node->kind == Node::Kind::kInternal) {
-      for (const auto& child : node->children) stack.push_back(child.get());
+      for (const Node* child : node->children) stack.push_back(child);
       continue;
     }
     for (uint32_t id : ElementIds(*node)) {
@@ -361,14 +474,14 @@ void CrackingRTree::Search(const Rect& region,
 void CrackingRTree::VisitContour(
     const Rect& region, const std::function<void(const Node&)>& fn) const {
   if (points_->empty()) return;
-  ReadGuard guard = LockForRead();
-  std::vector<const Node*> stack{root_.get()};
+  ReadPin pin = PinForRead();
+  std::vector<const Node*> stack{&root()};
   while (!stack.empty()) {
     const Node* node = stack.back();
     stack.pop_back();
     if (!node->mbr.Intersects(region)) continue;
     if (node->kind == Node::Kind::kInternal) {
-      for (const auto& child : node->children) stack.push_back(child.get());
+      for (const Node* child : node->children) stack.push_back(child);
       continue;
     }
     fn(*node);
@@ -376,22 +489,22 @@ void CrackingRTree::VisitContour(
 }
 
 const Node* CrackingRTree::ProbeSmallest(std::span<const float> q) const {
-  ReadGuard guard = LockForRead();
-  const Node* node = root_.get();
+  ReadPin pin = PinForRead();
+  const Node* node = &root();
   while (node->kind == Node::Kind::kInternal) {
     const Node* best_containing = nullptr;
     const Node* nearest = nullptr;
     double nearest_dist = 0.0;
-    for (const auto& child : node->children) {
+    for (const Node* child : node->children) {
       if (child->mbr.Contains(q)) {
         if (best_containing == nullptr ||
             child->size() < best_containing->size()) {
-          best_containing = child.get();
+          best_containing = child;
         }
       }
       double d = child->mbr.MinDistSquared(q);
       if (nearest == nullptr || d < nearest_dist) {
-        nearest = child.get();
+        nearest = child;
         nearest_dist = d;
       }
     }
@@ -401,18 +514,19 @@ const Node* CrackingRTree::ProbeSmallest(std::span<const float> q) const {
 }
 
 IndexStats CrackingRTree::Stats() const {
-  ReadGuard guard = LockForRead();
+  ReadPin pin = PinForRead();
+  const Node& root_node = root();
   IndexStats s;
-  NodeCounts counts = CountNodes(*root_);
+  NodeCounts counts = CountNodes(root_node);
   s.num_nodes = counts.total();
   s.internals = counts.internals;
   s.leaves = counts.leaves;
   s.partitions = counts.partitions;
-  s.binary_splits = chunk_stats_.binary_splits;
-  s.astar_expansions = chunk_stats_.astar_expansions;
-  s.node_bytes = SubtreeMemoryBytes(*root_);
+  s.binary_splits = binary_splits_.load(std::memory_order_relaxed);
+  s.astar_expansions = astar_expansions_.load(std::memory_order_relaxed);
+  s.node_bytes = SubtreeMemoryBytes(root_node);
   s.base_array_bytes = orders_ == nullptr ? 0 : orders_->MemoryBytes();
-  s.height = root_->height;
+  s.height = root_node.height;
   s.crack_publishes = crack_publishes_.load(std::memory_order_relaxed);
   s.coalesced_cracks = coalesced_cracks_.load(std::memory_order_relaxed);
   s.abandoned_cracks = abandoned_cracks_.load(std::memory_order_relaxed);

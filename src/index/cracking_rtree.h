@@ -1,11 +1,11 @@
 #ifndef VKG_INDEX_CRACKING_RTREE_H_
 #define VKG_INDEX_CRACKING_RTREE_H_
 
+#include <array>
 #include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -15,6 +15,7 @@
 #include "index/topk_splits.h"
 #include "obs/trace.h"
 #include "util/deadline.h"
+#include "util/epoch.h"
 #include "util/status.h"
 
 namespace vkg::index {
@@ -31,33 +32,39 @@ struct IndexStats {
   size_t base_array_bytes = 0;  // shared sort-order arrays (data)
   int height = 0;
 
-  // Crack-contention counters (concurrent serving; DESIGN.md §6d).
+  // Crack-contention counters (concurrent serving; DESIGN.md §6d/§6f).
   size_t crack_publishes = 0;   // cracks that mutated and published
   size_t coalesced_cracks = 0;  // skipped: covered by a published crack
-  size_t abandoned_cracks = 0;  // gave up: contention, stop, or failpoint
-  size_t crack_waits = 0;       // exclusive acquisitions that had to wait
+  size_t abandoned_cracks = 0;  // gave up: stop-token or failpoint
+  size_t crack_waits = 0;       // crack-mutex acquisitions that waited
 };
 
 /// The cracking, uneven R-tree of Section IV.
 ///
-/// Thread safety: queries crack the index (that is the point), so the
-/// tree guards itself with one reader-writer latch. Readers hold the
-/// latch shared via a ReadGuard for the duration of a traversal and see
-/// a consistent, fully-published tree; cracks serialize on the
-/// exclusive side and publish atomically by releasing it. Concretely:
+/// Thread safety — lock-free reads via epoch-published versions
+/// (DESIGN.md §6f): every node reachable from the published root is
+/// immutable. A crack builds replacement subtrees aside, swaps the
+/// version pointer with a release store, and retires the nodes it
+/// replaced through util::EpochManager; they are freed only after every
+/// reader that could hold them has unpinned. Concretely:
 ///
-///  * Search()/VisitContour()/ProbeSmallest()/Stats()/Save() acquire a
-///    shared ReadGuard internally (re-entrant per thread, so an engine
-///    already holding a guard pays only a thread-local lookup).
-///  * Engines that traverse node pointers or ElementIds() spans across
-///    multiple calls must hold one LockForRead() guard for the whole
-///    read phase — the spans point into the shared sort-order arrays
-///    that cracks rearrange in place.
-///  * Crack() acquires the latch exclusively with bounded, QueryControl-
-///    aware waits: a contended crack past the caller's deadline/cancel
-///    is abandoned (cracking refines performance, never answers), and a
-///    crack whose region was just published by another thread is
-///    coalesced away without touching the latch.
+///  * Readers take ZERO locks. Search()/VisitContour()/ProbeSmallest()/
+///    Stats()/Save() pin the reclamation epoch internally (a ReadPin —
+///    two atomic stores, re-entrant per thread) and traverse whatever
+///    version an acquire load of the root returns.
+///  * Engines that keep node pointers or ElementIds() spans across
+///    calls must hold one PinForRead() pin for the whole read phase:
+///    the pin keeps retired versions alive, and immutability keeps them
+///    consistent — a reader mid-traversal simply finishes on the
+///    version it started with. Holding a pin across Crack() is safe
+///    (writers never wait for readers); it only delays reclamation.
+///  * Crack() serializes writers on a single crack-side mutex with
+///    bounded, QueryControl-aware waits: a contended crack past the
+///    caller's deadline/cancel is abandoned (cracking refines
+///    performance, never answers), and a crack whose region was already
+///    published by another thread is coalesced away. Readers never
+///    touch this mutex, so crack_waits counts writer-writer contention
+///    only.
 ///
 /// The tree starts as a single partition holding every point and is
 /// *cracked* incrementally: each query region triggers top-down splits
@@ -68,50 +75,46 @@ struct IndexStats {
 /// paper's bulk-loaded baseline; both share all machinery.
 class CrackingRTree {
  public:
-  /// RAII shared hold on the tree latch. Re-entrant per thread: nested
-  /// guards on the same tree (an engine's traversal calling Stats(), an
-  /// aggregate's top-1 probe) reuse the outer hold instead of
-  /// re-acquiring — re-acquiring shared could deadlock behind a writer
-  /// queued between the two acquisitions. Hold one across every multi-
-  /// call read phase; release it before calling Crack().
-  class ReadGuard {
+  /// RAII epoch pin for a read phase. Re-entrant per thread (nested
+  /// pins reuse the outer one) and never blocks: it guarantees that
+  /// every node and id span observed while the pin is held stays
+  /// allocated, even after concurrent cracks publish newer versions.
+  class ReadPin {
    public:
-    ReadGuard() = default;
-    explicit ReadGuard(const CrackingRTree* tree);
-    ReadGuard(ReadGuard&& other) noexcept : tree_(other.tree_) {
-      other.tree_ = nullptr;
-    }
-    ReadGuard& operator=(ReadGuard&& other) noexcept;
-    ReadGuard(const ReadGuard&) = delete;
-    ReadGuard& operator=(const ReadGuard&) = delete;
-    ~ReadGuard();
+    ReadPin() = default;
+    explicit ReadPin(util::EpochManager* manager) : guard_(manager) {}
+    ReadPin(ReadPin&&) noexcept = default;
+    ReadPin& operator=(ReadPin&&) noexcept = default;
 
    private:
-    const CrackingRTree* tree_ = nullptr;
+    util::EpochManager::Guard guard_;
   };
 
   /// `points` must outlive the tree.
   CrackingRTree(const PointSet* points, const RTreeConfig& config);
+  ~CrackingRTree();
 
   CrackingRTree(const CrackingRTree&) = delete;
   CrackingRTree& operator=(const CrackingRTree&) = delete;
 
-  /// Acquires the tree latch shared for this thread (see ReadGuard).
-  ReadGuard LockForRead() const { return ReadGuard(this); }
+  /// Pins the reclamation epoch for this thread (see ReadPin).
+  ReadPin PinForRead() const {
+    return ReadPin(&util::EpochManager::Global());
+  }
 
   /// Incrementally builds the index for `query` (Section IV-C). Safe to
-  /// call concurrently from any number of threads: cracks serialize on
-  /// the tree's exclusive latch and readers never observe a partially
-  /// split node.
+  /// call concurrently from any number of threads — including while
+  /// this thread holds a ReadPin: cracks serialize on the crack-side
+  /// mutex and publish complete versions, so readers never observe a
+  /// partially split node.
   ///
   /// `control` (optional) bounds the work: once the deadline, the
   /// cancellation token, or ResourceBudget::max_cracked_nodes trips, no
   /// further partitions are split — including while *waiting* for the
-  /// latch, so a contended crack degrades instead of stalling the
+  /// crack mutex, so a contended crack degrades instead of stalling the
   /// query. Cracking only refines the index — never answers — so an
   /// abandoned crack leaves a valid tree that later queries continue to
-  /// refine. Calling Crack() while this thread holds a ReadGuard would
-  /// self-deadlock; such cracks are detected and abandoned.
+  /// refine.
   ///
   /// `trace` (optional) records the crack as a span — with its outcome
   /// (published / coalesced / abandoned) — in the calling query's trace
@@ -120,40 +123,49 @@ class CrackingRTree {
              obs::Trace* trace = nullptr);
 
   /// Full offline bulk load (Algorithm 1 with the classic cost model).
-  /// Takes the exclusive latch (setup-time call; it blocks).
+  /// Builds the complete tree aside and publishes it as one version
+  /// (setup-time call; it serializes with concurrent cracks).
   void BuildFull();
 
   /// Invokes `fn(point_id)` for every point inside `region`. Does not
-  /// modify the index. Takes a shared ReadGuard internally.
+  /// modify the index. Lock-free; pins the epoch internally.
   void Search(const Rect& region,
               const std::function<void(uint32_t)>& fn) const;
 
   /// Visits every contour element (leaf or partition) whose MBR
-  /// intersects `region`, without scanning points. Takes a shared
-  /// ReadGuard internally; the Node references are valid only while the
-  /// caller's (re-entrant) guard is held.
+  /// intersects `region`, without scanning points. Lock-free; the Node
+  /// references are valid only while the caller's (re-entrant) pin is
+  /// held.
   void VisitContour(const Rect& region,
                     const std::function<void(const Node&)>& fn) const;
 
   /// Descends to the smallest contour element containing `q` (or the
-  /// nearest one when no MBR contains it). Never null. Takes a shared
-  /// ReadGuard internally; hold your own guard if you keep the pointer.
+  /// nearest one when no MBR contains it). Never null. Lock-free; hold
+  /// your own ReadPin if you keep the pointer.
   const Node* ProbeSmallest(std::span<const float> q) const;
 
   /// Point ids of a contour element, in sort order `s` (ascending
   /// coordinate s — the traversal order used by FINDTOP-KENTITIES).
-  /// Concurrent callers must hold a ReadGuard: the span aliases the
-  /// shared sort-order arrays that cracks rearrange in place.
+  /// The span aliases immutable storage (the node's owned block or the
+  /// base arrays); concurrent callers must hold a ReadPin so the node
+  /// is not reclaimed under them.
   std::span<const uint32_t> ElementIds(const Node& node, size_t s = 0) const {
     VKG_DCHECK(node.IsContourElement());
+    if (!node.owned_ids.empty()) return node.OwnedIds(s);
     return orders().Range(s, node.begin, node.end);
   }
 
-  const Node& root() const { return *root_; }
+  /// The current published version. Capture the reference ONCE per read
+  /// phase (under a ReadPin) — consecutive calls may return different
+  /// versions once a concurrent crack publishes.
+  const Node& root() const {
+    return *root_.load(std::memory_order_acquire);
+  }
   const PointSet& points() const { return *points_; }
-  /// The shared sort-order arrays. Built lazily on first use, so
+  /// The shared base sort-order arrays. Built lazily on first use, so
   /// constructing a cracking tree costs O(1): the sorting work lands in
   /// the first query, matching the paper's "no offline index building".
+  /// Immutable once built — cracks work on detached copies.
   const SortedOrders& orders() const { return *EnsureOrders(); }
   const RTreeConfig& config() const { return config_; }
 
@@ -171,50 +183,74 @@ class CrackingRTree {
       const std::string& path, const PointSet* points);
 
  private:
-  enum class CrackLatch { kAcquired, kCoalesced, kAbandoned };
-
   SortedOrders* EnsureOrders() const;
-  /// Deadline/cancel-aware exclusive acquisition (see Crack()).
-  CrackLatch AcquireCrackLatch(const Rect& query,
-                               util::QueryControl* control);
   /// True when a fully-published crack region contains `query`.
+  /// Lock-free: pins the epoch and scans the atomic ring.
   bool CoveredByPublishedCrack(const Rect& query) const;
   /// Records a completed, unthrottled crack region for coalescing.
+  /// Caller holds crack_mu_.
   void NotePublishedCrack(const Rect& query);
 
-  /// Returns true when the subtree was refined to its stopping
-  /// conditions; false when any split was skipped (budget, deadline, or
-  /// failpoint) and re-cracking the same region could still make
-  /// progress.
-  bool CrackNode(Node* node, const Rect& query,
-                 util::QueryControl* control);
-  /// Chunks a partition node into child nodes (one level of
-  /// BULKLOADCHUNK); `query` == nullptr uses the classic cost. Returns
-  /// false when the split was abandoned (cracking.split failpoint) —
-  /// the node is left an unsplit partition and the tree stays valid.
-  bool SplitPartitionNode(Node* node, const Rect* query,
-                          util::QueryControl* control = nullptr);
-  void BuildFullRec(Node* node);
+  /// Copy-on-write crack of the published subtree at `node`. Returns
+  /// the replacement node (== `node` when the subtree was untouched);
+  /// replaced nodes are appended to `retired` for epoch retirement
+  /// after the version swap. Sets *complete = false when any split was
+  /// skipped (budget, deadline, or failpoint) and re-cracking the same
+  /// region could still make progress.
+  const Node* CrackCow(const Node* node, const Rect& query,
+                       util::QueryControl* control, bool* complete,
+                       std::vector<const Node*>* retired);
+  /// Cracks a subtree built privately by this crack (unpublished, so
+  /// mutation in place is safe). Same return convention as the old
+  /// in-place crack: true when refined to its stopping conditions.
+  bool CrackPrivate(Node* node, const Rect& query,
+                    util::QueryControl* control);
+  /// Chunks contour element `source` into children written onto `dest`
+  /// (one level of BULKLOADCHUNK) via a detached copy of the element's
+  /// ids; children own their id blocks. `dest` must carry source's
+  /// header and be private; source == dest is allowed. `query` ==
+  /// nullptr uses the classic cost. Returns false when the split was
+  /// abandoned (cracking.split failpoint) — `dest` is left unchanged.
+  bool SplitPartitionCow(const Node& source, Node* dest, const Rect* query,
+                         util::QueryControl* control = nullptr);
+  /// Copy-on-write bulk load of the subtree at `node` (BuildFull).
+  const Node* BuildFullCow(const Node* node,
+                           std::vector<const Node*>* retired);
+  void BuildFullPrivate(Node* node);
+  /// True when the stopping conditions of Section IV-C step 3 say
+  /// contour element `node` should be split for `query`.
+  bool WantsSplit(const Node& node, const Rect& query) const;
 
   const PointSet* points_;
   RTreeConfig config_;
   mutable std::once_flag orders_once_;
   mutable std::unique_ptr<SortedOrders> orders_;
-  std::unique_ptr<Node> root_;
-  ChunkingStats chunk_stats_;
 
-  /// The tree latch: shared for traversals, exclusive for cracks. All
-  /// node and sort-order mutation happens under the exclusive side, so
-  /// releasing it is the publication point.
-  mutable std::shared_timed_mutex latch_;
+  /// The published version pointer. Readers load it with acquire and
+  /// traverse immutable nodes; cracks store it with release under
+  /// crack_mu_. Ownership: nodes are freed either by epoch reclamation
+  /// (retired on replacement) or by DeleteSubtree of the final version
+  /// in the destructor.
+  std::atomic<Node*> root_{nullptr};
+
+  /// Serializes writers (cracks, BuildFull, Load-into). Readers never
+  /// touch it.
+  mutable std::mutex crack_mu_;
 
   /// Ring of recently published (complete) crack regions, used to
-  /// coalesce duplicate cracks without taking the latch. Regions only
-  /// ever get *more* cracked, so an entry stays valid forever; eviction
-  /// merely loses a coalescing opportunity.
-  mutable std::mutex published_mu_;
-  std::vector<Rect> published_cracks_;
-  size_t published_next_ = 0;
+  /// coalesce duplicate cracks. Lock-free on the read side: slots hold
+  /// heap-allocated immutable Rects published with release stores and
+  /// retired through the epoch scheme on overwrite. Regions only ever
+  /// get *more* cracked, so an entry stays valid forever; eviction
+  /// merely loses a coalescing opportunity. published_gen_ counts
+  /// publications so an empty ring is skipped without pinning.
+  static constexpr size_t kPublishedRing = 8;
+  std::array<std::atomic<const Rect*>, kPublishedRing> published_cracks_{};
+  std::atomic<uint64_t> published_gen_{0};
+  size_t published_next_ = 0;  // writer-only cursor (under crack_mu_)
+
+  std::atomic<size_t> binary_splits_{0};
+  std::atomic<size_t> astar_expansions_{0};
 
   std::atomic<size_t> crack_publishes_{0};
   std::atomic<size_t> coalesced_cracks_{0};

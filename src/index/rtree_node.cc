@@ -159,10 +159,16 @@ size_t CountInRegion(std::span<const uint32_t> ids, const PointSet& points,
   return count;
 }
 
+void DeleteSubtree(Node* node) {
+  if (node == nullptr) return;
+  for (Node* child : node->children) DeleteSubtree(child);
+  delete node;
+}
+
 size_t SubtreeMemoryBytes(const Node& node) {
-  size_t bytes = sizeof(Node) +
-                 node.children.capacity() * sizeof(std::unique_ptr<Node>);
-  for (const auto& child : node.children) {
+  size_t bytes = sizeof(Node) + node.children.capacity() * sizeof(Node*) +
+                 node.owned_ids.capacity() * sizeof(uint32_t);
+  for (const Node* child : node.children) {
     bytes += SubtreeMemoryBytes(*child);
   }
   return bytes;
@@ -181,7 +187,7 @@ NodeCounts CountNodes(const Node& node) {
       ++c.partitions;
       break;
   }
-  for (const auto& child : node.children) {
+  for (const Node* child : node.children) {
     NodeCounts cc = CountNodes(*child);
     c.internals += cc.internals;
     c.leaves += cc.leaves;

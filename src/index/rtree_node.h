@@ -55,10 +55,23 @@ struct RTreeConfig {
 /// * kInternal — has child nodes; `mbr` bounds them.
 /// * kLeaf — terminal node holding at most N points.
 /// * kPartition — an *unsplit* element of the contour (Definition 2): a
-///   range of the shared sort-order arrays not yet broken into children.
+///   range of point ids not yet broken into children.
 ///
-/// Leaf and partition nodes reference the contiguous range [begin, end)
-/// of the SortedOrders arrays; internal nodes own their children.
+/// Published nodes are immutable (DESIGN.md §6f): cracks never mutate a
+/// node reachable from a published root — they build replacement
+/// subtrees aside and swap the version pointer. Children are therefore
+/// raw pointers, because consecutive versions share every untouched
+/// subtree; ownership is by reachability from the current version plus
+/// the epoch limbo list of retired nodes. Use DeleteSubtree (or NodePtr
+/// for build-time error paths) to free a subtree that was never shared.
+///
+/// Contour elements carry their id set one of two ways: nodes from the
+/// initial single-partition build reference [begin, end) of the
+/// immutable base SortedOrders arrays; nodes produced by a crack own a
+/// private copy in `owned_ids` (S consecutive blocks of size() ids, one
+/// per sort order). `begin`/`end` always give the element's position in
+/// the committed global order — contour elements tile [0, num_points) —
+/// which is what serialization reconstructs the arrays from.
 struct Node {
   enum class Kind : uint8_t { kLeaf, kPartition, kInternal };
 
@@ -67,11 +80,35 @@ struct Node {
   Rect mbr;
   size_t begin = 0;
   size_t end = 0;
-  std::vector<std::unique_ptr<Node>> children;
+  std::vector<Node*> children;
+
+  /// Owned per-order id blocks (empty when the node references the base
+  /// arrays). Laid out as num_orders blocks of size() ids each.
+  std::vector<uint32_t> owned_ids;
 
   size_t size() const { return end - begin; }
   bool IsContourElement() const { return kind != Kind::kInternal; }
+
+  /// The owned id block for sort order `s`. Only meaningful when
+  /// owned_ids is non-empty and s < num_orders.
+  std::span<const uint32_t> OwnedIds(size_t s) const {
+    const size_t n = size();
+    VKG_DCHECK((s + 1) * n <= owned_ids.size());
+    return {owned_ids.data() + s * n, n};
+  }
 };
+
+/// Recursively deletes `node` and everything reachable from it. Only
+/// call on subtrees that are not shared with any published version —
+/// i.e. the current root at tree destruction, or a privately built
+/// subtree abandoned before publication.
+void DeleteSubtree(Node* node);
+
+/// Deleter for build-time owning handles (serializer error paths).
+struct SubtreeDeleter {
+  void operator()(Node* node) const { DeleteSubtree(node); }
+};
+using NodePtr = std::unique_ptr<Node, SubtreeDeleter>;
 
 /// One candidate binary split of a partition (BESTBINARYSPLIT output).
 struct SplitCandidate {
@@ -112,8 +149,8 @@ size_t CountInRegion(std::span<const uint32_t> ids, const PointSet& points,
                      const Rect& query);
 
 /// Bytes attributable to the index structure for this subtree (node
-/// structs and child vectors; the shared sort-order arrays are base data
-/// counted separately).
+/// structs, child vectors, and owned id blocks; the shared base
+/// sort-order arrays are data counted separately).
 size_t SubtreeMemoryBytes(const Node& node);
 
 /// Counts nodes by kind in the subtree.

@@ -1,8 +1,10 @@
 // Persistence for CrackingRTree: binary save/load of the sort orders,
 // node tree, chunking counters, and configuration.
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <vector>
 
 #include "index/cracking_rtree.h"
 #include "util/serialize.h"
@@ -73,12 +75,15 @@ void WriteNode(util::BinaryWriter& w, const Node& node) {
   w.WriteU64(node.end);
   WriteRect(w, node.mbr);
   w.WriteU64(node.children.size());
-  for (const auto& child : node.children) WriteNode(w, *child);
+  for (const Node* child : node.children) WriteNode(w, *child);
 }
 
-std::unique_ptr<Node> ReadNode(util::BinaryReader& r, size_t max_end,
-                               util::Status* status, size_t depth = 0) {
-  auto node = std::make_unique<Node>();
+// NodePtr so a parse error (or exception) frees the whole partially
+// built subtree — children are raw pointers, a plain unique_ptr would
+// leak them.
+NodePtr ReadNode(util::BinaryReader& r, size_t max_end,
+                 util::Status* status, size_t depth = 0) {
+  NodePtr node(new Node());
   if (depth > kMaxNodeDepth) {
     *status = util::Status::DataLoss("corrupt node tree: too deep");
     return node;
@@ -104,17 +109,41 @@ std::unique_ptr<Node> ReadNode(util::BinaryReader& r, size_t max_end,
     return node;
   }
   for (uint64_t i = 0; i < child_count && status->ok(); ++i) {
-    node->children.push_back(ReadNode(r, max_end, status, depth + 1));
+    node->children.push_back(ReadNode(r, max_end, status, depth + 1).release());
   }
   return node;
+}
+
+// Reconstructs the committed global id array of sort order `s` from the
+// contour of `root`: contour elements tile [0, num_points) by
+// [begin, end), each contributing its ids either from its owned block
+// (created by a copy-on-write crack) or from the immutable base arrays.
+// The result is exactly the array the pre-COW design maintained in
+// place, so the on-disk format is unchanged.
+void ReconstructOrder(const CrackingRTree& tree, const Node& root, size_t s,
+                      std::vector<uint32_t>* out) {
+  std::vector<const Node*> stack{&root};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node->kind == Node::Kind::kInternal) {
+      for (const Node* child : node->children) stack.push_back(child);
+      continue;
+    }
+    std::span<const uint32_t> ids = tree.ElementIds(*node, s);
+    VKG_CHECK(node->begin + ids.size() <= out->size());
+    std::copy(ids.begin(), ids.end(), out->begin() + node->begin);
+  }
 }
 
 }  // namespace
 
 util::Status CrackingRTree::Save(const std::string& path) const {
-  // Snapshot consistency: hold the tree latch shared so a concurrent
-  // crack cannot rearrange the sort orders mid-write.
-  ReadGuard guard = LockForRead();
+  // Snapshot consistency: pin the epoch and capture one published
+  // version — it is immutable, so the write races with nothing even
+  // while concurrent cracks publish newer versions.
+  ReadPin pin = PinForRead();
+  const Node& root_node = root();
   util::BinaryWriter w(path);
   VKG_RETURN_IF_ERROR(w.status());
   w.WriteU32(kMagic);
@@ -133,23 +162,26 @@ util::Status CrackingRTree::Save(const std::string& path) const {
   w.WriteU32(config_.use_stopping_condition ? 1 : 0);
 
   // Counters.
-  w.WriteU64(chunk_stats_.binary_splits);
-  w.WriteU64(chunk_stats_.astar_expansions);
+  w.WriteU64(binary_splits_.load(std::memory_order_relaxed));
+  w.WriteU64(astar_expansions_.load(std::memory_order_relaxed));
 
   // Sort orders (written only if materialized; a fresh tree has none).
+  // Reconstructed from the captured version's contour, which is the
+  // committed global array of the pre-COW format — loaded nodes then
+  // reference the base arrays by [begin, end) exactly as before.
   const bool have_orders = orders_ != nullptr;
   w.WriteU32(have_orders ? 1 : 0);
   if (have_orders) {
     w.WriteU64(orders_->num_orders());
+    std::vector<uint32_t> ids(points_->size());
     for (size_t s = 0; s < orders_->num_orders(); ++s) {
-      std::span<const uint32_t> ids =
-          orders_->Range(s, 0, points_->size());
+      ReconstructOrder(*this, root_node, s, &ids);
       w.WriteU64(ids.size());
       for (uint32_t id : ids) w.WriteU32(id);
     }
   }
 
-  WriteNode(w, *root_);
+  WriteNode(w, root_node);
   w.WriteChecksum();
   return w.Close();
 }
@@ -188,8 +220,8 @@ util::Result<std::unique_ptr<CrackingRTree>> CrackingRTree::Load(
   }
 
   auto tree = std::make_unique<CrackingRTree>(points, config);
-  tree->chunk_stats_.binary_splits = r.ReadU64();
-  tree->chunk_stats_.astar_expansions = r.ReadU64();
+  tree->binary_splits_.store(r.ReadU64(), std::memory_order_relaxed);
+  tree->astar_expansions_.store(r.ReadU64(), std::memory_order_relaxed);
 
   if (r.ReadU32() != 0) {
     uint64_t num_orders = r.ReadU64();
@@ -220,12 +252,17 @@ util::Result<std::unique_ptr<CrackingRTree>> CrackingRTree::Load(
   }
 
   util::Status node_status;
-  tree->root_ = ReadNode(r, points->size(), &node_status);
+  NodePtr loaded_root = ReadNode(r, points->size(), &node_status);
   VKG_RETURN_IF_ERROR(node_status);
   VKG_RETURN_IF_ERROR(r.status());
-  if (tree->root_->begin != 0 || tree->root_->end != points->size()) {
+  if (loaded_root->begin != 0 || loaded_root->end != points->size()) {
     return util::Status::InvalidArgument("corrupt root range");
   }
+  // The tree is private here (just constructed, never published to any
+  // reader), so the constructor's placeholder root is replaced directly
+  // — no epoch retirement needed.
+  DeleteSubtree(tree->root_.load(std::memory_order_relaxed));
+  tree->root_.store(loaded_root.release(), std::memory_order_release);
   // Content checksum last: catches any bit flip the structural checks
   // above cannot (coordinates, config floats, counters).
   r.VerifyChecksum();

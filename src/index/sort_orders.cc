@@ -22,6 +22,16 @@ SortedOrders::SortedOrders(const PointSet& points) : points_(&points) {
   scratch_.resize(points.size());
 }
 
+SortedOrders::SortedOrders(const PointSet& points,
+                           std::vector<std::vector<uint32_t>> orders)
+    : points_(&points), orders_(std::move(orders)) {
+  VKG_DCHECK(!orders_.empty());
+  for (const std::vector<uint32_t>& order : orders_) {
+    VKG_DCHECK(order.size() == orders_[0].size());
+  }
+  scratch_.resize(orders_[0].size());
+}
+
 size_t SortedOrders::SplitRange(size_t begin, size_t end, size_t split_order,
                                 uint32_t boundary_id) {
   VKG_DCHECK(split_order < orders_.size());

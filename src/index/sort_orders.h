@@ -26,6 +26,14 @@ class SortedOrders {
   /// id, making every order a strict total order).
   explicit SortedOrders(const PointSet& points);
 
+  /// Adopts pre-sorted id arrays (one per order, all permutations of the
+  /// same id set). Used by copy-on-write cracks to chunk a detached
+  /// working copy of one partition's ids without touching the shared
+  /// base arrays (DESIGN.md §6f); the adopted arrays need not span the
+  /// whole point set.
+  SortedOrders(const PointSet& points,
+               std::vector<std::vector<uint32_t>> orders);
+
   size_t num_orders() const { return orders_.size(); }
   size_t size() const { return orders_.empty() ? 0 : orders_[0].size(); }
 

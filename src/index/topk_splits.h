@@ -16,10 +16,17 @@ struct ChunkingStats {
   size_t astar_expansions = 0;
 };
 
-/// Splits the committed range [begin, end) of `orders` into consecutive
-/// chunks of size <= m (the PARTITION function of Algorithm 1), returning
-/// the chunk sizes left to right. The range's arrays are rearranged in
+/// Splits the range [begin, end) of `orders` into consecutive chunks of
+/// size <= m (the PARTITION function of Algorithm 1), returning the
+/// chunk sizes left to right. The range's arrays are rearranged in
 /// place so each chunk is a contiguous subrange in every sort order.
+///
+/// `orders` must be private to the caller. The copy-on-write cracking
+/// path (DESIGN.md §6f) hands in a detached working copy built from the
+/// node being split (with begin = 0), mutates it here, and publishes
+/// the chunk ids as per-node owned blocks — the base arrays shared by
+/// published tree versions are never touched. Offline bulk loading
+/// still chunks the base arrays directly, before the tree is shared.
 ///
 /// * `query == nullptr`: offline bulk-loading mode — greedy binary splits
 ///   under the classic overlap cost.

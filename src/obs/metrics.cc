@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/epoch.h"
 #include "util/string_util.h"
 
 namespace vkg::obs {
@@ -112,10 +113,28 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name,
   return *it->second;
 }
 
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::make_unique<Gauge>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
 uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->Value();
+}
+
+double MetricsRegistry::GaugeValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second->Value();
 }
 
 std::string MetricsRegistry::PrometheusText() const {
@@ -124,6 +143,10 @@ std::string MetricsRegistry::PrometheusText() const {
   for (const auto& [name, counter] : counters_) {
     out += "# TYPE " + name + " counter\n";
     out += name + " " + std::to_string(counter->Value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + util::StrFormat("%.17g", gauge->Value()) + "\n";
   }
   for (const auto& [name, hist] : histograms_) {
     Histogram::Snapshot snap = hist->Snap();
@@ -153,6 +176,13 @@ std::string MetricsRegistry::JsonText() const {
                                counter->Value()));
     first = false;
   }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out += util::StrFormat("%s\n    \"%s\": %.17g", first ? "" : ",",
+                           name.c_str(), gauge->Value());
+    first = false;
+  }
   out += "\n  },\n  \"histograms\": {";
   first = true;
   for (const auto& [name, hist] : histograms_) {
@@ -179,7 +209,24 @@ std::string MetricsRegistry::JsonText() const {
 void MetricsRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+void PublishEpochStats() {
+  const util::EpochManager::Stats stats =
+      util::EpochManager::Global().GetStats();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetGauge("vkg_epoch_current")
+      .Set(static_cast<double>(stats.epoch));
+  registry.GetGauge("vkg_epoch_versions_retired")
+      .Set(static_cast<double>(stats.versions_retired));
+  registry.GetGauge("vkg_epoch_versions_reclaimed")
+      .Set(static_cast<double>(stats.versions_reclaimed));
+  registry.GetGauge("vkg_epoch_bytes_pinned")
+      .Set(static_cast<double>(stats.bytes_pinned));
+  registry.GetGauge("vkg_epoch_max_lag")
+      .Set(static_cast<double>(stats.max_lag));
 }
 
 }  // namespace vkg::obs

@@ -87,6 +87,35 @@ class Counter {
   std::array<Shard, detail::kShards> shards_;
 };
 
+/// A last-write-wins instantaneous value (Prometheus gauge). Gauges are
+/// set from cold paths (periodic stat mirroring, CLI dumps), so a single
+/// atomic double suffices — no sharding.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+#ifdef VKG_OBS_COMPILED_OUT
+  void Set(double) {}
+#else
+  void Set(double value) {
+    if (!Enabled()) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+#endif
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
 /// A histogram over fixed, ascending bucket upper bounds (Prometheus
 /// `le` semantics: a value lands in the first bucket whose bound is >=
 /// the value; values above the last bound land in +Inf). The bounds are
@@ -197,13 +226,21 @@ class MetricsRegistry {
   Histogram& GetHistogram(std::string_view name,
                           std::span<const double> bounds = {});
 
+  /// The gauge named `name`, created on first use. The reference is
+  /// valid for the registry's lifetime.
+  Gauge& GetGauge(std::string_view name);
+
   /// Merged value of `name`, or 0 when no such counter exists.
   uint64_t CounterValue(std::string_view name) const;
+
+  /// Current value of gauge `name`, or 0 when no such gauge exists.
+  double GaugeValue(std::string_view name) const;
 
   /// Prometheus text exposition (stable: sorted by name).
   std::string PrometheusText() const;
 
-  /// JSON exposition: {"counters": {...}, "histograms": {...}}.
+  /// JSON exposition: {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}}.
   std::string JsonText() const;
 
   /// Zeroes every metric (handles stay valid). Test/bench use only.
@@ -212,9 +249,16 @@ class MetricsRegistry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
       histograms_;
 };
+
+/// Mirrors util::EpochManager::Global() reclamation stats into the
+/// global registry as vkg_epoch_* gauges (DESIGN.md §6f). Cold path:
+/// call before dumping/scraping metrics — gauges are snapshots, not
+/// continuously maintained.
+void PublishEpochStats();
 
 }  // namespace vkg::obs
 

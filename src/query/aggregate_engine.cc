@@ -173,16 +173,18 @@ util::Result<AggregateResult> AggregateEngine::Aggregate(
                                    pm.d_min(), dist_s2, r_tau, alpha);
   };
 
-  // The contour traversal holds the tree latch shared: Node pointers in
-  // the frontier and ElementIds() spans alias structure that concurrent
-  // cracks rearrange in place. Released before Crack() below.
-  index::CrackingRTree::ReadGuard guard = tree_->LockForRead();
+  // The contour traversal runs under one epoch pin (no locks, DESIGN.md
+  // §6f): Node pointers in the frontier and ElementIds() spans reference
+  // immutable version nodes that the pin keeps allocated. The root is
+  // captured once so the frontier traverses a single consistent version.
+  index::CrackingRTree::ReadPin pin = tree_->PinForRead();
+  const index::Node& tree_root = tree_->root();
   obs::Span contour_span(trace, "agg.contour");
   using Frontier = std::pair<double, const index::Node*>;
   std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>>
       frontier;
-  frontier.emplace(tree_->root().mbr.MinDistSquared(q_s2.AsSpan()),
-                   &tree_->root());
+  frontier.emplace(tree_root.mbr.MinDistSquared(q_s2.AsSpan()),
+                   &tree_root);
   bool budget_exhausted = false;
   while (!frontier.empty()) {
     // A tripped deadline / cancellation / point budget behaves exactly
@@ -201,9 +203,9 @@ util::Result<AggregateResult> AggregateEngine::Aggregate(
       // Keep descending internal nodes (cheap: no point access) so the
       // estimates are taken at contour-element granularity.
       if (node->kind == index::Node::Kind::kInternal) {
-        for (const auto& child : node->children) {
+        for (const index::Node* child : node->children) {
           double cd2 = child->mbr.MinDistSquared(q_s2.AsSpan());
-          if (std::sqrt(cd2) <= r_s2) frontier.emplace(cd2, child.get());
+          if (std::sqrt(cd2) <= r_s2) frontier.emplace(cd2, child);
         }
       } else {
         estimate_element(*node);
@@ -211,9 +213,9 @@ util::Result<AggregateResult> AggregateEngine::Aggregate(
       continue;
     }
     if (node->kind == index::Node::Kind::kInternal) {
-      for (const auto& child : node->children) {
+      for (const index::Node* child : node->children) {
         double cd2 = child->mbr.MinDistSquared(q_s2.AsSpan());
-        if (std::sqrt(cd2) <= r_s2) frontier.emplace(cd2, child.get());
+        if (std::sqrt(cd2) <= r_s2) frontier.emplace(cd2, child);
       }
       continue;
     }
@@ -260,7 +262,10 @@ util::Result<AggregateResult> AggregateEngine::Aggregate(
   contour_span.SetAttr("accessed", static_cast<double>(accessed.size()));
   contour_span.SetAttr("estimated_count", unaccessed_count);
   contour_span.End();
-  guard = index::CrackingRTree::ReadGuard();  // release before cracking
+  // Unpin before cracking: not required for correctness (writers never
+  // wait for readers), but letting the epoch advance during the crack
+  // keeps retired-version reclamation prompt.
+  pin = index::CrackingRTree::ReadPin();
   if (crack_after_query_ && !control.stopped()) {
     tree_->Crack(region, &control, trace);
   }

@@ -107,6 +107,10 @@ std::vector<util::Result<TopKResult>> BatchTopK(
     }
     if (options.trace_hook) options.trace_hook(i, *trace);
   };
+  // Parallel shards share the engine directly: the cracking tree's read
+  // path is lock-free (epoch-pinned immutable versions, DESIGN.md §6f),
+  // so concurrent slots only ever serialize on the crack-side mutex —
+  // and only when they actually crack.
   const bool parallel = pool != nullptr && pool->num_threads() > 1 &&
                         engine.SupportsConcurrentQueries();
   if (!parallel) {

@@ -22,8 +22,9 @@ namespace vkg::query {
 /// engine.
 ///
 /// Online-cracking engines run on the parallel path too: the cracking
-/// R-tree serializes cracks behind its own reader-writer latch
-/// (DESIGN.md §6d), so SupportsConcurrentQueries() holds for them. The
+/// R-tree's read path is lock-free over epoch-published versions and
+/// cracks serialize on a writer-side mutex (DESIGN.md §6f), so
+/// SupportsConcurrentQueries() holds for them. The
 /// rare engine that mutates shared state without internal
 /// synchronization (SupportsConcurrentQueries() == false) is
 /// automatically processed sequentially in input order — same API, no

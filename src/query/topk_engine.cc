@@ -242,14 +242,18 @@ TopKResult RTreeTopKEngine::TopKQuery(const data::Query& query, size_t k,
 
   double r_q = kInf;
   double certified = 0.0;
+  double root_margin = 0.0;
   bool complete = true;
   {
     // The whole read phase — probe, seeding, frontier traversal — runs
-    // under one shared hold of the tree latch: the Node pointers and
-    // ElementIds() spans below alias structure that concurrent cracks
-    // rearrange in place. Released before Crack() (a thread holding its
-    // own read guard can never be granted the exclusive latch).
-    index::CrackingRTree::ReadGuard guard = tree_->LockForRead();
+    // under one epoch pin (no locks, DESIGN.md §6f): the Node pointers
+    // and ElementIds() spans below reference immutable version nodes,
+    // and the pin keeps them allocated even after concurrent cracks
+    // publish newer versions. The root is captured once so the frontier
+    // traverses a single consistent version.
+    index::CrackingRTree::ReadPin pin = tree_->PinForRead();
+    const index::Node& tree_root = tree_->root();
+    root_margin = tree_root.mbr.Margin();
 
     // Lines 1-3: probe for the element containing q and seed N_q, giving
     // the initial radius r_q = r_k*(N_q) (1 + eps).
@@ -281,8 +285,8 @@ TopKResult RTreeTopKEngine::TopKQuery(const data::Query& query, size_t k,
     using Frontier = std::pair<double, const index::Node*>;  // (mindist, node)
     std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>>
         frontier;
-    frontier.emplace(tree_->root().mbr.MinDistSquared(q_s2.AsSpan()),
-                     &tree_->root());
+    frontier.emplace(tree_root.mbr.MinDistSquared(q_s2.AsSpan()),
+                     &tree_root);
     while (!frontier.empty()) {
       ++frontier_pops;
       // An empty heap means nothing has been answered yet (the seed
@@ -300,9 +304,9 @@ TopKResult RTreeTopKEngine::TopKQuery(const data::Query& query, size_t k,
       if (mindist > r_q) break;  // everything left is outside Q
       certified = mindist;
       if (node->kind == index::Node::Kind::kInternal) {
-        for (const auto& child : node->children) {
+        for (const index::Node* child : node->children) {
           double cd2 = child->mbr.MinDistSquared(q_s2.AsSpan());
-          if (std::sqrt(cd2) <= r_q) frontier.emplace(cd2, child.get());
+          if (std::sqrt(cd2) <= r_q) frontier.emplace(cd2, child);
         }
         continue;
       }
@@ -318,7 +322,7 @@ TopKResult RTreeTopKEngine::TopKQuery(const data::Query& query, size_t k,
   }
   if (r_q == kInf) {
     // Fewer than k valid entities in the whole dataset.
-    r_q = tree_->root().mbr.Margin() + 1.0;
+    r_q = root_margin + 1.0;
   }
   if (complete) certified = r_q;
   index::Rect region = index::Rect::BoundingBoxOfBall(q_s2, r_q);

@@ -48,8 +48,9 @@ std::function<bool(uint32_t)> MakeSkipFn(const kg::KnowledgeGraph& graph,
 /// QueryContext, so one engine instance can serve concurrent queries as
 /// long as each thread uses its own context (see BatchTopK in
 /// query/batch_executor.h). Shared *index* state guards itself: the
-/// cracking R-tree serializes cracks behind a reader-writer latch
-/// (DESIGN.md §6d), so even online-cracking engines report
+/// cracking R-tree publishes immutable versions that readers pin
+/// lock-free, serializing cracks on a writer-side mutex (DESIGN.md
+/// §6f), so even online-cracking engines report
 /// SupportsConcurrentQueries() == true. An engine returns false only
 /// when its index mutates without internal synchronization.
 class TopKEngine {
@@ -71,7 +72,7 @@ class TopKEngine {
   /// False when answering a query mutates shared state without internal
   /// synchronization: such engines must not run queries on multiple
   /// threads at once. Online-cracking R-tree engines qualify as true —
-  /// the tree latches itself (see index::CrackingRTree).
+  /// the tree synchronizes itself (see index::CrackingRTree).
   virtual bool SupportsConcurrentQueries() const { return true; }
 
   /// The knowledge graph the engine answers over (null only for engines

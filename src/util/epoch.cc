@@ -1,0 +1,164 @@
+#include "util/epoch.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace vkg::util {
+
+namespace {
+
+// Per-thread registry of managers this thread is pinned on. Entries
+// exist only while the pin is held (outermost Guard alive), so a
+// destroyed test-local manager can never be dangling-referenced at
+// thread exit. Linear scan: a thread pins one or two managers, ever.
+struct PinEntry {
+  const EpochManager* manager;
+  void* slot;
+  int depth;
+};
+thread_local std::vector<PinEntry> t_pins;
+
+PinEntry* FindPin(const EpochManager* manager) {
+  for (PinEntry& entry : t_pins) {
+    if (entry.manager == manager) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+EpochManager& EpochManager::Global() {
+  // Leaked: limbo objects stay reachable (no LSan noise) and no static
+  // destruction order race with late-exiting threads.
+  static EpochManager* manager = new EpochManager();
+  return *manager;
+}
+
+EpochManager::EpochManager() = default;
+
+EpochManager::~EpochManager() {
+  // No reader may be pinned here; free everything unconditionally.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (LimboItem& item : limbo_) {
+    item.deleter(item.object);
+    ++reclaimed_;
+  }
+  limbo_.clear();
+  limbo_bytes_ = 0;
+}
+
+EpochManager::Slot* EpochManager::ClaimSlot() {
+  // Round-robin start position spreads threads over the table so the
+  // claim CAS is conflict-free in steady state.
+  static std::atomic<size_t> hint{0};
+  const size_t start = hint.fetch_add(1, std::memory_order_relaxed);
+  for (size_t i = 0; i < kMaxSlots; ++i) {
+    Slot& slot = slots_[(start + i) % kMaxSlots];
+    bool expected = false;
+    if (slot.claimed.compare_exchange_strong(expected, true,
+                                             std::memory_order_acquire)) {
+      return &slot;
+    }
+  }
+  VKG_CHECK(false && "epoch slot table exhausted (>512 pinned threads)");
+  return nullptr;
+}
+
+void EpochManager::Pin() {
+  if (PinEntry* entry = FindPin(this)) {
+    ++entry->depth;
+    return;
+  }
+  Slot* slot = ClaimSlot();
+  // Announce the epoch we are pinning, then re-check it is still
+  // current: an advance racing the announcement either saw our slot
+  // (and did not advance) or finished first (then we re-announce the
+  // newer epoch). Settles in one iteration unless a writer is actively
+  // advancing.
+  uint64_t e = epoch_.load(std::memory_order_seq_cst);
+  while (true) {
+    slot->epoch.store(e, std::memory_order_seq_cst);
+    const uint64_t now = epoch_.load(std::memory_order_seq_cst);
+    if (now == e) break;
+    e = now;
+  }
+  t_pins.push_back({this, slot, 1});
+}
+
+void EpochManager::Unpin() {
+  PinEntry* entry = FindPin(this);
+  VKG_DCHECK(entry != nullptr);
+  if (--entry->depth > 0) return;
+  Slot* slot = static_cast<Slot*>(entry->slot);
+  slot->epoch.store(0, std::memory_order_release);
+  slot->claimed.store(false, std::memory_order_release);
+  *entry = t_pins.back();
+  t_pins.pop_back();
+}
+
+bool EpochManager::PinnedByThisThread() const {
+  const PinEntry* entry = FindPin(this);
+  return entry != nullptr && entry->depth > 0;
+}
+
+void EpochManager::Retire(void* object, void (*deleter)(void*),
+                          size_t bytes) {
+  VKG_DCHECK(object != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  limbo_.push_back(
+      {object, deleter, bytes, epoch_.load(std::memory_order_relaxed)});
+  limbo_bytes_ += bytes;
+  ++retired_;
+  // Opportunistic reclaim keeps limbo bounded by what pinned readers
+  // actually hold; two attempts so an idle system drains freshly
+  // retired objects (each attempt advances at most one epoch).
+  ReclaimLocked();
+  ReclaimLocked();
+}
+
+size_t EpochManager::ReclaimLocked() {
+  const uint64_t e = epoch_.load(std::memory_order_seq_cst);
+  if (!limbo_.empty()) {
+    const uint64_t lag = e - limbo_.front().epoch;
+    if (lag > max_lag_) max_lag_ = lag;
+  }
+  for (const Slot& slot : slots_) {
+    const uint64_t pinned = slot.epoch.load(std::memory_order_seq_cst);
+    if (pinned != 0 && pinned != e) return 0;  // reader one epoch behind
+  }
+  // Advance: every pinned reader is at e, so nobody can still reach an
+  // object retired at e-1 or earlier once they observe e+1 (see the
+  // safety argument in the header).
+  epoch_.store(e + 1, std::memory_order_seq_cst);
+  size_t freed = 0;
+  while (!limbo_.empty() && limbo_.front().epoch + 2 <= e + 1) {
+    LimboItem& item = limbo_.front();
+    item.deleter(item.object);
+    limbo_bytes_ -= item.bytes;
+    ++reclaimed_;
+    ++freed;
+    limbo_.pop_front();
+  }
+  return freed;
+}
+
+size_t EpochManager::TryReclaim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t freed = ReclaimLocked();
+  freed += ReclaimLocked();
+  return freed;
+}
+
+EpochManager::Stats EpochManager::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.epoch = epoch_.load(std::memory_order_relaxed);
+  stats.versions_retired = retired_;
+  stats.versions_reclaimed = reclaimed_;
+  stats.bytes_pinned = limbo_bytes_;
+  stats.max_lag = max_lag_;
+  return stats;
+}
+
+}  // namespace vkg::util

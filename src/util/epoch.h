@@ -1,0 +1,165 @@
+#ifndef VKG_UTIL_EPOCH_H_
+#define VKG_UTIL_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace vkg::util {
+
+/// Epoch-based reclamation (EBR / QSBR) for lock-free read paths
+/// (DESIGN.md §6f). Readers pin the current epoch for the duration of a
+/// read phase — one relaxed load plus one store and a fence, no locks —
+/// and may then follow any pointer published before or during the pin.
+/// Writers unlink replaced objects from the shared structure first
+/// (publish the new version), then Retire() them; a retired object is
+/// physically freed only after the global epoch has advanced twice past
+/// its retirement epoch, which cannot happen while any reader that
+/// could still reach it stays pinned.
+///
+/// The protocol is the classic three-generation scheme (Fraser 2004):
+///
+///  * Pin: read the global epoch E, store it into this thread's slot
+///    (seq_cst), re-check E is still current (loop; writers advance
+///    rarely, so this settles immediately in practice). Nested pins on
+///    the same thread reuse the outer pin via a depth counter.
+///  * Retire: append {object, deleter, epoch E} to the limbo list.
+///    Writer-side only, mutex-guarded — retirement happens inside
+///    already-serialized writer sections, never on the read path.
+///  * Advance: if every pinned slot equals E, bump the epoch to E+1 and
+///    free limbo objects with epoch <= E-1. A reader pinned at E' < E+1
+///    blocks every free of objects retired at >= E', conservatively.
+///
+/// Safety argument (why a freed object is unreachable): an object is
+/// retired only after it was unlinked from every published structure.
+/// Freeing it requires two epoch advances past its retirement epoch R;
+/// the advance R -> R+1 happens-after the retire (same writer lock),
+/// and any reader pinned at >= R+1 read that epoch value from the
+/// seq_cst advance, so the unlink happens-before its pin — it can only
+/// see the new version. Readers pinned at <= R block the advance
+/// R+1 -> R+2 and therefore the free.
+class EpochManager {
+ public:
+  /// Process-wide manager used by the cracking trees. Leaked on exit so
+  /// no static-destruction-order hazards exist; limbo objects stay
+  /// reachable from it (LeakSanitizer-clean).
+  static EpochManager& Global();
+
+  EpochManager();
+  /// Frees all limbo objects unconditionally. Only destroy a private
+  /// manager (tests) once no thread is pinned on it.
+  ~EpochManager();
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// RAII pin on the current epoch. Re-entrant per thread: nested
+  /// guards reuse the outer pin (a depth counter — no atomics beyond
+  /// the outermost enter/exit).
+  class Guard {
+   public:
+    Guard() = default;
+    explicit Guard(EpochManager* manager) : manager_(manager) {
+      if (manager_ != nullptr) manager_->Pin();
+    }
+    Guard(Guard&& other) noexcept : manager_(other.manager_) {
+      other.manager_ = nullptr;
+    }
+    Guard& operator=(Guard&& other) noexcept {
+      if (this != &other) {
+        if (manager_ != nullptr) manager_->Unpin();
+        manager_ = other.manager_;
+        other.manager_ = nullptr;
+      }
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() {
+      if (manager_ != nullptr) manager_->Unpin();
+    }
+
+   private:
+    EpochManager* manager_ = nullptr;
+  };
+
+  Guard Enter() { return Guard(this); }
+
+  /// True when the calling thread currently holds a pin on this
+  /// manager (directly or nested).
+  bool PinnedByThisThread() const;
+
+  /// Defers destruction of `object` until no pinned reader can still
+  /// reach it. `deleter` receives `object`; `bytes` is an accounting
+  /// hint for the bytes_pinned metric (0 = unknown). Must be called
+  /// after `object` was unlinked from every published structure.
+  void Retire(void* object, void (*deleter)(void*), size_t bytes);
+
+  template <typename T>
+  void RetireObject(T* object, size_t bytes = sizeof(T)) {
+    Retire(
+        object, [](void* p) { delete static_cast<T*>(p); }, bytes);
+  }
+
+  /// Tries to advance the epoch and free what is now safe. Returns the
+  /// number of objects freed. Called automatically by Retire; exposed
+  /// so owners can drain limbo at destruction/idle time.
+  size_t TryReclaim();
+
+  /// Observability snapshot (mirrored into the obs registry as
+  /// vkg_epoch_* by the Global() manager).
+  struct Stats {
+    uint64_t epoch = 0;              // current global epoch
+    uint64_t versions_retired = 0;   // objects ever passed to Retire
+    uint64_t versions_reclaimed = 0; // objects actually freed
+    size_t bytes_pinned = 0;         // bytes currently in limbo
+    uint64_t max_lag = 0;            // worst epochs-behind of any limbo
+                                     // object observed at a reclaim
+  };
+  Stats GetStats() const;
+
+ private:
+  struct Slot;
+  struct LimboItem {
+    void* object;
+    void (*deleter)(void*);
+    size_t bytes;
+    uint64_t epoch;  // global epoch at retirement
+  };
+
+  void Pin();
+  void Unpin();
+  Slot* ThisThreadSlot() const;
+  Slot* ClaimSlot();
+  // One advance-and-free attempt; caller holds mu_.
+  size_t ReclaimLocked();
+
+  // Fixed slot table: threads claim a slot on first pin and release it
+  // at thread exit. More live threads than slots fall back to sharing
+  // via a spin on claim — with 512 slots that never happens in
+  // practice, and VKG_CHECK guards the impossible case.
+  static constexpr size_t kMaxSlots = 512;
+  struct alignas(64) Slot {
+    // 0 = unpinned; otherwise the pinned epoch. Epochs start at 1.
+    std::atomic<uint64_t> epoch{0};
+    std::atomic<bool> claimed{false};
+  };
+  Slot slots_[kMaxSlots];
+
+  std::atomic<uint64_t> epoch_{1};
+
+  // Writer-side state (Retire/TryReclaim): cracks are already
+  // serialized by their tree, so this mutex is uncontended in steady
+  // state and never touched by readers.
+  mutable std::mutex mu_;
+  std::deque<LimboItem> limbo_;
+  size_t limbo_bytes_ = 0;
+  uint64_t retired_ = 0;
+  uint64_t reclaimed_ = 0;
+  uint64_t max_lag_ = 0;
+};
+
+}  // namespace vkg::util
+
+#endif  // VKG_UTIL_EPOCH_H_

@@ -31,10 +31,11 @@ namespace vkg::util {
 /// Site naming convention: <subsystem>.<operation>, lowercase. Planted
 /// sites:
 ///   cracking.split      — abandon one partition split (tree stays valid)
-///   cracking.publish    — evaluated under the tree's exclusive crack
-///                         latch, before any mutation: `fail` abandons
-///                         the whole crack, `delay` stalls publication
-///                         while readers queue behind the latch
+///   cracking.publish    — evaluated under the tree's writer-side crack
+///                         mutex, before any new version is built:
+///                         `fail` abandons the whole crack, `delay`
+///                         stalls publication while other cracks queue
+///                         (readers are lock-free and never wait)
 ///   serialize.read      — injected read error in the persistence layer
 ///   serialize.write     — injected write error in the persistence layer
 ///   alloc.scratch       — per-query scratch allocation throws bad_alloc

@@ -134,7 +134,7 @@ TEST_F(BatchQueryTest, BulkRTreeEngineBatchMatchesSequential) {
 
 TEST_F(BatchQueryTest, CrackingRTreeEngineBatchMatchesSequential) {
   // A cracking engine mutates the shared tree per query, but the tree
-  // latches itself, so BatchTopK runs the parallel path. The crack
+  // synchronizes itself, so BatchTopK runs the parallel path. The crack
   // *order* (and hence tree shape) differs between runs — answers never
   // do: cracking refines cost, not results. Two fresh engines fed the
   // same queries must answer identically regardless of schedule.

@@ -12,10 +12,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <limits>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -28,6 +31,7 @@
 #include "query/batch_executor.h"
 #include "query/topk_engine.h"
 #include "transform/jl_transform.h"
+#include "util/epoch.h"
 #include "util/failpoint.h"
 
 namespace vkg::query {
@@ -157,8 +161,9 @@ TEST_F(ConcurrentCrackingTest, StormSurvivesFailpointsArmedMidStorm) {
 
   Rig shared(*ds_);
   // Arm from a separate thread WHILE the storm runs: publishes stall
-  // (readers and crack waiters queue behind the held latch), then whole
-  // cracks abandon, then splits abandon, then everything heals.
+  // (crack waiters queue behind the held writer mutex; readers sail
+  // past), then whole cracks abandon, then splits abandon, then
+  // everything heals.
   std::thread arsonist([] {
     auto& reg = util::FailPointRegistry::Instance();
     ASSERT_TRUE(
@@ -173,7 +178,7 @@ TEST_F(ConcurrentCrackingTest, StormSurvivesFailpointsArmedMidStorm) {
 }
 
 TEST_F(ConcurrentCrackingTest, DeadlineStormDegradesInsteadOfStalling) {
-  // A stalled publish holds the exclusive latch while every other
+  // A stalled publish holds the writer mutex while every other
   // thread's crack waits; with a deadline armed those waiters must give
   // up (abandoned / coalesced), not stall the storm. Answers within the
   // certified radius stay correct — verified against the exact scan.
@@ -239,8 +244,8 @@ TEST_F(ConcurrentCrackingTest, DeadlineStormDegradesInsteadOfStalling) {
 
 TEST_F(ConcurrentCrackingTest, MixedTopKAndAggregateStorm) {
   // Top-k and aggregate threads share the tree; aggregates take nested
-  // read guards (their top-1 probe runs Algorithm 3 inside the outer
-  // traversal) — the re-entrant guard must not self-deadlock.
+  // read pins (their top-1 probe runs Algorithm 3 inside the outer
+  // traversal) — the re-entrant epoch pin must nest cleanly.
   Rig shared(*ds_);
   AggregateEngine agg(&ds_->graph, &ds_->embeddings, &shared.jl,
                       &shared.tree, /*eps=*/1.0,
@@ -290,7 +295,7 @@ TEST_F(ConcurrentCrackingTest, CoalescesDuplicateCracks) {
   EXPECT_EQ(s1.coalesced_cracks, 0u);
 
   // Same region again, and a strictly contained one: both are covered
-  // by the published crack and must not take the exclusive latch.
+  // by the published crack and must not take the writer mutex.
   rig.tree.Crack(region);
   index::Rect inner = region;
   inner.hi[0] = 0.5f * (inner.lo[0] + inner.hi[0]);
@@ -300,23 +305,111 @@ TEST_F(ConcurrentCrackingTest, CoalescesDuplicateCracks) {
   EXPECT_EQ(s2.coalesced_cracks, 2u);
 }
 
-TEST_F(ConcurrentCrackingTest, CrackUnderOwnReadGuardIsAbandoned) {
-  // A thread that cracks while holding its own read guard would
-  // self-deadlock on the exclusive latch; the tree detects the hold and
-  // abandons the (purely perf-refining) crack instead.
+TEST_F(ConcurrentCrackingTest, CrackUnderOwnReadPinPublishes) {
+  // Under the latch design a crack beneath the caller's own read guard
+  // had to be abandoned (self-deadlock); with epoch-published versions
+  // writers never wait for readers, so the same crack now publishes —
+  // and the pinned snapshot keeps reading the OLD version unchanged.
   Rig rig(*ds_);
   index::Rect region = HalfSpaceRegion(rig.tree);
   {
-    index::CrackingRTree::ReadGuard guard = rig.tree.LockForRead();
-    rig.tree.Crack(region);  // must return, not deadlock
+    index::CrackingRTree::ReadPin pin = rig.tree.PinForRead();
+    const index::Node& old_root = rig.tree.root();
+    std::span<const uint32_t> ids = rig.tree.ElementIds(old_root, 0);
+    std::vector<uint32_t> before(ids.begin(), ids.end());
+
+    rig.tree.Crack(region);  // must publish, not deadlock or abandon
+
+    // The captured version is immutable: same node object, same ids,
+    // even though a newer (cracked) version is already published.
+    EXPECT_TRUE(old_root.children.empty());
+    std::span<const uint32_t> after = rig.tree.ElementIds(old_root, 0);
+    ASSERT_EQ(after.size(), before.size());
+    EXPECT_TRUE(std::equal(after.begin(), after.end(), before.begin()));
   }
   index::IndexStats stats = rig.tree.Stats();
-  EXPECT_EQ(stats.crack_publishes, 0u);
-  EXPECT_EQ(stats.abandoned_cracks, 1u);
+  EXPECT_EQ(stats.crack_publishes, 1u);
+  EXPECT_EQ(stats.abandoned_cracks, 0u);
+}
 
-  // Guard released: the same crack now goes through.
-  rig.tree.Crack(region);
-  EXPECT_EQ(rig.tree.Stats().crack_publishes, 1u);
+TEST_F(ConcurrentCrackingTest, SnapshotsHeldAcrossQueriesStaySane) {
+  // The epoch scheme's contract: a pinned reader may hold node pointers
+  // and ElementIds spans arbitrarily long — across query boundaries —
+  // while crackers retire version after version. Under ASan/TSan a
+  // use-after-free on a retired node is the failure mode this hunts.
+  Rig rig(*ds_);
+  constexpr size_t kOrders = 3;  // JL target dim in this rig
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> snapshots_checked{0};
+
+  // Readers: pin, walk to a leaf, record its ids, run MORE queries
+  // through the engine (still pinned), then re-verify the span.
+  auto reader = [&](size_t seed) {
+    QueryContext ctx;
+    while (!stop.load(std::memory_order_relaxed)) {
+      index::CrackingRTree::ReadPin pin = rig.tree.PinForRead();
+      const index::Node* node = &rig.tree.root();
+      while (node->kind == index::Node::Kind::kInternal) {
+        node = node->children[seed % node->children.size()];
+      }
+      const size_t s = seed % kOrders;
+      std::span<const uint32_t> ids = rig.tree.ElementIds(*node, s);
+      std::vector<uint32_t> before(ids.begin(), ids.end());
+
+      // Cross a few query boundaries while the snapshot is live.
+      for (size_t i = 0; i < 3; ++i) {
+        const data::Query& q =
+            (*workload_)[(seed + i) % workload_->size()];
+        ctx.control().ResetForQuery();
+        TopKResult r = rig.engine.TopKQuery(q, 5, ctx);
+        EXPECT_FALSE(r.hits.empty());
+      }
+
+      std::span<const uint32_t> after = rig.tree.ElementIds(*node, s);
+      ASSERT_EQ(after.size(), before.size());
+      EXPECT_TRUE(std::equal(after.begin(), after.end(), before.begin()))
+          << "pinned snapshot mutated under concurrent cracking";
+      snapshots_checked.fetch_add(1);
+      ++seed;
+    }
+  };
+
+  // Crackers: shrink a sliding window so successive cracks keep
+  // refining (each strictly-contained region defeats coalescing until
+  // the stopping condition bites, then full-width regions re-arm it).
+  auto cracker = [&](size_t seed) {
+    while (!stop.load(std::memory_order_relaxed)) {
+      index::Rect region = rig.tree.root().mbr;
+      const float span = region.hi[0] - region.lo[0];
+      const float frac = 0.3f + 0.05f * static_cast<float>(seed % 9);
+      region.lo[0] += 0.01f * static_cast<float>(seed % 17) * span;
+      region.hi[0] = region.lo[0] + frac * span;
+      rig.tree.Crack(region);
+      ++seed;
+    }
+  };
+
+  const size_t threads = std::max<size_t>(2, ChaosThreads());
+  std::vector<std::thread> crew;
+  for (size_t t = 0; t < threads; ++t) {
+    if (t % 2 == 0) {
+      crew.emplace_back(reader, t * 131);
+    } else {
+      crew.emplace_back(cracker, t * 37);
+    }
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true);
+  for (std::thread& th : crew) th.join();
+  EXPECT_GT(snapshots_checked.load(), 0u);
+
+  // Pins are all released: retirement must be able to drain. (Advance
+  // twice: items retired in the current epoch need two steps to age out.)
+  util::EpochManager::Global().TryReclaim();
+  util::EpochManager::Stats es = util::EpochManager::Global().GetStats();
+  EXPECT_EQ(es.bytes_pinned, 0u)
+      << "limbo not drained with zero pinned readers";
 }
 
 TEST_F(ConcurrentCrackingTest, PublishFailpointAbandonsBeforeMutation) {

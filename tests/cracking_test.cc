@@ -48,7 +48,7 @@ std::vector<const Node*> Contour(const CrackingRTree& tree) {
     const Node* n = stack.back();
     stack.pop_back();
     if (n->kind == Node::Kind::kInternal) {
-      for (const auto& c : n->children) stack.push_back(c.get());
+      for (const auto* c : n->children) stack.push_back(c);
     } else {
       contour.push_back(n);
     }

@@ -107,7 +107,7 @@ TEST_P(IndexStressTest, LongCrackSearchSequence) {
     stack.pop_back();
     if (n->kind == Node::Kind::kInternal) {
       EXPECT_LE(n->children.size(), p.fanout);
-      for (const auto& c : n->children) stack.push_back(c.get());
+      for (const auto* c : n->children) stack.push_back(c);
       continue;
     }
     for (uint32_t id : tree.ElementIds(*n)) {

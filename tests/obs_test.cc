@@ -131,6 +131,7 @@ TEST(HistogramTest, DefaultBoundsAreLatencyBuckets) {
 TEST(ExpositionTest, PrometheusTextGolden) {
   MetricsRegistry registry;
   registry.GetCounter("requests_total").Inc(3);
+  registry.GetGauge("inflight").Set(7.5);
   const double bounds[] = {1.0, 2.0, 4.0};
   Histogram& hist = registry.GetHistogram("lat", bounds);
   for (double v : {0.5, 1.0, 1.5, 2.0, 4.0, 5.0}) hist.Observe(v);
@@ -139,6 +140,8 @@ TEST(ExpositionTest, PrometheusTextGolden) {
   EXPECT_EQ(registry.PrometheusText(),
             "# TYPE requests_total counter\n"
             "requests_total 3\n"
+            "# TYPE inflight gauge\n"
+            "inflight 7.5\n"
             "# TYPE lat histogram\n"
             "lat_bucket{le=\"1\"} 2\n"
             "lat_bucket{le=\"2\"} 4\n"
@@ -152,6 +155,7 @@ TEST(ExpositionTest, JsonTextGolden) {
   MetricsRegistry registry;
   registry.GetCounter("b_total").Inc(2);
   registry.GetCounter("a_total").Inc(1);
+  registry.GetGauge("g").Set(4.0);
   const double bounds[] = {10.0};
   registry.GetHistogram("h", bounds).Observe(3.0);
 
@@ -162,6 +166,9 @@ TEST(ExpositionTest, JsonTextGolden) {
             "  \"counters\": {\n"
             "    \"a_total\": 1,\n"
             "    \"b_total\": 2\n"
+            "  },\n"
+            "  \"gauges\": {\n"
+            "    \"g\": 4\n"
             "  },\n"
             "  \"histograms\": {\n"
             "    \"h\": {\"buckets\": [[\"10\", 1], [\"+Inf\", 0]], "

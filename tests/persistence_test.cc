@@ -88,7 +88,7 @@ TEST(PersistenceTest, LoadedTreeContinuesCracking) {
     const Node* n = stack.back();
     stack.pop_back();
     if (n->kind == Node::Kind::kInternal) {
-      for (const auto& c : n->children) stack.push_back(c.get());
+      for (const auto* c : n->children) stack.push_back(c);
       continue;
     }
     for (uint32_t id : (*loaded)->ElementIds(*n)) {

@@ -442,7 +442,7 @@ TEST_F(ResilienceTest, IntermittentSplitFailuresKeepInvariants) {
     const index::Node* n = stack.back();
     stack.pop_back();
     if (n->kind == index::Node::Kind::kInternal) {
-      for (const auto& c : n->children) stack.push_back(c.get());
+      for (const auto* c : n->children) stack.push_back(c);
       continue;
     }
     for (uint32_t id : rt.tree->ElementIds(*n)) {

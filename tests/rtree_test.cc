@@ -80,7 +80,7 @@ TEST_P(BulkRTreeTest, StructureIsValid) {
     if (n->kind == Node::Kind::kLeaf) {
       EXPECT_LE(n->size(), p.leaf_capacity);
     }
-    for (const auto& c : n->children) stack.push_back(c.get());
+    for (const auto* c : n->children) stack.push_back(c);
   }
 }
 

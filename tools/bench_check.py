@@ -23,6 +23,14 @@ Records whose baseline is below an absolute noise floor are skipped:
 micro-benches at smoke scale measure microseconds, where scheduler
 jitter alone exceeds any honest ratio.
 
+One absolute gate rides along: scaling efficiency. A result document
+that carries warm 1-thread and 4-thread throughput AND a top-level
+"scaling_valid": true (the bench ran with at least as many cores as
+threads) must show warm 4-thread qps >= 2.0x the 1-thread figure —
+a regression to blocking reads flattens that curve long before it
+trips the 3x throughput gate. When "scaling_valid" is false (e.g. a
+1-CPU CI host) the check is skipped and logged, never failed.
+
 Usage:
     tools/bench_check.py [--baseline-dir bench/baselines]
                          [--results-dir .] [result.json ...]
@@ -44,17 +52,58 @@ TIME_SLACK = {"us": 50.0, "ms": 5.0, "s": 0.5}
 TIME_FLOOR = {"us": 5.0, "ms": 0.05, "s": 0.001}
 RATE_FLOOR = {"qps": 10.0, "x": 0.1}
 
+# Minimum warm 4-thread vs 1-thread speedup on hosts where the ladder
+# fit inside the core count. Lock-free reads give ~linear warm scaling;
+# 2.0x at 4 threads is the "reads actually run in parallel" floor.
+SCALING_MIN = 2.0
+SCALING_SINGLE = "warm_batch_1t_qps"
+SCALING_QUAD = "warm_batch_4t_qps"
 
-def load(path):
+
+def load_doc(path):
     with open(path, "r", encoding="utf-8") as f:
-        doc = json.load(f)
-    return {r["name"]: (float(r["value"]), r.get("unit", "")) for r in doc.get("results", [])}
+        return json.load(f)
+
+
+def records(doc):
+    return {r["name"]: (float(r["value"]), r.get("unit", ""))
+            for r in doc.get("results", [])}
+
+
+def check_scaling(doc):
+    """Absolute scaling-efficiency gate for one result document.
+
+    Returns (failures, checked, skipped). Documents without both warm
+    throughput records (non-concurrency benches, capped ladders) have
+    nothing to gate; documents marked "scaling_valid": false ran with
+    more threads than cores and are skipped with a log line.
+    """
+    values = records(doc)
+    if SCALING_SINGLE not in values or SCALING_QUAD not in values:
+        return [], 0, 0
+    single = values[SCALING_SINGLE][0]
+    quad = values[SCALING_QUAD][0]
+    if not doc.get("scaling_valid", False):
+        print("  [info] scaling gate skipped: scaling_valid is false "
+              "(bench ran more threads than cores)")
+        return [], 0, 1
+    if single <= 0.0:
+        print(f"  [warn] scaling gate skipped: {SCALING_SINGLE} <= 0")
+        return [], 0, 1
+    speedup = quad / single
+    if speedup < SCALING_MIN:
+        return ([f"warm 4-thread scaling {speedup:.2f}x < "
+                 f"required {SCALING_MIN:.1f}x "
+                 f"({SCALING_QUAD} {quad:.0f} vs {SCALING_SINGLE} "
+                 f"{single:.0f})"], 1, 0)
+    return [], 1, 0
 
 
 def check_file(result_path, baseline_path):
     """Returns (failures, checked, skipped) for one bench file."""
-    new = load(result_path)
-    base = load(baseline_path)
+    new_doc = load_doc(result_path)
+    new = records(new_doc)
+    base = records(load_doc(baseline_path))
     failures = []
     checked = 0
     skipped = 0
@@ -92,6 +141,11 @@ def check_file(result_path, baseline_path):
             skipped += 1  # informational unit (count, pct, ...)
     for name in sorted(set(new) - set(base)):
         print(f"  [info] {name}: no baseline (new record)")
+    scaling_failures, scaling_checked, scaling_skipped = check_scaling(
+        new_doc)
+    failures.extend(scaling_failures)
+    checked += scaling_checked
+    skipped += scaling_skipped
     return failures, checked, skipped
 
 

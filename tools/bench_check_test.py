@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Tests for tools/bench_check.py, focused on the scaling gate.
+
+Written against stdlib unittest so they run on the bare CI image
+(pytest also discovers and runs them unchanged):
+
+    python3 -m unittest discover -s tools -p "*_test.py"
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_check  # noqa: E402
+
+
+def doc(results, scaling_valid=None, bench="concurrent_cracking"):
+    out = {"bench": bench, "context": {}, "results": results}
+    if scaling_valid is not None:
+        out["scaling_valid"] = scaling_valid
+    return out
+
+
+def qps(name, value):
+    return {"name": name, "value": value, "unit": "qps"}
+
+
+class CheckScalingTest(unittest.TestCase):
+    def test_good_scaling_passes(self):
+        failures, checked, skipped = bench_check.check_scaling(
+            doc([qps("warm_batch_1t_qps", 1000.0),
+                 qps("warm_batch_4t_qps", 3100.0)], scaling_valid=True))
+        self.assertEqual(failures, [])
+        self.assertEqual(checked, 1)
+        self.assertEqual(skipped, 0)
+
+    def test_flat_scaling_fails(self):
+        failures, checked, _ = bench_check.check_scaling(
+            doc([qps("warm_batch_1t_qps", 1000.0),
+                 qps("warm_batch_4t_qps", 1100.0)], scaling_valid=True))
+        self.assertEqual(len(failures), 1)
+        self.assertEqual(checked, 1)
+        self.assertIn("1.10x", failures[0])
+
+    def test_exactly_at_threshold_passes(self):
+        failures, _, _ = bench_check.check_scaling(
+            doc([qps("warm_batch_1t_qps", 1000.0),
+                 qps("warm_batch_4t_qps", 2000.0)], scaling_valid=True))
+        self.assertEqual(failures, [])
+
+    def test_scaling_invalid_is_skipped_not_failed(self):
+        failures, checked, skipped = bench_check.check_scaling(
+            doc([qps("warm_batch_1t_qps", 1000.0),
+                 qps("warm_batch_4t_qps", 1000.0)], scaling_valid=False))
+        self.assertEqual(failures, [])
+        self.assertEqual(checked, 0)
+        self.assertEqual(skipped, 1)
+
+    def test_missing_flag_treated_as_invalid(self):
+        # Old result documents predate the flag; they must never gate.
+        failures, checked, skipped = bench_check.check_scaling(
+            doc([qps("warm_batch_1t_qps", 1000.0),
+                 qps("warm_batch_4t_qps", 1000.0)]))
+        self.assertEqual(failures, [])
+        self.assertEqual(checked, 0)
+        self.assertEqual(skipped, 1)
+
+    def test_bench_without_thread_ladder_has_nothing_to_gate(self):
+        failures, checked, skipped = bench_check.check_scaling(
+            doc([qps("lookup_qps", 5000.0)], scaling_valid=True))
+        self.assertEqual(failures, [])
+        self.assertEqual(checked, 0)
+        self.assertEqual(skipped, 0)
+
+    def test_capped_ladder_without_4t_rung_has_nothing_to_gate(self):
+        failures, checked, skipped = bench_check.check_scaling(
+            doc([qps("warm_batch_1t_qps", 1000.0)], scaling_valid=True))
+        self.assertEqual(failures, [])
+        self.assertEqual(checked, 0)
+        self.assertEqual(skipped, 0)
+
+    def test_zero_single_thread_qps_is_skipped(self):
+        failures, checked, skipped = bench_check.check_scaling(
+            doc([qps("warm_batch_1t_qps", 0.0),
+                 qps("warm_batch_4t_qps", 1000.0)], scaling_valid=True))
+        self.assertEqual(failures, [])
+        self.assertEqual(checked, 0)
+        self.assertEqual(skipped, 1)
+
+
+class CheckFileTest(unittest.TestCase):
+    """End-to-end over real files: baseline ratio gates + scaling gate."""
+
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, payload):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(payload, f)
+        return path
+
+    def test_scaling_failure_surfaces_through_check_file(self):
+        results = [qps("warm_batch_1t_qps", 1000.0),
+                   qps("warm_batch_4t_qps", 1200.0)]
+        new = self.write("BENCH_new.json", doc(results, scaling_valid=True))
+        base = self.write("BENCH_base.json", doc(results))
+        failures, checked, _ = bench_check.check_file(new, base)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("warm 4-thread scaling", failures[0])
+        # Two qps ratio comparisons + one scaling gate.
+        self.assertEqual(checked, 3)
+
+    def test_throughput_collapse_fails_ratio_gate(self):
+        base = self.write(
+            "BENCH_base.json", doc([qps("warm_batch_1t_qps", 9000.0)]))
+        new = self.write(
+            "BENCH_new.json",
+            doc([qps("warm_batch_1t_qps", 100.0)], scaling_valid=False))
+        failures, _, _ = bench_check.check_file(new, base)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("warm_batch_1t_qps", failures[0])
+
+    def test_healthy_run_passes(self):
+        results = [qps("warm_batch_1t_qps", 1000.0),
+                   qps("warm_batch_4t_qps", 3500.0)]
+        new = self.write("BENCH_new.json", doc(results, scaling_valid=True))
+        base = self.write("BENCH_base.json", doc(results))
+        failures, checked, _ = bench_check.check_file(new, base)
+        self.assertEqual(failures, [])
+        self.assertEqual(checked, 3)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -121,6 +121,9 @@ int Usage() {
 void MaybeDumpMetrics(const Flags& flags) {
   if (!flags.GetBool("metrics")) return;
   const std::string format = flags.Get("metrics", "prom");
+  // Epoch reclamation state is pulled, not pushed: snapshot it into the
+  // vkg_epoch_* gauges now so the dump reflects this process's cracks.
+  obs::PublishEpochStats();
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   if (format == "json") {
     std::printf("%s\n", reg.JsonText().c_str());
@@ -388,9 +391,10 @@ int CmdTopK(const Flags& flags) {
 }
 
 // Answers a generated workload through BatchTopK — the concurrent
-// serving path (--threads N fans queries over N workers while the
-// cracking index latches itself). Reports throughput, degraded slots,
-// and crack-contention counters.
+// serving path (--threads N fans queries over N workers; reads are
+// lock-free, so throughput scales with cores even while the index
+// cracks). Reports throughput, degraded slots, and crack-contention
+// counters.
 int CmdBatch(const Flags& flags) {
   auto graph = LoadGraph(flags);
   if (!graph.ok()) {
