@@ -175,6 +175,14 @@ class VirtualKnowledgeGraph {
   const kg::KnowledgeGraph& graph() const { return *graph_; }
   const embedding::EmbeddingStore& embeddings() const { return store_; }
   const transform::JlTransform& jl() const { return *jl_; }
+  /// The transformed S2 point set the index is built over. Shared by the
+  /// query server's worker shards: each shard builds its *own*
+  /// CrackingRTree over this one point set (points are immutable after
+  /// Initialize; CompactUpdates() rebuilds them and must be externally
+  /// synchronized against anything holding this reference — the server
+  /// keeps the VKG handle alive via shared ownership and never compacts
+  /// while serving).
+  const index::PointSet& points_s2() const { return *points_s2_; }
   index::IndexStats IndexStats() const { return rtree_->Stats(); }
   const VkgOptions& options() const { return options_; }
   const index::CrackingRTree& rtree() const { return *rtree_; }

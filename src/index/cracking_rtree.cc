@@ -218,6 +218,7 @@ void CrackingRTree::Crack(const Rect& query, util::QueryControl* control,
     // structure by this store and only then retired — the ordering the
     // epoch scheme's safety argument requires.
     root_.store(const_cast<Node*>(new_root), std::memory_order_release);
+    generation_.fetch_add(1, std::memory_order_release);
     util::EpochManager& epoch = util::EpochManager::Global();
     for (const Node* node : retired) {
       epoch.RetireObject(const_cast<Node*>(node), NodeBytes(*node));
@@ -405,6 +406,7 @@ void CrackingRTree::BuildFull() {
   const Node* new_root = BuildFullCow(old_root, &retired);
   if (new_root == old_root) return;
   root_.store(const_cast<Node*>(new_root), std::memory_order_release);
+  generation_.fetch_add(1, std::memory_order_release);
   util::EpochManager& epoch = util::EpochManager::Global();
   for (const Node* node : retired) {
     epoch.RetireObject(const_cast<Node*>(node), NodeBytes(*node));

@@ -161,6 +161,17 @@ class CrackingRTree {
   const Node& root() const {
     return *root_.load(std::memory_order_acquire);
   }
+
+  /// Monotone count of version publications (cracks that mutated the
+  /// tree, BuildFull): the tree's *crack generation*. A cached artifact
+  /// derived from version G is stale once crack_generation() != G — the
+  /// server's result cache stamps entries with this value and treats a
+  /// mismatch as an invalidating miss (DESIGN.md §6g). Bumped with a
+  /// release store immediately after the root swap, so a reader that
+  /// observes generation G also observes every publication up to G.
+  uint64_t crack_generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
   const PointSet& points() const { return *points_; }
   /// The shared base sort-order arrays. Built lazily on first use, so
   /// constructing a cracking tree costs O(1): the sorting work lands in
@@ -232,6 +243,10 @@ class CrackingRTree {
   /// (retired on replacement) or by DeleteSubtree of the final version
   /// in the destructor.
   std::atomic<Node*> root_{nullptr};
+
+  /// Version-publication count behind crack_generation(). Written under
+  /// crack_mu_, read lock-free.
+  std::atomic<uint64_t> generation_{0};
 
   /// Serializes writers (cracks, BuildFull, Load-into). Readers never
   /// touch it.

@@ -98,10 +98,23 @@ class Gauge {
 
 #ifdef VKG_OBS_COMPILED_OUT
   void Set(double) {}
+  void SetMax(double) {}
 #else
   void Set(double value) {
     if (!Enabled()) return;
     value_.store(value, std::memory_order_relaxed);
+  }
+
+  /// Raises the gauge to `value` if it is higher (a high-watermark
+  /// gauge, e.g. peak per-shard queue depth). Safe for concurrent
+  /// callers: the CAS loop keeps the maximum of every racing Set/SetMax
+  /// that lands after it.
+  void SetMax(double value) {
+    if (!Enabled()) return;
+    double cur = value_.load(std::memory_order_relaxed);
+    while (cur < value && !value_.compare_exchange_weak(
+                              cur, value, std::memory_order_relaxed)) {
+    }
   }
 #endif
 

@@ -1,0 +1,57 @@
+#include "query/request.h"
+
+#include <cstring>
+
+namespace vkg::query {
+
+std::string_view RequestKindName(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kTopK:
+      return "topk";
+    case RequestKind::kAggregate:
+      return "aggregate";
+  }
+  return "unknown";
+}
+
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
+  // FNV-1a, folded with the seed so chained calls compose.
+  uint64_t h = 14695981039346656037ULL ^ seed;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+size_t QueryKeyHash::operator()(const QueryKey& key) const {
+  // Hash explicit fields, never raw struct bytes: padding would leak
+  // indeterminate bits into the hash.
+  uint64_t h = HashBytes(&key.anchor, sizeof(key.anchor));
+  h = HashBytes(&key.relation, sizeof(key.relation), h);
+  const uint8_t dir = static_cast<uint8_t>(key.direction);
+  h = HashBytes(&dir, sizeof(dir), h);
+  h = HashBytes(&key.k, sizeof(key.k), h);
+  h = HashBytes(&key.opts_hash, sizeof(key.opts_hash), h);
+  return static_cast<size_t>(h);
+}
+
+void ApplyRequestControl(const ServerRequest& request,
+                         double default_deadline_ms,
+                         const util::ResourceBudget& default_budget,
+                         QueryContext& ctx) {
+  const double deadline_ms =
+      request.deadline_ms > 0.0 ? request.deadline_ms : default_deadline_ms;
+  // Always overwrite the deadline: contexts are reused across requests
+  // (thread-local per worker), so a previous request's deadline must
+  // never leak into one that wants none.
+  ctx.control().set_deadline(deadline_ms > 0.0
+                                 ? util::Deadline::AfterMillis(deadline_ms)
+                                 : util::Deadline::Infinite());
+  ctx.control().set_budget(request.budget.Unlimited() ? default_budget
+                                                      : request.budget);
+  ctx.control().ResetForQuery();
+}
+
+}  // namespace vkg::query

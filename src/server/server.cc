@@ -1,0 +1,337 @@
+#include "server/server.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/failpoint.h"
+#include "util/string_util.h"
+
+namespace vkg::server {
+
+namespace {
+
+// Global-registry handles for the serving counters (DESIGN.md §6e
+// handle-caching idiom). The exact per-server numbers live in
+// VkgServer's own atomics; these feed the exposition endpoints.
+struct ServerMetrics {
+  obs::Counter& requests;
+  obs::Counter& rejected;
+  obs::Counter& overload;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+  obs::Counter& coalesced;
+  obs::Counter& computed;
+  obs::Histogram& compute_us;
+  obs::Gauge& peak_depth;
+
+  static ServerMetrics& Get() {
+    static ServerMetrics* metrics = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      return new ServerMetrics{
+          reg.GetCounter("vkg_server_requests_total"),
+          reg.GetCounter("vkg_server_rejected_total"),
+          reg.GetCounter("vkg_server_overload_rejected_total"),
+          reg.GetCounter("vkg_server_cache_hits_total"),
+          reg.GetCounter("vkg_server_cache_misses_total"),
+          reg.GetCounter("vkg_server_coalesced_total"),
+          reg.GetCounter("vkg_server_computed_total"),
+          reg.GetHistogram("vkg_server_compute_us"),
+          reg.GetGauge("vkg_server_peak_depth")};
+    }();
+    return *metrics;
+  }
+};
+
+query::ServerResponse MakeErrorResponse(util::Status status, size_t shard) {
+  query::ServerResponse response;
+  response.status = std::move(status);
+  response.meta.shard = shard;
+  return response;
+}
+
+}  // namespace
+
+util::Result<std::unique_ptr<VkgServer>> VkgServer::Create(
+    std::shared_ptr<core::VirtualKnowledgeGraph> vkg,
+    const ServerConfig& config) {
+  if (vkg == nullptr) {
+    return util::Status::InvalidArgument("vkg must not be null");
+  }
+  if (config.shards == 0) {
+    return util::Status::InvalidArgument("shards must be >= 1");
+  }
+  return std::unique_ptr<VkgServer>(
+      new VkgServer(std::move(vkg), config));
+}
+
+VkgServer::VkgServer(std::shared_ptr<core::VirtualKnowledgeGraph> vkg,
+                     const ServerConfig& config)
+    : vkg_(std::move(vkg)),
+      config_(config),
+      admission_(config.qps_limit, config.burst) {
+  // Fingerprint every option that changes answers: results computed
+  // under different engine settings must never share a cache slot.
+  const core::VkgOptions& opts = vkg_->options();
+  opts_hash_ = query::HashBytes(&opts.alpha, sizeof(opts.alpha));
+  opts_hash_ = query::HashBytes(&opts.eps, sizeof(opts.eps), opts_hash_);
+  opts_hash_ =
+      query::HashBytes(&opts.jl_seed, sizeof(opts.jl_seed), opts_hash_);
+  const auto method = static_cast<uint32_t>(opts.method);
+  opts_hash_ = query::HashBytes(&method, sizeof(method), opts_hash_);
+
+  ShardOptions shard_options;
+  shard_options.threads = config_.threads_per_shard;
+  shard_options.queue_capacity = config_.queue_capacity;
+  shard_options.cache_bytes =
+      config_.cache_bytes == 0 ? 0 : config_.cache_bytes / config_.shards;
+  // A nonzero total must not round down to disabled segments.
+  if (config_.cache_bytes > 0 && shard_options.cache_bytes == 0) {
+    shard_options.cache_bytes = 1;
+  }
+  shard_options.cache_entries = config_.cache_entries;
+  shard_options.default_deadline_ms = config_.default_deadline_ms;
+  shard_options.default_budget = config_.default_budget;
+  shards_.reserve(config_.shards);
+  for (size_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(i, *vkg_, shard_options));
+  }
+}
+
+VkgServer::~VkgServer() { Drain(); }
+
+size_t VkgServer::ShardOf(const data::Query& query) const {
+  uint64_t h = query::HashBytes(&query.anchor, sizeof(query.anchor));
+  h = query::HashBytes(&query.relation, sizeof(query.relation), h);
+  return static_cast<size_t>(h % shards_.size());
+}
+
+uint64_t VkgServer::ShardGeneration(size_t shard) const {
+  return shards_[shard]->generation();
+}
+
+query::QueryKey VkgServer::MakeKey(
+    const query::ServerRequest& request) const {
+  const data::Query& q = request.routing_query();
+  query::QueryKey key;
+  key.anchor = q.anchor;
+  key.relation = q.relation;
+  key.direction = q.direction;
+  key.k = static_cast<uint32_t>(request.k);
+  key.opts_hash = opts_hash_;
+  return key;
+}
+
+VkgServer::Ticket VkgServer::ImmediateTicket(
+    query::ServerResponse response) {
+  std::promise<query::ServerResponse> promise;
+  promise.set_value(std::move(response));
+  Ticket ticket;
+  ticket.future_ = promise.get_future().share();
+  return ticket;
+}
+
+query::ServerResponse VkgServer::Ticket::Get() {
+  query::ServerResponse response = future_.get();
+  if (patch_meta_) {
+    // Followers share the leader's payload but carry their own serving
+    // metadata: they were coalesced; the leader was not.
+    response.meta.shard = shard_;
+    response.meta.coalesced = coalesced_;
+  }
+  return response;
+}
+
+VkgServer::Ticket VkgServer::Submit(query::ServerRequest request) {
+  ServerMetrics& metrics = ServerMetrics::Get();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  metrics.requests.Inc();
+
+  // 1. Admission: is this client allowed to consume compute at all?
+  AdmissionController::Decision admit = admission_.Admit(request.client_id);
+  if (!admit.admitted) {
+    rejected_rate_.fetch_add(1, std::memory_order_relaxed);
+    metrics.rejected.Inc();
+    query::ServerResponse response = MakeErrorResponse(
+        util::Status::ResourceExhausted(util::StrFormat(
+            "client \"%s\" over rate limit", request.client_id.c_str())),
+        0);
+    response.meta.retry_after_ms = admit.retry_after_ms;
+    return ImmediateTicket(std::move(response));
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+
+  // 2. Route to the owning shard, then validate against its engine.
+  const size_t shard_index = ShardOf(request.routing_query());
+  Shard& shard = *shards_[shard_index];
+  util::Status valid =
+      query::ValidateQuery(shard.topk_engine(), request.routing_query());
+  if (valid.ok() && request.kind == query::RequestKind::kTopK &&
+      request.k == 0) {
+    valid = util::Status::InvalidArgument("k must be >= 1");
+  }
+  if (!valid.ok()) {
+    invalid_.fetch_add(1, std::memory_order_relaxed);
+    return ImmediateTicket(
+        MakeErrorResponse(std::move(valid), shard_index));
+  }
+
+  // 3. Injected dispatch fault: isolated to this request (`delay`
+  // stalls the submitting thread, modelling a slow router).
+  if (VKG_FAILPOINT("server.shard_dispatch")) {
+    return ImmediateTicket(MakeErrorResponse(
+        util::Status::Internal("injected shard dispatch fault"),
+        shard_index));
+  }
+
+  // 4. Backpressure: bounded shard depth, explicit rejection past it.
+  if (!shard.TryReserveSlot()) {
+    rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+    metrics.overload.Inc();
+    query::ServerResponse response = MakeErrorResponse(
+        util::Status::ResourceExhausted(
+            util::StrFormat("shard %zu queue full", shard_index)),
+        shard_index);
+    response.meta.retry_after_ms = config_.overload_retry_ms;
+    return ImmediateTicket(std::move(response));
+  }
+  metrics.peak_depth.SetMax(static_cast<double>(shard.depth()));
+
+  if (request.kind == query::RequestKind::kAggregate) {
+    // Aggregates skip cache and coalescing (estimator-dependent
+    // payloads stay engine-agnostic; see DESIGN.md §6g).
+    auto inflight = std::make_shared<Shard::InFlight>();
+    inflight->future = inflight->promise.get_future().share();
+    Ticket ticket;
+    ticket.future_ = inflight->future;
+    Shard* shard_ptr = &shard;
+    auto req = std::make_shared<query::ServerRequest>(std::move(request));
+    computed_aggregate_.fetch_add(1, std::memory_order_relaxed);
+    shard.pool().Submit([shard_ptr, req, inflight] {
+      obs::ScopedLatencyUs timer(ServerMetrics::Get().compute_us);
+      ServerMetrics::Get().computed.Inc();
+      inflight->promise.set_value(shard_ptr->ComputeAggregate(*req));
+      shard_ptr->ReleaseSlot();
+    });
+    return ticket;
+  }
+
+  const query::QueryKey key = MakeKey(request);
+
+  // 5. Result cache, guarded by the shard tree's crack generation. The
+  // injected cache fault (`server.cache`) poisons exactly this
+  // request's lookup.
+  if (VKG_FAILPOINT("server.cache")) {
+    shard.ReleaseSlot();
+    return ImmediateTicket(MakeErrorResponse(
+        util::Status::Internal("injected cache fault"), shard_index));
+  }
+  if (!request.bypass_cache) {
+    std::optional<ResultCache::Entry> hit =
+        shard.cache().Lookup(key, shard.generation());
+    if (hit.has_value()) {
+      shard.ReleaseSlot();
+      metrics.cache_hits.Inc();
+      query::ServerResponse response;
+      response.status = util::Status::OK();
+      response.topk = std::move(hit->result);
+      response.meta.shard = shard_index;
+      response.meta.cache_hit = true;
+      response.meta.generation = hit->generation;
+      return ImmediateTicket(std::move(response));
+    }
+    metrics.cache_misses.Inc();
+  }
+
+  // 6. Coalescing: identical in-flight computation? Attach, don't
+  // recompute. Registration happens here on the submitting thread, so
+  // a burst of duplicates collapses no matter how the shard's workers
+  // are scheduled.
+  bool leader = false;
+  std::shared_ptr<Shard::InFlight> inflight =
+      shard.JoinOrRegister(key, &leader);
+  Ticket ticket;
+  ticket.future_ = inflight->future;
+  ticket.shard_ = shard_index;
+  ticket.patch_meta_ = true;
+  if (!leader) {
+    shard.ReleaseSlot();  // the leader's slot covers the computation
+    ticket.coalesced_ = true;
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    metrics.coalesced.Inc();
+    return ticket;
+  }
+
+  // 7. Leader: run the computation on the owning shard's pool.
+  computed_topk_.fetch_add(1, std::memory_order_relaxed);
+  Shard* shard_ptr = &shard;
+  auto req = std::make_shared<query::ServerRequest>(std::move(request));
+  shard.pool().Submit([shard_ptr, req, key, inflight] {
+    obs::ScopedLatencyUs timer(ServerMetrics::Get().compute_us);
+    ServerMetrics::Get().computed.Inc();
+    query::ServerResponse response = shard_ptr->ComputeTopK(*req, key);
+    // Unregister before fulfilling: a request arriving after this line
+    // starts a fresh computation (and usually hits the cache instead).
+    shard_ptr->FinishInFlight(key);
+    inflight->promise.set_value(std::move(response));
+    shard_ptr->ReleaseSlot();
+  });
+  return ticket;
+}
+
+query::ServerResponse VkgServer::Execute(query::ServerRequest request) {
+  return Submit(std::move(request)).Get();
+}
+
+void VkgServer::Drain() {
+  for (auto& shard : shards_) shard->pool().Wait();
+}
+
+ServerStats VkgServer::Stats() const {
+  ServerStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.admitted = admitted_.load(std::memory_order_relaxed);
+  stats.rejected_rate = rejected_rate_.load(std::memory_order_relaxed);
+  stats.rejected_overload =
+      rejected_overload_.load(std::memory_order_relaxed);
+  stats.invalid = invalid_.load(std::memory_order_relaxed);
+  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
+  stats.computed_topk = computed_topk_.load(std::memory_order_relaxed);
+  stats.computed_aggregate =
+      computed_aggregate_.load(std::memory_order_relaxed);
+  stats.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ServerStats::ShardView view;
+    view.shard = shard->id();
+    view.depth = shard->depth();
+    view.peak_depth = shard->peak_depth();
+    view.in_flight = shard->in_flight();
+    view.generation = shard->generation();
+    view.cache = shard->cache().stats();
+    stats.cache_hits += view.cache.hits;
+    stats.cache_misses += view.cache.misses;
+    stats.cache_invalidated += view.cache.invalidated;
+    stats.shards.push_back(view);
+  }
+  return stats;
+}
+
+void VkgServer::PublishStats() const {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.GetGauge("vkg_server_shards").Set(static_cast<double>(shards_.size()));
+  for (const auto& shard : shards_) {
+    const size_t i = shard->id();
+    const ResultCache::Stats cache = shard->cache().stats();
+    reg.GetGauge(util::StrFormat("vkg_server_shard_%zu_depth", i))
+        .Set(static_cast<double>(shard->depth()));
+    reg.GetGauge(util::StrFormat("vkg_server_shard_%zu_peak_depth", i))
+        .Set(static_cast<double>(shard->peak_depth()));
+    reg.GetGauge(util::StrFormat("vkg_server_shard_%zu_generation", i))
+        .Set(static_cast<double>(shard->generation()));
+    reg.GetGauge(util::StrFormat("vkg_server_shard_%zu_cache_entries", i))
+        .Set(static_cast<double>(cache.entries));
+    reg.GetGauge(util::StrFormat("vkg_server_shard_%zu_cache_bytes", i))
+        .Set(static_cast<double>(cache.bytes));
+  }
+}
+
+}  // namespace vkg::server

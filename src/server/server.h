@@ -1,0 +1,177 @@
+#ifndef VKG_SERVER_SERVER_H_
+#define VKG_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "core/virtual_graph.h"
+#include "query/request.h"
+#include "server/admission.h"
+#include "server/result_cache.h"
+#include "server/shard.h"
+#include "util/status.h"
+
+namespace vkg::server {
+
+/// Configuration of a VkgServer (DESIGN.md §6g).
+struct ServerConfig {
+  /// Worker shards. Requests route by hash(anchor, relation), so one
+  /// (h, r) slot always lands on the same shard — its cracked regions,
+  /// cache entries and in-flight computations are all local.
+  size_t shards = 2;
+  /// Worker threads per shard (each shard owns its pool).
+  size_t threads_per_shard = 1;
+  /// Max requests admitted-but-unfinished per shard; past it requests
+  /// are rejected with a retry hint instead of queueing unboundedly.
+  /// 0 = unbounded.
+  size_t queue_capacity = 1024;
+  /// Total result-cache budget in bytes, split evenly across shard
+  /// segments. 0 disables the cache.
+  size_t cache_bytes = 8u << 20;
+  /// Optional per-shard entry bound on top of the byte bound (0 = byte
+  /// bound only).
+  size_t cache_entries = 0;
+  /// Per-client admission rate (tokens/second); <= 0 disables rate
+  /// limiting. Every request costs one token.
+  double qps_limit = 0.0;
+  /// Token-bucket burst capacity; <= 0 defaults to max(qps_limit, 1).
+  double burst = 0.0;
+  /// Retry hint attached to overload (queue-full) rejections.
+  double overload_retry_ms = 10.0;
+  /// Default per-request resilience limits (overridable per request).
+  double default_deadline_ms = 0.0;
+  util::ResourceBudget default_budget;
+};
+
+/// Point-in-time serving statistics (exact, unlike the sharded obs
+/// counters these are single atomics — test- and gate-friendly).
+struct ServerStats {
+  uint64_t requests = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected_rate = 0;      // admission-control rejections
+  uint64_t rejected_overload = 0;  // shard-queue-full rejections
+  uint64_t invalid = 0;            // failed validation
+  uint64_t coalesced = 0;          // attached to an in-flight duplicate
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_invalidated = 0;  // generation-stamp evictions
+  uint64_t computed_topk = 0;      // actual engine computations
+  uint64_t computed_aggregate = 0;
+
+  struct ShardView {
+    size_t shard = 0;
+    size_t depth = 0;
+    size_t peak_depth = 0;
+    size_t in_flight = 0;
+    uint64_t generation = 0;
+    ResultCache::Stats cache;
+  };
+  std::vector<ShardView> shards;
+};
+
+/// The long-running, in-process query front end over a
+/// VirtualKnowledgeGraph (DESIGN.md §6g): converts the library into a
+/// service. A request travels
+///
+///   Submit -> admission (token bucket per client)
+///          -> route (hash(anchor, relation) -> shard)
+///          -> validate -> backpressure (bounded shard depth)
+///          -> result cache (generation-checked)
+///          -> coalesce (attach to identical in-flight computation)
+///          -> shard worker pool -> engine compute -> cache store
+///
+/// and every early exit (rejection, cache hit, validation error)
+/// resolves the returned Ticket immediately. All submission-side steps
+/// run on the caller's thread; only the actual computation runs on the
+/// owning shard's pool. Safe for concurrent Submit/Execute from any
+/// number of threads.
+///
+/// The server holds shared ownership of the VKG; callers must not run
+/// CompactUpdates / LoadIndex on it while the server is serving (the
+/// shards' engines read its points and embeddings lock-free).
+class VkgServer {
+ public:
+  static util::Result<std::unique_ptr<VkgServer>> Create(
+      std::shared_ptr<core::VirtualKnowledgeGraph> vkg,
+      const ServerConfig& config);
+
+  ~VkgServer();
+  VkgServer(const VkgServer&) = delete;
+  VkgServer& operator=(const VkgServer&) = delete;
+
+  /// Handle to one submitted request. Get() blocks until the response
+  /// is available (immediately for rejections, cache hits, and
+  /// validation errors) and may be called once per ticket from any
+  /// thread; requesters coalesced onto a shared computation each get
+  /// their own copy with their own serving metadata.
+  class Ticket {
+   public:
+    Ticket() = default;
+    query::ServerResponse Get();
+
+   private:
+    friend class VkgServer;
+    std::shared_future<query::ServerResponse> future_;
+    size_t shard_ = 0;
+    bool coalesced_ = false;
+    bool patch_meta_ = false;
+  };
+
+  /// Submits one request (non-blocking apart from admission/cache/
+  /// coalescing bookkeeping; the `server.shard_dispatch` failpoint's
+  /// delay action stalls here).
+  Ticket Submit(query::ServerRequest request);
+
+  /// Synchronous convenience form: Submit + Get.
+  query::ServerResponse Execute(query::ServerRequest request);
+
+  /// Shard owning `query`'s (anchor, relation) slot.
+  size_t ShardOf(const data::Query& query) const;
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Crack generation of one shard's tree (cache-invalidation stamp).
+  uint64_t ShardGeneration(size_t shard) const;
+
+  /// The cache/coalescing key `request` computes under (tests, benches).
+  query::QueryKey MakeKey(const query::ServerRequest& request) const;
+
+  /// Blocks until every enqueued computation has finished.
+  void Drain();
+
+  ServerStats Stats() const;
+
+  /// Mirrors per-shard depth/generation/cache gauges into the global
+  /// obs registry (vkg_server_*; cold path, call before scraping).
+  void PublishStats() const;
+
+  const ServerConfig& config() const { return config_; }
+  const core::VirtualKnowledgeGraph& vkg() const { return *vkg_; }
+
+ private:
+  VkgServer(std::shared_ptr<core::VirtualKnowledgeGraph> vkg,
+            const ServerConfig& config);
+
+  static Ticket ImmediateTicket(query::ServerResponse response);
+
+  std::shared_ptr<core::VirtualKnowledgeGraph> vkg_;
+  ServerConfig config_;
+  uint64_t opts_hash_ = 0;
+  AdmissionController admission_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> rejected_rate_{0};
+  std::atomic<uint64_t> rejected_overload_{0};
+  std::atomic<uint64_t> invalid_{0};
+  std::atomic<uint64_t> coalesced_{0};
+  std::atomic<uint64_t> computed_topk_{0};
+  std::atomic<uint64_t> computed_aggregate_{0};
+};
+
+}  // namespace vkg::server
+
+#endif  // VKG_SERVER_SERVER_H_

@@ -1,0 +1,127 @@
+#ifndef VKG_SERVER_SHARD_H_
+#define VKG_SERVER_SHARD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/virtual_graph.h"
+#include "index/cracking_rtree.h"
+#include "query/aggregate_engine.h"
+#include "query/request.h"
+#include "query/topk_engine.h"
+#include "server/result_cache.h"
+#include "util/deadline.h"
+#include "util/thread_pool.h"
+
+namespace vkg::server {
+
+/// Per-shard construction knobs (derived from ServerConfig).
+struct ShardOptions {
+  size_t threads = 1;          // worker pool size
+  size_t queue_capacity = 1024;  // max in-flight requests (admit + queued)
+  size_t cache_bytes = 0;      // 0 disables this shard's cache segment
+  size_t cache_entries = 0;    // 0 = bounded by bytes only
+  double default_deadline_ms = 0.0;
+  util::ResourceBudget default_budget;
+};
+
+/// One worker shard of the query server (DESIGN.md §6g). A shard owns
+/// everything a request needs after routing:
+///
+///  * its *own* CrackingRTree over the VKG's shared S2 point set, plus
+///    top-k and aggregate engines bound to it — shards crack
+///    independently, so two shards never contend on a crack mutex and a
+///    shard's crack generation moves only when *its* queries crack;
+///  * its own util::ThreadPool (bounded by queue_capacity through the
+///    server's depth accounting);
+///  * one ResultCache segment, invalidated by this tree's generation;
+///  * the in-flight coalescing map: duplicate (h, r, k) requests
+///    submitted while an identical computation is pending attach to its
+///    shared future instead of computing again.
+///
+/// Thread safety: Compute* run on pool workers (thread-local
+/// QueryContext per worker); the coalescing map and cache are
+/// internally locked; the tree is lock-free for readers and serializes
+/// its own cracks.
+class Shard {
+ public:
+  Shard(size_t id, const core::VirtualKnowledgeGraph& vkg,
+        const ShardOptions& options);
+
+  size_t id() const { return id_; }
+  uint64_t generation() const { return tree_->crack_generation(); }
+  const query::TopKEngine& topk_engine() const { return *topk_engine_; }
+  ResultCache& cache() { return cache_; }
+  util::ThreadPool& pool() { return *pool_; }
+  index::IndexStats TreeStats() const { return tree_->Stats(); }
+
+  // --- Depth accounting (the server's backpressure bound) -----------------
+
+  /// Claims a queue slot; false when the shard is at capacity (the
+  /// request must be rejected, not queued).
+  bool TryReserveSlot();
+  void ReleaseSlot();
+  size_t depth() const { return depth_.load(std::memory_order_relaxed); }
+  size_t peak_depth() const {
+    return peak_depth_.load(std::memory_order_relaxed);
+  }
+
+  // --- Coalescing ---------------------------------------------------------
+
+  /// The pending computation for `key`, if any. Registers a new one
+  /// (leader) otherwise. `*leader` tells the caller whether it must
+  /// enqueue the compute task and later call FinishInFlight.
+  struct InFlight {
+    std::promise<query::ServerResponse> promise;
+    std::shared_future<query::ServerResponse> future;
+  };
+  std::shared_ptr<InFlight> JoinOrRegister(const query::QueryKey& key,
+                                           bool* leader);
+
+  /// Unregisters `key` (leader side, before fulfilling the promise).
+  void FinishInFlight(const query::QueryKey& key);
+  size_t in_flight() const;
+
+  // --- Compute (worker-thread side) ---------------------------------------
+
+  /// Answers a top-k request on this shard's engine, stamps the
+  /// response with the tree generation current at completion, and
+  /// populates the cache under `key` (exact results only).
+  query::ServerResponse ComputeTopK(const query::ServerRequest& request,
+                                    const query::QueryKey& key);
+
+  /// Answers an aggregate request (not cached or coalesced).
+  query::ServerResponse ComputeAggregate(
+      const query::ServerRequest& request);
+
+  /// Eagerly sweeps this shard's cache segment when the tree generation
+  /// moved past the last observed one. Cheap no-op otherwise.
+  void SweepStaleCacheEntries();
+
+ private:
+  const size_t id_;
+  const ShardOptions options_;
+
+  std::unique_ptr<index::CrackingRTree> tree_;
+  std::unique_ptr<query::RTreeTopKEngine> topk_engine_;
+  std::unique_ptr<query::AggregateEngine> aggregate_engine_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  ResultCache cache_;
+
+  std::atomic<size_t> depth_{0};
+  std::atomic<size_t> peak_depth_{0};
+  std::atomic<uint64_t> swept_generation_{0};
+
+  mutable std::mutex inflight_mu_;
+  std::unordered_map<query::QueryKey, std::shared_ptr<InFlight>,
+                     query::QueryKeyHash>
+      inflight_;
+};
+
+}  // namespace vkg::server
+
+#endif  // VKG_SERVER_SHARD_H_

@@ -41,6 +41,13 @@ namespace vkg::util {
 ///   alloc.scratch       — per-query scratch allocation throws bad_alloc
 ///   threadpool.dispatch — task dispatch failure in util::ThreadPool
 ///   batch.query         — one batch slot fails with an internal error
+///   server.admit        — admission control rejects one request
+///                         (Rejected{retry_after}, not an error)
+///   server.cache        — the result-cache lookup faults; that request
+///                         alone returns an internal error
+///   server.shard_dispatch — routing a request to its worker shard
+///                         fails; isolated to that request (`delay`
+///                         stalls the submitting thread instead)
 ///
 /// Evaluation is thread-safe; an unarmed process pays one relaxed atomic
 /// load per site evaluation.

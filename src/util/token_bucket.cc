@@ -1,0 +1,47 @@
+#include "util/token_bucket.h"
+
+#include <algorithm>
+
+namespace vkg::util {
+
+TokenBucket::TokenBucket(double rate, double burst)
+    : unlimited_(rate <= 0.0 || burst <= 0.0),
+      rate_(rate),
+      burst_(burst),
+      tokens_(burst) {}
+
+void TokenBucket::Refill(double now_seconds) {
+  if (!started_) {
+    started_ = true;
+    last_ = now_seconds;
+    return;
+  }
+  // A non-monotonic (or equal) timestamp adds nothing; the bucket never
+  // confiscates tokens it already granted.
+  if (now_seconds <= last_) return;
+  tokens_ = std::min(burst_, tokens_ + (now_seconds - last_) * rate_);
+  last_ = now_seconds;
+}
+
+TokenBucket::Decision TokenBucket::TryAcquire(double tokens,
+                                              double now_seconds) {
+  if (unlimited_ || tokens <= 0.0) return {true, 0.0};
+  Refill(now_seconds);
+  if (tokens_ >= tokens) {
+    tokens_ -= tokens;
+    return {true, 0.0};
+  }
+  // Even a drained bucket accumulates (tokens - tokens_) more within
+  // this bound; requests larger than the burst can never be admitted,
+  // which the caller surfaces as a permanent rejection.
+  if (tokens > burst_) return {false, -1.0};
+  return {false, (tokens - tokens_) / rate_ * 1e3};
+}
+
+double TokenBucket::AvailableAt(double now_seconds) {
+  if (unlimited_) return burst_;
+  Refill(now_seconds);
+  return tokens_;
+}
+
+}  // namespace vkg::util

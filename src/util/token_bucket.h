@@ -1,0 +1,66 @@
+#ifndef VKG_UTIL_TOKEN_BUCKET_H_
+#define VKG_UTIL_TOKEN_BUCKET_H_
+
+#include <chrono>
+
+namespace vkg::util {
+
+/// Classic token-bucket rate limiter with deterministic, clock-injected
+/// refill math — the admission-control primitive of the query server
+/// (DESIGN.md §6g).
+///
+/// The bucket holds up to `burst` tokens and refills continuously at
+/// `rate` tokens per second. TryAcquire(n, now) refills for the elapsed
+/// time since the last call, then either debits n tokens (admitted) or
+/// reports how long the caller must wait until n tokens will be
+/// available (retry_after). Time is a caller-supplied monotonic seconds
+/// value, so tests drive the bucket with exact arithmetic instead of
+/// real sleeps; production callers pass SecondsNow().
+///
+/// Not internally synchronized: the owner (server::AdmissionController)
+/// serializes access per bucket.
+class TokenBucket {
+ public:
+  /// `rate` tokens/second, capacity `burst` tokens (started full). Both
+  /// must be positive; a non-positive rate or burst constructs an
+  /// always-admitting bucket (rate limiting disabled).
+  TokenBucket(double rate, double burst);
+
+  struct Decision {
+    bool admitted = false;
+    /// Milliseconds until `tokens` would be available; 0 when admitted.
+    double retry_after_ms = 0.0;
+  };
+
+  /// Refills for `now_seconds` (monotonic; non-increasing values are
+  /// treated as "no time passed") and tries to debit `tokens`.
+  Decision TryAcquire(double tokens, double now_seconds);
+
+  /// Tokens currently available after a refill to `now_seconds`.
+  double AvailableAt(double now_seconds);
+
+  bool unlimited() const { return unlimited_; }
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+
+  /// Monotonic wall time in seconds for production TryAcquire calls.
+  static double SecondsNow() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+ private:
+  void Refill(double now_seconds);
+
+  bool unlimited_ = false;
+  double rate_ = 0.0;
+  double burst_ = 0.0;
+  double tokens_ = 0.0;
+  double last_ = 0.0;
+  bool started_ = false;  // last_ is meaningful only after the first call
+};
+
+}  // namespace vkg::util
+
+#endif  // VKG_UTIL_TOKEN_BUCKET_H_

@@ -128,6 +128,68 @@ TEST(HistogramTest, DefaultBoundsAreLatencyBuckets) {
   EXPECT_EQ(hist.Snap().count, 1u);
 }
 
+TEST(GaugeTest, SetMaxKeepsHighWatermark) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.GetGauge("peak");
+  gauge.SetMax(3.0);
+  gauge.SetMax(9.0);
+  gauge.SetMax(5.0);  // lower: ignored
+  EXPECT_EQ(registry.GaugeValue("peak"), 9.0);
+  gauge.Set(1.0);  // plain Set is last-write-wins, even downwards
+  EXPECT_EQ(registry.GaugeValue("peak"), 1.0);
+}
+
+// Concurrency contract of the gauge path (run under TSan in CI): writer
+// threads race Set / SetMax / PublishEpochStats against reader threads
+// rendering the exposition endpoints on the *global* registry — the
+// exact mix a live scrape of a serving process sees. SetMax must keep
+// the true maximum, and every rendered snapshot must parse (no torn
+// state surfaces as a data race under TSan).
+TEST(GaugeTest, ConcurrentPublishAndExpositionIsRaceFree) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Gauge& peak = registry.GetGauge("gauge_storm_peak");
+  Gauge& level = registry.GetGauge("gauge_storm_level");
+  constexpr size_t kWriters = 4;
+  constexpr int kOpsPerWriter = 400;
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        std::string prom = registry.PrometheusText();
+        EXPECT_NE(prom.find("gauge_storm_peak"), std::string::npos);
+        std::string json = registry.JsonText();
+        EXPECT_NE(json.find("gauge_storm_level"), std::string::npos);
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  for (size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        peak.SetMax(static_cast<double>(w * kOpsPerWriter + i));
+        level.Set(static_cast<double>(i));
+        if (i % 64 == 0) PublishEpochStats();
+      }
+    });
+  }
+  for (std::thread& th : writers) th.join();
+  stop.store(true);
+  for (std::thread& th : readers) th.join();
+
+  // The high watermark survived every racing writer: it is the global
+  // maximum, not whichever write landed last.
+  EXPECT_EQ(registry.GaugeValue("gauge_storm_peak"),
+            static_cast<double>((kWriters - 1) * kOpsPerWriter +
+                                (kOpsPerWriter - 1)));
+  // And the post-storm exposition carries the epoch gauges the storm
+  // published concurrently.
+  EXPECT_NE(registry.PrometheusText().find("vkg_epoch_"),
+            std::string::npos);
+}
+
 TEST(ExpositionTest, PrometheusTextGolden) {
   MetricsRegistry registry;
   registry.GetCounter("requests_total").Inc(3);

@@ -23,7 +23,10 @@ Records whose baseline is below an absolute noise floor are skipped:
 micro-benches at smoke scale measure microseconds, where scheduler
 jitter alone exceeds any honest ratio.
 
-One absolute gate rides along: scaling efficiency. A result document
+Two kinds of absolute gates ride along. ABSOLUTE_MIN pins per-bench
+sanity floors on the new document itself (the server bench's warm pass
+must be all cache hits and >= 5x the compute path — a miss means the
+cache is broken, not slow). The other is scaling efficiency. A result document
 that carries warm 1-thread and 4-thread throughput AND a top-level
 "scaling_valid": true (the bench ran with at least as many cores as
 threads) must show warm 4-thread qps >= 2.0x the 1-thread figure —
@@ -58,6 +61,17 @@ RATE_FLOOR = {"qps": 10.0, "x": 0.1}
 SCALING_MIN = 2.0
 SCALING_SINGLE = "warm_batch_1t_qps"
 SCALING_QUAD = "warm_batch_4t_qps"
+
+# Absolute sanity floors checked on the NEW document alone, no baseline
+# involved: structural invariants of a healthy serving path that hold
+# on any host, however noisy. The server bench's warm pass must be all
+# cache hits and the cache-hit path must beat the compute path by a
+# wide margin — if either collapses the cache is broken, not slow.
+# Keyed by (bench name, record name) -> minimum value.
+ABSOLUTE_MIN = {
+    ("server_throughput", "warm_cache_hit_ratio"): 0.99,
+    ("server_throughput", "warm_over_cold"): 5.0,
+}
 
 
 def load_doc(path):
@@ -97,6 +111,28 @@ def check_scaling(doc):
                  f"({SCALING_QUAD} {quad:.0f} vs {SCALING_SINGLE} "
                  f"{single:.0f})"], 1, 0)
     return [], 1, 0
+
+
+def check_absolute(doc):
+    """Absolute-floor gates for one result document.
+
+    Returns (failures, checked). Only records named in ABSOLUTE_MIN for
+    this document's bench are gated; everything else passes through.
+    """
+    values = records(doc)
+    bench = doc.get("bench", "")
+    failures = []
+    checked = 0
+    for (gated_bench, name), floor in sorted(ABSOLUTE_MIN.items()):
+        if gated_bench != bench or name not in values:
+            continue
+        value, unit = values[name]
+        checked += 1
+        if value < floor:
+            failures.append(
+                f"{name}: {value:.3f}{unit} < absolute floor "
+                f"{floor:.3f}{unit}")
+    return failures, checked
 
 
 def check_file(result_path, baseline_path):
@@ -146,6 +182,9 @@ def check_file(result_path, baseline_path):
     failures.extend(scaling_failures)
     checked += scaling_checked
     skipped += scaling_skipped
+    absolute_failures, absolute_checked = check_absolute(new_doc)
+    failures.extend(absolute_failures)
+    checked += absolute_checked
     return failures, checked, skipped
 
 

@@ -92,6 +92,49 @@ class CheckScalingTest(unittest.TestCase):
         self.assertEqual(skipped, 1)
 
 
+class CheckAbsoluteTest(unittest.TestCase):
+    """The per-bench ABSOLUTE_MIN floors (server cache sanity)."""
+
+    def rec(self, name, value, unit):
+        return {"name": name, "value": value, "unit": unit}
+
+    def server_doc(self, hit_ratio, warm_over_cold):
+        return doc([self.rec("warm_cache_hit_ratio", hit_ratio, "ratio"),
+                    self.rec("warm_over_cold", warm_over_cold, "x")],
+                   bench="server_throughput")
+
+    def test_healthy_server_doc_passes(self):
+        failures, checked = bench_check.check_absolute(
+            self.server_doc(1.0, 120.0))
+        self.assertEqual(failures, [])
+        self.assertEqual(checked, 2)
+
+    def test_low_hit_ratio_fails(self):
+        failures, checked = bench_check.check_absolute(
+            self.server_doc(0.4, 120.0))
+        self.assertEqual(len(failures), 1)
+        self.assertIn("warm_cache_hit_ratio", failures[0])
+        self.assertEqual(checked, 2)
+
+    def test_slow_cache_path_fails(self):
+        failures, _ = bench_check.check_absolute(self.server_doc(1.0, 2.0))
+        self.assertEqual(len(failures), 1)
+        self.assertIn("warm_over_cold", failures[0])
+
+    def test_other_bench_is_not_gated(self):
+        # Same record names in a different bench's document: no gate.
+        other = doc([self.rec("warm_cache_hit_ratio", 0.0, "ratio")])
+        failures, checked = bench_check.check_absolute(other)
+        self.assertEqual(failures, [])
+        self.assertEqual(checked, 0)
+
+    def test_missing_records_are_not_failures(self):
+        failures, checked = bench_check.check_absolute(
+            doc([], bench="server_throughput"))
+        self.assertEqual(failures, [])
+        self.assertEqual(checked, 0)
+
+
 class CheckFileTest(unittest.TestCase):
     """End-to-end over real files: baseline ratio gates + scaling gate."""
 

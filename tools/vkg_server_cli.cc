@@ -1,0 +1,359 @@
+// vkg_server_cli: stand up an in-process VkgServer over a knowledge
+// graph and drive it with a client workload — the shell-level demo of
+// the sharded serving path (DESIGN.md §6g).
+//
+//   vkg_server_cli --dataset movie [--scale 0.1]        (generated KG)
+//   vkg_server_cli --triples t.tsv --embeddings e.bin   (files, vkg_cli
+//                                                        formats)
+//
+// Server shape:
+//   --shards N            worker shards (default 2)
+//   --shard-threads N     worker threads per shard (default 1)
+//   --cache-mb MB         total result-cache budget (default 8; 0 off)
+//   --cache-entries N     optional per-shard entry bound (default 0)
+//   --qps-limit Q         per-client admission rate (default 0 = off)
+//   --burst B             token-bucket burst (default max(Q, 1))
+//   --queue-capacity N    per-shard backpressure bound (default 1024)
+//   --deadline-ms MS      default per-request deadline (default 0)
+//   --max-points N        default per-request point budget (default 0)
+//
+// Workload:
+//   --queries N           distinct generated queries (default 256)
+//   --clients N           concurrent client threads (default 4)
+//   --repeat N            passes over the workload per client (default 4
+//                         — repeats exercise the cache and coalescing)
+//   --k K                 top-k size (default 10)
+//   --aggregate-fraction F  fraction answered as COUNT aggregates
+//   --skew S              Zipf exponent over (anchor, relation) pairs
+//   --seed S              workload seed (default 11)
+//
+// Output: a serving report (throughput, admission/cache/coalescing
+// counters, per-shard depth + crack generation) and, with
+// --metrics[=prom|json], the obs registry including the vkg_server_*
+// series.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/virtual_graph.h"
+#include "data/amazon_gen.h"
+#include "data/freebase_gen.h"
+#include "data/movielens_gen.h"
+#include "data/workload.h"
+#include "kg/io.h"
+#include "obs/metrics.h"
+#include "query/request.h"
+#include "server/server.h"
+#include "util/failpoint.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace vkg;
+
+// Minimal --flag=value / --flag value parser (same shape as vkg_cli).
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      arg = arg.substr(2);
+      size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";
+      }
+    }
+  }
+
+  std::string Get(const std::string& name,
+                  const std::string& default_value = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? default_value : it->second;
+  }
+  double GetDouble(const std::string& name, double default_value) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? default_value : std::atof(it->second.c_str());
+  }
+  size_t GetSize(const std::string& name, size_t default_value) const {
+    auto it = values_.find(name);
+    return it == values_.end()
+               ? default_value
+               : static_cast<size_t>(std::atoll(it->second.c_str()));
+  }
+  bool GetBool(const std::string& name) const {
+    return values_.count(name) > 0;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: vkg_server_cli (--dataset movie|freebase|amazon "
+               "[--scale F] | --triples T.tsv --embeddings E.bin) "
+               "[server/workload flags]\n(see the header of "
+               "tools/vkg_server_cli.cc)\n");
+  return 2;
+}
+
+util::Result<data::Dataset> MakeDataset(const Flags& flags) {
+  const std::string name = flags.Get("dataset", "movie");
+  const double scale = flags.GetDouble("scale", 0.1);
+  if (name == "movie") {
+    data::MovieLensConfig config;
+    config.num_users = static_cast<size_t>(24000 * scale);
+    config.num_movies = static_cast<size_t>(8000 * scale);
+    config.num_tags = static_cast<size_t>(800 * scale) + 10;
+    return data::GenerateMovieLensLike(config);
+  }
+  if (name == "freebase") {
+    data::FreebaseConfig config;
+    config.num_entities = static_cast<size_t>(50000 * scale);
+    config.num_relation_types = static_cast<size_t>(120 * scale) + 10;
+    config.target_edges = static_cast<size_t>(100000 * scale);
+    return data::GenerateFreebaseLike(config);
+  }
+  if (name == "amazon") {
+    data::AmazonConfig config;
+    config.num_users = static_cast<size_t>(60000 * scale);
+    config.num_products = static_cast<size_t>(40000 * scale);
+    return data::GenerateAmazonLike(config);
+  }
+  return util::Status::InvalidArgument("unknown --dataset " + name);
+}
+
+util::Result<std::shared_ptr<core::VirtualKnowledgeGraph>> BuildVkg(
+    const Flags& flags, data::Dataset* ds) {
+  if (flags.Get("triples").empty()) {
+    VKG_ASSIGN_OR_RETURN(*ds, MakeDataset(flags));
+  } else {
+    kg::KnowledgeGraph graph;
+    VKG_RETURN_IF_ERROR(kg::LoadTriplesTsv(flags.Get("triples"), &graph));
+    std::string emb = flags.Get("embeddings");
+    if (emb.empty()) {
+      return util::Status::InvalidArgument(
+          "--triples requires --embeddings (vkg_cli train writes one)");
+    }
+    VKG_ASSIGN_OR_RETURN(ds->embeddings, embedding::EmbeddingStore::Load(emb));
+    ds->graph = std::move(graph);
+  }
+  core::VkgOptions options;
+  options.method = index::MethodKind::kCracking;
+  options.alpha = flags.GetSize("alpha", 3);
+  options.eps = flags.GetDouble("eps", 1.0);
+  embedding::EmbeddingStore store = ds->embeddings;
+  VKG_ASSIGN_OR_RETURN(
+      std::unique_ptr<core::VirtualKnowledgeGraph> vkg,
+      core::VirtualKnowledgeGraph::BuildWithEmbeddings(&ds->graph,
+                                                       std::move(store),
+                                                       options));
+  return std::shared_ptr<core::VirtualKnowledgeGraph>(std::move(vkg));
+}
+
+server::ServerConfig MakeServerConfig(const Flags& flags) {
+  server::ServerConfig config;
+  config.shards = std::max<size_t>(1, flags.GetSize("shards", 2));
+  config.threads_per_shard = flags.GetSize("shard-threads", 1);
+  config.queue_capacity = flags.GetSize("queue-capacity", 1024);
+  config.cache_bytes =
+      static_cast<size_t>(flags.GetDouble("cache-mb", 8.0) * (1u << 20));
+  config.cache_entries = flags.GetSize("cache-entries", 0);
+  config.qps_limit = flags.GetDouble("qps-limit", 0.0);
+  config.burst = flags.GetDouble("burst", 0.0);
+  config.default_deadline_ms = flags.GetDouble("deadline-ms", 0.0);
+  config.default_budget.max_points = flags.GetSize("max-points", 0);
+  return config;
+}
+
+// One client thread: `repeat` passes over the shared workload, offset
+// by the client index so concurrent clients collide on the same keys at
+// different times (cache hits) and the same keys at the same time
+// (coalescing).
+struct ClientTotals {
+  uint64_t ok = 0;
+  uint64_t rejected = 0;
+  uint64_t failed = 0;
+  uint64_t degraded = 0;
+};
+
+ClientTotals RunClient(server::VkgServer& srv,
+                       const std::vector<data::Query>& workload,
+                       size_t client_index, size_t repeat, size_t k,
+                       double aggregate_fraction) {
+  ClientTotals totals;
+  const size_t agg_every =
+      aggregate_fraction > 0.0
+          ? std::max<size_t>(1, static_cast<size_t>(1.0 / aggregate_fraction))
+          : 0;
+  for (size_t pass = 0; pass < repeat; ++pass) {
+    for (size_t i = 0; i < workload.size(); ++i) {
+      const size_t j = (i + client_index * 7) % workload.size();
+      query::ServerRequest request;
+      request.client_id = "client-" + std::to_string(client_index);
+      if (agg_every != 0 && j % agg_every == 0) {
+        request.kind = query::RequestKind::kAggregate;
+        request.aggregate.query = workload[j];
+        request.aggregate.kind = query::AggKind::kCount;
+        request.aggregate.prob_threshold = 0.05;
+      } else {
+        request.query = workload[j];
+        request.k = k;
+      }
+      query::ServerResponse response = srv.Execute(std::move(request));
+      if (response.ok()) {
+        ++totals.ok;
+        if (request.kind == query::RequestKind::kTopK &&
+            !response.topk.quality.exact) {
+          ++totals.degraded;
+        }
+      } else if (response.rejected()) {
+        ++totals.rejected;
+      } else {
+        ++totals.failed;
+      }
+    }
+  }
+  return totals;
+}
+
+void PrintReport(const server::VkgServer& srv, double seconds,
+                 const ClientTotals& totals) {
+  server::ServerStats stats = srv.Stats();
+  const uint64_t answered = totals.ok + totals.rejected + totals.failed;
+  std::printf("served %llu requests in %.2f s (%.0f req/s)\n",
+              static_cast<unsigned long long>(answered), seconds,
+              seconds > 0 ? static_cast<double>(answered) / seconds : 0.0);
+  std::printf(
+      "  ok %llu (degraded %llu), rejected %llu, failed %llu\n",
+      static_cast<unsigned long long>(totals.ok),
+      static_cast<unsigned long long>(totals.degraded),
+      static_cast<unsigned long long>(totals.rejected),
+      static_cast<unsigned long long>(totals.failed));
+  const uint64_t lookups = stats.cache_hits + stats.cache_misses;
+  std::printf(
+      "  cache: %llu hits / %llu lookups (%.1f%%), %llu invalidated\n",
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(lookups),
+      lookups > 0 ? 100.0 * static_cast<double>(stats.cache_hits) /
+                        static_cast<double>(lookups)
+                  : 0.0,
+      static_cast<unsigned long long>(stats.cache_invalidated));
+  std::printf(
+      "  coalesced %llu, computed %llu topk + %llu aggregate, "
+      "admission rejected %llu, overload rejected %llu\n",
+      static_cast<unsigned long long>(stats.coalesced),
+      static_cast<unsigned long long>(stats.computed_topk),
+      static_cast<unsigned long long>(stats.computed_aggregate),
+      static_cast<unsigned long long>(stats.rejected_rate),
+      static_cast<unsigned long long>(stats.rejected_overload));
+  std::printf("  %-6s %-8s %-10s %-11s %-9s %-9s\n", "shard", "depth",
+              "peak", "generation", "entries", "bytes");
+  for (const auto& shard : stats.shards) {
+    std::printf("  %-6zu %-8zu %-10zu %-11llu %-9zu %-9zu\n", shard.shard,
+                shard.depth, shard.peak_depth,
+                static_cast<unsigned long long>(shard.generation),
+                shard.cache.entries, shard.cache.bytes);
+  }
+}
+
+int Run(const Flags& flags) {
+  std::string failpoints = flags.Get("failpoints");
+  if (!failpoints.empty()) {
+    util::Status s =
+        util::FailPointRegistry::Instance().Configure(failpoints);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 2;
+    }
+  }
+
+  data::Dataset ds;
+  auto vkg = BuildVkg(flags, &ds);
+  if (!vkg.ok()) {
+    std::fprintf(stderr, "%s\n", vkg.status().ToString().c_str());
+    return 1;
+  }
+  auto srv = server::VkgServer::Create(*vkg, MakeServerConfig(flags));
+  if (!srv.ok()) {
+    std::fprintf(stderr, "%s\n", srv.status().ToString().c_str());
+    return 1;
+  }
+
+  data::WorkloadConfig wc;
+  wc.num_queries = flags.GetSize("queries", 256);
+  wc.skew_exponent = flags.GetDouble("skew", 0.0);
+  wc.seed = flags.GetSize("seed", 11);
+  std::vector<data::Query> workload =
+      data::GenerateWorkload((*vkg)->graph(), wc);
+  if (workload.empty()) {
+    std::fprintf(stderr, "empty workload (graph has no edges?)\n");
+    return 1;
+  }
+
+  const size_t clients = std::max<size_t>(1, flags.GetSize("clients", 4));
+  const size_t repeat = std::max<size_t>(1, flags.GetSize("repeat", 4));
+  const size_t k = flags.GetSize("k", 10);
+  const double aggregate_fraction =
+      flags.GetDouble("aggregate-fraction", 0.0);
+
+  std::printf(
+      "serving %zu queries x %zu clients x %zu passes over %zu shards\n",
+      workload.size(), clients, repeat, (*srv)->num_shards());
+  util::WallTimer timer;
+  std::vector<ClientTotals> per_client(clients);
+  std::vector<std::thread> crew;
+  crew.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    crew.emplace_back([&, c] {
+      per_client[c] = RunClient(**srv, workload, c, repeat, k,
+                                aggregate_fraction);
+    });
+  }
+  for (std::thread& th : crew) th.join();
+  (*srv)->Drain();
+  const double seconds = timer.ElapsedMillis() / 1e3;
+
+  ClientTotals totals;
+  for (const ClientTotals& t : per_client) {
+    totals.ok += t.ok;
+    totals.rejected += t.rejected;
+    totals.failed += t.failed;
+    totals.degraded += t.degraded;
+  }
+  PrintReport(**srv, seconds, totals);
+
+  if (flags.GetBool("metrics")) {
+    (*srv)->PublishStats();
+    obs::PublishEpochStats();
+    const std::string format = flags.Get("metrics", "prom");
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    if (format == "json") {
+      std::printf("%s\n", reg.JsonText().c_str());
+    } else {
+      std::printf("%s", reg.PrometheusText().c_str());
+    }
+  }
+  return totals.failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv, 1);
+  if (flags.GetBool("help")) return Usage();
+  return Run(flags);
+}
