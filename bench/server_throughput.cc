@@ -12,7 +12,13 @@
 //           counters: computed +1, coalesced +15);
 //   ladder — Execute() throughput from 1/2/4/8 concurrent client
 //           threads on the warm server (submission-side scaling:
-//           admission, routing, cache, coalescing bookkeeping).
+//           admission, routing, cache, coalescing bookkeeping);
+//   loaded — the full client crew again, but computing (cache
+//           bypassed) under a generous per-request deadline: emits
+//           loaded_deadline_miss_ratio, gated absolutely by
+//           tools/bench_check.py, alongside warm_expired_in_queue
+//           (must stay 0 — a warm all-hit pass has no queue to
+//           expire in).
 //
 // Emits BENCH_server.json (see WriteBenchJson); "scaling_valid": false
 // when the ladder exceeds the host's cores, which makes
@@ -20,6 +26,7 @@
 // VKG_BENCH_SCALE, VKG_BENCH_QUERIES, VKG_BENCH_THREADS (caps the
 // client ladder).
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -150,6 +157,10 @@ int Run() {
   const uint64_t warm_hits = after.cache_hits - before.cache_hits;
   const double warm_hit_ratio =
       static_cast<double>(warm_hits) / static_cast<double>(queries.size());
+  const uint64_t warm_expired =
+      after.expired_in_queue - before.expired_in_queue;
+  records.push_back({"warm_expired_in_queue",
+                     static_cast<double>(warm_expired), "count"});
 
   const double cold_qps = static_cast<double>(queries.size()) / (cold_ms / 1e3);
   const double warm_qps = static_cast<double>(queries.size()) / (warm_ms / 1e3);
@@ -271,6 +282,60 @@ int Run() {
       std::printf("1 -> %zu client scaling: %.2fx\n", clients, scaling);
       records.push_back({"server_" + t + "_vs_1c_scaling", scaling, "x"});
     }
+  }
+
+  // --- Loaded: the full crew computing under a generous per-request
+  // deadline. Every response must still resolve definitively; the miss
+  // ratio is a structural health figure (absolute gate in
+  // tools/bench_check.py), not a throughput race.
+  const size_t loaded_clients = ladder.back();
+  const double loaded_deadline_ms = 250.0;
+  std::atomic<uint64_t> loaded_ok{0};
+  std::atomic<uint64_t> loaded_missed{0};
+  std::atomic<uint64_t> loaded_other{0};
+  util::WallTimer loaded_timer;
+  {
+    std::vector<std::thread> crew;
+    crew.reserve(loaded_clients);
+    for (size_t c = 0; c < loaded_clients; ++c) {
+      crew.emplace_back([&, c] {
+        for (size_t i = 0; i < queries.size(); ++i) {
+          const size_t j = (i + c * 7) % queries.size();
+          query::ServerRequest request = TopKRequest(queries[j], k, true);
+          request.deadline_ms = loaded_deadline_ms;
+          query::ServerResponse r = srv.Execute(std::move(request));
+          if (r.ok()) {
+            loaded_ok.fetch_add(1, std::memory_order_relaxed);
+          } else if (r.status.code() ==
+                     util::StatusCode::kDeadlineExceeded) {
+            loaded_missed.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            loaded_other.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& th : crew) th.join();
+  }
+  const double loaded_ms = loaded_timer.ElapsedMillis();
+  const double loaded_total =
+      static_cast<double>(loaded_clients * queries.size());
+  const double loaded_qps = loaded_total / (loaded_ms / 1e3);
+  const double loaded_miss_ratio =
+      static_cast<double>(loaded_missed.load()) / loaded_total;
+  std::printf(
+      "loaded (%zu clients, %.0fms deadline): %8.0f qps   "
+      "deadline miss ratio %.3f\n",
+      loaded_clients, loaded_deadline_ms, loaded_qps, loaded_miss_ratio);
+  records.push_back({"loaded_qps", loaded_qps, "qps"});
+  records.push_back(
+      {"loaded_deadline_miss_ratio", loaded_miss_ratio, "ratio"});
+  if (loaded_other.load() != 0) {
+    std::fprintf(stderr,
+                 "loaded pass: %llu responses were neither ok nor "
+                 "deadline-exceeded\n",
+                 static_cast<unsigned long long>(loaded_other.load()));
+    return 1;
   }
 
   WriteBenchJson("BENCH_server.json", "server_throughput", context, records,

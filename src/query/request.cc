@@ -54,4 +54,14 @@ void ApplyRequestControl(const ServerRequest& request,
   ctx.control().ResetForQuery();
 }
 
+void ApplyRequestControlAbsolute(const ServerRequest& request,
+                                 util::Deadline deadline,
+                                 const util::ResourceBudget& default_budget,
+                                 QueryContext& ctx) {
+  ctx.control().set_deadline(deadline);
+  ctx.control().set_budget(request.budget.Unlimited() ? default_budget
+                                                      : request.budget);
+  ctx.control().ResetForQuery();
+}
+
 }  // namespace vkg::query

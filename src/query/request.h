@@ -44,6 +44,11 @@ struct ServerRequest {
   double deadline_ms = 0.0;
   util::ResourceBudget budget;
 
+  /// Scheduling priority under memory pressure: at PressureLevel
+  /// kShedding, requests with priority <= 0 are rejected while positive
+  /// priorities still run. Has no effect below that rung.
+  int priority = 0;
+
   /// Skips the result cache for this request (always computes; the
   /// fresh result is still stored for later hits).
   bool bypass_cache = false;
@@ -73,6 +78,12 @@ struct ServerMeta {
   /// negative when the request can never be admitted (it exceeds the
   /// client's burst capacity).
   double retry_after_ms = 0.0;
+  /// The request sat in the shard queue past its deadline and was
+  /// failed without being computed (status kDeadlineExceeded).
+  bool expired_in_queue = false;
+  /// Memory pressure forced this request into budgeted/degraded mode
+  /// (PressureLevel kDegraded or above; DESIGN.md §6h).
+  bool degraded_by_pressure = false;
 };
 
 /// One answered (or rejected / failed) request. `status` follows the
@@ -127,6 +138,16 @@ void ApplyRequestControl(const ServerRequest& request,
                          double default_deadline_ms,
                          const util::ResourceBudget& default_budget,
                          QueryContext& ctx);
+
+/// End-to-end variant: installs an *absolute* deadline stamped at
+/// admission, so time spent queued behind other requests burns this
+/// request's own budget and a late-dequeued query degrades instead of
+/// overshooting its SLA (DESIGN.md §6h). The budget fallback matches
+/// ApplyRequestControl.
+void ApplyRequestControlAbsolute(const ServerRequest& request,
+                                 util::Deadline deadline,
+                                 const util::ResourceBudget& default_budget,
+                                 QueryContext& ctx);
 
 }  // namespace vkg::query
 

@@ -1,0 +1,149 @@
+#include "server/health.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace vkg::server {
+
+namespace {
+
+double SecondsNow() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::string_view BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(const BreakerConfig& config)
+    : config_(config) {
+  waits_.resize(std::max<size_t>(config_.queue_wait_window, 1), 0.0);
+}
+
+void CircuitBreaker::TripLocked(double now_seconds) {
+  state_ = BreakerState::kOpen;
+  opened_at_ = now_seconds;
+  half_open_successes_ = 0;
+  consecutive_failures_ = 0;
+  ++trips_;
+  // A trip invalidates the latency window: observations from the
+  // unhealthy period must not instantly re-trip after recovery.
+  wait_count_ = 0;
+  wait_next_ = 0;
+}
+
+double CircuitBreaker::WindowP99Locked() {
+  std::vector<double> sorted(waits_.begin(), waits_.begin() + wait_count_);
+  std::sort(sorted.begin(), sorted.end());
+  size_t idx = static_cast<size_t>(0.99 * static_cast<double>(sorted.size()));
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+CircuitBreaker::Admission CircuitBreaker::AdmitAt(double now_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::kOpen) {
+    double elapsed = now_seconds - opened_at_;
+    if (elapsed < config_.open_seconds) {
+      ++fast_fails_;
+      return {false, (config_.open_seconds - elapsed) * 1e3};
+    }
+    state_ = BreakerState::kHalfOpen;
+    half_open_successes_ = 0;
+  }
+  if (state_ == BreakerState::kHalfOpen &&
+      in_flight_ >= config_.half_open_probes) {
+    ++fast_fails_;
+    // Probe slots turn over within roughly one compute; a quarter of the
+    // cool-down is a cheap, self-correcting wait hint.
+    return {false, config_.open_seconds * 0.25e3};
+  }
+  ++in_flight_;
+  return {true, 0.0};
+}
+
+CircuitBreaker::Admission CircuitBreaker::Admit() {
+  return AdmitAt(SecondsNow());
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_flight_ > 0) --in_flight_;
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kHalfOpen &&
+      ++half_open_successes_ >= config_.half_open_successes) {
+    state_ = BreakerState::kClosed;
+    ++recoveries_;
+  }
+}
+
+void CircuitBreaker::RecordFailureAt(double now_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_flight_ > 0) --in_flight_;
+  if (state_ == BreakerState::kHalfOpen) {
+    TripLocked(now_seconds);  // a failed probe re-opens immediately
+    return;
+  }
+  if (state_ == BreakerState::kClosed &&
+      ++consecutive_failures_ >= config_.failure_threshold) {
+    TripLocked(now_seconds);
+  }
+}
+
+void CircuitBreaker::RecordFailure() { RecordFailureAt(SecondsNow()); }
+
+void CircuitBreaker::RecordDismissed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_flight_ > 0) --in_flight_;
+}
+
+void CircuitBreaker::RecordQueueWaitAt(double wait_ms, double now_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  waits_[wait_next_] = wait_ms;
+  wait_next_ = (wait_next_ + 1) % waits_.size();
+  wait_count_ = std::min(wait_count_ + 1, waits_.size());
+  if (config_.queue_wait_p99_ms <= 0.0 || state_ != BreakerState::kClosed ||
+      wait_count_ < waits_.size()) {
+    return;
+  }
+  if (WindowP99Locked() > config_.queue_wait_p99_ms) {
+    ++latency_trips_;
+    TripLocked(now_seconds);
+  }
+}
+
+void CircuitBreaker::RecordQueueWait(double wait_ms) {
+  RecordQueueWaitAt(wait_ms, SecondsNow());
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+CircuitBreaker::Stats CircuitBreaker::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.state = state_;
+  s.trips = trips_;
+  s.recoveries = recoveries_;
+  s.fast_fails = fast_fails_;
+  s.latency_trips = latency_trips_;
+  s.consecutive_failures = consecutive_failures_;
+  s.in_flight = in_flight_;
+  return s;
+}
+
+}  // namespace vkg::server

@@ -1,0 +1,116 @@
+#ifndef VKG_SERVER_HEALTH_H_
+#define VKG_SERVER_HEALTH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace vkg::server {
+
+/// Circuit-breaker state (DESIGN.md §6h). Numeric values are stable —
+/// they are exported verbatim as the vkg_server_breaker_state gauge.
+enum class BreakerState : int {
+  kClosed = 0,    // healthy: all traffic admitted
+  kOpen = 1,      // tripped: fast-fail with a retry_after hint
+  kHalfOpen = 2,  // cooling down: limited probe traffic admitted
+};
+
+std::string_view BreakerStateName(BreakerState state);
+
+/// Trip/recovery thresholds for one shard's breaker.
+struct BreakerConfig {
+  /// Consecutive compute failures that trip Closed → Open.
+  int failure_threshold = 5;
+  /// Cool-down spent Open before probe traffic is allowed (Open →
+  /// HalfOpen happens lazily, on the first admission attempt after the
+  /// window).
+  double open_seconds = 0.25;
+  /// Max in-flight probes admitted while HalfOpen; the rest fast-fail.
+  int half_open_probes = 2;
+  /// Probe successes needed to close again.
+  int half_open_successes = 2;
+  /// Queue-wait p99 (ms) over the sliding window that trips the breaker
+  /// even without hard failures — a shard that is merely drowning should
+  /// shed before its callers time out. 0 disables the latency trip.
+  double queue_wait_p99_ms = 0.0;
+  /// Sliding-window size for the p99 estimate; the latency trip only
+  /// fires once the window has filled (cold starts don't trip).
+  size_t queue_wait_window = 128;
+};
+
+/// Per-shard health tracker: a Closed → Open → HalfOpen circuit breaker
+/// driven by consecutive compute failures and queue-wait p99.
+///
+/// Accounting contract: every request AdmitAt() admits must later call
+/// exactly one of RecordSuccess / RecordFailure / RecordDismissed.
+/// Dismissed covers admitted requests whose outcome says nothing about
+/// shard health (shed by admission control downstream, expired in queue,
+/// served from cache, rejected by backpressure) — it releases the
+/// in-flight slot without touching the failure streak.
+///
+/// All clocked entry points take `now_seconds` (monotonic, any origin)
+/// so unit tests drive transitions deterministically; the un-suffixed
+/// wrappers read steady_clock. Thread-safe.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(const BreakerConfig& config);
+
+  struct Admission {
+    bool admitted = true;
+    /// When not admitted: how long the caller should wait before trying
+    /// this shard again.
+    double retry_after_ms = 0.0;
+  };
+
+  Admission AdmitAt(double now_seconds);
+  Admission Admit();
+
+  void RecordSuccess();
+  void RecordFailureAt(double now_seconds);
+  void RecordFailure();
+  void RecordDismissed();
+
+  /// Feeds one queue-wait observation (ms) into the p99 window; may trip
+  /// Closed → Open when the window p99 exceeds the configured bound.
+  void RecordQueueWaitAt(double wait_ms, double now_seconds);
+  void RecordQueueWait(double wait_ms);
+
+  BreakerState state() const;
+
+  struct Stats {
+    BreakerState state = BreakerState::kClosed;
+    uint64_t trips = 0;       // transitions into Open (incl. re-opens)
+    uint64_t recoveries = 0;  // HalfOpen → Closed transitions
+    uint64_t fast_fails = 0;  // admissions rejected by Open/HalfOpen
+    uint64_t latency_trips = 0;  // trips caused by queue-wait p99
+    int consecutive_failures = 0;
+    int in_flight = 0;
+  };
+  Stats stats() const;
+
+ private:
+  void TripLocked(double now_seconds);
+  double WindowP99Locked();
+
+  const BreakerConfig config_;
+
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  double opened_at_ = 0.0;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  int in_flight_ = 0;
+  uint64_t trips_ = 0;
+  uint64_t recoveries_ = 0;
+  uint64_t fast_fails_ = 0;
+  uint64_t latency_trips_ = 0;
+  std::vector<double> waits_;  // ring buffer, capacity queue_wait_window
+  size_t wait_next_ = 0;
+  size_t wait_count_ = 0;
+};
+
+}  // namespace vkg::server
+
+#endif  // VKG_SERVER_HEALTH_H_

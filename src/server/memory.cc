@@ -1,0 +1,83 @@
+#include "server/memory.h"
+
+namespace vkg::server {
+
+std::string_view PressureLevelName(PressureLevel level) {
+  switch (level) {
+    case PressureLevel::kNormal:
+      return "normal";
+    case PressureLevel::kElevated:
+      return "elevated";
+    case PressureLevel::kDegraded:
+      return "degraded";
+    case PressureLevel::kShedding:
+      return "shedding";
+  }
+  return "unknown";
+}
+
+MemoryBudget::MemoryBudget(const MemoryBudgetConfig& config)
+    : config_(config) {}
+
+double MemoryBudget::EntryFraction(PressureLevel level) const {
+  switch (level) {
+    case PressureLevel::kElevated:
+      return config_.elevated_fraction;
+    case PressureLevel::kDegraded:
+      return config_.degraded_fraction;
+    case PressureLevel::kShedding:
+      return config_.shedding_fraction;
+    case PressureLevel::kNormal:
+      break;
+  }
+  return 0.0;
+}
+
+PressureLevel MemoryBudget::LevelForLocked(double fraction) const {
+  if (fraction >= config_.shedding_fraction) return PressureLevel::kShedding;
+  if (fraction >= config_.degraded_fraction) return PressureLevel::kDegraded;
+  if (fraction >= config_.elevated_fraction) return PressureLevel::kElevated;
+  return PressureLevel::kNormal;
+}
+
+PressureLevel MemoryBudget::Update(size_t usage_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (override_.has_value()) usage_bytes = *override_;
+  last_usage_ = usage_bytes;
+  if (config_.budget_bytes == 0) return level_;
+  double fraction = static_cast<double>(usage_bytes) /
+                    static_cast<double>(config_.budget_bytes);
+  PressureLevel candidate = LevelForLocked(fraction);
+  if (candidate > level_) {
+    ++escalations_;
+    level_ = candidate;
+  } else if (candidate < level_ &&
+             fraction <
+                 EntryFraction(level_) - config_.hysteresis_fraction) {
+    ++deescalations_;
+    level_ = candidate;
+  }
+  return level_;
+}
+
+void MemoryBudget::SetUsageOverride(std::optional<size_t> usage_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  override_ = usage_bytes;
+}
+
+PressureLevel MemoryBudget::level() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return level_;
+}
+
+MemoryBudget::Stats MemoryBudget::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.level = level_;
+  s.last_usage_bytes = last_usage_;
+  s.escalations = escalations_;
+  s.deescalations = deescalations_;
+  return s;
+}
+
+}  // namespace vkg::server

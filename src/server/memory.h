@@ -1,0 +1,88 @@
+#ifndef VKG_SERVER_MEMORY_H_
+#define VKG_SERVER_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string_view>
+
+namespace vkg::server {
+
+/// Server memory-pressure ladder (DESIGN.md §6h). Numeric values are
+/// stable — exported as the vkg_server_memory_pressure gauge. Each rung
+/// adds a degradation on top of the previous one:
+///   kNormal    — nothing
+///   kElevated  — result-cache segments shrink to a fraction of their
+///                configured bytes (reversible: bounds restore at Normal)
+///   kDegraded  — queries without an explicit budget are forced into
+///                budgeted mode (bounded points ⇒ bounded scratch), so
+///                answers degrade per the paper's contract instead of
+///                allocations growing
+///   kShedding  — lowest-priority requests are rejected outright with a
+///                retry_after hint
+enum class PressureLevel : int {
+  kNormal = 0,
+  kElevated = 1,
+  kDegraded = 2,
+  kShedding = 3,
+};
+
+std::string_view PressureLevelName(PressureLevel level);
+
+struct MemoryBudgetConfig {
+  /// Total bytes the server may attribute to caches + in-flight work.
+  /// 0 disables pressure tracking (level pinned at kNormal).
+  size_t budget_bytes = 0;
+  /// usage/budget fractions at which each rung engages.
+  double elevated_fraction = 0.70;
+  double degraded_fraction = 0.85;
+  double shedding_fraction = 0.95;
+  /// Hysteresis: to step *down* a rung, usage must fall this far below
+  /// the rung's entry fraction (prevents flapping at a boundary).
+  double hysteresis_fraction = 0.05;
+};
+
+/// Tracks usage against the budget and maps it to a PressureLevel with
+/// hysteresis. The server owns one instance, feeds it measured usage
+/// (cache bytes + queue-depth estimate) after every request, and applies
+/// the level's degradations. Thread-safe.
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(const MemoryBudgetConfig& config);
+
+  /// Feeds a usage measurement; returns the (possibly new) level.
+  PressureLevel Update(size_t usage_bytes);
+
+  /// Test hook: a pinned usage value that overrides what Update() is
+  /// fed, so tests walk the ladder without allocating gigabytes.
+  /// nullopt clears the override.
+  void SetUsageOverride(std::optional<size_t> usage_bytes);
+
+  PressureLevel level() const;
+
+  struct Stats {
+    PressureLevel level = PressureLevel::kNormal;
+    size_t last_usage_bytes = 0;
+    uint64_t escalations = 0;    // transitions to a higher rung
+    uint64_t deescalations = 0;  // transitions to a lower rung
+  };
+  Stats stats() const;
+
+ private:
+  PressureLevel LevelForLocked(double fraction) const;
+  double EntryFraction(PressureLevel level) const;
+
+  const MemoryBudgetConfig config_;
+
+  mutable std::mutex mu_;
+  PressureLevel level_ = PressureLevel::kNormal;
+  std::optional<size_t> override_;
+  size_t last_usage_ = 0;
+  uint64_t escalations_ = 0;
+  uint64_t deescalations_ = 0;
+};
+
+}  // namespace vkg::server
+
+#endif  // VKG_SERVER_MEMORY_H_

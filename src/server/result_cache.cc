@@ -47,6 +47,13 @@ size_t ResultCache::InvalidateStale(uint64_t current_generation) {
   return removed;
 }
 
+size_t ResultCache::SetByteBudget(size_t max_bytes) {
+  if (!enabled_) return 0;
+  // Keep the segment bounded even when asked for 0: a shrink-to-zero
+  // becomes "evict everything, stay enabled" rather than unbounding.
+  return lru_.SetMaxBytes(max_bytes > 0 ? max_bytes : 1);
+}
+
 void ResultCache::Clear() { lru_.Clear(); }
 
 ResultCache::Stats ResultCache::stats() const {

@@ -56,6 +56,11 @@ class ResultCache {
   /// Returns the number evicted (counted as invalidations).
   size_t InvalidateStale(uint64_t current_generation);
 
+  /// Re-bounds this segment's byte budget and evicts cold entries until
+  /// it holds — the memory-pressure shrink/restore path (DESIGN.md
+  /// §6h). A disabled cache stays disabled. Returns entries evicted.
+  size_t SetByteBudget(size_t max_bytes);
+
   void Clear();
 
   struct Stats {

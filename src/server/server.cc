@@ -1,5 +1,6 @@
 #include "server/server.h"
 
+#include <chrono>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -17,12 +18,19 @@ struct ServerMetrics {
   obs::Counter& requests;
   obs::Counter& rejected;
   obs::Counter& overload;
+  obs::Counter& breaker_rejected;
+  obs::Counter& shed;
+  obs::Counter& expired_in_queue;
+  obs::Counter& expired_waiting;
   obs::Counter& cache_hits;
   obs::Counter& cache_misses;
   obs::Counter& coalesced;
   obs::Counter& computed;
   obs::Histogram& compute_us;
+  obs::Histogram& e2e_us;
+  obs::Histogram& queue_wait_us;
   obs::Gauge& peak_depth;
+  obs::Gauge& memory_pressure;
 
   static ServerMetrics& Get() {
     static ServerMetrics* metrics = [] {
@@ -31,12 +39,19 @@ struct ServerMetrics {
           reg.GetCounter("vkg_server_requests_total"),
           reg.GetCounter("vkg_server_rejected_total"),
           reg.GetCounter("vkg_server_overload_rejected_total"),
+          reg.GetCounter("vkg_server_breaker_rejected_total"),
+          reg.GetCounter("vkg_server_shed_total"),
+          reg.GetCounter("vkg_server_expired_in_queue_total"),
+          reg.GetCounter("vkg_server_expired_waiting_total"),
           reg.GetCounter("vkg_server_cache_hits_total"),
           reg.GetCounter("vkg_server_cache_misses_total"),
           reg.GetCounter("vkg_server_coalesced_total"),
           reg.GetCounter("vkg_server_computed_total"),
           reg.GetHistogram("vkg_server_compute_us"),
-          reg.GetGauge("vkg_server_peak_depth")};
+          reg.GetHistogram("vkg_server_e2e_us"),
+          reg.GetHistogram("vkg_server_queue_wait_us"),
+          reg.GetGauge("vkg_server_peak_depth"),
+          reg.GetGauge("vkg_server_memory_pressure")};
     }();
     return *metrics;
   }
@@ -47,6 +62,36 @@ query::ServerResponse MakeErrorResponse(util::Status status, size_t shard) {
   response.status = std::move(status);
   response.meta.shard = shard;
   return response;
+}
+
+double ElapsedUsSince(util::Deadline::Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             util::Deadline::Clock::now() - start)
+      .count();
+}
+
+// The end-to-end deadline: stamped once at admission so queue wait
+// burns the request's own budget.
+util::Deadline AdmissionDeadline(const query::ServerRequest& request,
+                                 double default_deadline_ms) {
+  const double ms =
+      request.deadline_ms > 0.0 ? request.deadline_ms : default_deadline_ms;
+  return ms > 0.0 ? util::Deadline::AfterMillis(ms)
+                  : util::Deadline::Infinite();
+}
+
+// Whether a compute outcome speaks to shard health (breaker failure) or
+// not (success resets the streak; everything else is dismissed).
+bool IsShardFailure(const util::Status& status) {
+  switch (status.code()) {
+    case util::StatusCode::kInternal:
+    case util::StatusCode::kResourceExhausted:
+    case util::StatusCode::kIoError:
+    case util::StatusCode::kDataLoss:
+      return true;
+    default:
+      return false;
+  }
 }
 
 }  // namespace
@@ -68,7 +113,8 @@ VkgServer::VkgServer(std::shared_ptr<core::VirtualKnowledgeGraph> vkg,
                      const ServerConfig& config)
     : vkg_(std::move(vkg)),
       config_(config),
-      admission_(config.qps_limit, config.burst) {
+      admission_(config.qps_limit, config.burst),
+      memory_budget_(config.memory) {
   // Fingerprint every option that changes answers: results computed
   // under different engine settings must never share a cache slot.
   const core::VkgOptions& opts = vkg_->options();
@@ -91,13 +137,21 @@ VkgServer::VkgServer(std::shared_ptr<core::VirtualKnowledgeGraph> vkg,
   shard_options.cache_entries = config_.cache_entries;
   shard_options.default_deadline_ms = config_.default_deadline_ms;
   shard_options.default_budget = config_.default_budget;
+  shard_options.breaker = config_.breaker;
+  shard_options.pressure_budget = config_.pressure_budget;
+  if (shard_options.pressure_budget.Unlimited()) {
+    // "Forced into budgeted mode" must actually bound work even when the
+    // operator never picked a number.
+    shard_options.pressure_budget.max_points = 4096;
+  }
+  cache_segment_bytes_ = shard_options.cache_bytes;
   shards_.reserve(config_.shards);
   for (size_t i = 0; i < config_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(i, *vkg_, shard_options));
   }
 }
 
-VkgServer::~VkgServer() { Drain(); }
+VkgServer::~VkgServer() { Stop(); }
 
 size_t VkgServer::ShardOf(const data::Query& query) const {
   uint64_t h = query::HashBytes(&query.anchor, sizeof(query.anchor));
@@ -131,6 +185,23 @@ VkgServer::Ticket VkgServer::ImmediateTicket(
 }
 
 query::ServerResponse VkgServer::Ticket::Get() {
+  if (!deadline_.infinite() &&
+      future_.wait_until(deadline_.at()) == std::future_status::timeout) {
+    // The shared computation this follower attached to is still pending
+    // past the follower's *own* deadline: resolve to a definitive
+    // bounded answer now. The leader keeps computing on its own budget
+    // (and still populates the cache for the next request).
+    if (expired_waiting_ != nullptr) {
+      expired_waiting_->fetch_add(1, std::memory_order_relaxed);
+    }
+    ServerMetrics::Get().expired_waiting.Inc();
+    query::ServerResponse response = MakeErrorResponse(
+        util::Status::DeadlineExceeded(
+            "coalesced result not ready by this request's deadline"),
+        shard_);
+    response.meta.coalesced = coalesced_;
+    return response;
+  }
   query::ServerResponse response = future_.get();
   if (patch_meta_) {
     // Followers share the leader's payload but carry their own serving
@@ -145,6 +216,18 @@ VkgServer::Ticket VkgServer::Submit(query::ServerRequest request) {
   ServerMetrics& metrics = ServerMetrics::Get();
   requests_.fetch_add(1, std::memory_order_relaxed);
   metrics.requests.Inc();
+  const util::Deadline::Clock::time_point admit_time =
+      util::Deadline::Clock::now();
+  const util::Deadline deadline =
+      AdmissionDeadline(request, config_.default_deadline_ms);
+
+  // 0. Shutdown gate: a stopping server owes every caller a definitive
+  // answer but no compute.
+  if (stopping_.load(std::memory_order_relaxed)) {
+    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    return ImmediateTicket(MakeErrorResponse(
+        util::Status::Unavailable("server shutting down"), 0));
+  }
 
   // 1. Admission: is this client allowed to consume compute at all?
   AdmissionController::Decision admit = admission_.Admit(request.client_id);
@@ -160,7 +243,21 @@ VkgServer::Ticket VkgServer::Submit(query::ServerRequest request) {
   }
   admitted_.fetch_add(1, std::memory_order_relaxed);
 
-  // 2. Route to the owning shard, then validate against its engine.
+  // 2. Memory pressure: re-measure, apply transitions, shed the lowest
+  // priority tier at the top rung (DESIGN.md §6h ladder).
+  RefreshMemoryPressure();
+  const PressureLevel pressure = memory_budget_.level();
+  if (pressure == PressureLevel::kShedding && request.priority <= 0) {
+    rejected_shed_.fetch_add(1, std::memory_order_relaxed);
+    metrics.shed.Inc();
+    query::ServerResponse response = MakeErrorResponse(
+        util::Status::ResourceExhausted("shed under memory pressure"), 0);
+    response.meta.retry_after_ms = config_.overload_retry_ms;
+    return ImmediateTicket(std::move(response));
+  }
+  const bool pressure_degrade = pressure >= PressureLevel::kDegraded;
+
+  // 3. Route to the owning shard, then validate against its engine.
   const size_t shard_index = ShardOf(request.routing_query());
   Shard& shard = *shards_[shard_index];
   util::Status valid =
@@ -175,15 +272,16 @@ VkgServer::Ticket VkgServer::Submit(query::ServerRequest request) {
         MakeErrorResponse(std::move(valid), shard_index));
   }
 
-  // 3. Injected dispatch fault: isolated to this request (`delay`
-  // stalls the submitting thread, modelling a slow router).
+  // 4. Injected dispatch fault: isolated to this request (`delay`
+  // stalls the submitting thread, modelling a slow router). Not a
+  // shard-health signal — the shard never saw the request.
   if (VKG_FAILPOINT("server.shard_dispatch")) {
     return ImmediateTicket(MakeErrorResponse(
         util::Status::Internal("injected shard dispatch fault"),
         shard_index));
   }
 
-  // 4. Backpressure: bounded shard depth, explicit rejection past it.
+  // 5. Backpressure: bounded shard depth, explicit rejection past it.
   if (!shard.TryReserveSlot()) {
     rejected_overload_.fetch_add(1, std::memory_order_relaxed);
     metrics.overload.Inc();
@@ -196,28 +294,51 @@ VkgServer::Ticket VkgServer::Submit(query::ServerRequest request) {
   }
   metrics.peak_depth.SetMax(static_cast<double>(shard.depth()));
 
+  // 6. Circuit breaker: an Open shard fast-fails compute-bound work
+  // with a retry hint instead of absorbing traffic it cannot serve.
+  // Sits *after* the cache fast path below — cache hits need no shard
+  // compute, so an Open shard keeps serving them. Every admitted
+  // request owes the breaker exactly one outcome record.
+  auto admit_breaker = [&]() -> std::optional<Ticket> {
+    CircuitBreaker::Admission breaker_admit = shard.breaker().Admit();
+    if (breaker_admit.admitted) return std::nullopt;
+    shard.ReleaseSlot();
+    rejected_breaker_.fetch_add(1, std::memory_order_relaxed);
+    metrics.breaker_rejected.Inc();
+    query::ServerResponse response = MakeErrorResponse(
+        util::Status::ResourceExhausted(util::StrFormat(
+            "shard %zu circuit breaker open", shard_index)),
+        shard_index);
+    response.meta.retry_after_ms = breaker_admit.retry_after_ms;
+    return ImmediateTicket(std::move(response));
+  };
+
   if (request.kind == query::RequestKind::kAggregate) {
     // Aggregates skip cache and coalescing (estimator-dependent
     // payloads stay engine-agnostic; see DESIGN.md §6g).
+    if (std::optional<Ticket> rejected = admit_breaker()) {
+      return *std::move(rejected);
+    }
     auto inflight = std::make_shared<Shard::InFlight>();
     inflight->future = inflight->promise.get_future().share();
     Ticket ticket;
     ticket.future_ = inflight->future;
     Shard* shard_ptr = &shard;
     auto req = std::make_shared<query::ServerRequest>(std::move(request));
-    computed_aggregate_.fetch_add(1, std::memory_order_relaxed);
-    shard.pool().Submit([shard_ptr, req, inflight] {
-      obs::ScopedLatencyUs timer(ServerMetrics::Get().compute_us);
-      ServerMetrics::Get().computed.Inc();
-      inflight->promise.set_value(shard_ptr->ComputeAggregate(*req));
-      shard_ptr->ReleaseSlot();
-    });
+    shard.pool().Submit(
+        [this, shard_ptr, req, inflight, deadline, admit_time,
+         pressure_degrade] {
+          inflight->promise.set_value(
+              ComputeOnWorker(*shard_ptr, *req, /*key=*/nullptr, deadline,
+                              admit_time, pressure_degrade));
+          shard_ptr->ReleaseSlot();
+        });
     return ticket;
   }
 
   const query::QueryKey key = MakeKey(request);
 
-  // 5. Result cache, guarded by the shard tree's crack generation. The
+  // 7. Result cache, guarded by the shard tree's crack generation. The
   // injected cache fault (`server.cache`) poisons exactly this
   // request's lookup.
   if (VKG_FAILPOINT("server.cache")) {
@@ -231,6 +352,7 @@ VkgServer::Ticket VkgServer::Submit(query::ServerRequest request) {
     if (hit.has_value()) {
       shard.ReleaseSlot();
       metrics.cache_hits.Inc();
+      metrics.e2e_us.Observe(ElapsedUsSince(admit_time));
       query::ServerResponse response;
       response.status = util::Status::OK();
       response.topk = std::move(hit->result);
@@ -242,7 +364,12 @@ VkgServer::Ticket VkgServer::Submit(query::ServerRequest request) {
     metrics.cache_misses.Inc();
   }
 
-  // 6. Coalescing: identical in-flight computation? Attach, don't
+  // Cache miss: this request needs shard compute — ask the breaker.
+  if (std::optional<Ticket> rejected = admit_breaker()) {
+    return *std::move(rejected);
+  }
+
+  // 8. Coalescing: identical in-flight computation? Attach, don't
   // recompute. Registration happens here on the submitting thread, so
   // a burst of duplicates collapses no matter how the shard's workers
   // are scheduled.
@@ -255,20 +382,25 @@ VkgServer::Ticket VkgServer::Submit(query::ServerRequest request) {
   ticket.patch_meta_ = true;
   if (!leader) {
     shard.ReleaseSlot();  // the leader's slot covers the computation
+    shard.breaker().RecordDismissed();
     ticket.coalesced_ = true;
+    // Followers inherit the leader's result only while their own
+    // deadline permits (bounded Get(), DESIGN.md §6h).
+    ticket.deadline_ = deadline;
+    ticket.expired_waiting_ = expired_waiting_;
     coalesced_.fetch_add(1, std::memory_order_relaxed);
     metrics.coalesced.Inc();
     return ticket;
   }
 
-  // 7. Leader: run the computation on the owning shard's pool.
-  computed_topk_.fetch_add(1, std::memory_order_relaxed);
+  // 9. Leader: run the computation on the owning shard's pool.
   Shard* shard_ptr = &shard;
   auto req = std::make_shared<query::ServerRequest>(std::move(request));
-  shard.pool().Submit([shard_ptr, req, key, inflight] {
-    obs::ScopedLatencyUs timer(ServerMetrics::Get().compute_us);
-    ServerMetrics::Get().computed.Inc();
-    query::ServerResponse response = shard_ptr->ComputeTopK(*req, key);
+  shard.pool().Submit([this, shard_ptr, req, key, inflight, deadline,
+                       admit_time, pressure_degrade] {
+    query::ServerResponse response =
+        ComputeOnWorker(*shard_ptr, *req, &key, deadline, admit_time,
+                        pressure_degrade);
     // Unregister before fulfilling: a request arriving after this line
     // starts a fresh computation (and usually hits the cache instead).
     shard_ptr->FinishInFlight(key);
@@ -276,6 +408,74 @@ VkgServer::Ticket VkgServer::Submit(query::ServerRequest request) {
     shard_ptr->ReleaseSlot();
   });
   return ticket;
+}
+
+query::ServerResponse VkgServer::ComputeOnWorker(
+    Shard& shard, const query::ServerRequest& request,
+    const query::QueryKey* key, util::Deadline deadline,
+    util::Deadline::Clock::time_point admit_time, bool pressure_degrade) {
+  ServerMetrics& metrics = ServerMetrics::Get();
+  const double queue_wait_us = ElapsedUsSince(admit_time);
+  metrics.queue_wait_us.Observe(queue_wait_us);
+  shard.breaker().RecordQueueWait(queue_wait_us * 1e-3);
+
+  query::ServerResponse response;
+  response.meta.shard = shard.id();
+  if (stopping_.load(std::memory_order_relaxed)) {
+    // Queued behind Stop(): resolve definitively, never compute.
+    response.status = util::Status::Unavailable("server shutting down");
+    shard.breaker().RecordDismissed();
+    metrics.e2e_us.Observe(ElapsedUsSince(admit_time));
+    return response;
+  }
+  // Injected worker fault (`server.queue`): delay = slow shard, timeout
+  // = slow shard whose compute then fails, fail = broken worker. Counts
+  // against this shard's breaker — the whole point of the site.
+  if (VKG_FAILPOINT("server.queue")) {
+    response.status = util::Status::Internal("injected queue fault");
+    shard.breaker().RecordFailure();
+    metrics.e2e_us.Observe(ElapsedUsSince(admit_time));
+    return response;
+  }
+  if (deadline.Expired()) {
+    // The deadline burned away while the request sat in the queue:
+    // failing it now is strictly better than computing a result nobody
+    // is waiting for. Not a shard-health signal (the shard may simply
+    // be behind a burst).
+    expired_in_queue_.fetch_add(1, std::memory_order_relaxed);
+    metrics.expired_in_queue.Inc();
+    response.status =
+        util::Status::DeadlineExceeded("deadline expired in shard queue");
+    response.meta.expired_in_queue = true;
+    shard.breaker().RecordDismissed();
+    metrics.e2e_us.Observe(ElapsedUsSince(admit_time));
+    return response;
+  }
+
+  {
+    obs::ScopedLatencyUs timer(metrics.compute_us);
+    metrics.computed.Inc();
+    if (key != nullptr) {
+      computed_topk_.fetch_add(1, std::memory_order_relaxed);
+      response = shard.ComputeTopK(request, *key, deadline, pressure_degrade);
+    } else {
+      computed_aggregate_.fetch_add(1, std::memory_order_relaxed);
+      response =
+          shard.ComputeAggregate(request, deadline, pressure_degrade);
+    }
+  }
+  if (response.meta.degraded_by_pressure) {
+    pressure_degraded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (response.status.ok()) {
+    shard.breaker().RecordSuccess();
+  } else if (IsShardFailure(response.status)) {
+    shard.breaker().RecordFailure();
+  } else {
+    shard.breaker().RecordDismissed();
+  }
+  metrics.e2e_us.Observe(ElapsedUsSince(admit_time));
+  return response;
 }
 
 query::ServerResponse VkgServer::Execute(query::ServerRequest request) {
@@ -286,6 +486,46 @@ void VkgServer::Drain() {
   for (auto& shard : shards_) shard->pool().Wait();
 }
 
+void VkgServer::Stop() {
+  // Idempotent flip; late Submits fast-fail, already-queued work
+  // resolves with kUnavailable in ComputeOnWorker's stopping gate.
+  stopping_.store(true, std::memory_order_relaxed);
+  // Wait for the queues to empty: after this, every ticket ever handed
+  // out has a value (workers ran each queued task, however briefly).
+  // Tasks racing past the Submit-side gate are drained by ~ThreadPool,
+  // which runs its backlog before joining — no future is abandoned
+  // either way.
+  Drain();
+}
+
+void VkgServer::RefreshMemoryPressure() {
+  if (config_.memory.budget_bytes == 0) return;
+  size_t usage = 0;
+  for (const auto& shard : shards_) {
+    usage += shard->cache().stats().bytes;
+    usage += shard->depth() * config_.pressure_request_bytes;
+  }
+  const PressureLevel level = memory_budget_.Update(usage);
+  ServerMetrics::Get().memory_pressure.Set(static_cast<double>(level));
+  if (level == applied_pressure_) return;
+  std::lock_guard<std::mutex> lock(pressure_mu_);
+  if (level == applied_pressure_) return;
+  // Rung 1 (kElevated) action, reversible: shrink every cache segment;
+  // restore the full bound once pressure clears. Rungs 2 and 3 act on
+  // the request path (forced budgets, shedding) and need no state here.
+  const bool shrink = level >= PressureLevel::kElevated;
+  const bool was_shrunk = applied_pressure_ >= PressureLevel::kElevated;
+  if (shrink != was_shrunk) {
+    const size_t bound =
+        shrink ? static_cast<size_t>(static_cast<double>(
+                     cache_segment_bytes_) *
+                 config_.pressure_cache_keep)
+               : cache_segment_bytes_;
+    for (auto& shard : shards_) shard->cache().SetByteBudget(bound);
+  }
+  applied_pressure_ = level;
+}
+
 ServerStats VkgServer::Stats() const {
   ServerStats stats;
   stats.requests = requests_.load(std::memory_order_relaxed);
@@ -293,11 +533,23 @@ ServerStats VkgServer::Stats() const {
   stats.rejected_rate = rejected_rate_.load(std::memory_order_relaxed);
   stats.rejected_overload =
       rejected_overload_.load(std::memory_order_relaxed);
+  stats.rejected_breaker =
+      rejected_breaker_.load(std::memory_order_relaxed);
+  stats.rejected_shed = rejected_shed_.load(std::memory_order_relaxed);
+  stats.rejected_shutdown =
+      rejected_shutdown_.load(std::memory_order_relaxed);
   stats.invalid = invalid_.load(std::memory_order_relaxed);
   stats.coalesced = coalesced_.load(std::memory_order_relaxed);
   stats.computed_topk = computed_topk_.load(std::memory_order_relaxed);
   stats.computed_aggregate =
       computed_aggregate_.load(std::memory_order_relaxed);
+  stats.expired_in_queue =
+      expired_in_queue_.load(std::memory_order_relaxed);
+  stats.expired_waiting =
+      expired_waiting_->load(std::memory_order_relaxed);
+  stats.pressure_degraded =
+      pressure_degraded_.load(std::memory_order_relaxed);
+  stats.memory = memory_budget_.stats();
   stats.shards.reserve(shards_.size());
   for (const auto& shard : shards_) {
     ServerStats::ShardView view;
@@ -307,6 +559,7 @@ ServerStats VkgServer::Stats() const {
     view.in_flight = shard->in_flight();
     view.generation = shard->generation();
     view.cache = shard->cache().stats();
+    view.breaker = shard->breaker().stats();
     stats.cache_hits += view.cache.hits;
     stats.cache_misses += view.cache.misses;
     stats.cache_invalidated += view.cache.invalidated;
@@ -318,9 +571,20 @@ ServerStats VkgServer::Stats() const {
 void VkgServer::PublishStats() const {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   reg.GetGauge("vkg_server_shards").Set(static_cast<double>(shards_.size()));
+  reg.GetGauge("vkg_server_memory_pressure")
+      .Set(static_cast<double>(memory_budget_.level()));
+  uint64_t trips = 0;
+  uint64_t recoveries = 0;
+  uint64_t fast_fails = 0;
+  double open_shards = 0.0;
   for (const auto& shard : shards_) {
     const size_t i = shard->id();
     const ResultCache::Stats cache = shard->cache().stats();
+    const CircuitBreaker::Stats breaker = shard->breaker().stats();
+    trips += breaker.trips;
+    recoveries += breaker.recoveries;
+    fast_fails += breaker.fast_fails;
+    if (breaker.state != BreakerState::kClosed) open_shards += 1.0;
     reg.GetGauge(util::StrFormat("vkg_server_shard_%zu_depth", i))
         .Set(static_cast<double>(shard->depth()));
     reg.GetGauge(util::StrFormat("vkg_server_shard_%zu_peak_depth", i))
@@ -331,7 +595,17 @@ void VkgServer::PublishStats() const {
         .Set(static_cast<double>(cache.entries));
     reg.GetGauge(util::StrFormat("vkg_server_shard_%zu_cache_bytes", i))
         .Set(static_cast<double>(cache.bytes));
+    reg.GetGauge(util::StrFormat("vkg_server_shard_%zu_breaker_state", i))
+        .Set(static_cast<double>(breaker.state));
   }
+  // Aggregate breaker mirror (vkg_server_breaker_*): what a dashboard
+  // alert keys on, whichever shard tripped.
+  reg.GetGauge("vkg_server_breaker_trips").Set(static_cast<double>(trips));
+  reg.GetGauge("vkg_server_breaker_recoveries")
+      .Set(static_cast<double>(recoveries));
+  reg.GetGauge("vkg_server_breaker_fast_fails")
+      .Set(static_cast<double>(fast_fails));
+  reg.GetGauge("vkg_server_breaker_open_shards").Set(open_shards);
 }
 
 }  // namespace vkg::server

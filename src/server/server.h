@@ -5,13 +5,17 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/virtual_graph.h"
 #include "query/request.h"
 #include "server/admission.h"
+#include "server/health.h"
+#include "server/memory.h"
 #include "server/result_cache.h"
 #include "server/shard.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace vkg::server {
@@ -44,6 +48,20 @@ struct ServerConfig {
   /// Default per-request resilience limits (overridable per request).
   double default_deadline_ms = 0.0;
   util::ResourceBudget default_budget;
+  /// Per-shard circuit-breaker thresholds (DESIGN.md §6h).
+  BreakerConfig breaker;
+  /// Memory-pressure ladder; budget_bytes == 0 disables tracking (and
+  /// its per-submit accounting cost) entirely.
+  MemoryBudgetConfig memory;
+  /// Fraction of each cache segment's byte bound kept at PressureLevel
+  /// kElevated and above (restored in full at kNormal).
+  double pressure_cache_keep = 0.5;
+  /// Budget forced onto otherwise-unlimited queries at kDegraded+.
+  /// Left unlimited, a 4096-point budget is applied.
+  util::ResourceBudget pressure_budget;
+  /// Estimated bytes of in-flight state per queued request, charged
+  /// against memory.budget_bytes alongside cache residency.
+  size_t pressure_request_bytes = 64u << 10;
 };
 
 /// Point-in-time serving statistics (exact, unlike the sharded obs
@@ -53,6 +71,9 @@ struct ServerStats {
   uint64_t admitted = 0;
   uint64_t rejected_rate = 0;      // admission-control rejections
   uint64_t rejected_overload = 0;  // shard-queue-full rejections
+  uint64_t rejected_breaker = 0;   // circuit-breaker fast-fails
+  uint64_t rejected_shed = 0;      // memory-pressure shedding
+  uint64_t rejected_shutdown = 0;  // submitted after Stop()
   uint64_t invalid = 0;            // failed validation
   uint64_t coalesced = 0;          // attached to an in-flight duplicate
   uint64_t cache_hits = 0;
@@ -60,6 +81,15 @@ struct ServerStats {
   uint64_t cache_invalidated = 0;  // generation-stamp evictions
   uint64_t computed_topk = 0;      // actual engine computations
   uint64_t computed_aggregate = 0;
+  /// Requests whose deadline expired while still queued: failed with
+  /// kDeadlineExceeded, never handed to an engine (DESIGN.md §6h).
+  uint64_t expired_in_queue = 0;
+  /// Coalesced followers whose own deadline expired before the shared
+  /// computation resolved (the leader still finishes and populates the
+  /// cache).
+  uint64_t expired_waiting = 0;
+  /// Requests forced into budgeted mode by memory pressure.
+  uint64_t pressure_degraded = 0;
 
   struct ShardView {
     size_t shard = 0;
@@ -68,20 +98,28 @@ struct ServerStats {
     size_t in_flight = 0;
     uint64_t generation = 0;
     ResultCache::Stats cache;
+    CircuitBreaker::Stats breaker;
   };
   std::vector<ShardView> shards;
+  MemoryBudget::Stats memory;
 };
 
 /// The long-running, in-process query front end over a
 /// VirtualKnowledgeGraph (DESIGN.md §6g): converts the library into a
 /// service. A request travels
 ///
-///   Submit -> admission (token bucket per client)
-///          -> route (hash(anchor, relation) -> shard)
-///          -> validate -> backpressure (bounded shard depth)
-///          -> result cache (generation-checked)
+///   Submit -> shutdown check -> admission (token bucket per client)
+///          -> memory pressure (shed lowest priority at kShedding)
+///          -> route (hash(anchor, relation) -> shard) -> validate
+///          -> backpressure (bounded shard depth)
+///          -> result cache (generation-checked; hits bypass the
+///             breaker — an Open shard still serves cached results)
+///          -> circuit breaker (Open shards fast-fail compute-bound
+///             work, DESIGN.md §6h)
 ///          -> coalesce (attach to identical in-flight computation)
-///          -> shard worker pool -> engine compute -> cache store
+///          -> shard worker pool -> queue-expiry check -> engine
+///             compute (absolute deadline stamped at admission)
+///             -> cache store -> breaker outcome
 ///
 /// and every early exit (rejection, cache hit, validation error)
 /// resolves the returned Ticket immediately. All submission-side steps
@@ -110,6 +148,11 @@ class VkgServer {
   class Ticket {
    public:
     Ticket() = default;
+    /// For coalesced followers with a finite deadline, Get() waits at
+    /// most until that deadline: a follower inherits the leader's
+    /// result only if its own deadline still permits, and otherwise
+    /// resolves to kDeadlineExceeded while the leader finishes (and
+    /// populates the cache) on its own time.
     query::ServerResponse Get();
 
    private:
@@ -118,6 +161,10 @@ class VkgServer {
     size_t shard_ = 0;
     bool coalesced_ = false;
     bool patch_meta_ = false;
+    util::Deadline deadline_;  // bounds Get() for coalesced followers
+    /// Owned by the server's Stats block; shared so an expired wait can
+    /// be counted even if the server object is gone by then.
+    std::shared_ptr<std::atomic<uint64_t>> expired_waiting_;
   };
 
   /// Submits one request (non-blocking apart from admission/cache/
@@ -141,6 +188,26 @@ class VkgServer {
   /// Blocks until every enqueued computation has finished.
   void Drain();
 
+  /// Graceful shutdown: rejects new submissions with kUnavailable,
+  /// resolves every queued/coalesced ticket (queued work past this
+  /// point fails fast with kUnavailable instead of computing), and
+  /// returns once all shard pools are idle. Idempotent; also run by the
+  /// destructor, so no ticket future is ever abandoned.
+  void Stop();
+  bool stopping() const {
+    return stopping_.load(std::memory_order_relaxed);
+  }
+
+  /// Current rung of the memory-pressure ladder (DESIGN.md §6h).
+  PressureLevel memory_pressure() const { return memory_budget_.level(); }
+  /// The pressure tracker itself (tests pin usage via
+  /// SetUsageOverride; the next Submit applies the resulting level).
+  MemoryBudget& memory_budget() { return memory_budget_; }
+  /// One shard's breaker (tests and diagnostics).
+  CircuitBreaker& shard_breaker(size_t shard) {
+    return shards_[shard]->breaker();
+  }
+
   ServerStats Stats() const;
 
   /// Mirrors per-shard depth/generation/cache gauges into the global
@@ -156,20 +223,51 @@ class VkgServer {
 
   static Ticket ImmediateTicket(query::ServerResponse response);
 
+  /// Shard-worker half of the request path: observes queue wait,
+  /// expires still-queued requests past their deadline (never
+  /// computing them), runs the engine with the absolute deadline, and
+  /// feeds the outcome to the shard's breaker. `key` is null for
+  /// aggregates (no cache/coalescing).
+  query::ServerResponse ComputeOnWorker(Shard& shard,
+                                        const query::ServerRequest& request,
+                                        const query::QueryKey* key,
+                                        util::Deadline deadline,
+                                        util::Deadline::Clock::time_point
+                                            admit_time,
+                                        bool pressure_degrade);
+
+  /// Re-measures usage (cache residency + queue-depth estimate),
+  /// updates the pressure level, and applies reversible transitions
+  /// (cache shrink/restore). No-op when memory.budget_bytes == 0.
+  void RefreshMemoryPressure();
+
   std::shared_ptr<core::VirtualKnowledgeGraph> vkg_;
   ServerConfig config_;
   uint64_t opts_hash_ = 0;
   AdmissionController admission_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  size_t cache_segment_bytes_ = 0;  // per-shard byte bound at kNormal
+  MemoryBudget memory_budget_;
+
+  std::atomic<bool> stopping_{false};
+  std::mutex pressure_mu_;  // serializes ApplyPressure transitions
+  PressureLevel applied_pressure_ = PressureLevel::kNormal;
 
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> admitted_{0};
   std::atomic<uint64_t> rejected_rate_{0};
   std::atomic<uint64_t> rejected_overload_{0};
+  std::atomic<uint64_t> rejected_breaker_{0};
+  std::atomic<uint64_t> rejected_shed_{0};
+  std::atomic<uint64_t> rejected_shutdown_{0};
   std::atomic<uint64_t> invalid_{0};
   std::atomic<uint64_t> coalesced_{0};
   std::atomic<uint64_t> computed_topk_{0};
   std::atomic<uint64_t> computed_aggregate_{0};
+  std::atomic<uint64_t> expired_in_queue_{0};
+  std::atomic<uint64_t> pressure_degraded_{0};
+  std::shared_ptr<std::atomic<uint64_t>> expired_waiting_ =
+      std::make_shared<std::atomic<uint64_t>>(0);
 };
 
 }  // namespace vkg::server

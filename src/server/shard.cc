@@ -12,7 +12,8 @@ Shard::Shard(size_t id, const core::VirtualKnowledgeGraph& vkg,
              const ShardOptions& options)
     : id_(id),
       options_(options),
-      cache_(options.cache_bytes, options.cache_entries) {
+      cache_(options.cache_bytes, options.cache_entries),
+      breaker_(options.breaker) {
   // Each shard cracks its own tree over the shared (immutable) S2
   // points: queries routed here refine only this tree, so shards never
   // contend on a crack mutex and this tree's generation is exactly
@@ -88,16 +89,32 @@ query::QueryContext& WorkerContext() {
   return ctx;
 }
 
+// Memory pressure forces a budget only onto queries that would
+// otherwise run unlimited: an explicit request/server budget is already
+// bounded and is never loosened *or* tightened behind the caller's back.
+bool ForcePressureBudget(const util::ResourceBudget& pressure_budget,
+                         query::QueryContext& ctx) {
+  if (!ctx.control().budget().Unlimited()) return false;
+  ctx.control().set_budget(pressure_budget);
+  return true;
+}
+
 }  // namespace
 
 query::ServerResponse Shard::ComputeTopK(const query::ServerRequest& request,
-                                         const query::QueryKey& key) {
+                                         const query::QueryKey& key,
+                                         util::Deadline deadline,
+                                         bool pressure_degrade) {
   query::ServerResponse response;
   response.meta.shard = id_;
   try {
     query::QueryContext& ctx = WorkerContext();
-    query::ApplyRequestControl(request, options_.default_deadline_ms,
-                               options_.default_budget, ctx);
+    query::ApplyRequestControlAbsolute(request, deadline,
+                                       options_.default_budget, ctx);
+    if (pressure_degrade) {
+      response.meta.degraded_by_pressure =
+          ForcePressureBudget(options_.pressure_budget, ctx);
+    }
     response.topk = topk_engine_->TopKQuery(request.query, request.k, ctx);
     // Stamp with the generation current at completion. The query's own
     // crack (if any) published *before* this read, so the entry is
@@ -118,13 +135,18 @@ query::ServerResponse Shard::ComputeTopK(const query::ServerRequest& request,
 }
 
 query::ServerResponse Shard::ComputeAggregate(
-    const query::ServerRequest& request) {
+    const query::ServerRequest& request, util::Deadline deadline,
+    bool pressure_degrade) {
   query::ServerResponse response;
   response.meta.shard = id_;
   try {
     query::QueryContext& ctx = WorkerContext();
-    query::ApplyRequestControl(request, options_.default_deadline_ms,
-                               options_.default_budget, ctx);
+    query::ApplyRequestControlAbsolute(request, deadline,
+                                       options_.default_budget, ctx);
+    if (pressure_degrade) {
+      response.meta.degraded_by_pressure =
+          ForcePressureBudget(options_.pressure_budget, ctx);
+    }
     util::Result<query::AggregateResult> result =
         aggregate_engine_->Aggregate(request.aggregate, ctx);
     response.meta.generation = tree_->crack_generation();

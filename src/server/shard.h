@@ -13,6 +13,7 @@
 #include "query/aggregate_engine.h"
 #include "query/request.h"
 #include "query/topk_engine.h"
+#include "server/health.h"
 #include "server/result_cache.h"
 #include "util/deadline.h"
 #include "util/thread_pool.h"
@@ -27,6 +28,11 @@ struct ShardOptions {
   size_t cache_entries = 0;    // 0 = bounded by bytes only
   double default_deadline_ms = 0.0;
   util::ResourceBudget default_budget;
+  /// Circuit-breaker thresholds for this shard (DESIGN.md §6h).
+  BreakerConfig breaker;
+  /// Budget forced onto otherwise-unlimited queries at PressureLevel
+  /// kDegraded and above.
+  util::ResourceBudget pressure_budget;
 };
 
 /// One worker shard of the query server (DESIGN.md §6g). A shard owns
@@ -57,6 +63,7 @@ class Shard {
   const query::TopKEngine& topk_engine() const { return *topk_engine_; }
   ResultCache& cache() { return cache_; }
   util::ThreadPool& pool() { return *pool_; }
+  CircuitBreaker& breaker() { return breaker_; }
   index::IndexStats TreeStats() const { return tree_->Stats(); }
 
   // --- Depth accounting (the server's backpressure bound) -----------------
@@ -90,13 +97,20 @@ class Shard {
 
   /// Answers a top-k request on this shard's engine, stamps the
   /// response with the tree generation current at completion, and
-  /// populates the cache under `key` (exact results only).
+  /// populates the cache under `key` (exact results only). `deadline`
+  /// is the request's *absolute* end-to-end deadline (stamped at
+  /// admission — queue wait has already burned part of it);
+  /// `pressure_degrade` forces the shard's pressure budget onto
+  /// otherwise-unlimited queries (DESIGN.md §6h).
   query::ServerResponse ComputeTopK(const query::ServerRequest& request,
-                                    const query::QueryKey& key);
+                                    const query::QueryKey& key,
+                                    util::Deadline deadline,
+                                    bool pressure_degrade);
 
   /// Answers an aggregate request (not cached or coalesced).
-  query::ServerResponse ComputeAggregate(
-      const query::ServerRequest& request);
+  query::ServerResponse ComputeAggregate(const query::ServerRequest& request,
+                                         util::Deadline deadline,
+                                         bool pressure_degrade);
 
   /// Eagerly sweeps this shard's cache segment when the tree generation
   /// moved past the last observed one. Cheap no-op otherwise.
@@ -111,6 +125,7 @@ class Shard {
   std::unique_ptr<query::AggregateEngine> aggregate_engine_;
   std::unique_ptr<util::ThreadPool> pool_;
   ResultCache cache_;
+  CircuitBreaker breaker_;
 
   std::atomic<size_t> depth_{0};
   std::atomic<size_t> peak_depth_{0};

@@ -30,6 +30,8 @@ class CancelToken {
 /// are infinite and cost a single branch to check.
 class Deadline {
  public:
+  using Clock = std::chrono::steady_clock;
+
   Deadline() = default;  // infinite
 
   static Deadline Infinite() { return Deadline(); }
@@ -56,9 +58,11 @@ class Deadline {
     return std::chrono::duration<double, std::milli>(at_ - Clock::now())
         .count();
   }
+  /// Absolute expiry instant for wait_until-style APIs. Only meaningful
+  /// when !infinite().
+  Clock::time_point at() const { return at_; }
 
  private:
-  using Clock = std::chrono::steady_clock;
   bool has_deadline_ = false;
   Clock::time_point at_{};
 };

@@ -100,6 +100,9 @@ Status FailPointRegistry::ConfigureSite(const std::string& name,
       step.fail = false;
     } else if (action == "delay") {
       step.delay_ms = 1.0;
+    } else if (action == "timeout") {
+      step.fail = true;
+      step.delay_ms = 1.0;
     } else if (action.rfind("delay(", 0) == 0 && action.back() == ')') {
       std::string ms(action.substr(6, action.size() - 7));
       char* end = nullptr;
@@ -107,6 +110,15 @@ Status FailPointRegistry::ConfigureSite(const std::string& name,
       if (end != ms.c_str() + ms.size() || parsed < 0.0) {
         return Status::InvalidArgument("bad failpoint delay in: " + token);
       }
+      step.delay_ms = parsed;
+    } else if (action.rfind("timeout(", 0) == 0 && action.back() == ')') {
+      std::string ms(action.substr(8, action.size() - 9));
+      char* end = nullptr;
+      double parsed = std::strtod(ms.c_str(), &end);
+      if (end != ms.c_str() + ms.size() || parsed < 0.0) {
+        return Status::InvalidArgument("bad failpoint timeout in: " + token);
+      }
+      step.fail = true;
       step.delay_ms = parsed;
     } else {
       return Status::InvalidArgument("unknown failpoint action: " + token);

@@ -20,16 +20,20 @@ namespace vkg::util {
 ///   VKG_FAILPOINTS="cracking.split=1*off,5*fail;serialize.read=3*off,1*fail"
 ///
 /// Each action is ACTION or COUNT*ACTION with ACTION one of
-///   off        — the evaluation passes
-///   fail       — the evaluation reports failure (the site's error path)
-///   delay(MS)  — sleep MS milliseconds, then pass (a stall, not a
-///                failure; MS defaults to 1 when omitted: "delay")
+///   off         — the evaluation passes
+///   fail        — the evaluation reports failure (the site's error path)
+///   delay(MS)   — sleep MS milliseconds, then pass (a stall, not a
+///                 failure; MS defaults to 1 when omitted: "delay")
+///   timeout(MS) — sleep MS milliseconds, then fail (a slow *and* broken
+///                 dependency — the shape a slow shard presents to its
+///                 callers; MS defaults to 1 when omitted: "timeout")
 /// "1*off,5*fail" passes the first evaluation, fails the next five, then
 /// stays off. A bare action without COUNT applies forever. Configuring a
 /// site to exactly "off" disarms it.
 ///
-/// Site naming convention: <subsystem>.<operation>, lowercase. Planted
-/// sites:
+/// Site naming convention: <subsystem>.<operation>, lowercase. This
+/// list is THE catalog of planted sites (chaos campaigns arm it
+/// wholesale — see server::AllChaosSites()):
 ///   cracking.split      — abandon one partition split (tree stays valid)
 ///   cracking.publish    — evaluated under the tree's writer-side crack
 ///                         mutex, before any new version is built:
@@ -48,6 +52,13 @@ namespace vkg::util {
 ///   server.shard_dispatch — routing a request to its worker shard
 ///                         fails; isolated to that request (`delay`
 ///                         stalls the submitting thread instead)
+///   server.queue        — evaluated by the shard worker right after
+///                         dequeuing a request: `delay` models a slow
+///                         shard (queue wait grows, deadlines burn in
+///                         the queue), `timeout` a slow shard whose
+///                         compute then fails, `fail` a broken worker;
+///                         failures count against the shard's circuit
+///                         breaker
 ///
 /// Evaluation is thread-safe; an unarmed process pays one relaxed atomic
 /// load per site evaluation.

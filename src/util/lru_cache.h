@@ -143,6 +143,27 @@ class LruCache {
     return keys;
   }
 
+  /// Re-bounds the byte axis (0 disables it) and evicts from the cold
+  /// end until the new bound holds — the memory-pressure shrink path.
+  /// Raising the bound back later is a no-op on residents; the cache
+  /// simply refills. Returns the number of entries evicted now.
+  size_t SetMaxBytes(size_t max_bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    max_bytes_ = max_bytes;
+    size_t evicted = 0;
+    while (OverCapacity()) {
+      ++stats_.evictions;
+      ++evicted;
+      RemoveEntry(std::prev(lru_.end()));
+    }
+    return evicted;
+  }
+
+  size_t max_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_bytes_;
+  }
+
  private:
   struct Entry {
     K key;
@@ -164,7 +185,7 @@ class LruCache {
   }
 
   const size_t max_entries_;
-  const size_t max_bytes_;
+  size_t max_bytes_;  // mutable via SetMaxBytes (guarded by mu_)
 
   mutable std::mutex mu_;
   List lru_;  // front = most recently used

@@ -1,0 +1,70 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace vkg::util {
+
+namespace {
+
+double SecondsNow() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// SplitMix64 step (Steele et al.) — tiny, seedable, and bit-exact
+// everywhere, which mt19937_64 + uniform_real_distribution is not.
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+RetryState::RetryState(const RetryPolicy& policy)
+    : policy_(policy), rng_state_(policy.seed) {}
+
+double RetryState::NextUnit() {
+  // Top 53 bits → the unit interval, exactly representable in a double.
+  return static_cast<double>(SplitMix64(rng_state_) >> 11) * 0x1.0p-53;
+}
+
+double RetryState::NextBackoffMs(double server_hint_ms) {
+  int k = failures_++;
+  double exp = policy_.base_ms;
+  for (int i = 0; i < k && exp < policy_.cap_ms; ++i) exp *= 2.0;
+  exp = std::min(exp, policy_.cap_ms);
+  // Jitter in [0.5, 1): decorrelates a storm of clients that all failed
+  // at the same instant without ever halving below base/2.
+  double jittered = exp * (0.5 + 0.5 * NextUnit());
+  return std::max(jittered, server_hint_ms);
+}
+
+RetryBudget::RetryBudget(double capacity, double refill_per_sec)
+    : capacity_(capacity),
+      refill_per_sec_(refill_per_sec),
+      tokens_(capacity),
+      last_refill_(0.0) {}
+
+bool RetryBudget::Acquire() { return AcquireAt(SecondsNow()); }
+
+bool RetryBudget::AcquireAt(double now_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!primed_) {
+    last_refill_ = now_seconds;
+    primed_ = true;
+  }
+  if (now_seconds > last_refill_) {
+    tokens_ = std::min(
+        capacity_, tokens_ + (now_seconds - last_refill_) * refill_per_sec_);
+    last_refill_ = now_seconds;
+  }
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+}  // namespace vkg::util

@@ -1,0 +1,89 @@
+#ifndef VKG_UTIL_RETRY_H_
+#define VKG_UTIL_RETRY_H_
+
+#include <cstdint>
+#include <mutex>
+
+namespace vkg::util {
+
+/// Client-side retry policy: capped exponential backoff with
+/// deterministic seeded jitter.
+///
+/// The backoff for attempt k (0-based count of *failed* attempts) is
+///
+///   sleep_ms = min(cap_ms, base_ms * 2^k) * jitter,  jitter in [0.5, 1)
+///
+/// unless the server supplied a retry_after_ms hint, in which case the
+/// hint wins when it is larger (the server knows how long its overload
+/// or breaker-open window lasts; sleeping less only burns the retry
+/// budget). Jitter comes from a seeded 64-bit generator so a fixed seed
+/// replays a bit-exact backoff sequence — chaos campaigns and the
+/// property tests depend on that.
+struct RetryPolicy {
+  /// Failed attempts after which the call gives up (0 disables retries).
+  int max_retries = 3;
+  double base_ms = 1.0;
+  double cap_ms = 200.0;
+  uint64_t seed = 42;
+};
+
+/// Per-call retry state. Not thread-safe; one instance per logical call.
+class RetryState {
+ public:
+  explicit RetryState(const RetryPolicy& policy);
+
+  /// True while another attempt is permitted.
+  bool CanRetry() const { return failures_ < policy_.max_retries; }
+
+  /// Records a failed attempt and returns how long to sleep before the
+  /// next one. `server_hint_ms` < 0 means the server gave no hint.
+  double NextBackoffMs(double server_hint_ms = -1.0);
+
+  int failures() const { return failures_; }
+
+ private:
+  /// Uniform double in [0, 1) from the top 53 bits of a SplitMix64 step
+  /// (bit-exact across platforms, unlike std::uniform_real_distribution).
+  double NextUnit();
+
+  RetryPolicy policy_;
+  uint64_t rng_state_;
+  int failures_ = 0;
+};
+
+/// Shared anti-amplification guard: a cap on the *rate* of retries
+/// across every call sharing the budget. Each retry attempt must
+/// Acquire() a token first; a storm of failing calls collectively stops
+/// retrying once the budget is spent instead of multiplying load on a
+/// struggling server. First attempts are never charged — only retries
+/// amplify.
+///
+/// Thread-safe. Tokens refill continuously at `refill_per_sec` up to
+/// `capacity`.
+class RetryBudget {
+ public:
+  RetryBudget(double capacity, double refill_per_sec);
+
+  RetryBudget(const RetryBudget&) = delete;
+  RetryBudget& operator=(const RetryBudget&) = delete;
+
+  /// Takes one retry token; false when the budget is exhausted (the
+  /// caller should give up rather than back off and try again).
+  bool Acquire();
+
+  /// Clock-injected variant for deterministic tests: `now_seconds` is
+  /// monotonic from any fixed origin.
+  bool AcquireAt(double now_seconds);
+
+ private:
+  const double capacity_;
+  const double refill_per_sec_;
+  std::mutex mu_;
+  double tokens_;
+  double last_refill_;
+  bool primed_ = false;  // last_refill_ not yet anchored to a clock
+};
+
+}  // namespace vkg::util
+
+#endif  // VKG_UTIL_RETRY_H_

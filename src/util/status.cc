@@ -30,6 +30,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "DataLoss";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -23,6 +23,7 @@ enum class StatusCode {
   kResourceExhausted = 10,
   kDataLoss = 11,
   kCancelled = 12,
+  kUnavailable = 13,
 };
 
 /// Returns a human-readable name for `code` (e.g., "InvalidArgument").
@@ -80,6 +81,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,339 @@
+// Deterministic unit tests for the server's resilience primitives
+// (DESIGN.md §6h): the per-shard CircuitBreaker state machine and the
+// MemoryBudget pressure ladder under an injected clock / pinned usage,
+// plus a seeded property battery for util::RetryState (the backoff
+// sequence must replay bit-exactly — chaos campaigns depend on it) and
+// util::RetryBudget. Property runs are seeded from VKG_PROPERTY_SEED
+// when set, else randomly — the seed is always logged so a failure
+// reproduces with
+//   VKG_PROPERTY_SEED=<seed> ./server_health_test
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <vector>
+
+#include "server/health.h"
+#include "server/memory.h"
+#include "util/lru_cache.h"
+#include "util/retry.h"
+
+namespace vkg {
+namespace {
+
+uint64_t PropertySeed() {
+  uint64_t seed;
+  if (const char* env = std::getenv("VKG_PROPERTY_SEED");
+      env != nullptr && env[0] != '\0') {
+    seed = std::strtoull(env, nullptr, 10);
+  } else {
+    seed = std::random_device{}();
+  }
+  std::printf("[ SEED     ] VKG_PROPERTY_SEED=%llu\n",
+              static_cast<unsigned long long>(seed));
+  return seed;
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker state machine (injected clock)
+// ---------------------------------------------------------------------------
+
+server::BreakerConfig SmallBreaker() {
+  server::BreakerConfig config;
+  config.failure_threshold = 3;
+  config.open_seconds = 1.0;
+  config.half_open_probes = 2;
+  config.half_open_successes = 2;
+  return config;
+}
+
+// Admit + fail as one clocked step, the way the server uses it.
+void FailOnce(server::CircuitBreaker& breaker, double now) {
+  ASSERT_TRUE(breaker.AdmitAt(now).admitted);
+  breaker.RecordFailureAt(now);
+}
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailures) {
+  server::CircuitBreaker breaker(SmallBreaker());
+  EXPECT_EQ(breaker.state(), server::BreakerState::kClosed);
+  FailOnce(breaker, 1.0);
+  FailOnce(breaker, 1.1);
+  EXPECT_EQ(breaker.state(), server::BreakerState::kClosed);
+  FailOnce(breaker, 1.2);  // third consecutive failure trips
+  EXPECT_EQ(breaker.state(), server::BreakerState::kOpen);
+  EXPECT_EQ(breaker.stats().trips, 1u);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureStreak) {
+  server::CircuitBreaker breaker(SmallBreaker());
+  FailOnce(breaker, 1.0);
+  FailOnce(breaker, 1.1);
+  ASSERT_TRUE(breaker.AdmitAt(1.2).admitted);
+  breaker.RecordSuccess();  // streak back to zero
+  FailOnce(breaker, 1.3);
+  FailOnce(breaker, 1.4);
+  EXPECT_EQ(breaker.state(), server::BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, DismissalsDoNotTouchTheStreak) {
+  server::CircuitBreaker breaker(SmallBreaker());
+  FailOnce(breaker, 1.0);
+  FailOnce(breaker, 1.1);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(breaker.AdmitAt(1.2).admitted);
+    breaker.RecordDismissed();  // cache hits, coalesced followers, ...
+  }
+  FailOnce(breaker, 1.3);  // still the third *consecutive* failure
+  EXPECT_EQ(breaker.state(), server::BreakerState::kOpen);
+}
+
+TEST(CircuitBreakerTest, OpenFastFailsWithRetryAfterHint) {
+  server::CircuitBreaker breaker(SmallBreaker());
+  for (int i = 0; i < 3; ++i) FailOnce(breaker, 1.0);
+  server::CircuitBreaker::Admission a = breaker.AdmitAt(1.25);
+  EXPECT_FALSE(a.admitted);
+  // 0.75 s of the 1 s cool-down remains.
+  EXPECT_NEAR(a.retry_after_ms, 750.0, 1e-6);
+  EXPECT_EQ(breaker.stats().fast_fails, 1u);
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsBoundedProbesThenRecovers) {
+  server::CircuitBreaker breaker(SmallBreaker());
+  for (int i = 0; i < 3; ++i) FailOnce(breaker, 1.0);
+  // Cool-down elapsed: the next admission flips Open -> HalfOpen.
+  EXPECT_TRUE(breaker.AdmitAt(2.5).admitted);
+  EXPECT_EQ(breaker.state(), server::BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.AdmitAt(2.5).admitted);   // second probe slot
+  EXPECT_FALSE(breaker.AdmitAt(2.5).admitted);  // probe cap reached
+  breaker.RecordSuccess();
+  breaker.RecordSuccess();  // enough successes: HalfOpen -> Closed
+  EXPECT_EQ(breaker.state(), server::BreakerState::kClosed);
+  EXPECT_EQ(breaker.stats().recoveries, 1u);
+  EXPECT_EQ(breaker.stats().in_flight, 0);
+}
+
+TEST(CircuitBreakerTest, HalfOpenFailureReopens) {
+  server::CircuitBreaker breaker(SmallBreaker());
+  for (int i = 0; i < 3; ++i) FailOnce(breaker, 1.0);
+  ASSERT_TRUE(breaker.AdmitAt(2.5).admitted);
+  breaker.RecordFailureAt(2.5);  // one bad probe re-trips immediately
+  EXPECT_EQ(breaker.state(), server::BreakerState::kOpen);
+  EXPECT_EQ(breaker.stats().trips, 2u);
+  EXPECT_FALSE(breaker.AdmitAt(2.6).admitted);
+}
+
+TEST(CircuitBreakerTest, QueueWaitP99TripsOnlyWhenWindowIsFull) {
+  server::BreakerConfig config = SmallBreaker();
+  config.queue_wait_p99_ms = 50.0;
+  config.queue_wait_window = 16;
+  server::CircuitBreaker breaker(config);
+  // 15 slow observations: window not full yet, no trip.
+  for (int i = 0; i < 15; ++i) breaker.RecordQueueWaitAt(500.0, 1.0);
+  EXPECT_EQ(breaker.state(), server::BreakerState::kClosed);
+  breaker.RecordQueueWaitAt(500.0, 1.0);  // 16th fills the window
+  EXPECT_EQ(breaker.state(), server::BreakerState::kOpen);
+  EXPECT_EQ(breaker.stats().latency_trips, 1u);
+}
+
+TEST(CircuitBreakerTest, FastQueueWaitsNeverTrip) {
+  server::BreakerConfig config = SmallBreaker();
+  config.queue_wait_p99_ms = 50.0;
+  config.queue_wait_window = 16;
+  server::CircuitBreaker breaker(config);
+  for (int i = 0; i < 200; ++i) breaker.RecordQueueWaitAt(1.0, 1.0);
+  EXPECT_EQ(breaker.state(), server::BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, LatencyTripDisabledByDefault) {
+  server::CircuitBreaker breaker(SmallBreaker());  // p99 bound = 0 (off)
+  for (int i = 0; i < 500; ++i) breaker.RecordQueueWaitAt(1e6, 1.0);
+  EXPECT_EQ(breaker.state(), server::BreakerState::kClosed);
+}
+
+// ---------------------------------------------------------------------------
+// MemoryBudget pressure ladder (pinned usage)
+// ---------------------------------------------------------------------------
+
+server::MemoryBudgetConfig SmallBudget() {
+  server::MemoryBudgetConfig config;
+  config.budget_bytes = 1000;  // fractions below read as bytes/1000
+  return config;
+}
+
+TEST(MemoryBudgetTest, DisabledBudgetPinsNormal) {
+  server::MemoryBudget budget(server::MemoryBudgetConfig{});  // 0 bytes
+  EXPECT_EQ(budget.Update(1u << 30), server::PressureLevel::kNormal);
+  EXPECT_EQ(budget.stats().escalations, 0u);
+}
+
+TEST(MemoryBudgetTest, LadderEscalatesThroughEveryRung) {
+  server::MemoryBudget budget(SmallBudget());
+  EXPECT_EQ(budget.Update(500), server::PressureLevel::kNormal);
+  EXPECT_EQ(budget.Update(750), server::PressureLevel::kElevated);
+  EXPECT_EQ(budget.Update(880), server::PressureLevel::kDegraded);
+  EXPECT_EQ(budget.Update(990), server::PressureLevel::kShedding);
+  EXPECT_EQ(budget.stats().escalations, 3u);
+}
+
+TEST(MemoryBudgetTest, StepDownRequiresHysteresisMargin) {
+  server::MemoryBudget budget(SmallBudget());
+  ASSERT_EQ(budget.Update(750), server::PressureLevel::kElevated);
+  // Entry was 0.70; dipping to 0.68 is inside the 0.05 hysteresis band,
+  // so the level holds instead of flapping.
+  EXPECT_EQ(budget.Update(680), server::PressureLevel::kElevated);
+  // Below 0.65 the rung releases.
+  EXPECT_EQ(budget.Update(640), server::PressureLevel::kNormal);
+  EXPECT_EQ(budget.stats().deescalations, 1u);
+}
+
+TEST(MemoryBudgetTest, RecoveryIsCompleteAndObservable) {
+  server::MemoryBudget budget(SmallBudget());
+  ASSERT_EQ(budget.Update(990), server::PressureLevel::kShedding);
+  EXPECT_EQ(budget.Update(100), server::PressureLevel::kNormal);
+  server::MemoryBudget::Stats stats = budget.stats();
+  EXPECT_EQ(stats.level, server::PressureLevel::kNormal);
+  EXPECT_EQ(stats.last_usage_bytes, 100u);
+  EXPECT_GE(stats.deescalations, 1u);
+}
+
+TEST(MemoryBudgetTest, UsageOverrideWinsUntilCleared) {
+  server::MemoryBudget budget(SmallBudget());
+  budget.SetUsageOverride(990);
+  EXPECT_EQ(budget.Update(0), server::PressureLevel::kShedding);
+  budget.SetUsageOverride(std::nullopt);
+  EXPECT_EQ(budget.Update(0), server::PressureLevel::kNormal);
+}
+
+// ---------------------------------------------------------------------------
+// LruCache::SetMaxBytes (the Elevated rung's cache-shrink primitive)
+// ---------------------------------------------------------------------------
+
+TEST(LruCacheSetMaxBytesTest, ShrinkEvictsColdEntriesAndRestores) {
+  util::LruCache<int, int> cache(/*max_entries=*/0, /*max_bytes=*/300);
+  cache.Put(1, 10, 100);
+  cache.Put(2, 20, 100);
+  cache.Put(3, 30, 100);
+  ASSERT_TRUE(cache.Get(1).has_value());  // 1 hottest; 2 is cold end
+  EXPECT_EQ(cache.SetMaxBytes(150), 2u);  // evicts 2 then 3
+  EXPECT_FALSE(cache.Get(2).has_value());
+  EXPECT_FALSE(cache.Get(3).has_value());
+  EXPECT_TRUE(cache.Get(1).has_value());
+  EXPECT_EQ(cache.max_bytes(), 150u);
+  EXPECT_EQ(cache.SetMaxBytes(300), 0u);  // growing evicts nothing
+  cache.Put(4, 40, 100);
+  cache.Put(5, 50, 100);
+  EXPECT_TRUE(cache.Get(1).has_value());
+  EXPECT_TRUE(cache.Get(4).has_value());
+  EXPECT_TRUE(cache.Get(5).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// RetryState: bit-exact seeded backoff (property battery)
+// ---------------------------------------------------------------------------
+
+TEST(RetryStateTest, SameSeedReplaysBitExactly) {
+  const uint64_t seed = PropertySeed();
+  std::mt19937_64 rng(seed);
+  for (int round = 0; round < 200; ++round) {
+    util::RetryPolicy policy;
+    policy.max_retries = 1 + static_cast<int>(rng() % 8);
+    policy.base_ms = 0.5 + static_cast<double>(rng() % 100) / 10.0;
+    policy.cap_ms = policy.base_ms * (1 + rng() % 64);
+    policy.seed = rng();
+    util::RetryState a(policy);
+    util::RetryState b(policy);
+    while (a.CanRetry()) {
+      // Bit-exact equality, not EXPECT_NEAR: replayability is the
+      // contract chaos campaigns rely on.
+      ASSERT_EQ(a.NextBackoffMs(), b.NextBackoffMs());
+    }
+    EXPECT_FALSE(b.CanRetry());
+  }
+}
+
+TEST(RetryStateTest, BackoffStaysInsideTheJitteredEnvelope) {
+  const uint64_t seed = PropertySeed();
+  std::mt19937_64 rng(seed);
+  for (int round = 0; round < 200; ++round) {
+    util::RetryPolicy policy;
+    policy.max_retries = 12;
+    policy.base_ms = 0.5 + static_cast<double>(rng() % 100) / 10.0;
+    policy.cap_ms = policy.base_ms * (1 + rng() % 64);
+    policy.seed = rng();
+    util::RetryState state(policy);
+    double exp = policy.base_ms;
+    for (int k = 0; state.CanRetry(); ++k) {
+      const double backoff = state.NextBackoffMs();
+      EXPECT_GE(backoff, 0.5 * exp);
+      EXPECT_LT(backoff, exp + 1e-12);
+      exp = std::min(exp * 2.0, policy.cap_ms);
+    }
+  }
+}
+
+TEST(RetryStateTest, ServerHintOverridesSmallerBackoffs) {
+  util::RetryPolicy policy;
+  policy.max_retries = 4;
+  policy.base_ms = 1.0;
+  policy.cap_ms = 8.0;
+  util::RetryState state(policy);
+  // The hint exceeds the cap, so every backoff is exactly the hint.
+  EXPECT_EQ(state.NextBackoffMs(500.0), 500.0);
+  EXPECT_EQ(state.NextBackoffMs(500.0), 500.0);
+  // No hint: back to the jittered envelope.
+  EXPECT_LE(state.NextBackoffMs(), policy.cap_ms);
+}
+
+TEST(RetryStateTest, CanRetryHonorsMaxRetries) {
+  util::RetryPolicy policy;
+  policy.max_retries = 2;
+  util::RetryState state(policy);
+  EXPECT_TRUE(state.CanRetry());
+  state.NextBackoffMs();
+  EXPECT_TRUE(state.CanRetry());
+  state.NextBackoffMs();
+  EXPECT_FALSE(state.CanRetry());
+  EXPECT_EQ(state.failures(), 2);
+}
+
+TEST(RetryStateTest, ZeroMaxRetriesDisables) {
+  util::RetryPolicy policy;
+  policy.max_retries = 0;
+  util::RetryState state(policy);
+  EXPECT_FALSE(state.CanRetry());
+}
+
+// ---------------------------------------------------------------------------
+// RetryBudget (injected clock)
+// ---------------------------------------------------------------------------
+
+TEST(RetryBudgetTest, CapacityBoundsABurst) {
+  util::RetryBudget budget(3.0, 1.0);
+  EXPECT_TRUE(budget.AcquireAt(10.0));
+  EXPECT_TRUE(budget.AcquireAt(10.0));
+  EXPECT_TRUE(budget.AcquireAt(10.0));
+  EXPECT_FALSE(budget.AcquireAt(10.0));  // burst spent
+}
+
+TEST(RetryBudgetTest, TokensRefillContinuously) {
+  util::RetryBudget budget(3.0, 2.0);  // 2 tokens/s
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(budget.AcquireAt(10.0));
+  EXPECT_FALSE(budget.AcquireAt(10.1));  // 0.2 tokens back: not enough
+  EXPECT_TRUE(budget.AcquireAt(10.6));   // 1.2 tokens back
+  EXPECT_FALSE(budget.AcquireAt(10.6));
+}
+
+TEST(RetryBudgetTest, RefillNeverExceedsCapacity) {
+  util::RetryBudget budget(2.0, 100.0);
+  EXPECT_TRUE(budget.AcquireAt(10.0));
+  // An hour later the bucket holds capacity (2), not 360k tokens.
+  EXPECT_TRUE(budget.AcquireAt(3610.0));
+  EXPECT_TRUE(budget.AcquireAt(3610.0));
+  EXPECT_FALSE(budget.AcquireAt(3610.0));
+}
+
+}  // namespace
+}  // namespace vkg

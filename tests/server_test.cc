@@ -551,5 +551,176 @@ TEST_F(ServerTest, PublishStatsExportsShardGauges) {
   EXPECT_NE(prom.find("vkg_server_requests_total"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Self-healing: shutdown, deadlines, breakers, memory pressure (§6h)
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerTest, GracefulShutdownResolvesEveryTicket) {
+  ServerConfig config;
+  config.shards = 2;
+  config.threads_per_shard = 1;
+  auto srv = MakeServer(config);
+  // Slow the workers so Stop() races a queue full of pending tickets.
+  ASSERT_TRUE(util::FailPointRegistry::Instance()
+                  .Configure("server.queue=delay(2)")
+                  .ok());
+  std::vector<VkgServer::Ticket> tickets;
+  for (size_t i = 0; i < 32; ++i) {
+    tickets.push_back(srv->Submit(RequestFor(i % workload_->size(), true)));
+  }
+  srv->Stop();
+  // Every ticket handed out before Stop() resolves definitively — with
+  // its computed answer or kUnavailable, never a hang.
+  for (auto& ticket : tickets) {
+    query::ServerResponse r = ticket.Get();
+    EXPECT_TRUE(r.ok() ||
+                r.status.code() == util::StatusCode::kUnavailable)
+        << r.status.ToString();
+  }
+  // Submissions after Stop() fast-fail instead of queueing.
+  query::ServerResponse late = srv->Execute(RequestFor(0));
+  EXPECT_EQ(late.status.code(), util::StatusCode::kUnavailable);
+  EXPECT_GE(srv->Stats().rejected_shutdown, 1u);
+  // The destructor (~VkgServer → Stop) runs on scope exit with the
+  // failpoint still armed; not hanging here is the assertion.
+}
+
+TEST_F(ServerTest, DeadlineExpiredInQueueIsNeverComputed) {
+  ServerConfig config;
+  config.shards = 1;
+  config.threads_per_shard = 1;
+  auto srv = MakeServer(config);
+  // One blocker pins the only worker inside a 150 ms stall; its k
+  // differs from the victim's so they cannot coalesce.
+  ASSERT_TRUE(util::FailPointRegistry::Instance()
+                  .Configure("server.queue=delay(150),off")
+                  .ok());
+  query::ServerRequest blocker = RequestFor(0, true);
+  blocker.k = 11;
+  VkgServer::Ticket blocker_ticket = srv->Submit(std::move(blocker));
+  query::ServerRequest victim = RequestFor(0, true);
+  victim.deadline_ms = 25.0;  // expires while queued behind the blocker
+  const uint64_t computed_before = srv->Stats().computed_topk;
+  VkgServer::Ticket victim_ticket = srv->Submit(std::move(victim));
+  query::ServerResponse vr = victim_ticket.Get();
+  EXPECT_EQ(vr.status.code(), util::StatusCode::kDeadlineExceeded)
+      << vr.status.ToString();
+  EXPECT_TRUE(vr.meta.expired_in_queue);
+  EXPECT_TRUE(blocker_ticket.Get().ok());
+  srv->Drain();
+  ServerStats stats = srv->Stats();
+  EXPECT_EQ(stats.expired_in_queue, 1u);
+  // Only the blocker computed: the victim was expired, not evaluated.
+  EXPECT_EQ(stats.computed_topk, computed_before + 1);
+}
+
+TEST_F(ServerTest, CoalescedFollowerHonorsItsOwnDeadline) {
+  ServerConfig config;
+  config.shards = 1;
+  config.threads_per_shard = 1;
+  auto srv = MakeServer(config);
+  // Blocker stalls the worker, then the leader's computation stalls
+  // too: the follower's tight deadline expires while it waits on the
+  // leader's shared future.
+  ASSERT_TRUE(util::FailPointRegistry::Instance()
+                  .Configure("server.queue=2*delay(120),off")
+                  .ok());
+  query::ServerRequest blocker = RequestFor(0, true);
+  blocker.k = 11;
+  VkgServer::Ticket blocker_ticket = srv->Submit(std::move(blocker));
+  VkgServer::Ticket leader = srv->Submit(RequestFor(0, true));
+  query::ServerRequest dup = RequestFor(0, true);
+  dup.deadline_ms = 20.0;
+  VkgServer::Ticket follower = srv->Submit(std::move(dup));
+  query::ServerResponse fr = follower.Get();
+  EXPECT_EQ(fr.status.code(), util::StatusCode::kDeadlineExceeded)
+      << fr.status.ToString();
+  // The leader itself carried no deadline and still completes.
+  EXPECT_TRUE(leader.Get().ok());
+  EXPECT_TRUE(blocker_ticket.Get().ok());
+  EXPECT_GE(srv->Stats().expired_waiting, 1u);
+}
+
+TEST_F(ServerTest, BreakerFastFailsWhileOpenAndRecovers) {
+  ServerConfig config;
+  config.shards = 1;
+  config.threads_per_shard = 1;
+  config.breaker.failure_threshold = 3;
+  config.breaker.open_seconds = 0.05;
+  auto srv = MakeServer(config);
+  // Prime the cache for slot 0 while the shard is healthy.
+  ASSERT_TRUE(srv->Execute(RequestFor(0)).ok());
+  // Three consecutive worker faults trip the breaker.
+  ASSERT_TRUE(util::FailPointRegistry::Instance()
+                  .Configure("server.queue=fail")
+                  .ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(srv->Execute(RequestFor(1, true)).status.code(),
+              util::StatusCode::kInternal);
+  }
+  EXPECT_EQ(srv->shard_breaker(0).state(), BreakerState::kOpen);
+  // Open: compute-bound traffic fast-fails with a retry hint...
+  query::ServerResponse rejected = srv->Execute(RequestFor(1, true));
+  EXPECT_TRUE(rejected.rejected()) << rejected.status.ToString();
+  EXPECT_GT(rejected.meta.retry_after_ms, 0.0);
+  EXPECT_GE(srv->Stats().rejected_breaker, 1u);
+  // ...but cache hits keep serving (the breaker guards compute only).
+  query::ServerResponse cached = srv->Execute(RequestFor(0));
+  EXPECT_TRUE(cached.ok());
+  EXPECT_TRUE(cached.meta.cache_hit);
+  // Disarm the fault, wait out the cool-down, and probe back closed.
+  util::FailPointRegistry::Instance().Clear();
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  for (int i = 0;
+       i < 50 && srv->shard_breaker(0).state() != BreakerState::kClosed;
+       ++i) {
+    srv->Execute(RequestFor(1, true));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(srv->shard_breaker(0).state(), BreakerState::kClosed);
+  ServerStats stats = srv->Stats();
+  ASSERT_EQ(stats.shards.size(), 1u);
+  EXPECT_GE(stats.shards[0].breaker.trips, 1u);
+  EXPECT_GE(stats.shards[0].breaker.recoveries, 1u);
+  // Recovered: fresh compute succeeds again.
+  EXPECT_TRUE(srv->Execute(RequestFor(1, true)).ok());
+}
+
+TEST_F(ServerTest, MemoryPressureLadderShedsDegradesAndRecovers) {
+  ServerConfig config;
+  config.shards = 2;
+  config.memory.budget_bytes = 1000;
+  auto srv = MakeServer(config);
+  // kShedding: lowest-priority requests are rejected with a hint;
+  // higher-priority ones compute, but in forced-budget (degraded) mode.
+  srv->memory_budget().SetUsageOverride(990);
+  query::ServerResponse shed = srv->Execute(RequestFor(0, true));
+  EXPECT_TRUE(shed.rejected()) << shed.status.ToString();
+  EXPECT_GT(shed.meta.retry_after_ms, 0.0);
+  query::ServerRequest important = RequestFor(0, true);
+  important.priority = 1;
+  query::ServerResponse vip = srv->Execute(std::move(important));
+  ASSERT_TRUE(vip.ok()) << vip.status.ToString();
+  EXPECT_TRUE(vip.meta.degraded_by_pressure);
+  EXPECT_EQ(srv->memory_pressure(), PressureLevel::kShedding);
+  ServerStats stats = srv->Stats();
+  EXPECT_GE(stats.rejected_shed, 1u);
+  EXPECT_GE(stats.pressure_degraded, 1u);
+  // kElevated: everything is admitted again; cache segments shrink.
+  srv->memory_budget().SetUsageOverride(750);
+  EXPECT_TRUE(srv->Execute(RequestFor(1, true)).ok());
+  EXPECT_EQ(srv->memory_pressure(), PressureLevel::kElevated);
+  // Recovery is complete and reversible: once usage falls back under
+  // the entry thresholds (minus hysteresis), full-fidelity answers
+  // return. The override stands in for reclaimed memory — the real
+  // footprint dwarfs this deliberately tiny test budget.
+  srv->memory_budget().SetUsageOverride(100);
+  query::ServerResponse healthy = srv->Execute(RequestFor(2, true));
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_FALSE(healthy.meta.degraded_by_pressure);
+  EXPECT_EQ(srv->memory_pressure(), PressureLevel::kNormal);
+  EXPECT_GE(srv->Stats().memory.deescalations, 1u);
+}
+
 }  // namespace
 }  // namespace vkg::server

@@ -23,10 +23,13 @@ Records whose baseline is below an absolute noise floor are skipped:
 micro-benches at smoke scale measure microseconds, where scheduler
 jitter alone exceeds any honest ratio.
 
-Two kinds of absolute gates ride along. ABSOLUTE_MIN pins per-bench
+Three kinds of absolute gates ride along. ABSOLUTE_MIN pins per-bench
 sanity floors on the new document itself (the server bench's warm pass
 must be all cache hits and >= 5x the compute path — a miss means the
-cache is broken, not slow). The other is scaling efficiency. A result document
+cache is broken, not slow). ABSOLUTE_MAX pins ceilings the same way
+(the warm pass must never expire a request in a shard queue, and the
+loaded pass's deadline-miss ratio must stay under its threshold).
+The third is scaling efficiency. A result document
 that carries warm 1-thread and 4-thread throughput AND a top-level
 "scaling_valid": true (the bench ran with at least as many cores as
 threads) must show warm 4-thread qps >= 2.0x the 1-thread figure —
@@ -73,6 +76,16 @@ ABSOLUTE_MIN = {
     ("server_throughput", "warm_over_cold"): 5.0,
 }
 
+# Absolute ceilings, same shape: resilience invariants that must not
+# creep up. A warm all-cache-hit pass has no shard queue to expire in
+# (any expiry there means deadline stamping broke), and the loaded
+# pass's 250ms deadline is generous enough that more than 20% misses
+# signals a stuck queue, not a noisy host.
+ABSOLUTE_MAX = {
+    ("server_throughput", "warm_expired_in_queue"): 0.0,
+    ("server_throughput", "loaded_deadline_miss_ratio"): 0.2,
+}
+
 
 def load_doc(path):
     with open(path, "r", encoding="utf-8") as f:
@@ -114,10 +127,11 @@ def check_scaling(doc):
 
 
 def check_absolute(doc):
-    """Absolute-floor gates for one result document.
+    """Absolute floor/ceiling gates for one result document.
 
-    Returns (failures, checked). Only records named in ABSOLUTE_MIN for
-    this document's bench are gated; everything else passes through.
+    Returns (failures, checked). Only records named in ABSOLUTE_MIN /
+    ABSOLUTE_MAX for this document's bench are gated; everything else
+    passes through.
     """
     values = records(doc)
     bench = doc.get("bench", "")
@@ -132,6 +146,15 @@ def check_absolute(doc):
             failures.append(
                 f"{name}: {value:.3f}{unit} < absolute floor "
                 f"{floor:.3f}{unit}")
+    for (gated_bench, name), ceiling in sorted(ABSOLUTE_MAX.items()):
+        if gated_bench != bench or name not in values:
+            continue
+        value, unit = values[name]
+        checked += 1
+        if value > ceiling:
+            failures.append(
+                f"{name}: {value:.3f}{unit} > absolute ceiling "
+                f"{ceiling:.3f}{unit}")
     return failures, checked
 
 

@@ -135,6 +135,45 @@ class CheckAbsoluteTest(unittest.TestCase):
         self.assertEqual(checked, 0)
 
 
+class CheckAbsoluteMaxTest(unittest.TestCase):
+    """The per-bench ABSOLUTE_MAX ceilings (resilience invariants)."""
+
+    def rec(self, name, value, unit):
+        return {"name": name, "value": value, "unit": unit}
+
+    def server_doc(self, expired, miss_ratio):
+        return doc(
+            [self.rec("warm_expired_in_queue", expired, "count"),
+             self.rec("loaded_deadline_miss_ratio", miss_ratio, "ratio")],
+            bench="server_throughput")
+
+    def test_healthy_resilience_doc_passes(self):
+        failures, checked = bench_check.check_absolute(
+            self.server_doc(0.0, 0.0))
+        self.assertEqual(failures, [])
+        self.assertEqual(checked, 2)
+
+    def test_warm_queue_expiry_fails(self):
+        failures, _ = bench_check.check_absolute(self.server_doc(1.0, 0.0))
+        self.assertEqual(len(failures), 1)
+        self.assertIn("warm_expired_in_queue", failures[0])
+
+    def test_high_deadline_miss_ratio_fails(self):
+        failures, _ = bench_check.check_absolute(self.server_doc(0.0, 0.5))
+        self.assertEqual(len(failures), 1)
+        self.assertIn("loaded_deadline_miss_ratio", failures[0])
+
+    def test_miss_ratio_at_threshold_passes(self):
+        failures, _ = bench_check.check_absolute(self.server_doc(0.0, 0.2))
+        self.assertEqual(failures, [])
+
+    def test_other_bench_is_not_gated(self):
+        other = doc([self.rec("warm_expired_in_queue", 99.0, "count")])
+        failures, checked = bench_check.check_absolute(other)
+        self.assertEqual(failures, [])
+        self.assertEqual(checked, 0)
+
+
 class CheckFileTest(unittest.TestCase):
     """End-to-end over real files: baseline ratio gates + scaling gate."""
 

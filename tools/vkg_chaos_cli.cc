@@ -1,0 +1,211 @@
+// vkg_chaos_cli: run a seeded chaos campaign against an in-process
+// VkgServer (DESIGN.md §6h). Arms every server./cracking./alloc.
+// failpoint site with randomized schedules under a multi-client storm,
+// then drives deterministic breaker-trip/recovery, queue-expiry, and
+// shutdown phases, and reports whether the resilience invariants held.
+// Exit code 0 = campaign passed.
+//
+//   vkg_chaos_cli --dataset movie [--scale 0.05]
+//
+// Campaign shape:
+//   --seed S          campaign seed (default 42; same seed = same storm)
+//   --requests N      randomized-storm submissions (default 10000)
+//   --clients N       storm client threads (default 4)
+//   --rounds N        failpoint re-arm rounds (default 8)
+//   --deadline-ms MS  deadline carried by ~half the storm (default 50)
+//   --slots N         distinct request slots, every 5th an aggregate
+//                     (default 64)
+//
+// Server shape (subset of vkg_server_cli):
+//   --shards N / --shard-threads N / --cache-mb MB / --queue-capacity N
+//   --breaker-failures N / --breaker-open-ms MS
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/virtual_graph.h"
+#include "data/amazon_gen.h"
+#include "data/freebase_gen.h"
+#include "data/movielens_gen.h"
+#include "data/workload.h"
+#include "query/request.h"
+#include "server/chaos.h"
+#include "server/server.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace vkg;
+
+// Minimal --flag=value / --flag value parser (same shape as vkg_cli).
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      arg = arg.substr(2);
+      size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";
+      }
+    }
+  }
+
+  std::string Get(const std::string& name,
+                  const std::string& default_value = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? default_value : it->second;
+  }
+  double GetDouble(const std::string& name, double default_value) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? default_value : std::atof(it->second.c_str());
+  }
+  size_t GetSize(const std::string& name, size_t default_value) const {
+    auto it = values_.find(name);
+    return it == values_.end()
+               ? default_value
+               : static_cast<size_t>(std::atoll(it->second.c_str()));
+  }
+  bool GetBool(const std::string& name) const {
+    return values_.count(name) > 0;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+util::Result<data::Dataset> MakeDataset(const Flags& flags) {
+  const std::string name = flags.Get("dataset", "movie");
+  const double scale = flags.GetDouble("scale", 0.05);
+  if (name == "movie") {
+    data::MovieLensConfig config;
+    config.num_users = static_cast<size_t>(24000 * scale);
+    config.num_movies = static_cast<size_t>(8000 * scale);
+    config.num_tags = static_cast<size_t>(800 * scale) + 10;
+    return data::GenerateMovieLensLike(config);
+  }
+  if (name == "freebase") {
+    data::FreebaseConfig config;
+    config.num_entities = static_cast<size_t>(50000 * scale);
+    config.num_relation_types = static_cast<size_t>(120 * scale) + 10;
+    config.target_edges = static_cast<size_t>(100000 * scale);
+    return data::GenerateFreebaseLike(config);
+  }
+  if (name == "amazon") {
+    data::AmazonConfig config;
+    config.num_users = static_cast<size_t>(60000 * scale);
+    config.num_products = static_cast<size_t>(40000 * scale);
+    return data::GenerateAmazonLike(config);
+  }
+  return util::Status::InvalidArgument("unknown --dataset " + name);
+}
+
+int Run(const Flags& flags) {
+  data::Dataset ds;
+  auto dataset = MakeDataset(flags);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  ds = std::move(dataset).value();
+
+  core::VkgOptions options;
+  options.method = index::MethodKind::kCracking;
+  embedding::EmbeddingStore store = ds.embeddings;
+  auto built = core::VirtualKnowledgeGraph::BuildWithEmbeddings(
+      &ds.graph, std::move(store), options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<core::VirtualKnowledgeGraph> vkg =
+      std::move(built).value();
+
+  server::ServerConfig config;
+  config.shards = std::max<size_t>(1, flags.GetSize("shards", 2));
+  config.threads_per_shard = flags.GetSize("shard-threads", 2);
+  config.queue_capacity = flags.GetSize("queue-capacity", 1024);
+  config.cache_bytes =
+      static_cast<size_t>(flags.GetDouble("cache-mb", 8.0) * (1u << 20));
+  config.breaker.failure_threshold =
+      static_cast<int>(flags.GetSize("breaker-failures", 5));
+  config.breaker.open_seconds =
+      flags.GetDouble("breaker-open-ms", 250.0) * 1e-3;
+  auto srv = server::VkgServer::Create(vkg, config);
+  if (!srv.ok()) {
+    std::fprintf(stderr, "%s\n", srv.status().ToString().c_str());
+    return 1;
+  }
+
+  data::WorkloadConfig wc;
+  wc.num_queries = flags.GetSize("slots", 64);
+  wc.seed = flags.GetSize("seed", 42) + 1;
+  std::vector<data::Query> workload =
+      data::GenerateWorkload(vkg->graph(), wc);
+  if (workload.empty()) {
+    std::fprintf(stderr, "empty workload (graph has no edges?)\n");
+    return 1;
+  }
+  std::vector<query::ServerRequest> slots;
+  slots.reserve(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    query::ServerRequest request;
+    if (i % 5 == 4) {
+      request.kind = query::RequestKind::kAggregate;
+      request.aggregate.query = workload[i];
+      request.aggregate.kind = query::AggKind::kCount;
+      request.aggregate.prob_threshold = 0.05;
+    } else {
+      request.query = workload[i];
+      request.k = 10;
+    }
+    slots.push_back(std::move(request));
+  }
+
+  server::ChaosConfig chaos;
+  chaos.seed = flags.GetSize("seed", 42);
+  chaos.requests = flags.GetSize("requests", 10000);
+  chaos.clients = std::max<size_t>(1, flags.GetSize("clients", 4));
+  chaos.rounds = std::max<size_t>(1, flags.GetSize("rounds", 8));
+  chaos.deadline_ms = flags.GetDouble("deadline-ms", 50.0);
+
+  std::printf(
+      "chaos campaign: seed=%llu requests=%zu clients=%zu rounds=%zu "
+      "slots=%zu sites=%zu\n",
+      static_cast<unsigned long long>(chaos.seed), chaos.requests,
+      chaos.clients, chaos.rounds, slots.size(),
+      server::AllChaosSites().size());
+  util::WallTimer timer;
+  server::ChaosReport report =
+      server::RunChaosCampaign(**srv, slots, chaos);
+  const double seconds = timer.ElapsedMillis() / 1e3;
+  std::printf("%s\n", report.ToString().c_str());
+  std::printf("campaign %s in %.2f s\n",
+              report.Passed(chaos) ? "PASSED" : "FAILED", seconds);
+  return report.Passed(chaos) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv, 1);
+  if (flags.GetBool("help")) {
+    std::fprintf(stderr,
+                 "usage: vkg_chaos_cli [--dataset movie|freebase|amazon] "
+                 "[--seed S] [--requests N] [--clients N] [--rounds N]\n"
+                 "(see the header of tools/vkg_chaos_cli.cc)\n");
+    return 2;
+  }
+  return Run(flags);
+}

@@ -16,6 +16,21 @@
 //   --queue-capacity N    per-shard backpressure bound (default 1024)
 //   --deadline-ms MS      default per-request deadline (default 0)
 //   --max-points N        default per-request point budget (default 0)
+//   --breaker-failures N  consecutive failures tripping a shard's
+//                         circuit breaker (default 5)
+//   --breaker-open-ms MS  breaker cool-down before half-open (def 250)
+//   --memory-budget-mb MB server memory budget for the degradation
+//                         ladder (default 0 = off)
+//
+// Client retry (capped exponential backoff, DESIGN.md §6h):
+//   --retries N           max retries per rejected request (default 0 =
+//                         retries off)
+//   --retry-base-ms MS    first backoff step (default 1)
+//   --retry-cap-ms MS     backoff ceiling; server retry_after_ms hints
+//                         override smaller backoffs (default 200)
+//   --retry-budget N      shared retry-token capacity across clients,
+//                         refilled at N/2 tokens/s — bounds retry
+//                         amplification during outages (default 64)
 //
 // Workload:
 //   --queries N           distinct generated queries (default 256)
@@ -34,6 +49,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -52,6 +68,7 @@
 #include "query/request.h"
 #include "server/server.h"
 #include "util/failpoint.h"
+#include "util/retry.h"
 #include "util/status.h"
 #include "util/timer.h"
 
@@ -176,6 +193,12 @@ server::ServerConfig MakeServerConfig(const Flags& flags) {
   config.burst = flags.GetDouble("burst", 0.0);
   config.default_deadline_ms = flags.GetDouble("deadline-ms", 0.0);
   config.default_budget.max_points = flags.GetSize("max-points", 0);
+  config.breaker.failure_threshold =
+      static_cast<int>(flags.GetSize("breaker-failures", 5));
+  config.breaker.open_seconds =
+      flags.GetDouble("breaker-open-ms", 250.0) * 1e-3;
+  config.memory.budget_bytes = static_cast<size_t>(
+      flags.GetDouble("memory-budget-mb", 0.0) * (1u << 20));
   return config;
 }
 
@@ -188,35 +211,73 @@ struct ClientTotals {
   uint64_t rejected = 0;
   uint64_t failed = 0;
   uint64_t degraded = 0;
+  uint64_t retries = 0;          // extra attempts sent
+  uint64_t retry_exhausted = 0;  // gave up: budget or max_retries
+};
+
+struct ClientRetry {
+  util::RetryPolicy policy;      // max_retries == 0 disables retries
+  util::RetryBudget* budget = nullptr;  // shared across clients
 };
 
 ClientTotals RunClient(server::VkgServer& srv,
                        const std::vector<data::Query>& workload,
                        size_t client_index, size_t repeat, size_t k,
-                       double aggregate_fraction) {
+                       double aggregate_fraction,
+                       const ClientRetry& retry) {
   ClientTotals totals;
   const size_t agg_every =
       aggregate_fraction > 0.0
           ? std::max<size_t>(1, static_cast<size_t>(1.0 / aggregate_fraction))
           : 0;
+  uint64_t sent = 0;
   for (size_t pass = 0; pass < repeat; ++pass) {
     for (size_t i = 0; i < workload.size(); ++i) {
       const size_t j = (i + client_index * 7) % workload.size();
-      query::ServerRequest request;
-      request.client_id = "client-" + std::to_string(client_index);
-      if (agg_every != 0 && j % agg_every == 0) {
-        request.kind = query::RequestKind::kAggregate;
-        request.aggregate.query = workload[j];
-        request.aggregate.kind = query::AggKind::kCount;
-        request.aggregate.prob_threshold = 0.05;
-      } else {
-        request.query = workload[j];
-        request.k = k;
-      }
+      auto build = [&] {
+        query::ServerRequest request;
+        request.client_id = "client-" + std::to_string(client_index);
+        if (agg_every != 0 && j % agg_every == 0) {
+          request.kind = query::RequestKind::kAggregate;
+          request.aggregate.query = workload[j];
+          request.aggregate.kind = query::AggKind::kCount;
+          request.aggregate.prob_threshold = 0.05;
+        } else {
+          request.query = workload[j];
+          request.k = k;
+        }
+        return request;
+      };
+      query::ServerRequest request = build();
+      const query::RequestKind kind = request.kind;
       query::ServerResponse response = srv.Execute(std::move(request));
+      if (retry.policy.max_retries > 0 && response.rejected()) {
+        // Deterministic per-attempt jitter: the stream is keyed by
+        // (campaign seed, client, request ordinal), so a rerun backs
+        // off identically.
+        util::RetryPolicy policy = retry.policy;
+        policy.seed = retry.policy.seed ^
+                      (0x9e3779b97f4a7c15ULL * (client_index + 1)) ^ sent;
+        util::RetryState state(policy);
+        while (response.rejected()) {
+          if (!state.CanRetry() ||
+              (retry.budget != nullptr && !retry.budget->Acquire())) {
+            ++totals.retry_exhausted;
+            break;
+          }
+          const double hint = response.meta.retry_after_ms;
+          const double backoff_ms =
+              state.NextBackoffMs(hint > 0.0 ? hint : -1.0);
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(backoff_ms));
+          ++totals.retries;
+          response = srv.Execute(build());
+        }
+      }
+      ++sent;
       if (response.ok()) {
         ++totals.ok;
-        if (request.kind == query::RequestKind::kTopK &&
+        if (kind == query::RequestKind::kTopK &&
             !response.topk.quality.exact) {
           ++totals.degraded;
         }
@@ -238,11 +299,14 @@ void PrintReport(const server::VkgServer& srv, double seconds,
               static_cast<unsigned long long>(answered), seconds,
               seconds > 0 ? static_cast<double>(answered) / seconds : 0.0);
   std::printf(
-      "  ok %llu (degraded %llu), rejected %llu, failed %llu\n",
+      "  ok %llu (degraded %llu), rejected %llu, failed %llu, "
+      "retries %llu (%llu exhausted)\n",
       static_cast<unsigned long long>(totals.ok),
       static_cast<unsigned long long>(totals.degraded),
       static_cast<unsigned long long>(totals.rejected),
-      static_cast<unsigned long long>(totals.failed));
+      static_cast<unsigned long long>(totals.failed),
+      static_cast<unsigned long long>(totals.retries),
+      static_cast<unsigned long long>(totals.retry_exhausted));
   const uint64_t lookups = stats.cache_hits + stats.cache_misses;
   std::printf(
       "  cache: %llu hits / %llu lookups (%.1f%%), %llu invalidated\n",
@@ -260,13 +324,26 @@ void PrintReport(const server::VkgServer& srv, double seconds,
       static_cast<unsigned long long>(stats.computed_aggregate),
       static_cast<unsigned long long>(stats.rejected_rate),
       static_cast<unsigned long long>(stats.rejected_overload));
-  std::printf("  %-6s %-8s %-10s %-11s %-9s %-9s\n", "shard", "depth",
-              "peak", "generation", "entries", "bytes");
+  std::printf(
+      "  resilience: breaker rejected %llu, shed %llu, expired in "
+      "queue %llu, expired waiting %llu, pressure degraded %llu, "
+      "pressure level %s\n",
+      static_cast<unsigned long long>(stats.rejected_breaker),
+      static_cast<unsigned long long>(stats.rejected_shed),
+      static_cast<unsigned long long>(stats.expired_in_queue),
+      static_cast<unsigned long long>(stats.expired_waiting),
+      static_cast<unsigned long long>(stats.pressure_degraded),
+      server::PressureLevelName(stats.memory.level).data());
+  std::printf("  %-6s %-8s %-10s %-11s %-9s %-9s %-9s %-6s\n", "shard",
+              "depth", "peak", "generation", "entries", "bytes",
+              "breaker", "trips");
   for (const auto& shard : stats.shards) {
-    std::printf("  %-6zu %-8zu %-10zu %-11llu %-9zu %-9zu\n", shard.shard,
-                shard.depth, shard.peak_depth,
+    std::printf("  %-6zu %-8zu %-10zu %-11llu %-9zu %-9zu %-9s %-6llu\n",
+                shard.shard, shard.depth, shard.peak_depth,
                 static_cast<unsigned long long>(shard.generation),
-                shard.cache.entries, shard.cache.bytes);
+                shard.cache.entries, shard.cache.bytes,
+                server::BreakerStateName(shard.breaker.state).data(),
+                static_cast<unsigned long long>(shard.breaker.trips));
   }
 }
 
@@ -310,6 +387,16 @@ int Run(const Flags& flags) {
   const double aggregate_fraction =
       flags.GetDouble("aggregate-fraction", 0.0);
 
+  ClientRetry retry;
+  retry.policy.max_retries =
+      static_cast<int>(flags.GetSize("retries", 0));
+  retry.policy.base_ms = flags.GetDouble("retry-base-ms", 1.0);
+  retry.policy.cap_ms = flags.GetDouble("retry-cap-ms", 200.0);
+  retry.policy.seed = flags.GetSize("seed", 11);
+  const double retry_capacity = flags.GetDouble("retry-budget", 64.0);
+  util::RetryBudget budget(retry_capacity, retry_capacity * 0.5);
+  if (retry.policy.max_retries > 0) retry.budget = &budget;
+
   std::printf(
       "serving %zu queries x %zu clients x %zu passes over %zu shards\n",
       workload.size(), clients, repeat, (*srv)->num_shards());
@@ -320,7 +407,7 @@ int Run(const Flags& flags) {
   for (size_t c = 0; c < clients; ++c) {
     crew.emplace_back([&, c] {
       per_client[c] = RunClient(**srv, workload, c, repeat, k,
-                                aggregate_fraction);
+                                aggregate_fraction, retry);
     });
   }
   for (std::thread& th : crew) th.join();
@@ -333,6 +420,8 @@ int Run(const Flags& flags) {
     totals.rejected += t.rejected;
     totals.failed += t.failed;
     totals.degraded += t.degraded;
+    totals.retries += t.retries;
+    totals.retry_exhausted += t.retry_exhausted;
   }
   PrintReport(**srv, seconds, totals);
 
