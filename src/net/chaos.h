@@ -1,0 +1,92 @@
+#ifndef VKG_NET_CHAOS_H_
+#define VKG_NET_CHAOS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/listener.h"
+#include "query/request.h"
+#include "server/server.h"
+
+namespace vkg::net {
+
+/// Socket-level chaos campaign (DESIGN.md §6i): the server/chaos.h
+/// storm, rebuilt on real loopback TCP connections. It starts a
+/// NetServer over the given VkgServer, arms the net.* failpoint sites
+/// (and the in-process server.* sites underneath) with seeded
+/// randomized schedules, and drives:
+///
+///   1. an oracle pass (in-process, fault-free) for differential
+///      correctness of exact responses;
+///   2. a multi-client storm over real sockets, clients reconnecting
+///      whenever an injected fault or error frame kills their
+///      connection;
+///   3. a deterministic hostile phase: connections sending garbage,
+///      truncated frames, and oversized lengths must each be answered
+///      or closed — and the server must keep serving well-formed
+///      clients afterwards;
+///   4. a drain phase: a final burst is in flight when Stop() lands;
+///      every outstanding call must resolve (response, shutting-down
+///      error, or clean close — never a hang), and the VkgServer
+///      underneath must still answer in-process probes.
+///
+/// Library code so tests/net_chaos_test.cc and vkg_chaos_cli --net run
+/// the identical campaign.
+
+/// The net.* failpoint sites the campaign arms (the server.* subset is
+/// taken from server::AllChaosSites()).
+std::vector<std::string> AllNetChaosSites();
+
+struct NetChaosConfig {
+  uint64_t seed = 42;
+  /// Total storm calls, split across clients and rounds.
+  size_t requests = 2000;
+  size_t clients = 4;
+  size_t rounds = 4;
+  double deadline_fraction = 0.3;
+  double deadline_ms = 50.0;
+  double max_delay_ms = 3.0;
+  /// Hostile connections driven in phase 3.
+  size_t hostile_connections = 16;
+  /// Also arm the in-process server.* sites during the storm.
+  bool arm_server_sites = true;
+  bool hostile_phase = true;
+  bool drain_phase = true;
+  /// NetServer shape for the campaign.
+  NetServerConfig net;
+};
+
+struct NetChaosReport {
+  size_t submitted = 0;
+  size_t resolved = 0;  // == submitted when no call hung
+  size_t ok = 0;
+  size_t rejected = 0;      // admission/pipeline/connection caps
+  size_t failed = 0;        // injected faults surfaced as errors
+  size_t deadline = 0;
+  size_t unavailable = 0;   // drain, closes, transport failures
+  size_t transport_errors = 0;  // connection died mid-call
+  size_t reconnects = 0;
+  size_t mismatches = 0;
+  size_t hostile_sent = 0;
+  size_t hostile_handled = 0;  // error frame or clean close observed
+  bool post_hostile_alive = false;
+  bool drain_clean = false;
+  NetStats net;  // listener counters at campaign end
+
+  bool Passed(const NetChaosConfig& config) const;
+  std::string ToString() const;
+};
+
+/// Runs the campaign. Starts (and always stops) its own NetServer on an
+/// ephemeral loopback port; the VkgServer is left running. Failpoints
+/// are cleared before and after.
+NetChaosReport RunNetChaosCampaign(
+    server::VkgServer& server,
+    const std::vector<query::ServerRequest>& slots,
+    const NetChaosConfig& config);
+
+}  // namespace vkg::net
+
+#endif  // VKG_NET_CHAOS_H_

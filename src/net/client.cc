@@ -1,0 +1,166 @@
+#include "net/client.h"
+
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace vkg::net {
+
+namespace {
+
+util::Status StatusFromWireError(const WireError& error) {
+  switch (error.code) {
+    case WireErrorCode::kRejected:
+      return util::Status::ResourceExhausted(util::StrFormat(
+          "server rejected connection/request (retry after %.0f ms): %s",
+          error.retry_after_ms, error.message.c_str()));
+    case WireErrorCode::kShuttingDown:
+      return util::Status::Unavailable("server draining: " + error.message);
+    case WireErrorCode::kMalformed:
+      return util::Status::DataLoss("server rejected our bytes: " +
+                                    error.message);
+    case WireErrorCode::kIdle:
+      return util::Status::DeadlineExceeded("server timed connection out: " +
+                                            error.message);
+    case WireErrorCode::kInternal:
+      break;
+  }
+  return util::Status::Internal("server error: " + error.message);
+}
+
+}  // namespace
+
+util::Result<std::unique_ptr<NetClient>> NetClient::Connect(
+    const NetClientConfig& config) {
+  util::IgnoreSigPipe();
+  std::unique_ptr<NetClient> client(new NetClient(config));
+  VKG_ASSIGN_OR_RETURN(
+      client->socket_,
+      util::ConnectTcp(config.host, config.port,
+                       util::Deadline::AfterMillis(
+                           config.connect_timeout_ms)));
+  return client;
+}
+
+util::Status NetClient::Send(uint64_t request_id,
+                             const query::ServerRequest& request) {
+  if (!socket_.valid()) return util::Status::Unavailable("not connected");
+  const std::string frame =
+      EncodeFrame(FrameType::kRequest, EncodeRequest(request_id, request));
+  return util::SendAll(socket_, frame.data(), frame.size(),
+                       util::Deadline::AfterMillis(config_.call_timeout_ms));
+}
+
+util::Result<Frame> NetClient::ReadFrame(const util::Deadline& deadline) {
+  Frame frame;
+  for (;;) {
+    switch (decoder_.Pull(&frame)) {
+      case FrameDecoder::Next::kFrame:
+        return frame;
+      case FrameDecoder::Next::kError:
+        socket_.Close();
+        return decoder_.error();
+      case FrameDecoder::Next::kNeedMore:
+        break;
+    }
+    if (!socket_.valid()) return util::Status::Unavailable("not connected");
+    char buf[16384];
+    VKG_ASSIGN_OR_RETURN(
+        const size_t n,
+        util::RecvSome(socket_, buf, sizeof(buf), deadline));
+    if (n == 0) {
+      socket_.Close();
+      return util::Status::Unavailable("server closed the connection");
+    }
+    decoder_.Feed(std::string_view(buf, n));
+  }
+}
+
+util::Result<query::ServerResponse> NetClient::Receive(
+    uint64_t* request_id) {
+  const util::Deadline deadline =
+      util::Deadline::AfterMillis(config_.call_timeout_ms);
+  for (;;) {
+    VKG_ASSIGN_OR_RETURN(Frame frame, ReadFrame(deadline));
+    switch (frame.type) {
+      case FrameType::kResponse: {
+        query::ServerResponse response;
+        VKG_RETURN_IF_ERROR(
+            DecodeResponse(frame.payload, request_id, &response));
+        return response;
+      }
+      case FrameType::kError: {
+        WireError error;
+        const util::Status decoded =
+            DecodeWireError(frame.payload, &error);
+        socket_.Close();  // kError is connection-scoped; server closes too
+        if (!decoded.ok()) return decoded;
+        last_error_ = error;
+        return StatusFromWireError(error);
+      }
+      case FrameType::kGoodbye:
+        socket_.Close();
+        return util::Status::Unavailable("server said goodbye");
+      case FrameType::kPong:
+        continue;  // stale ping answer; keep waiting for the response
+      default:
+        socket_.Close();
+        return util::Status::DataLoss("unexpected frame type from server");
+    }
+  }
+}
+
+util::Result<query::ServerResponse> NetClient::Call(
+    const query::ServerRequest& request) {
+  const uint64_t id = next_request_id_++;
+  VKG_RETURN_IF_ERROR(Send(id, request));
+  for (;;) {
+    uint64_t got_id = 0;
+    VKG_ASSIGN_OR_RETURN(query::ServerResponse response, Receive(&got_id));
+    if (got_id == id) return response;
+    // A pipelined caller mixing Call() with Send()/Receive() could land
+    // here; for the pure-Call() client an id mismatch is corruption.
+    return util::Status::DataLoss(
+        util::StrFormat("response id %llu does not match request id %llu",
+                        static_cast<unsigned long long>(got_id),
+                        static_cast<unsigned long long>(id)));
+  }
+}
+
+util::Status NetClient::Ping() {
+  if (!socket_.valid()) return util::Status::Unavailable("not connected");
+  const std::string frame = EncodeFrame(FrameType::kPing, "");
+  VKG_RETURN_IF_ERROR(util::SendAll(
+      socket_, frame.data(), frame.size(),
+      util::Deadline::AfterMillis(config_.call_timeout_ms)));
+  const util::Deadline deadline =
+      util::Deadline::AfterMillis(config_.call_timeout_ms);
+  for (;;) {
+    VKG_ASSIGN_OR_RETURN(Frame reply, ReadFrame(deadline));
+    if (reply.type == FrameType::kPong) return util::Status::OK();
+    if (reply.type == FrameType::kError) {
+      WireError error;
+      VKG_RETURN_IF_ERROR(DecodeWireError(reply.payload, &error));
+      last_error_ = error;
+      socket_.Close();
+      return StatusFromWireError(error);
+    }
+    // A late kResponse for an abandoned request: drop it, keep waiting.
+  }
+}
+
+void NetClient::Goodbye() {
+  if (!socket_.valid()) return;
+  const std::string frame = EncodeFrame(FrameType::kGoodbye, "");
+  (void)util::SendAll(socket_, frame.data(), frame.size(),
+                      util::Deadline::AfterMillis(200.0));
+  socket_.Close();
+}
+
+util::Status NetClient::SendRaw(std::string_view bytes) {
+  if (!socket_.valid()) return util::Status::Unavailable("not connected");
+  return util::SendAll(socket_, bytes.data(), bytes.size(),
+                       util::Deadline::AfterMillis(config_.call_timeout_ms));
+}
+
+}  // namespace vkg::net

@@ -1,0 +1,84 @@
+#ifndef VKG_NET_CLIENT_H_
+#define VKG_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "net/frame.h"
+#include "net/wire.h"
+#include "query/request.h"
+#include "util/socket.h"
+#include "util/status.h"
+
+namespace vkg::net {
+
+struct NetClientConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  double connect_timeout_ms = 2000.0;
+  /// Per Call()/Receive() wall budget, independent of the request's own
+  /// deadline_ms (which the server enforces).
+  double call_timeout_ms = 10000.0;
+  size_t max_frame_bytes = kDefaultMaxPayload;
+};
+
+/// Blocking client for the framed wire protocol. Not thread-safe; one
+/// connection per client. Failure surface is util::Status, never an
+/// exception: connection-scoped kError frames map to
+///   kRejected      -> ResourceExhausted (retry_after in last_error())
+///   kShuttingDown  -> Unavailable
+///   kMalformed     -> DataLoss (the server rejected our bytes)
+///   kIdle          -> DeadlineExceeded (server timed the connection out)
+/// and transport failures (EPIPE, reset, timeout) come back as the
+/// Status util::SendAll / util::RecvSome produced.
+class NetClient {
+ public:
+  static util::Result<std::unique_ptr<NetClient>> Connect(
+      const NetClientConfig& config);
+
+  /// One request/response round trip (Send + Receive until the id
+  /// matches).
+  util::Result<query::ServerResponse> Call(
+      const query::ServerRequest& request);
+
+  /// Pipelined half: queue a request without waiting.
+  util::Status Send(uint64_t request_id,
+                    const query::ServerRequest& request);
+  /// Pipelined half: next response frame, any id.
+  util::Result<query::ServerResponse> Receive(uint64_t* request_id);
+
+  /// Round trip an empty kPing/kPong pair.
+  util::Status Ping();
+
+  /// Best-effort kGoodbye; the server flushes in-flight responses and
+  /// closes.
+  void Goodbye();
+
+  /// Escape hatch for protocol tests: raw bytes, no framing.
+  util::Status SendRaw(std::string_view bytes);
+
+  /// The last connection-scoped kError frame the server pushed.
+  const WireError& last_error() const { return last_error_; }
+
+  bool connected() const { return socket_.valid(); }
+  void Close() { socket_.Close(); }
+
+ private:
+  explicit NetClient(const NetClientConfig& config)
+      : config_(config), decoder_(config.max_frame_bytes) {}
+
+  /// Blocks until a complete frame arrives or `deadline` expires.
+  util::Result<Frame> ReadFrame(const util::Deadline& deadline);
+
+  NetClientConfig config_;
+  util::Socket socket_;
+  FrameDecoder decoder_;
+  WireError last_error_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace vkg::net
+
+#endif  // VKG_NET_CLIENT_H_

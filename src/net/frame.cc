@@ -1,0 +1,127 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "util/serialize.h"
+#include "util/string_util.h"
+
+namespace vkg::net {
+
+namespace {
+
+void PutLe16(std::string& out, uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutLe32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutLe64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint16_t GetLe16(const char* p) {
+  return static_cast<uint16_t>(static_cast<unsigned char>(p[0]) |
+                               (static_cast<unsigned char>(p[1]) << 8));
+}
+
+uint32_t GetLe32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+uint64_t GetLe64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+}  // namespace
+
+bool KnownFrameType(uint16_t type) {
+  return type >= static_cast<uint16_t>(FrameType::kRequest) &&
+         type <= static_cast<uint16_t>(FrameType::kGoodbye);
+}
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameOverhead + payload.size());
+  PutLe32(out, kFrameMagic);
+  PutLe16(out, kWireVersion);
+  PutLe16(out, static_cast<uint16_t>(type));
+  PutLe32(out, static_cast<uint32_t>(payload.size()));
+  out.append(payload.data(), payload.size());
+  const uint64_t crc =
+      util::Fnv1a(util::kFnvOffsetBasis, out.data(), out.size());
+  PutLe64(out, crc);
+  return out;
+}
+
+void FrameDecoder::Feed(std::string_view bytes) {
+  if (poisoned()) return;  // connection is closing; drop the bytes
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+FrameDecoder::Next FrameDecoder::Pull(Frame* frame) {
+  if (poisoned()) return Next::kError;
+  if (buffer_.size() < kFrameHeaderSize) return Next::kNeedMore;
+
+  const uint32_t magic = GetLe32(buffer_.data());
+  if (magic != kFrameMagic) {
+    error_ = util::Status::DataLoss(
+        util::StrFormat("bad frame magic 0x%08x", magic));
+    return Next::kError;
+  }
+  const uint16_t version = GetLe16(buffer_.data() + 4);
+  if (version == 0 || version > kWireVersion) {
+    // Forward-compat contract: a peer speaking a newer version gets a
+    // clean "unsupported version" error, not a parse explosion.
+    error_ = util::Status::DataLoss(
+        util::StrFormat("unsupported wire version %u (speaking %u)",
+                        version, kWireVersion));
+    return Next::kError;
+  }
+  const uint16_t type = GetLe16(buffer_.data() + 6);
+  if (!KnownFrameType(type)) {
+    error_ = util::Status::DataLoss(
+        util::StrFormat("unknown frame type %u", type));
+    return Next::kError;
+  }
+  const uint32_t length = GetLe32(buffer_.data() + 8);
+  if (length > max_payload_) {
+    error_ = util::Status::DataLoss(
+        util::StrFormat("frame payload %u bytes > cap %zu", length,
+                        max_payload_));
+    return Next::kError;
+  }
+
+  const size_t total = kFrameHeaderSize + length + kFrameChecksumSize;
+  if (buffer_.size() < total) return Next::kNeedMore;
+
+  const uint64_t want = GetLe64(buffer_.data() + kFrameHeaderSize + length);
+  const uint64_t got = util::Fnv1a(util::kFnvOffsetBasis, buffer_.data(),
+                                   kFrameHeaderSize + length);
+  if (want != got) {
+    error_ = util::Status::DataLoss("frame checksum mismatch");
+    return Next::kError;
+  }
+
+  frame->type = static_cast<FrameType>(type);
+  frame->payload.assign(buffer_, kFrameHeaderSize, length);
+  buffer_.erase(0, total);
+  ++frames_decoded_;
+  return Next::kFrame;
+}
+
+}  // namespace vkg::net

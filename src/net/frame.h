@@ -1,0 +1,106 @@
+#ifndef VKG_NET_FRAME_H_
+#define VKG_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace vkg::net {
+
+/// Length-prefixed binary framing (DESIGN.md §6i). One frame on the
+/// wire, all fields little-endian:
+///
+///   offset  size  field
+///        0     4  magic      0x57474B56 ("VKGW")
+///        4     2  version    currently 1
+///        6     2  type       FrameType
+///        8     4  length     payload bytes; capped per connection
+///       12   len  payload
+///   12+len     8  checksum   FNV-1a over header + payload
+///
+/// The checksum trails the payload so both sides compute it in one
+/// streaming pass (util::Fnv1a, the same primitive the persistence
+/// formats use). Any flipped bit in header or payload surfaces as a
+/// clean kDataLoss decode error — the connection is then closed, since
+/// framing sync cannot be trusted after corruption.
+
+inline constexpr uint32_t kFrameMagic = 0x57474B56;  // "VKGW"
+inline constexpr uint16_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 12;
+inline constexpr size_t kFrameChecksumSize = 8;
+inline constexpr size_t kDefaultMaxPayload = 1u << 20;
+
+/// Frame overhead beyond the payload.
+inline constexpr size_t kFrameOverhead =
+    kFrameHeaderSize + kFrameChecksumSize;
+
+enum class FrameType : uint16_t {
+  kRequest = 1,   // payload: EncodeRequest
+  kResponse = 2,  // payload: EncodeResponse
+  kError = 3,     // payload: EncodeWireError (connection-scoped)
+  kPing = 4,      // empty payload; server answers kPong
+  kPong = 5,      // empty payload
+  kGoodbye = 6,   // empty payload; sender will close after flush
+};
+
+/// True for types this endpoint vocabulary defines (an unknown type is
+/// a framing error — skipping it would desync a corrupted stream).
+bool KnownFrameType(uint16_t type);
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+/// Encodes one complete frame (header + payload + checksum).
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+/// Incremental frame parser: feed bytes as they arrive, pull complete
+/// frames out. Designed hostile-first:
+///   * the length field is validated against `max_payload` as soon as
+///     the header is complete — an attacker-sized length is rejected
+///     before a single payload byte is buffered;
+///   * magic/version/type/checksum violations poison the decoder (every
+///     later call reports the same error) because byte-stream sync is
+///     unrecoverable after corruption — the connection must close;
+///   * buffered bytes never exceed one frame plus one read chunk.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_payload = kDefaultMaxPayload)
+      : max_payload_(max_payload) {}
+
+  /// Appends raw bytes from the transport.
+  void Feed(std::string_view bytes);
+
+  enum class Next : uint8_t {
+    kFrame,     // *frame filled
+    kNeedMore,  // no complete frame buffered yet
+    kError,     // protocol violation; see error(); decoder is poisoned
+  };
+
+  /// Extracts the next complete frame, if any.
+  Next Pull(Frame* frame);
+
+  const util::Status& error() const { return error_; }
+  bool poisoned() const { return !error_.ok(); }
+
+  /// True while a frame is partially buffered — the state a slowloris
+  /// client parks a connection in; the listener's read deadline bounds
+  /// how long it may persist.
+  bool mid_frame() const { return !buffer_.empty(); }
+  size_t buffered_bytes() const { return buffer_.size(); }
+  uint64_t frames_decoded() const { return frames_decoded_; }
+
+ private:
+  size_t max_payload_;
+  std::string buffer_;
+  util::Status error_;
+  uint64_t frames_decoded_ = 0;
+};
+
+}  // namespace vkg::net
+
+#endif  // VKG_NET_FRAME_H_

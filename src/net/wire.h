@@ -1,0 +1,117 @@
+#ifndef VKG_NET_WIRE_H_
+#define VKG_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "query/request.h"
+#include "util/status.h"
+
+namespace vkg::net {
+
+/// Payload (de)serialization for the wire protocol (DESIGN.md §6i):
+/// little-endian fixed-width primitives plus u32-length-prefixed
+/// strings, encoded with WireWriter and decoded with the hostile-input-
+/// hardened WireReader. Every length field is validated against the
+/// bytes actually present before any allocation, so a malicious count
+/// yields a clean kDataLoss status, never an OOM or overread.
+
+class WireWriter {
+ public:
+  void PutU8(uint8_t v) { PutBytes(&v, sizeof(v)); }
+  void PutU16(uint16_t v) { PutBytes(&v, sizeof(v)); }
+  void PutU32(uint32_t v) { PutBytes(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutBytes(&v, sizeof(v)); }
+  void PutF64(double v) { PutBytes(&v, sizeof(v)); }
+  /// u32 length prefix + raw bytes.
+  void PutString(std::string_view s);
+  void PutBytes(const void* data, size_t n);
+
+  const std::string& data() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked reader over one payload. The first short read makes
+/// the status sticky; callers check ok() once after a batch of reads
+/// (reads after a failure return zero values).
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  uint8_t U8();
+  uint16_t U16();
+  uint32_t U32();
+  uint64_t U64();
+  double F64();
+  /// Reads a u32-length-prefixed string, rejecting lengths beyond
+  /// `max_len` or the remaining payload.
+  std::string String(size_t max_len = 1u << 20);
+
+  bool ok() const { return status_.ok(); }
+  const util::Status& status() const { return status_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  /// True when the payload was consumed exactly (trailing garbage in a
+  /// frame is a protocol violation).
+  bool AtEnd() const { return ok() && pos_ == data_.size(); }
+
+  void Fail(const std::string& what);
+
+ private:
+  bool Take(void* out, size_t n, const char* what);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  util::Status status_;
+};
+
+/// Upper bounds enforced while decoding request/response payloads.
+inline constexpr size_t kMaxClientIdLen = 256;
+inline constexpr size_t kMaxAttributeLen = 4096;
+inline constexpr size_t kMaxStatusMessageLen = 4096;
+inline constexpr size_t kMaxWireHits = 1u << 20;
+
+/// Request payload: request_id (client-chosen, echoed on the response
+/// so pipelined requests match up) + every ServerRequest field the
+/// server reads. Aggregate sample_values never cross the wire.
+std::string EncodeRequest(uint64_t request_id,
+                          const query::ServerRequest& request);
+util::Status DecodeRequest(std::string_view payload, uint64_t* request_id,
+                           query::ServerRequest* request);
+
+/// Response payload: request_id + status + serving meta + the kind-
+/// specific result.
+std::string EncodeResponse(uint64_t request_id,
+                           const query::ServerResponse& response,
+                           query::RequestKind kind);
+util::Status DecodeResponse(std::string_view payload, uint64_t* request_id,
+                            query::ServerResponse* response);
+
+/// Protocol-level error payload carried by FrameType::kError — the
+/// connection-scoped failures that are not a response to one request
+/// (malformed frame, connection cap, drain). `retry_after_ms` follows
+/// the server-wide rejection semantics (see ServerMeta::retry_after_ms).
+enum class WireErrorCode : uint32_t {
+  kMalformed = 1,     // unparseable frame or payload; connection closes
+  kRejected = 2,      // connection/pipeline cap; retry_after_ms set
+  kShuttingDown = 3,  // server draining; connection closes after flush
+  kIdle = 4,          // idle/read timeout; connection closes
+  kInternal = 5,
+};
+
+struct WireError {
+  WireErrorCode code = WireErrorCode::kInternal;
+  double retry_after_ms = 0.0;
+  std::string message;
+};
+
+std::string EncodeWireError(const WireError& error);
+util::Status DecodeWireError(std::string_view payload, WireError* error);
+
+}  // namespace vkg::net
+
+#endif  // VKG_NET_WIRE_H_

@@ -74,9 +74,28 @@ struct ServerMeta {
   /// Crack generation of the owning shard's tree that the answer is
   /// valid for (the cache-invalidation stamp, DESIGN.md §6g).
   uint64_t generation = 0;
-  /// For rejected requests: suggested back-off before retrying;
-  /// negative when the request can never be admitted (it exceeds the
-  /// client's burst capacity).
+  /// For rejected requests: suggested back-off before retrying. One
+  /// contract across every rejection path (asserted by
+  /// tests/server_test.cc RetryAfterHintIsConsistent...):
+  ///   * 0 on every non-rejected response — the hint is only
+  ///     meaningful when rejected() is true;
+  ///   * token-bucket rate limit: a refill ESTIMATE — milliseconds
+  ///     until the client's bucket holds the tokens this request
+  ///     costs. Negative when the cost exceeds burst capacity
+  ///     (retrying can never succeed);
+  ///   * circuit breaker open: the REMAINING COOLDOWN of the open
+  ///     window — retrying sooner is guaranteed to fast-fail again,
+  ///     so the hint never exceeds BreakerConfig::open_seconds;
+  ///   * queue-full / memory-shed: the fixed
+  ///     ServerConfig::overload_retry_ms pacing hint (the server has
+  ///     no model of when capacity frees; the constant spreads the
+  ///     retry herd);
+  ///   * connection/pipeline caps at the TCP front end: the fixed
+  ///     NetServerConfig::overload_retry_after_ms pacing hint, same
+  ///     fixed-constant semantics as queue-full (net/wire.h).
+  /// Consumers (util/retry.h) let a positive hint override their
+  /// exponential back-off when the hint is larger; a negative hint
+  /// means retrying can never succeed and the call should give up.
   double retry_after_ms = 0.0;
   /// The request sat in the shard queue past its deadline and was
   /// failed without being computed (status kDeadlineExceeded).

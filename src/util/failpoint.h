@@ -59,6 +59,18 @@ namespace vkg::util {
 ///                         compute then fails, `fail` a broken worker;
 ///                         failures count against the shard's circuit
 ///                         breaker
+///   net.accept          — the TCP front end drops one accepted
+///                         connection before registering it (client
+///                         sees a close; counted as an io_error)
+///   net.read            — one connection's socket read fails; the
+///                         connection is closed (`delay` models a
+///                         stalled read)
+///   net.write           — one connection's socket flush fails mid-
+///                         response; the connection is closed
+///   net.frame           — one well-formed frame is treated as
+///                         malformed: the kMalformed error path runs
+///                         and the connection is poisoned + closed
+///                         (see net::AllNetChaosSites())
 ///
 /// Evaluation is thread-safe; an unarmed process pays one relaxed atomic
 /// load per site evaluation.

@@ -16,8 +16,6 @@ BinaryWriter::~BinaryWriter() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
-namespace {
-
 uint64_t Fnv1a(uint64_t h, const void* data, size_t n) {
   const auto* bytes = static_cast<const unsigned char*>(data);
   for (size_t i = 0; i < n; ++i) {
@@ -25,8 +23,6 @@ uint64_t Fnv1a(uint64_t h, const void* data, size_t n) {
   }
   return h;
 }
-
-}  // namespace
 
 void BinaryWriter::WriteBytes(const void* data, size_t n) {
   if (!status_.ok()) return;

@@ -10,6 +10,15 @@
 
 namespace vkg::util {
 
+/// FNV-1a offset basis: the seed of every checksum in the persistence
+/// and wire formats.
+inline constexpr uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
+
+/// Incremental FNV-1a over `n` bytes, folded into `h` so chained calls
+/// compose. The checksum primitive shared by BinaryWriter/BinaryReader
+/// and the net/ frame codec.
+uint64_t Fnv1a(uint64_t h, const void* data, size_t n);
+
 /// Little-endian binary writer for persisting embeddings and indexes.
 class BinaryWriter {
  public:

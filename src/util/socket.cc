@@ -1,0 +1,251 @@
+#include "util/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "util/string_util.h"
+
+namespace vkg::util {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(StrFormat("%s: %s", what, strerror(errno)));
+}
+
+/// Poll timeout for `deadline`, clamped to [0, 100] ms. The clamp keeps
+/// every wait re-checkable: an infinite deadline still wakes up
+/// periodically so callers holding a cancelled/closing socket cannot
+/// sleep forever inside the kernel.
+int PollTimeoutMs(const Deadline& deadline) {
+  if (deadline.infinite()) return 100;
+  const double remaining = deadline.RemainingMillis();
+  if (remaining <= 0.0) return 0;
+  return static_cast<int>(std::min(100.0, std::ceil(remaining)));
+}
+
+/// Waits for `events` on `fd` until the deadline. kDeadlineExceeded on
+/// expiry; OK when the fd is ready (including error/hup readiness — the
+/// following I/O call surfaces the concrete failure).
+Status PollFor(int fd, short events, Deadline deadline) {
+  for (;;) {
+    if (deadline.Expired()) {
+      return Status::DeadlineExceeded("socket wait timed out");
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = poll(&pfd, 1, PollTimeoutMs(deadline));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (rc > 0) return Status::OK();
+  }
+}
+
+}  // namespace
+
+void IgnoreSigPipe() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction sa;
+    memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = SIG_IGN;
+    sigaction(SIGPIPE, &sa, nullptr);
+  });
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status SetNonBlocking(const Socket& socket) {
+  const int flags = fcntl(socket.fd(), F_GETFL, 0);
+  if (flags < 0 || fcntl(socket.fd(), F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+Status SetNoDelay(const Socket& socket) {
+  int one = 1;
+  if (setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                 sizeof(one)) < 0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return Status::OK();
+}
+
+Result<Socket> ListenTcp(const std::string& host, uint16_t port,
+                         int backlog) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Errno("socket");
+  int one = 1;
+  setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen address: " + host);
+  }
+  if (bind(sock.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+           sizeof(addr)) < 0) {
+    return Errno("bind");
+  }
+  if (listen(sock.fd(), backlog) < 0) return Errno("listen");
+  return sock;
+}
+
+Result<uint16_t> LocalPort(const Socket& socket) {
+  struct sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (getsockname(socket.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+                  &len) < 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<Socket> Accept(const Socket& listener, std::string* peer_ip) {
+  struct sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  const int fd = accept(listener.fd(),
+                        reinterpret_cast<struct sockaddr*>(&addr), &len);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED) {
+      return Status::Unavailable("no pending connection");
+    }
+    return Errno("accept");
+  }
+  if (peer_ip != nullptr) {
+    char buf[INET_ADDRSTRLEN] = {0};
+    inet_ntop(AF_INET, &addr.sin_addr, buf, sizeof(buf));
+    *peer_ip = buf;
+  }
+  return Socket(fd);
+}
+
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port,
+                          Deadline deadline) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Errno("socket");
+
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad connect address: " + host);
+  }
+
+  // Non-blocking connect so the deadline bounds the handshake, then
+  // back to blocking: per-call deadlines are enforced by poll() in the
+  // I/O helpers, not by socket state.
+  VKG_RETURN_IF_ERROR(SetNonBlocking(sock));
+  int rc = connect(sock.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) return Errno("connect");
+  if (rc < 0) {
+    VKG_RETURN_IF_ERROR(PollFor(sock.fd(), POLLOUT, deadline));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      return Errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      return Status::Unavailable(
+          StrFormat("connect %s:%u: %s", host.c_str(), port, strerror(err)));
+    }
+  }
+  const int flags = fcntl(sock.fd(), F_GETFL, 0);
+  if (flags >= 0) fcntl(sock.fd(), F_SETFL, flags & ~O_NONBLOCK);
+  (void)SetNoDelay(sock);
+  return sock;
+}
+
+Status WaitReadable(const Socket& socket, Deadline deadline) {
+  return PollFor(socket.fd(), POLLIN, deadline);
+}
+
+Status SendAll(const Socket& socket, const void* data, size_t n,
+               Deadline deadline) {
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc =
+        send(socket.fd(), p + sent, n - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      VKG_RETURN_IF_ERROR(PollFor(socket.fd(), POLLOUT, deadline));
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      return Status::Unavailable(
+          StrFormat("peer closed mid-write: %s", strerror(errno)));
+    }
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Result<size_t> RecvSome(const Socket& socket, void* data, size_t capacity,
+                        Deadline deadline) {
+  // Poll before the first recv too: on a *blocking* socket recv would
+  // otherwise sleep in the kernel past the deadline.
+  VKG_RETURN_IF_ERROR(WaitReadable(socket, deadline));
+  for (;;) {
+    const ssize_t rc = recv(socket.fd(), data, capacity, 0);
+    if (rc > 0) return static_cast<size_t>(rc);
+    if (rc == 0) return static_cast<size_t>(0);  // clean EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      VKG_RETURN_IF_ERROR(WaitReadable(socket, deadline));
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) {
+      return Status::Unavailable("connection reset by peer");
+    }
+    return Errno("recv");
+  }
+}
+
+Status RecvAll(const Socket& socket, void* data, size_t n,
+               Deadline deadline) {
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < n) {
+    VKG_ASSIGN_OR_RETURN(size_t chunk,
+                         RecvSome(socket, p + got, n - got, deadline));
+    if (chunk == 0) {
+      return Status::Unavailable("connection closed mid-frame");
+    }
+    got += chunk;
+  }
+  return Status::OK();
+}
+
+}  // namespace vkg::util

@@ -1,0 +1,109 @@
+#ifndef VKG_UTIL_SOCKET_H_
+#define VKG_UTIL_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/deadline.h"
+#include "util/status.h"
+
+namespace vkg::util {
+
+/// POSIX TCP plumbing for the wire protocol (DESIGN.md §6i): an RAII
+/// fd wrapper plus deadline-aware blocking I/O helpers. Everything
+/// here returns Status instead of raising signals or errno surprises —
+/// in particular a peer that disappears mid-write surfaces as
+/// kUnavailable (EPIPE/ECONNRESET), never as a SIGPIPE kill (callers
+/// must have IgnoreSigPipe() in effect; the net layer installs it).
+
+/// Ignores SIGPIPE process-wide (idempotent, thread-safe). Every
+/// program that writes to sockets must call this once before its first
+/// send: without it, a client closing its end mid-write kills the
+/// process instead of failing the write with EPIPE.
+void IgnoreSigPipe();
+
+/// Move-only owner of one socket fd. Closing is unchecked (close(2)
+/// errors on an fd we own are not actionable).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+  /// Relinquishes ownership without closing.
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a listening IPv4 TCP socket bound to host:port (port 0 =
+/// ephemeral; read the outcome back with LocalPort). SO_REUSEADDR is
+/// set so restarts do not fight TIME_WAIT.
+Result<Socket> ListenTcp(const std::string& host, uint16_t port,
+                         int backlog = 128);
+
+/// Port a bound socket actually listens on (resolves port 0).
+Result<uint16_t> LocalPort(const Socket& socket);
+
+/// Accepts one pending connection; fills `peer_ip` (dotted quad) when
+/// non-null. kUnavailable when the accept queue was empty (EAGAIN on a
+/// non-blocking listener) — callers poll, they do not spin.
+Result<Socket> Accept(const Socket& listener, std::string* peer_ip);
+
+/// Connects to host:port within `deadline`; the returned socket is in
+/// blocking mode with TCP_NODELAY set.
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port,
+                          Deadline deadline);
+
+/// Sets O_NONBLOCK / TCP_NODELAY on an existing socket.
+Status SetNonBlocking(const Socket& socket);
+Status SetNoDelay(const Socket& socket);
+
+/// Blocks until `socket` is readable or `deadline` expires
+/// (kDeadlineExceeded). A closed peer counts as readable (the read
+/// will return 0).
+Status WaitReadable(const Socket& socket, Deadline deadline);
+
+/// Writes all `n` bytes, polling for writability between partial
+/// writes, within `deadline`. kDeadlineExceeded on timeout,
+/// kUnavailable when the peer vanished (EPIPE/ECONNRESET).
+Status SendAll(const Socket& socket, const void* data, size_t n,
+               Deadline deadline);
+
+/// Reads up to `capacity` bytes, waiting for readability within
+/// `deadline`. Returns 0 on clean EOF; kDeadlineExceeded on timeout,
+/// kUnavailable on a reset connection.
+Result<size_t> RecvSome(const Socket& socket, void* data, size_t capacity,
+                        Deadline deadline);
+
+/// Reads exactly `n` bytes or fails: kUnavailable on EOF/reset,
+/// kDeadlineExceeded on timeout. The client-side primitive for reading
+/// one complete frame.
+Status RecvAll(const Socket& socket, void* data, size_t n,
+               Deadline deadline);
+
+}  // namespace vkg::util
+
+#endif  // VKG_UTIL_SOCKET_H_

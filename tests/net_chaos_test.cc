@@ -1,0 +1,96 @@
+// Socket-level chaos campaign (DESIGN.md §6i): the seeded storm from
+// net/chaos.h over real loopback connections, with net.* and server.*
+// failpoints armed, hostile connections interleaved, and a drain under
+// load. Every call must resolve, exact responses must match the
+// sequential oracle, and the drain must abandon nothing. Runs under
+// ASan in CI; a hang fails by ctest timeout.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "core/virtual_graph.h"
+#include "data/movielens_gen.h"
+#include "data/workload.h"
+#include "net/chaos.h"
+#include "query/request.h"
+#include "server/server.h"
+#include "util/failpoint.h"
+
+namespace vkg::net {
+namespace {
+
+size_t ChaosThreads() {
+  const char* env = std::getenv("VKG_CHAOS_THREADS");
+  if (env != nullptr && env[0] != '\0') {
+    long n = std::atol(env);
+    if (n >= 1) return static_cast<size_t>(n);
+  }
+  return 4;
+}
+
+TEST(NetChaosTest, CampaignPassesAllInvariants) {
+  data::MovieLensConfig mc;
+  mc.num_users = 500;
+  mc.num_movies = 250;
+  mc.seed = 61;
+  data::Dataset ds = data::GenerateMovieLensLike(mc);
+  kg::KnowledgeGraph graph = std::move(ds.graph);
+  core::VkgOptions options;
+  options.method = index::MethodKind::kCracking;
+  auto vkg = core::VirtualKnowledgeGraph::BuildWithEmbeddings(
+      &graph, std::move(ds.embeddings), options);
+  ASSERT_TRUE(vkg.ok());
+  server::ServerConfig sc;
+  sc.shards = 2;
+  auto srv = server::VkgServer::Create(
+      std::shared_ptr<core::VirtualKnowledgeGraph>(std::move(vkg.value())),
+      sc);
+  ASSERT_TRUE(srv.ok());
+  std::unique_ptr<server::VkgServer> server = std::move(srv.value());
+
+  data::WorkloadConfig wc;
+  wc.num_queries = 20;
+  wc.seed = 62;
+  const std::vector<data::Query> queries =
+      data::GenerateWorkload(graph, wc);
+  std::vector<query::ServerRequest> slots;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    query::ServerRequest request;
+    if (i % 5 == 4) {
+      request.kind = query::RequestKind::kAggregate;
+      request.aggregate.query = queries[i];
+      request.aggregate.kind = query::AggKind::kCount;
+      request.aggregate.prob_threshold = 0.05;
+    } else {
+      request.query = queries[i];
+      request.k = 10;
+    }
+    slots.push_back(request);
+  }
+
+  NetChaosConfig config;
+  config.seed = 4242;
+  config.requests = 800;
+  config.clients = ChaosThreads();
+  config.rounds = 3;
+  config.hostile_connections = 12;
+  config.net.read_deadline_ms = 1000.0;
+  const NetChaosReport report =
+      RunNetChaosCampaign(*server, slots, config);
+  EXPECT_TRUE(report.Passed(config)) << report.ToString();
+  EXPECT_EQ(report.resolved, report.submitted) << report.ToString();
+  EXPECT_EQ(report.mismatches, 0u) << report.ToString();
+  EXPECT_EQ(report.hostile_handled, report.hostile_sent)
+      << report.ToString();
+  EXPECT_TRUE(report.post_hostile_alive) << report.ToString();
+  EXPECT_TRUE(report.drain_clean) << report.ToString();
+  // The storm must have actually exercised the transport: connections
+  // died and were rebuilt.
+  EXPECT_GT(report.reconnects, config.clients) << report.ToString();
+  util::FailPointRegistry::Instance().Clear();
+}
+
+}  // namespace
+}  // namespace vkg::net

@@ -410,6 +410,107 @@ TEST_F(ServerTest, QueueFullRejectsInsteadOfQueueing) {
   EXPECT_TRUE(srv->Execute(RequestFor(1)).ok());
 }
 
+// One retry_after_ms contract across every rejection path (the
+// documented semantics live on query::ServerMeta::retry_after_ms; the
+// connection- and pipeline-cap side of the same contract is asserted
+// in tests/net_test.cc). Every rejection is ResourceExhausted with a
+// nonzero hint, and each path's hint carries its documented meaning:
+// a modelled refill estimate (token bucket), the remaining cooldown
+// (breaker), or the fixed overload pacing constant (queue full and
+// memory shed).
+TEST_F(ServerTest, RetryAfterHintIsConsistentAcrossRejectionPaths) {
+  // (a) Token bucket: a refill ESTIMATE. A 1-token burst refilled at
+  // 0.002 tokens/s puts the next token ~500 s out — the hint must
+  // reflect that model, not any fixed pacing constant.
+  {
+    ServerConfig config;
+    config.shards = 1;
+    config.qps_limit = 0.002;
+    config.burst = 1.0;
+    config.overload_retry_ms = 25.0;
+    auto srv = MakeServer(config);
+    query::ServerRequest request = RequestFor(0);
+    request.client_id = "tenant-hint";
+    query::ServerResponse ok = srv->Execute(request);
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(ok.meta.retry_after_ms, 0.0)
+        << "hint must be 0 on non-rejected responses";
+    request = RequestFor(0);
+    request.client_id = "tenant-hint";
+    query::ServerResponse rejected = srv->Execute(request);
+    ASSERT_TRUE(rejected.rejected()) << rejected.status.ToString();
+    EXPECT_EQ(rejected.status.code(),
+              util::StatusCode::kResourceExhausted);
+    EXPECT_GT(rejected.meta.retry_after_ms, 100000.0)
+        << "rate-limit hint is a refill estimate, not a canned constant";
+    EXPECT_LE(rejected.meta.retry_after_ms, 500001.0)
+        << "refill estimate cannot exceed the full-bucket horizon";
+  }
+
+  // (b) Queue full: the FIXED ServerConfig::overload_retry_ms pacing
+  // hint, verbatim.
+  {
+    ServerConfig config;
+    config.shards = 1;
+    config.threads_per_shard = 1;
+    config.queue_capacity = 1;
+    config.overload_retry_ms = 33.0;
+    auto srv = MakeServer(config);
+    ASSERT_TRUE(util::FailPointRegistry::Instance()
+                    .ConfigureSite("cracking.publish", "1*delay(300),off")
+                    .ok());
+    VkgServer::Ticket blocker = srv->Submit(RequestFor(0, /*bypass=*/true));
+    query::ServerResponse overloaded = srv->Execute(RequestFor(1));
+    ASSERT_TRUE(overloaded.rejected()) << overloaded.status.ToString();
+    EXPECT_EQ(overloaded.status.code(),
+              util::StatusCode::kResourceExhausted);
+    EXPECT_EQ(overloaded.meta.retry_after_ms, 33.0);
+    ASSERT_TRUE(blocker.Get().ok());
+    util::FailPointRegistry::Instance().Clear();
+  }
+
+  // (c) Breaker open: the REMAINING COOLDOWN — positive, and never
+  // above the configured open window.
+  {
+    ServerConfig config;
+    config.shards = 1;
+    config.threads_per_shard = 1;
+    config.breaker.failure_threshold = 3;
+    config.breaker.open_seconds = 0.25;
+    config.overload_retry_ms = 25.0;
+    auto srv = MakeServer(config);
+    ASSERT_TRUE(util::FailPointRegistry::Instance()
+                    .Configure("server.queue=fail")
+                    .ok());
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_FALSE(srv->Execute(RequestFor(1, true)).ok());
+    }
+    ASSERT_EQ(srv->shard_breaker(0).state(), BreakerState::kOpen);
+    query::ServerResponse rejected = srv->Execute(RequestFor(1, true));
+    ASSERT_TRUE(rejected.rejected()) << rejected.status.ToString();
+    EXPECT_EQ(rejected.status.code(),
+              util::StatusCode::kResourceExhausted);
+    EXPECT_GT(rejected.meta.retry_after_ms, 0.0);
+    EXPECT_LE(rejected.meta.retry_after_ms, 250.0)
+        << "breaker hint must not exceed the open window";
+    util::FailPointRegistry::Instance().Clear();
+  }
+
+  // (d) Memory shed: same fixed pacing constant as queue full.
+  {
+    ServerConfig config;
+    config.shards = 1;
+    config.memory.budget_bytes = 1000;
+    config.overload_retry_ms = 44.0;
+    auto srv = MakeServer(config);
+    srv->memory_budget().SetUsageOverride(990);
+    query::ServerResponse shed = srv->Execute(RequestFor(0, true));
+    ASSERT_TRUE(shed.rejected()) << shed.status.ToString();
+    EXPECT_EQ(shed.status.code(), util::StatusCode::kResourceExhausted);
+    EXPECT_EQ(shed.meta.retry_after_ms, 44.0);
+  }
+}
+
 TEST_F(ServerTest, InvalidRequestsFailFastWithoutTouchingShards) {
   ServerConfig config;
   config.shards = 1;

@@ -69,22 +69,47 @@ SCALING_QUAD = "warm_batch_4t_qps"
 # involved: structural invariants of a healthy serving path that hold
 # on any host, however noisy. The server bench's warm pass must be all
 # cache hits and the cache-hit path must beat the compute path by a
-# wide margin — if either collapses the cache is broken, not slow.
+# wide margin — if either collapses the cache is broken, not slow. The
+# net bench's socket warm pass must also be all hits, and must still
+# beat its cold pass (loopback RTT is microseconds, far below the
+# compute cost, so a compressed-but-positive gap is structural; 2x is
+# a deliberately modest floor against the ~60x measured).
 # Keyed by (bench name, record name) -> minimum value.
 ABSOLUTE_MIN = {
     ("server_throughput", "warm_cache_hit_ratio"): 0.99,
     ("server_throughput", "warm_over_cold"): 5.0,
+    ("net_throughput", "net_warm_cache_hit_ratio"): 0.99,
+    ("net_throughput", "net_warm_over_cold"): 2.0,
 }
 
 # Absolute ceilings, same shape: resilience invariants that must not
 # creep up. A warm all-cache-hit pass has no shard queue to expire in
-# (any expiry there means deadline stamping broke), and the loaded
+# (any expiry there means deadline stamping broke), the loaded
 # pass's 250ms deadline is generous enough that more than 20% misses
-# signals a stuck queue, not a noisy host.
+# signals a stuck queue, not a noisy host, and the net bench's loopback
+# crew must not drop a single call (a lossy local socket path is
+# broken, not slow).
 ABSOLUTE_MAX = {
     ("server_throughput", "warm_expired_in_queue"): 0.0,
     ("server_throughput", "loaded_deadline_miss_ratio"): 0.2,
+    ("net_throughput", "net_error_ratio"): 0.0,
 }
+
+
+def fail_line(name, measured, relation, threshold, unit, context=""):
+    """One canonical single-line failure message.
+
+    Every gate in this script reports through here so a CI log grep for
+    [FAIL] always yields the metric name, the measured value, and the
+    threshold it broke on one line:
+
+        <metric>: measured <value><unit>, threshold <op> <value><unit> (<why>)
+    """
+    line = (f"{name}: measured {measured:.3f}{unit}, "
+            f"threshold {relation} {threshold:.3f}{unit}")
+    if context:
+        line += f" ({context})"
+    return line.replace("\n", " ")
 
 
 def load_doc(path):
@@ -119,10 +144,10 @@ def check_scaling(doc):
         return [], 0, 1
     speedup = quad / single
     if speedup < SCALING_MIN:
-        return ([f"warm 4-thread scaling {speedup:.2f}x < "
-                 f"required {SCALING_MIN:.1f}x "
-                 f"({SCALING_QUAD} {quad:.0f} vs {SCALING_SINGLE} "
-                 f"{single:.0f})"], 1, 0)
+        return ([fail_line(
+            "warm_4t_over_1t_scaling", speedup, ">=", SCALING_MIN, "x",
+            context=f"{SCALING_QUAD} {quad:.0f} qps vs "
+                    f"{SCALING_SINGLE} {single:.0f} qps")], 1, 0)
     return [], 1, 0
 
 
@@ -143,18 +168,16 @@ def check_absolute(doc):
         value, unit = values[name]
         checked += 1
         if value < floor:
-            failures.append(
-                f"{name}: {value:.3f}{unit} < absolute floor "
-                f"{floor:.3f}{unit}")
+            failures.append(fail_line(name, value, ">=", floor, unit,
+                                      context="absolute floor"))
     for (gated_bench, name), ceiling in sorted(ABSOLUTE_MAX.items()):
         if gated_bench != bench or name not in values:
             continue
         value, unit = values[name]
         checked += 1
         if value > ceiling:
-            failures.append(
-                f"{name}: {value:.3f}{unit} > absolute ceiling "
-                f"{ceiling:.3f}{unit}")
+            failures.append(fail_line(name, value, "<=", ceiling, unit,
+                                      context="absolute ceiling"))
     return failures, checked
 
 
@@ -183,9 +206,10 @@ def check_file(result_path, baseline_path):
             limit = RATIO * base_value + TIME_SLACK[unit]
             checked += 1
             if new_value > limit:
-                failures.append(
-                    f"{name}: {new_value:.3f}{unit} > limit {limit:.3f}{unit}"
-                    f" (baseline {base_value:.3f}{unit})")
+                failures.append(fail_line(
+                    name, new_value, "<=", limit, unit,
+                    context=f"baseline {base_value:.3f}{unit}, "
+                            f"gate {RATIO}x + slack"))
         elif unit in RATE_FLOOR:
             if base_value < RATE_FLOOR[unit]:
                 skipped += 1
@@ -193,9 +217,10 @@ def check_file(result_path, baseline_path):
             limit = base_value / RATIO
             checked += 1
             if new_value < limit:
-                failures.append(
-                    f"{name}: {new_value:.3f}{unit} < limit {limit:.3f}{unit}"
-                    f" (baseline {base_value:.3f}{unit})")
+                failures.append(fail_line(
+                    name, new_value, ">=", limit, unit,
+                    context=f"baseline {base_value:.3f}{unit}, "
+                            f"gate /{RATIO}"))
         else:
             skipped += 1  # informational unit (count, pct, ...)
     for name in sorted(set(new) - set(base)):

@@ -44,7 +44,8 @@ class CheckScalingTest(unittest.TestCase):
                  qps("warm_batch_4t_qps", 1100.0)], scaling_valid=True))
         self.assertEqual(len(failures), 1)
         self.assertEqual(checked, 1)
-        self.assertIn("1.10x", failures[0])
+        self.assertIn("measured 1.100x", failures[0])
+        self.assertIn("threshold >= 2.000x", failures[0])
 
     def test_exactly_at_threshold_passes(self):
         failures, _, _ = bench_check.check_scaling(
@@ -174,6 +175,81 @@ class CheckAbsoluteMaxTest(unittest.TestCase):
         self.assertEqual(checked, 0)
 
 
+class FailLineFormatTest(unittest.TestCase):
+    """Every gate failure is one greppable line carrying the metric
+    name, the measured value, and the threshold (with its direction)."""
+
+    FAILING_DOCS = [
+        # (doc, check) pairs that must each yield exactly one failure.
+        (doc([{"name": "warm_cache_hit_ratio", "value": 0.5,
+               "unit": "ratio"}], bench="server_throughput"),
+         bench_check.check_absolute),
+        (doc([{"name": "net_error_ratio", "value": 0.25,
+               "unit": "ratio"}], bench="net_throughput"),
+         bench_check.check_absolute),
+    ]
+
+    def test_fail_line_carries_name_value_and_threshold(self):
+        line = bench_check.fail_line("net_warm_over_cold", 1.234, ">=",
+                                     2.0, "x", context="absolute floor")
+        self.assertEqual(
+            line,
+            "net_warm_over_cold: measured 1.234x, threshold >= 2.000x "
+            "(absolute floor)")
+
+    def test_fail_line_is_single_line_even_with_hostile_context(self):
+        line = bench_check.fail_line("m", 1.0, "<=", 2.0, "us",
+                                     context="a\nb")
+        self.assertNotIn("\n", line)
+
+    def test_every_gate_failure_matches_the_one_line_format(self):
+        for failing_doc, check in self.FAILING_DOCS:
+            failures, _ = check(failing_doc)
+            self.assertEqual(len(failures), 1)
+            line = failures[0]
+            name = failing_doc["results"][0]["name"]
+            self.assertNotIn("\n", line)
+            self.assertIn(f"{name}: ", line)
+            self.assertIn("measured ", line)
+            self.assertRegex(line, r"threshold (<=|>=) ")
+
+
+class NetGateTest(unittest.TestCase):
+    """The net_throughput absolute gates (satellite of DESIGN.md §6i)."""
+
+    def rec(self, name, value, unit):
+        return {"name": name, "value": value, "unit": unit}
+
+    def net_doc(self, warm_over_cold, error_ratio, hit_ratio=1.0):
+        return doc([self.rec("net_warm_over_cold", warm_over_cold, "x"),
+                    self.rec("net_error_ratio", error_ratio, "ratio"),
+                    self.rec("net_warm_cache_hit_ratio", hit_ratio,
+                             "ratio")],
+                   bench="net_throughput")
+
+    def test_healthy_net_doc_passes(self):
+        failures, checked = bench_check.check_absolute(
+            self.net_doc(60.0, 0.0))
+        self.assertEqual(failures, [])
+        self.assertEqual(checked, 3)
+
+    def test_compressed_warm_over_cold_fails(self):
+        failures, _ = bench_check.check_absolute(self.net_doc(1.2, 0.0))
+        self.assertEqual(len(failures), 1)
+        self.assertIn("net_warm_over_cold", failures[0])
+
+    def test_any_dropped_call_fails(self):
+        failures, _ = bench_check.check_absolute(self.net_doc(60.0, 0.001))
+        self.assertEqual(len(failures), 1)
+        self.assertIn("net_error_ratio", failures[0])
+
+    def test_cold_socket_cache_path_fails(self):
+        failures, _ = bench_check.check_absolute(
+            self.net_doc(60.0, 0.0, hit_ratio=0.3))
+        self.assertEqual(len(failures), 1)
+        self.assertIn("net_warm_cache_hit_ratio", failures[0])
+
+
 class CheckFileTest(unittest.TestCase):
     """End-to-end over real files: baseline ratio gates + scaling gate."""
 
@@ -194,7 +270,7 @@ class CheckFileTest(unittest.TestCase):
         base = self.write("BENCH_base.json", doc(results))
         failures, checked, _ = bench_check.check_file(new, base)
         self.assertEqual(len(failures), 1)
-        self.assertIn("warm 4-thread scaling", failures[0])
+        self.assertIn("warm_4t_over_1t_scaling", failures[0])
         # Two qps ratio comparisons + one scaling gate.
         self.assertEqual(checked, 3)
 

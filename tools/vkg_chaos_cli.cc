@@ -6,6 +6,11 @@
 // Exit code 0 = campaign passed.
 //
 //   vkg_chaos_cli --dataset movie [--scale 0.05]
+//   vkg_chaos_cli --net ...            socket-level campaign: the same
+//                                      storm over real loopback TCP
+//                                      connections, plus hostile-client
+//                                      and drain-under-load phases
+//                                      (net/chaos.h, DESIGN.md §6i)
 //
 // Campaign shape:
 //   --seed S          campaign seed (default 42; same seed = same storm)
@@ -33,9 +38,11 @@
 #include "data/freebase_gen.h"
 #include "data/movielens_gen.h"
 #include "data/workload.h"
+#include "net/chaos.h"
 #include "query/request.h"
 #include "server/chaos.h"
 #include "server/server.h"
+#include "util/socket.h"
 #include "util/status.h"
 #include "util/timer.h"
 
@@ -173,6 +180,33 @@ int Run(const Flags& flags) {
     slots.push_back(std::move(request));
   }
 
+  if (flags.GetBool("net")) {
+    net::NetChaosConfig chaos;
+    chaos.seed = flags.GetSize("seed", 42);
+    chaos.requests = flags.GetSize("requests", 2000);
+    chaos.clients = std::max<size_t>(1, flags.GetSize("clients", 4));
+    chaos.rounds = std::max<size_t>(1, flags.GetSize("rounds", 4));
+    chaos.deadline_ms = flags.GetDouble("deadline-ms", 50.0);
+    chaos.hostile_connections = flags.GetSize("hostile", 16);
+    chaos.net.read_deadline_ms =
+        flags.GetDouble("read-deadline-ms", 1000.0);
+    std::printf(
+        "net chaos campaign: seed=%llu requests=%zu clients=%zu "
+        "rounds=%zu hostile=%zu slots=%zu sites=%zu\n",
+        static_cast<unsigned long long>(chaos.seed), chaos.requests,
+        chaos.clients, chaos.rounds, chaos.hostile_connections,
+        slots.size(),
+        net::AllNetChaosSites().size() + server::AllChaosSites().size());
+    util::WallTimer timer;
+    net::NetChaosReport report =
+        net::RunNetChaosCampaign(**srv, slots, chaos);
+    const double seconds = timer.ElapsedMillis() / 1e3;
+    std::printf("%s\n", report.ToString().c_str());
+    std::printf("net campaign %s in %.2f s\n",
+                report.Passed(chaos) ? "PASSED" : "FAILED", seconds);
+    return report.Passed(chaos) ? 0 : 1;
+  }
+
   server::ChaosConfig chaos;
   chaos.seed = flags.GetSize("seed", 42);
   chaos.requests = flags.GetSize("requests", 10000);
@@ -199,6 +233,9 @@ int Run(const Flags& flags) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The --net campaign writes to sockets hostile clients abandon; a
+  // dead peer must be an EPIPE Status, not a process kill.
+  util::IgnoreSigPipe();
   Flags flags(argc, argv, 1);
   if (flags.GetBool("help")) {
     std::fprintf(stderr,

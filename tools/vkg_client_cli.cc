@@ -1,0 +1,248 @@
+// vkg_client_cli: talk to a `vkg_server_cli --listen` instance over the
+// framed wire protocol (DESIGN.md §6i) — the shell-level counterpart of
+// net/client.h.
+//
+//   vkg_client_cli --port 7781 --ping
+//   vkg_client_cli --port 7781 --anchor 17 --relation 0 --k 10
+//   vkg_client_cli --port 7781 --anchor 17 --aggregate --prob-threshold 0.05
+//   vkg_client_cli --port 7781 --anchor-max 500 --requests 1000 --clients 4
+//
+// Modes:
+//   --ping               one kPing/kPong round trip, print RTT
+//   --anchor A           single query against anchor A (default top-k)
+//   --requests N         load mode: N random-anchor requests across
+//                        --clients threads (needs --anchor-max)
+//
+// Query shape:
+//   --relation R         relation id (default 0)
+//   --head               query direction kHead (default kTail)
+//   --k K                top-k size (default 10)
+//   --aggregate          COUNT aggregate instead of top-k
+//   --prob-threshold P   aggregate threshold (default 0.05)
+//   --deadline-ms MS     per-request server-side deadline (default 0)
+//
+// Connection:
+//   --host H / --port P  server address (default 127.0.0.1:7781)
+//   --timeout-ms MS      per-call client wall budget (default 10000)
+//
+// Exit code 0 iff every request got an OK response.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "query/request.h"
+#include "util/random.h"
+#include "util/socket.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace vkg;
+
+// Minimal --flag=value / --flag value parser (same shape as vkg_cli).
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      arg = arg.substr(2);
+      size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";
+      }
+    }
+  }
+
+  std::string Get(const std::string& name,
+                  const std::string& default_value = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? default_value : it->second;
+  }
+  double GetDouble(const std::string& name, double default_value) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? default_value : std::atof(it->second.c_str());
+  }
+  size_t GetSize(const std::string& name, size_t default_value) const {
+    auto it = values_.find(name);
+    return it == values_.end()
+               ? default_value
+               : static_cast<size_t>(std::atoll(it->second.c_str()));
+  }
+  bool GetBool(const std::string& name) const {
+    return values_.count(name) > 0;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+net::NetClientConfig ClientConfig(const Flags& flags) {
+  net::NetClientConfig config;
+  config.host = flags.Get("host", "127.0.0.1");
+  config.port = static_cast<uint16_t>(flags.GetSize("port", 7781));
+  config.call_timeout_ms = flags.GetDouble("timeout-ms", 10000.0);
+  return config;
+}
+
+query::ServerRequest MakeRequest(const Flags& flags, uint32_t anchor) {
+  query::ServerRequest request;
+  request.client_id = "vkg_client_cli";
+  const auto relation =
+      static_cast<uint32_t>(flags.GetSize("relation", 0));
+  const kg::Direction direction =
+      flags.GetBool("head") ? kg::Direction::kHead : kg::Direction::kTail;
+  if (flags.GetBool("aggregate")) {
+    request.kind = query::RequestKind::kAggregate;
+    request.aggregate.query.anchor = anchor;
+    request.aggregate.query.relation = relation;
+    request.aggregate.query.direction = direction;
+    request.aggregate.kind = query::AggKind::kCount;
+    request.aggregate.prob_threshold =
+        flags.GetDouble("prob-threshold", 0.05);
+  } else {
+    request.query.anchor = anchor;
+    request.query.relation = relation;
+    request.query.direction = direction;
+    request.k = flags.GetSize("k", 10);
+  }
+  request.deadline_ms = flags.GetDouble("deadline-ms", 0.0);
+  return request;
+}
+
+int RunPing(const Flags& flags) {
+  auto client = net::NetClient::Connect(ClientConfig(flags));
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  util::WallTimer timer;
+  util::Status status = (*client)->Ping();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("pong in %.1f us\n", timer.ElapsedMicros());
+  (*client)->Goodbye();
+  return 0;
+}
+
+int RunSingle(const Flags& flags) {
+  auto client = net::NetClient::Connect(ClientConfig(flags));
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  const auto anchor = static_cast<uint32_t>(flags.GetSize("anchor", 0));
+  util::WallTimer timer;
+  auto response = (*client)->Call(MakeRequest(flags, anchor));
+  const double us = timer.ElapsedMicros();
+  if (!response.ok()) {
+    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  const query::ServerResponse& r = response.value();
+  if (!r.ok()) {
+    std::fprintf(stderr, "server: %s (retry_after=%.0fms)\n",
+                 r.status.ToString().c_str(), r.meta.retry_after_ms);
+    return 1;
+  }
+  if (flags.GetBool("aggregate")) {
+    std::printf("aggregate=%.6f exact=%d (%.1f us, shard %zu%s)\n",
+                r.aggregate.value, r.aggregate.quality.exact ? 1 : 0, us,
+                r.meta.shard, r.meta.cache_hit ? ", cache" : "");
+  } else {
+    std::printf("%zu hits (%.1f us, shard %zu%s)\n", r.topk.hits.size(),
+                us, r.meta.shard, r.meta.cache_hit ? ", cache" : "");
+    for (size_t h = 0; h < r.topk.hits.size(); ++h) {
+      std::printf("  %2zu. entity=%u distance=%.6f p=%.4f\n", h + 1,
+                  r.topk.hits[h].entity, r.topk.hits[h].distance,
+                  r.topk.hits[h].probability);
+    }
+  }
+  (*client)->Goodbye();
+  return 0;
+}
+
+int RunLoad(const Flags& flags) {
+  const size_t requests = flags.GetSize("requests", 0);
+  const size_t clients = std::max<size_t>(1, flags.GetSize("clients", 4));
+  const size_t anchor_max = flags.GetSize("anchor-max", 0);
+  if (anchor_max == 0) {
+    std::fprintf(stderr, "load mode needs --anchor-max\n");
+    return 2;
+  }
+  const size_t per_client = (requests + clients - 1) / clients;
+  std::atomic<size_t> ok{0}, rejected{0}, failed{0}, transport{0};
+  util::WallTimer timer;
+  std::vector<std::thread> crew;
+  for (size_t c = 0; c < clients; ++c) {
+    crew.emplace_back([&, c] {
+      util::Rng rng(flags.GetSize("seed", 11) + c);
+      std::unique_ptr<net::NetClient> client;
+      for (size_t i = 0; i < per_client; ++i) {
+        if (client == nullptr || !client->connected()) {
+          auto conn = net::NetClient::Connect(ClientConfig(flags));
+          if (!conn.ok()) {
+            transport.fetch_add(1);
+            continue;
+          }
+          client = std::move(conn).value();
+        }
+        auto response = client->Call(MakeRequest(
+            flags, static_cast<uint32_t>(rng.UniformIndex(anchor_max))));
+        if (!response.ok()) {
+          transport.fetch_add(1);
+          continue;
+        }
+        if (response.value().ok()) {
+          ok.fetch_add(1);
+        } else if (response.value().rejected()) {
+          rejected.fetch_add(1);
+        } else {
+          failed.fetch_add(1);
+        }
+      }
+      if (client != nullptr) client->Goodbye();
+    });
+  }
+  for (auto& t : crew) t.join();
+  const double seconds = timer.ElapsedMillis() / 1e3;
+  const size_t total = ok + rejected + failed + transport;
+  std::printf(
+      "%zu calls in %.2f s (%.0f qps): ok=%zu rejected=%zu failed=%zu "
+      "transport=%zu\n",
+      total, seconds, total / std::max(seconds, 1e-9), ok.load(),
+      rejected.load(), failed.load(), transport.load());
+  return failed == 0 && transport == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::IgnoreSigPipe();
+  Flags flags(argc, argv, 1);
+  if (flags.GetBool("help")) {
+    std::fprintf(stderr,
+                 "usage: vkg_client_cli [--host H] [--port P] (--ping | "
+                 "--anchor A [...] | --requests N --anchor-max M)\n"
+                 "(see the header of tools/vkg_client_cli.cc)\n");
+    return 2;
+  }
+  if (flags.GetBool("ping")) return RunPing(flags);
+  if (flags.GetSize("requests", 0) > 0) return RunLoad(flags);
+  return RunSingle(flags);
+}

@@ -22,6 +22,19 @@
 //   --memory-budget-mb MB server memory budget for the degradation
 //                         ladder (default 0 = off)
 //
+// TCP front end (--listen, DESIGN.md §6i) — serves the framed wire
+// protocol instead of the in-process workload, until SIGTERM/SIGINT
+// triggers a graceful drain:
+//   --host H / --port P          bind address (default 127.0.0.1:7781)
+//   --max-connections N          global connection cap (default 256)
+//   --max-connections-per-ip N   per-IP cap (default 0 = off)
+//   --max-pipeline N             in-flight requests per conn (def 64)
+//   --io-threads N               request-execution workers (default 2)
+//   --idle-timeout-ms MS         close silent connections (def 60000)
+//   --read-deadline-ms MS        slowloris kick for partial frames
+//   --write-deadline-ms MS       unread-response kick
+//   --drain-timeout-ms MS        Stop() grace period (default 5000)
+//
 // Client retry (capped exponential backoff, DESIGN.md §6h):
 //   --retries N           max retries per rejected request (default 0 =
 //                         retries off)
@@ -50,6 +63,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -64,10 +78,12 @@
 #include "data/movielens_gen.h"
 #include "data/workload.h"
 #include "kg/io.h"
+#include "net/listener.h"
 #include "obs/metrics.h"
 #include "query/request.h"
 #include "server/server.h"
 #include "util/failpoint.h"
+#include "util/socket.h"
 #include "util/retry.h"
 #include "util/status.h"
 #include "util/timer.h"
@@ -347,6 +363,66 @@ void PrintReport(const server::VkgServer& srv, double seconds,
   }
 }
 
+// SIGTERM/SIGINT flip this; the --listen loop notices and drains.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+extern "C" void OnStopSignal(int) { g_stop_requested = 1; }
+
+// --listen: serve the framed wire protocol over TCP until SIGTERM or
+// SIGINT, then drain gracefully (stop accepting, finish in-flight
+// requests, flush, close). DESIGN.md §6i.
+int RunListen(const Flags& flags, server::VkgServer& srv) {
+  net::NetServerConfig config;
+  config.host = flags.Get("host", "127.0.0.1");
+  config.port = static_cast<uint16_t>(flags.GetSize("port", 7781));
+  config.max_connections = flags.GetSize("max-connections", 256);
+  config.max_connections_per_ip =
+      flags.GetSize("max-connections-per-ip", 0);
+  config.io_threads = flags.GetSize("io-threads", 2);
+  config.max_pipeline = flags.GetSize("max-pipeline", 64);
+  config.idle_timeout_ms = flags.GetDouble("idle-timeout-ms", 60000.0);
+  config.read_deadline_ms = flags.GetDouble("read-deadline-ms", 5000.0);
+  config.write_deadline_ms = flags.GetDouble("write-deadline-ms", 5000.0);
+  config.drain_timeout_ms = flags.GetDouble("drain-timeout-ms", 5000.0);
+
+  auto net = net::NetServer::Start(&srv, config);
+  if (!net.ok()) {
+    std::fprintf(stderr, "%s\n", net.status().ToString().c_str());
+    return 1;
+  }
+  std::signal(SIGTERM, OnStopSignal);
+  std::signal(SIGINT, OnStopSignal);
+  std::printf("listening on %s:%u (SIGTERM/SIGINT drains)\n",
+              config.host.c_str(), (*net)->port());
+  std::fflush(stdout);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    (*net)->PublishStats();
+  }
+  std::printf("draining...\n");
+  (*net)->Stop();
+  const net::NetStats stats = (*net)->Stats();
+  std::printf(
+      "net: accepted=%llu rejected=%llu frames_rx=%llu frames_tx=%llu "
+      "frame_errors=%llu requests=%llu responses=%llu idle_timeouts=%llu "
+      "read_timeouts=%llu write_timeouts=%llu io_errors=%llu "
+      "force_closed=%llu\n",
+      static_cast<unsigned long long>(stats.accepted),
+      static_cast<unsigned long long>(stats.rejected_cap +
+                                      stats.rejected_ip),
+      static_cast<unsigned long long>(stats.frames_rx),
+      static_cast<unsigned long long>(stats.frames_tx),
+      static_cast<unsigned long long>(stats.frame_errors),
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.responses),
+      static_cast<unsigned long long>(stats.idle_timeouts),
+      static_cast<unsigned long long>(stats.read_timeouts),
+      static_cast<unsigned long long>(stats.write_timeouts),
+      static_cast<unsigned long long>(stats.io_errors),
+      static_cast<unsigned long long>(stats.force_closed));
+  return 0;
+}
+
 int Run(const Flags& flags) {
   std::string failpoints = flags.Get("failpoints");
   if (!failpoints.empty()) {
@@ -369,6 +445,8 @@ int Run(const Flags& flags) {
     std::fprintf(stderr, "%s\n", srv.status().ToString().c_str());
     return 1;
   }
+
+  if (flags.GetBool("listen")) return RunListen(flags, **srv);
 
   data::WorkloadConfig wc;
   wc.num_queries = flags.GetSize("queries", 256);
@@ -442,6 +520,9 @@ int Run(const Flags& flags) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A TCP client closing its end mid-write must surface as an EPIPE
+  // Status, never a process kill.
+  util::IgnoreSigPipe();
   Flags flags(argc, argv, 1);
   if (flags.GetBool("help")) return Usage();
   return Run(flags);
