@@ -280,7 +280,8 @@ void PrintAggregateSweep(const std::string& title,
 void WriteBenchJson(
     const std::string& path, const std::string& bench,
     const std::vector<std::pair<std::string, double>>& context,
-    const std::vector<BenchRecord>& records, size_t max_threads) {
+    const std::vector<BenchRecord>& records, size_t max_threads,
+    const std::vector<std::pair<std::string, std::string>>& string_context) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
@@ -305,6 +306,12 @@ void WriteBenchJson(
   for (size_t i = 0; i < context.size(); ++i) {
     std::fprintf(f, "%s\n    \"%s\": %.17g", i == 0 ? "" : ",",
                  context[i].first.c_str(), context[i].second);
+  }
+  for (size_t i = 0; i < string_context.size(); ++i) {
+    std::fprintf(f, "%s\n    \"%s\": \"%s\"",
+                 (i == 0 && context.empty()) ? "" : ",",
+                 string_context[i].first.c_str(),
+                 string_context[i].second.c_str());
   }
   std::fprintf(f, "\n  },\n  \"results\": [");
   for (size_t i = 0; i < records.size(); ++i) {

@@ -118,10 +118,16 @@ struct BenchRecord {
 /// scaling evidence, and tools/bench_check.py skips its scaling gate
 /// when the flag is false. Single-threaded benches pass the default
 /// `max_threads = 1`.
+///
+/// `string_context` entries land in the same "context" object as quoted
+/// strings (e.g. which kernel variant the process dispatched to); both
+/// keys and values must be escape-free literals.
 void WriteBenchJson(
     const std::string& path, const std::string& bench,
     const std::vector<std::pair<std::string, double>>& context,
-    const std::vector<BenchRecord>& records, size_t max_threads = 1);
+    const std::vector<BenchRecord>& records, size_t max_threads = 1,
+    const std::vector<std::pair<std::string, std::string>>& string_context =
+        {});
 
 /// One point of the aggregate time/accuracy tradeoff (Figures 12-16).
 struct AggregateSweepRow {

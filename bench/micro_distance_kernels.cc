@@ -1,17 +1,25 @@
 // Microbenchmark of the batched execution layer:
 //   (1) scalar one-pair L2 kernel vs. the blocked/gather kernels of
-//       embedding/batch_kernels.h, over 100k entities x 100 dims;
-//   (2) single-thread sequential TopKQuery vs. BatchTopK over 1/2/4/8
-//       worker threads on the LinearScan engine.
+//       embedding/batch_kernels.h, over 100k entities x 100 dims —
+//       every runnable kernel variant (portable/avx2/avx512/neon) is
+//       enumerated over both layouts (row-major and the padded SoA
+//       mirror), and the process-wide dispatch pick is recorded in the
+//       JSON context;
+//   (2) single-thread sequential TopKQuery vs. BatchTopK over a
+//       1/2/4/8 worker-thread ladder (capped at the core count so
+//       scaling_valid stays true) on the LinearScan engine.
 // Emits human-readable tables plus BENCH_kernels.json (see
-// WriteBenchJson) so future PRs have a perf trajectory to diff against.
+// WriteBenchJson) so future PRs have a perf trajectory to diff against;
+// tools/bench_check.py gates the soa_over_portable record.
 //
 // Env knobs: VKG_BENCH_SCALE scales the entity count; VKG_BENCH_REPS
-// overrides the kernel repetition count.
+// overrides the kernel repetition count; VKG_KERNEL forces the
+// dispatched variant.
 
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <numeric>
 #include <thread>
 
@@ -22,6 +30,7 @@
 #include "kg/graph.h"
 #include "query/batch_executor.h"
 #include "query/topk_engine.h"
+#include "util/cpu.h"
 #include "util/random.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -71,8 +80,16 @@ int Run() {
       {"scale_factor", ScaleFactor()},
   };
 
-  // ---- (1) kernel throughput: scalar vs. blocked vs. gather ------------
+  // ---- (1) kernel throughput: every runnable variant x both layouts ----
+  // The store starts without a padded mirror (RandomInitialize drops
+  // it), so the first sweep measures the row-major path; the mirror is
+  // built afterwards for the aligned SoA sweep.
+  const std::vector<embedding::KernelVariant> variants =
+      embedding::RunnableKernelVariants();
+  const std::string dispatched(embedding::DispatchedKernelName());
+
   std::vector<double> out_scalar(n), out_blocked(n), out_gather(n);
+  std::vector<double> out_variant(n);
   volatile double sink = 0.0;  // defeat dead-code elimination
 
   double scalar_ms = BestMillis(reps, [&] {
@@ -86,6 +103,46 @@ int Run() {
     embedding::BatchL2DistanceSquared(q, store, 0, n, out_blocked.data());
     sink = sink + out_blocked[n - 1];
   });
+
+  double rowmajor_portable_ms = 0.0;
+  std::vector<std::pair<std::string, double>> rowmajor_ms, soa_ms;
+  for (embedding::KernelVariant v : variants) {
+    const std::string name(embedding::KernelVariantName(v));
+    double ms = BestMillis(reps, [&] {
+      embedding::BatchL2DistanceSquaredVariant(v, q, store, 0, n,
+                                               out_variant.data());
+      sink = sink + out_variant[n - 1];
+    });
+    rowmajor_ms.emplace_back(name, ms);
+    if (v == embedding::KernelVariant::kPortable) rowmajor_portable_ms = ms;
+    // Cross-variant bit-identity is the kernel contract; a bench over
+    // disagreeing kernels would be comparing different functions.
+    if (std::memcmp(out_variant.data(), out_blocked.data(),
+                    n * sizeof(double)) != 0) {
+      std::fprintf(stderr, "FATAL: variant %s disagrees with dispatch\n",
+                   name.c_str());
+      return 1;
+    }
+  }
+
+  store.BuildPaddedMirror();
+  double soa_dispatched_ms = 0.0;
+  for (embedding::KernelVariant v : variants) {
+    const std::string name(embedding::KernelVariantName(v));
+    double ms = BestMillis(reps, [&] {
+      embedding::BatchL2DistanceSquaredVariant(v, q, store, 0, n,
+                                               out_variant.data());
+      sink = sink + out_variant[n - 1];
+    });
+    soa_ms.emplace_back(name, ms);
+    if (name == dispatched) soa_dispatched_ms = ms;
+    if (std::memcmp(out_variant.data(), out_blocked.data(),
+                    n * sizeof(double)) != 0) {
+      std::fprintf(stderr, "FATAL: SoA path of %s disagrees with row-major\n",
+                   name.c_str());
+      return 1;
+    }
+  }
 
   std::vector<uint32_t> ids(n);
   std::iota(ids.begin(), ids.end(), 0u);
@@ -118,9 +175,13 @@ int Run() {
 
   const double pair_evals = static_cast<double>(n);
   const double speedup = scalar_ms / blocked_ms;
+  // The tentpole ratio this PR gates in CI: the aligned tail-free SoA
+  // path under the dispatched SIMD variant vs. the portable kernel over
+  // row-major rows.
+  const double soa_over_portable = rowmajor_portable_ms / soa_dispatched_ms;
   PrintTitle("distance kernels (" + std::to_string(n) + " x " +
              std::to_string(kDim) + ", best of " + std::to_string(reps) +
-             ")");
+             ", dispatch=" + dispatched + ")");
   std::vector<int> w{22, 12, 16};
   PrintRow({"kernel", "ms", "Mpairs/s"}, w);
   auto rate = [&](double ms) { return pair_evals / ms / 1e3; };
@@ -128,14 +189,31 @@ int Run() {
             util::StrFormat("%.1f", rate(scalar_ms))}, w);
   PrintRow({"blocked", util::StrFormat("%.3f", blocked_ms),
             util::StrFormat("%.1f", rate(blocked_ms))}, w);
+  for (const auto& [name, ms] : rowmajor_ms) {
+    PrintRow({"rowmajor:" + name, util::StrFormat("%.3f", ms),
+              util::StrFormat("%.1f", rate(ms))}, w);
+  }
+  for (const auto& [name, ms] : soa_ms) {
+    PrintRow({"soa:" + name, util::StrFormat("%.3f", ms),
+              util::StrFormat("%.1f", rate(ms))}, w);
+  }
   PrintRow({"gather(shuffled)", util::StrFormat("%.3f", gather_ms),
             util::StrFormat("%.1f", rate(gather_ms))}, w);
   std::printf("blocked vs scalar speedup: %.2fx\n", speedup);
+  std::printf("soa(%s) vs rowmajor(portable): %.2fx\n", dispatched.c_str(),
+              soa_over_portable);
 
   records.push_back({"scalar_kernel_ms", scalar_ms, "ms"});
   records.push_back({"blocked_kernel_ms", blocked_ms, "ms"});
   records.push_back({"gather_kernel_ms", gather_ms, "ms"});
   records.push_back({"blocked_vs_scalar_speedup", speedup, "x"});
+  for (const auto& [name, ms] : rowmajor_ms) {
+    records.push_back({"rowmajor_" + name + "_ms", ms, "ms"});
+  }
+  for (const auto& [name, ms] : soa_ms) {
+    records.push_back({"soa_" + name + "_ms", ms, "ms"});
+  }
+  records.push_back({"soa_over_portable", soa_over_portable, "x"});
 
   // ---- (2) BatchTopK scaling on the LinearScan engine ------------------
   // A graph with entities but no edges: the skip predicate only rejects
@@ -160,8 +238,15 @@ int Run() {
              std::to_string(num_queries) + " queries, k=10)");
   std::vector<int> w2{12, 12, 12};
   PrintRow({"threads", "ms", "qps"}, w2);
+  // Cap the ladder at the core count: an oversubscribed rung measures
+  // scheduler churn, not scaling, and would force scaling_valid false
+  // for the whole document.
+  const size_t cores =
+      std::max(1u, std::thread::hardware_concurrency());
   double single_ms = 0.0;
+  size_t max_threads = 1;
   for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    if (threads > cores) break;
     util::ThreadPool pool(threads);
     // Warm-up run, then best-of-3.
     (void)query::BatchTopK(engine, queries, /*k=*/10, &pool);
@@ -170,6 +255,7 @@ int Run() {
       sink = sink + results.back()->hits.front().distance;
     });
     if (threads == 1) single_ms = ms;
+    max_threads = threads;
     double qps = static_cast<double>(num_queries) / (ms / 1e3);
     PrintRow({std::to_string(threads), util::StrFormat("%.2f", ms),
               util::StrFormat("%.0f", qps)}, w2);
@@ -185,7 +271,9 @@ int Run() {
   }
 
   WriteBenchJson("BENCH_kernels.json", "micro_distance_kernels", context,
-                 records, /*max_threads=*/8);
+                 records, max_threads,
+                 {{"kernel_dispatch", dispatched},
+                  {"cpu_features", util::CpuFeatureString()}});
   return 0;
 }
 

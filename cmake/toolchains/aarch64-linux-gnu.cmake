@@ -1,0 +1,35 @@
+# Cross-compilation toolchain for the arm64 CI job: build with the
+# distro aarch64-linux-gnu-g++ cross toolchain and run test/bench
+# binaries under qemu-aarch64 user-mode emulation (ctest invokes them
+# through CMAKE_CROSSCOMPILING_EMULATOR automatically).
+#
+#   cmake -B build-arm64 -S . \
+#     -DCMAKE_TOOLCHAIN_FILE=cmake/toolchains/aarch64-linux-gnu.cmake \
+#     -DVKG_AARCH64_PREFIX=$HOME/aarch64-prefix   # cross-built gtest etc.
+#
+# qemu-user passes the host environment through, so VKG_KERNEL=neon /
+# VKG_FAILPOINTS/... work exactly as on native runs.
+
+set(CMAKE_SYSTEM_NAME Linux)
+set(CMAKE_SYSTEM_PROCESSOR aarch64)
+
+set(CMAKE_C_COMPILER aarch64-linux-gnu-gcc)
+set(CMAKE_CXX_COMPILER aarch64-linux-gnu-g++)
+
+# -L points qemu at the target sysroot for the dynamic loader and
+# shared libraries.
+set(CMAKE_CROSSCOMPILING_EMULATOR "qemu-aarch64;-L;/usr/aarch64-linux-gnu")
+
+# Where cross-built dependencies (gtest) were installed, if anywhere.
+if(DEFINED VKG_AARCH64_PREFIX)
+  list(APPEND CMAKE_PREFIX_PATH "${VKG_AARCH64_PREFIX}")
+endif()
+
+# Search headers/libraries only in target trees; programs on the host.
+set(CMAKE_FIND_ROOT_PATH_MODE_PROGRAM NEVER)
+set(CMAKE_FIND_ROOT_PATH_MODE_LIBRARY ONLY)
+set(CMAKE_FIND_ROOT_PATH_MODE_INCLUDE ONLY)
+set(CMAKE_FIND_ROOT_PATH /usr/aarch64-linux-gnu)
+if(DEFINED VKG_AARCH64_PREFIX)
+  list(APPEND CMAKE_FIND_ROOT_PATH "${VKG_AARCH64_PREFIX}")
+endif()

@@ -1,16 +1,19 @@
 #include "embedding/batch_kernels.h"
 
-#include "embedding/vector_ops.h"
-#include "util/check.h"
+#include <cstdlib>
+#include <cstring>
 
-#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
-#define VKG_KERNEL_DISPATCH 1
-#include <immintrin.h>
-#endif
+#include "embedding/kernels_internal.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/cpu.h"
 
 namespace vkg::embedding {
 
 namespace {
+
+using internal::kKernelLanes;
+using internal::RowKernel;
 
 #if defined(__GNUC__) || defined(__clang__)
 inline void PrefetchRow(const float* p) { __builtin_prefetch(p, 0, 1); }
@@ -18,153 +21,245 @@ inline void PrefetchRow(const float* p) { __builtin_prefetch(p, 0, 1); }
 inline void PrefetchRow(const float*) {}
 #endif
 
-// One row's squared L2 distance. All variants accumulate in double with
-// a fixed lane layout over the dimension index, so a row's result
-// depends only on (row, q, dim) — never on its position in a batch —
-// and the blocked, gather and remainder paths agree exactly. The
-// portable variant splits the loop-carried double add into four
-// independent chains; the AVX variants widen those chains to 8 SIMD
-// lanes. Which variant runs is resolved once per process, so results
-// are deterministic within a run.
+// The per-path row counters, cached once (handles are stable for the
+// life of the process). Incremented per batch, not per row.
+struct KernelMetrics {
+  obs::Counter& rows_soa;
+  obs::Counter& rows_rowmajor;
+  obs::Counter& rows_gather;
 
-double RowL2Portable(const float* r, const float* q, size_t dim) {
-  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-  size_t j = 0;
-  for (; j + 4 <= dim; j += 4) {
-    const double d0 = static_cast<double>(r[j]) - q[j];
-    const double d1 = static_cast<double>(r[j + 1]) - q[j + 1];
-    const double d2 = static_cast<double>(r[j + 2]) - q[j + 2];
-    const double d3 = static_cast<double>(r[j + 3]) - q[j + 3];
-    a0 += d0 * d0;
-    a1 += d1 * d1;
-    a2 += d2 * d2;
-    a3 += d3 * d3;
+  static KernelMetrics& Get() {
+    static KernelMetrics* metrics = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      return new KernelMetrics{
+          reg.GetCounter("vkg_kernel_rows_soa_total"),
+          reg.GetCounter("vkg_kernel_rows_rowmajor_total"),
+          reg.GetCounter("vkg_kernel_rows_gather_total")};
+    }();
+    return *metrics;
   }
-  double tail = 0.0;
-  for (; j < dim; ++j) {
-    const double d = static_cast<double>(r[j]) - q[j];
-    tail += d * d;
-  }
-  return (a0 + a1) + (a2 + a3) + tail;
-}
+};
 
-#ifdef VKG_KERNEL_DISPATCH
-
-__attribute__((target("avx2,fma")))
-double RowL2Avx2(const float* r, const float* q, size_t dim) {
-  __m256d a0 = _mm256_setzero_pd();
-  __m256d a1 = _mm256_setzero_pd();
-  size_t j = 0;
-  for (; j + 8 <= dim; j += 8) {
-    const __m256d r0 = _mm256_cvtps_pd(_mm_loadu_ps(r + j));
-    const __m256d q0 = _mm256_cvtps_pd(_mm_loadu_ps(q + j));
-    const __m256d r1 = _mm256_cvtps_pd(_mm_loadu_ps(r + j + 4));
-    const __m256d q1 = _mm256_cvtps_pd(_mm_loadu_ps(q + j + 4));
-    const __m256d d0 = _mm256_sub_pd(r0, q0);
-    const __m256d d1 = _mm256_sub_pd(r1, q1);
-    a0 = _mm256_fmadd_pd(d0, d0, a0);
-    a1 = _mm256_fmadd_pd(d1, d1, a1);
-  }
-  double lanes[4];
-  _mm256_storeu_pd(lanes, _mm256_add_pd(a0, a1));
-  double acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
-  for (; j < dim; ++j) {
-    const double d = static_cast<double>(r[j]) - q[j];
-    acc += d * d;
-  }
-  return acc;
-}
-
-// GCC's own avx512fintrin.h uses an `__m256d __Y = __Y;` self-init
-// idiom that -Wuninitialized/-Wmaybe-uninitialized flag when inlined
-// here (GCC bug 105593); suppress just for this function.
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wuninitialized"
-#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+/// The compiled-in kernel for a variant, or null when this build does
+/// not carry it (e.g. kNeon on x86, kSve everywhere for now).
+RowKernel VariantKernel(KernelVariant v) {
+  switch (v) {
+    case KernelVariant::kPortable:
+      return internal::RowL2Portable;
+#ifdef VKG_KERNELS_X86
+    case KernelVariant::kAvx2:
+      return internal::RowL2Avx2;
+    case KernelVariant::kAvx512:
+      return internal::RowL2Avx512;
 #endif
-__attribute__((target("avx512f")))
-double RowL2Avx512(const float* r, const float* q, size_t dim) {
-  __m512d a0 = _mm512_setzero_pd();
-  __m512d a1 = _mm512_setzero_pd();
-  size_t j = 0;
-  for (; j + 16 <= dim; j += 16) {
-    const __m512d r0 = _mm512_cvtps_pd(_mm256_loadu_ps(r + j));
-    const __m512d q0 = _mm512_cvtps_pd(_mm256_loadu_ps(q + j));
-    const __m512d r1 = _mm512_cvtps_pd(_mm256_loadu_ps(r + j + 8));
-    const __m512d q1 = _mm512_cvtps_pd(_mm256_loadu_ps(q + j + 8));
-    const __m512d d0 = _mm512_sub_pd(r0, q0);
-    const __m512d d1 = _mm512_sub_pd(r1, q1);
-    a0 = _mm512_fmadd_pd(d0, d0, a0);
-    a1 = _mm512_fmadd_pd(d1, d1, a1);
-  }
-  double acc = _mm512_reduce_add_pd(_mm512_add_pd(a0, a1));
-  for (; j < dim; ++j) {
-    const double d = static_cast<double>(r[j]) - q[j];
-    acc += d * d;
-  }
-  return acc;
-}
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic pop
+#ifdef VKG_KERNELS_NEON
+    case KernelVariant::kNeon:
+      return internal::RowL2Neon;
 #endif
-
-using RowKernel = double (*)(const float*, const float*, size_t);
-
-RowKernel ResolveRowKernel() {
-  if (__builtin_cpu_supports("avx512f")) return RowL2Avx512;
-  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
-    return RowL2Avx2;
+    default:
+      return nullptr;
   }
-  return RowL2Portable;
 }
 
-double RowL2(const float* r, const float* q, size_t dim) {
-  static const RowKernel kernel = ResolveRowKernel();
-  return kernel(r, q, dim);
+bool VariantRunnable(KernelVariant v) {
+  if (VariantKernel(v) == nullptr) return false;
+  const util::CpuFeatures& cpu = util::CpuInfo();
+  switch (v) {
+    case KernelVariant::kPortable:
+      return true;
+    case KernelVariant::kAvx2:
+      return cpu.avx2;
+    case KernelVariant::kAvx512:
+      return cpu.avx512f;
+    case KernelVariant::kNeon:
+      return cpu.neon;
+    case KernelVariant::kSve:
+      return false;  // probed but no kernel compiled yet
+  }
+  return false;
 }
 
-#else  // !VKG_KERNEL_DISPATCH
-
-inline double RowL2(const float* r, const float* q, size_t dim) {
-  return RowL2Portable(r, q, dim);
+KernelVariant ResolveVariant() {
+  if (const char* forced = std::getenv("VKG_KERNEL");
+      forced != nullptr && forced[0] != '\0') {
+    KernelVariant v;
+    VKG_CHECK_MSG(KernelVariantFromName(forced, &v),
+                  "VKG_KERNEL=%s is not a kernel variant "
+                  "(portable|avx2|avx512|neon|sve)",
+                  forced);
+    VKG_CHECK_MSG(VariantRunnable(v),
+                  "VKG_KERNEL=%s is not runnable here (cpu features: %s)",
+                  forced, util::CpuFeatureString().c_str());
+    return v;
+  }
+  for (KernelVariant v : {KernelVariant::kAvx512, KernelVariant::kAvx2,
+                          KernelVariant::kNeon}) {
+    if (VariantRunnable(v)) return v;
+  }
+  return KernelVariant::kPortable;
 }
 
-#endif  // VKG_KERNEL_DISPATCH
+/// The process-wide pick and its kernel pointer, resolved exactly once
+/// so every batch in a process runs the same variant.
+struct Dispatch {
+  KernelVariant variant;
+  RowKernel row;
+};
 
-}  // namespace
+const Dispatch& Dispatched() {
+  static const Dispatch d = [] {
+    const KernelVariant v = ResolveVariant();
+    return Dispatch{v, VariantKernel(v)};
+  }();
+  return d;
+}
 
-void BatchL2DistanceSquared(std::span<const float> q, const float* rows,
-                            size_t n, double* out) {
-  const size_t dim = q.size();
-  const float* qp = q.data();
+/// q zero-extended to the store's padded dimension, reused across
+/// batches on this thread. Padding the query with zeros (matching the
+/// zero-padded rows) is a bitwise no-op under the canonical kernel
+/// contract — see kernels_internal.h.
+const float* PaddedQuery(std::span<const float> q, size_t padded_dim) {
+  static thread_local std::vector<float> buf;
+  if (buf.size() < padded_dim) buf.resize(padded_dim);
+  std::memcpy(buf.data(), q.data(), q.size() * sizeof(float));
+  std::memset(buf.data() + q.size(), 0,
+              (padded_dim - q.size()) * sizeof(float));
+  return buf.data();
+}
+
+void BatchRows(RowKernel kernel, const float* q, const float* rows,
+               size_t stride, size_t dim, size_t n, double* out) {
   for (size_t i = 0; i < n; ++i) {
     // Pull upcoming rows into cache while this one computes.
-    if (i + 4 < n) PrefetchRow(rows + (i + 4) * dim);
-    out[i] = RowL2(rows + i * dim, qp, dim);
+    if (i + 4 < n) PrefetchRow(rows + (i + 4) * stride);
+    out[i] = kernel(rows + i * stride, q, dim);
   }
 }
 
-void BatchL2DistanceSquared(std::span<const float> q,
-                            const EmbeddingStore& store, uint32_t first,
-                            size_t n, double* out) {
+void BatchStore(RowKernel kernel, std::span<const float> q,
+                const EmbeddingStore& store, uint32_t first, size_t n,
+                double* out) {
   VKG_DCHECK(first + n <= store.num_entities());
   VKG_DCHECK(q.size() == store.dim());
   if (n == 0) return;
-  BatchL2DistanceSquared(q, store.Entity(first).data(), n, out);
+  if (store.has_padded_mirror()) {
+    // Aligned tail-free fast path: rows start on cache lines and
+    // padded_dim is a multiple of the 16-lane block, so the kernel body
+    // never enters its scalar tail.
+    const size_t pdim = store.padded_dim();
+    BatchRows(kernel, PaddedQuery(q, pdim), store.PaddedEntity(first), pdim,
+              pdim, n, out);
+    KernelMetrics::Get().rows_soa.Inc(n);
+    return;
+  }
+  BatchRows(kernel, q.data(), store.Entity(first).data(), store.dim(),
+            store.dim(), n, out);
+  KernelMetrics::Get().rows_rowmajor.Inc(n);
 }
 
-void GatherL2DistanceSquared(std::span<const float> q,
-                             const EmbeddingStore& store,
-                             std::span<const uint32_t> ids, double* out) {
+void GatherStore(RowKernel kernel, std::span<const float> q,
+                 const EmbeddingStore& store, std::span<const uint32_t> ids,
+                 double* out) {
   VKG_DCHECK(q.size() == store.dim());
   const size_t dim = store.dim();
   const float* qp = q.data();
   const size_t n = ids.size();
   for (size_t i = 0; i < n; ++i) {
     if (i + 4 < n) PrefetchRow(store.Entity(ids[i + 4]).data());
-    out[i] = RowL2(store.Entity(ids[i]).data(), qp, dim);
+    out[i] = kernel(store.Entity(ids[i]).data(), qp, dim);
   }
+  KernelMetrics::Get().rows_gather.Inc(n);
+}
+
+RowKernel CheckedVariantKernel(KernelVariant v) {
+  RowKernel kernel = VariantKernel(v);
+  VKG_CHECK_MSG(kernel != nullptr && VariantRunnable(v),
+                "kernel variant %.*s is not runnable here (cpu features: %s)",
+                static_cast<int>(KernelVariantName(v).size()),
+                KernelVariantName(v).data(), util::CpuFeatureString().c_str());
+  return kernel;
+}
+
+}  // namespace
+
+std::string_view KernelVariantName(KernelVariant v) {
+  switch (v) {
+    case KernelVariant::kPortable:
+      return "portable";
+    case KernelVariant::kAvx2:
+      return "avx2";
+    case KernelVariant::kAvx512:
+      return "avx512";
+    case KernelVariant::kNeon:
+      return "neon";
+    case KernelVariant::kSve:
+      return "sve";
+  }
+  return "unknown";
+}
+
+bool KernelVariantFromName(std::string_view name, KernelVariant* out) {
+  for (KernelVariant v : {KernelVariant::kPortable, KernelVariant::kAvx2,
+                          KernelVariant::kAvx512, KernelVariant::kNeon,
+                          KernelVariant::kSve}) {
+    if (name == KernelVariantName(v)) {
+      *out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<KernelVariant> RunnableKernelVariants() {
+  std::vector<KernelVariant> variants;
+  for (KernelVariant v : {KernelVariant::kPortable, KernelVariant::kAvx2,
+                          KernelVariant::kAvx512, KernelVariant::kNeon,
+                          KernelVariant::kSve}) {
+    if (VariantRunnable(v)) variants.push_back(v);
+  }
+  return variants;
+}
+
+KernelVariant DispatchedKernelVariant() { return Dispatched().variant; }
+
+std::string_view DispatchedKernelName() {
+  return KernelVariantName(Dispatched().variant);
+}
+
+void BatchL2DistanceSquared(std::span<const float> q, const float* rows,
+                            size_t n, double* out) {
+  BatchRows(Dispatched().row, q.data(), rows, q.size(), q.size(), n, out);
+}
+
+void BatchL2DistanceSquared(std::span<const float> q,
+                            const EmbeddingStore& store, uint32_t first,
+                            size_t n, double* out) {
+  BatchStore(Dispatched().row, q, store, first, n, out);
+}
+
+void GatherL2DistanceSquared(std::span<const float> q,
+                             const EmbeddingStore& store,
+                             std::span<const uint32_t> ids, double* out) {
+  GatherStore(Dispatched().row, q, store, ids, out);
+}
+
+void BatchL2DistanceSquaredVariant(KernelVariant v, std::span<const float> q,
+                                   const float* rows, size_t n, double* out) {
+  BatchRows(CheckedVariantKernel(v), q.data(), rows, q.size(), q.size(), n,
+            out);
+}
+
+void BatchL2DistanceSquaredVariant(KernelVariant v, std::span<const float> q,
+                                   const EmbeddingStore& store, uint32_t first,
+                                   size_t n, double* out) {
+  BatchStore(CheckedVariantKernel(v), q, store, first, n, out);
+}
+
+void GatherL2DistanceSquaredVariant(KernelVariant v, std::span<const float> q,
+                                    const EmbeddingStore& store,
+                                    std::span<const uint32_t> ids,
+                                    double* out) {
+  GatherStore(CheckedVariantKernel(v), q, store, ids, out);
 }
 
 }  // namespace vkg::embedding

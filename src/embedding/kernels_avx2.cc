@@ -1,0 +1,47 @@
+#include "embedding/kernels_internal.h"
+
+#ifdef VKG_KERNELS_X86
+
+#include <immintrin.h>
+
+namespace vkg::embedding::internal {
+
+// Four __m256d accumulators = the canonical 16 lanes. Note the separate
+// _mm256_mul_pd / _mm256_add_pd: the contract forbids FMA (it rounds
+// once where the other variants round twice), which is also why this
+// function targets "avx2" without "fma".
+__attribute__((target("avx2")))
+double RowL2Avx2(const float* r, const float* q, size_t dim) {
+  __m256d a0 = _mm256_setzero_pd();
+  __m256d a1 = _mm256_setzero_pd();
+  __m256d a2 = _mm256_setzero_pd();
+  __m256d a3 = _mm256_setzero_pd();
+  size_t j = 0;
+  for (; j + kKernelLanes <= dim; j += kKernelLanes) {
+    const __m256d d0 = _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(r + j)),
+                                     _mm256_cvtps_pd(_mm_loadu_ps(q + j)));
+    const __m256d d1 =
+        _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(r + j + 4)),
+                      _mm256_cvtps_pd(_mm_loadu_ps(q + j + 4)));
+    const __m256d d2 =
+        _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(r + j + 8)),
+                      _mm256_cvtps_pd(_mm_loadu_ps(q + j + 8)));
+    const __m256d d3 =
+        _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(r + j + 12)),
+                      _mm256_cvtps_pd(_mm_loadu_ps(q + j + 12)));
+    a0 = _mm256_add_pd(a0, _mm256_mul_pd(d0, d0));
+    a1 = _mm256_add_pd(a1, _mm256_mul_pd(d1, d1));
+    a2 = _mm256_add_pd(a2, _mm256_mul_pd(d2, d2));
+    a3 = _mm256_add_pd(a3, _mm256_mul_pd(d3, d3));
+  }
+  double lanes[kKernelLanes];
+  _mm256_storeu_pd(lanes + 0, a0);
+  _mm256_storeu_pd(lanes + 4, a1);
+  _mm256_storeu_pd(lanes + 8, a2);
+  _mm256_storeu_pd(lanes + 12, a3);
+  return FinishRow(lanes, r, q, dim, j);
+}
+
+}  // namespace vkg::embedding::internal
+
+#endif  // VKG_KERNELS_X86

@@ -1,0 +1,46 @@
+#include "embedding/kernels_internal.h"
+
+#ifdef VKG_KERNELS_X86
+
+#include <immintrin.h>
+
+namespace vkg::embedding::internal {
+
+// GCC's own avx512fintrin.h uses an `__m256d __Y = __Y;` self-init
+// idiom that -Wuninitialized/-Wmaybe-uninitialized flag when inlined
+// here (GCC bug 105593); suppress just for this function.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+// Two __m512d accumulators = the canonical 16 lanes. Separate mul/add
+// (no _mm512_fmadd_pd) and a spill through FinishRow instead of
+// _mm512_reduce_add_pd keep the association identical to every other
+// variant.
+__attribute__((target("avx512f")))
+double RowL2Avx512(const float* r, const float* q, size_t dim) {
+  __m512d a0 = _mm512_setzero_pd();
+  __m512d a1 = _mm512_setzero_pd();
+  size_t j = 0;
+  for (; j + kKernelLanes <= dim; j += kKernelLanes) {
+    const __m512d d0 = _mm512_sub_pd(_mm512_cvtps_pd(_mm256_loadu_ps(r + j)),
+                                     _mm512_cvtps_pd(_mm256_loadu_ps(q + j)));
+    const __m512d d1 =
+        _mm512_sub_pd(_mm512_cvtps_pd(_mm256_loadu_ps(r + j + 8)),
+                      _mm512_cvtps_pd(_mm256_loadu_ps(q + j + 8)));
+    a0 = _mm512_add_pd(a0, _mm512_mul_pd(d0, d0));
+    a1 = _mm512_add_pd(a1, _mm512_mul_pd(d1, d1));
+  }
+  double lanes[kKernelLanes];
+  _mm512_storeu_pd(lanes + 0, a0);
+  _mm512_storeu_pd(lanes + 8, a1);
+  return FinishRow(lanes, r, q, dim, j);
+}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+}  // namespace vkg::embedding::internal
+
+#endif  // VKG_KERNELS_X86

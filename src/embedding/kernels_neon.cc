@@ -1,0 +1,39 @@
+#include "embedding/kernels_internal.h"
+
+#ifdef VKG_KERNELS_NEON
+
+#include <arm_neon.h>
+
+namespace vkg::embedding::internal {
+
+// Eight float64x2_t accumulators = the canonical 16 lanes. AArch64
+// makes ASIMD mandatory, so no target attribute is needed. FMA is
+// baseline on this ISA, which is exactly why the body uses separate
+// vmulq_f64/vaddq_f64 and the build sets -ffp-contract=off: a fused
+// vfma would round once where the contract rounds twice and break
+// bit-identity with the x86 variants.
+double RowL2Neon(const float* r, const float* q, size_t dim) {
+  float64x2_t acc[8];
+  for (int i = 0; i < 8; ++i) acc[i] = vdupq_n_f64(0.0);
+  size_t j = 0;
+  for (; j + kKernelLanes <= dim; j += kKernelLanes) {
+    for (int g = 0; g < 4; ++g) {
+      const float32x4_t rf = vld1q_f32(r + j + 4 * g);
+      const float32x4_t qf = vld1q_f32(q + j + 4 * g);
+      const float64x2_t dlo =
+          vsubq_f64(vcvt_f64_f32(vget_low_f32(rf)),
+                    vcvt_f64_f32(vget_low_f32(qf)));
+      const float64x2_t dhi =
+          vsubq_f64(vcvt_high_f64_f32(rf), vcvt_high_f64_f32(qf));
+      acc[2 * g] = vaddq_f64(acc[2 * g], vmulq_f64(dlo, dlo));
+      acc[2 * g + 1] = vaddq_f64(acc[2 * g + 1], vmulq_f64(dhi, dhi));
+    }
+  }
+  double lanes[kKernelLanes];
+  for (int i = 0; i < 8; ++i) vst1q_f64(lanes + 2 * i, acc[i]);
+  return FinishRow(lanes, r, q, dim, j);
+}
+
+}  // namespace vkg::embedding::internal
+
+#endif  // VKG_KERNELS_NEON

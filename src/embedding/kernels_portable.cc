@@ -1,0 +1,23 @@
+#include "embedding/kernels_internal.h"
+
+namespace vkg::embedding::internal {
+
+// Sixteen independent scalar accumulator chains — the canonical kernel
+// written out directly. The inner loop carries no dependence between
+// lanes, so auto-vectorization (e.g. under -march=native) may pack the
+// chains into vectors without changing any association, and the result
+// stays bit-identical to the SIMD variants.
+double RowL2Portable(const float* r, const float* q, size_t dim) {
+  double lanes[kKernelLanes] = {0.0};
+  size_t j = 0;
+  for (; j + kKernelLanes <= dim; j += kKernelLanes) {
+    for (size_t l = 0; l < kKernelLanes; ++l) {
+      const double d =
+          static_cast<double>(r[j + l]) - static_cast<double>(q[j + l]);
+      lanes[l] += d * d;
+    }
+  }
+  return FinishRow(lanes, r, q, dim, j);
+}
+
+}  // namespace vkg::embedding::internal

@@ -1,16 +1,24 @@
 #include "embedding/store.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "embedding/vector_ops.h"
+#include "util/arena.h"
 #include "util/check.h"
 #include "util/serialize.h"
 
 namespace vkg::embedding {
 
 namespace {
-constexpr uint32_t kMagic = 0x564b4745;  // "VKGE"
+constexpr uint32_t kMagic = 0x564b4745;        // "VKGE" (v1, row-major only)
+constexpr uint32_t kMagicPadded = 0x564b4750;  // "VKGP" (v2, + padded_dim)
+
+size_t PaddedDimFor(size_t dim) {
+  return (dim + EmbeddingStore::kPadFloats - 1) / EmbeddingStore::kPadFloats *
+         EmbeddingStore::kPadFloats;
 }
+}  // namespace
 
 EmbeddingStore::EmbeddingStore(size_t num_entities, size_t num_relations,
                                size_t dim)
@@ -22,7 +30,25 @@ EmbeddingStore::EmbeddingStore(size_t num_entities, size_t num_relations,
   VKG_CHECK(dim > 0);
 }
 
+void EmbeddingStore::BuildPaddedMirror() {
+  const size_t pdim = PaddedDimFor(dim_);
+  const size_t total = num_entities_ * pdim;
+  float* raw = static_cast<float*>(util::AlignedAlloc(total * sizeof(float)));
+  std::shared_ptr<const float[]> mirror(
+      raw, [](const float* p) { util::AlignedFree(const_cast<float*>(p)); });
+  if (pdim != dim_) {
+    std::memset(raw, 0, total * sizeof(float));
+  }
+  for (size_t e = 0; e < num_entities_; ++e) {
+    std::memcpy(raw + e * pdim, entities_.data() + e * dim_,
+                dim_ * sizeof(float));
+  }
+  padded_ = std::move(mirror);
+  padded_dim_ = pdim;
+}
+
 void EmbeddingStore::RandomInitialize(util::Rng& rng) {
+  DropPaddedMirror();
   const double bound = 6.0 / std::sqrt(static_cast<double>(dim_));
   for (float& v : entities_) {
     v = static_cast<float>(rng.Uniform(-bound, bound));
@@ -38,24 +64,35 @@ void EmbeddingStore::RandomInitialize(util::Rng& rng) {
 std::vector<float> EmbeddingStore::QueryCenter(kg::EntityId anchor,
                                                kg::RelationId r,
                                                kg::Direction direction) const {
+  std::vector<float> q(dim_);
+  QueryCenterInto(anchor, r, direction, q);
+  return q;
+}
+
+void EmbeddingStore::QueryCenterInto(kg::EntityId anchor, kg::RelationId r,
+                                     kg::Direction direction,
+                                     std::span<float> out) const {
   VKG_CHECK(anchor < num_entities_);
   VKG_CHECK(r < num_relations_);
-  std::vector<float> q(dim_);
+  VKG_CHECK(out.size() == dim_);
   if (direction == kg::Direction::kTail) {
-    Add(Entity(anchor), Relation(r), q);
+    Add(Entity(anchor), Relation(r), out);
   } else {
-    Sub(Entity(anchor), Relation(r), q);
+    Sub(Entity(anchor), Relation(r), out);
   }
-  return q;
 }
 
 util::Status EmbeddingStore::Save(const std::string& path) const {
   util::BinaryWriter w(path);
   VKG_RETURN_IF_ERROR(w.status());
-  w.WriteU32(kMagic);
+  // The payload is row-major either way; v2 only records that a mirror
+  // (and which padded_dim) should be rebuilt on load. Plain stores keep
+  // emitting v1 bit-for-bit so old readers still load them.
+  w.WriteU32(has_padded_mirror() ? kMagicPadded : kMagic);
   w.WriteU64(num_entities_);
   w.WriteU64(num_relations_);
   w.WriteU64(dim_);
+  if (has_padded_mirror()) w.WriteU64(padded_dim_);
   w.WriteF32Array(entities_);
   w.WriteF32Array(relations_);
   w.WriteChecksum();
@@ -65,15 +102,23 @@ util::Status EmbeddingStore::Save(const std::string& path) const {
 util::Result<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
   util::BinaryReader r(path);
   VKG_RETURN_IF_ERROR(r.status());
-  if (r.ReadU32() != kMagic) {
+  const uint32_t magic = r.ReadU32();
+  if (magic != kMagic && magic != kMagicPadded) {
     return util::Status::InvalidArgument("bad embedding file magic: " + path);
   }
   uint64_t ne = r.ReadU64();
   uint64_t nr = r.ReadU64();
   uint64_t dim = r.ReadU64();
+  uint64_t padded_dim = 0;
+  if (magic == kMagicPadded) padded_dim = r.ReadU64();
   if (!r.status().ok()) return r.status();
   if (dim == 0) {
     return util::Status::InvalidArgument("zero embedding dim in " + path);
+  }
+  // The padded dim is derivable from dim; a header that disagrees is
+  // corruption, not a different layout.
+  if (magic == kMagicPadded && padded_dim != PaddedDimFor(dim)) {
+    return util::Status::DataLoss("corrupt padded dim in " + path);
   }
   // A flipped count byte must not become a giant allocation: the arrays
   // that follow cannot hold more floats than bytes remain in the file.
@@ -91,6 +136,7 @@ util::Result<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
   }
   r.VerifyChecksum();
   VKG_RETURN_IF_ERROR(r.status());
+  if (magic == kMagicPadded) store.BuildPaddedMirror();
   return store;
 }
 

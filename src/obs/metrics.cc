@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/arena.h"
 #include "util/epoch.h"
 #include "util/string_util.h"
 
@@ -211,6 +212,17 @@ void MetricsRegistry::ResetAll() {
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+void PublishArenaStats() {
+  const util::Arena::GlobalStats stats = util::Arena::GetGlobalStats();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetGauge("vkg_arena_count")
+      .Set(static_cast<double>(stats.arenas));
+  registry.GetGauge("vkg_arena_reserved_bytes")
+      .Set(static_cast<double>(stats.reserved_bytes));
+  registry.GetGauge("vkg_arena_blocks_allocated")
+      .Set(static_cast<double>(stats.blocks_allocated));
 }
 
 void PublishEpochStats() {

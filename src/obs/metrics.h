@@ -273,6 +273,11 @@ class MetricsRegistry {
 /// continuously maintained.
 void PublishEpochStats();
 
+/// Mirrors util::Arena::GetGlobalStats() into the global registry as
+/// vkg_arena_* gauges (live arena count, reserved bytes, cumulative
+/// block mallocs). Same snapshot contract as PublishEpochStats().
+void PublishArenaStats();
+
 }  // namespace vkg::obs
 
 #endif  // VKG_OBS_METRICS_H_

@@ -106,14 +106,13 @@ util::Result<AggregateResult> AggregateEngine::Aggregate(
   AggMetrics::Get().queries.Inc();
   util::QueryControl& control = ctx.control();
   const auto skip = MakeSkipFn(*graph_, spec.query);
-  std::vector<float> q_s1 = store_->QueryCenter(
-      spec.query.anchor, spec.query.relation, spec.query.direction);
-  index::Point q_s2 = index::Point::FromSpan(jl_->Apply(q_s1));
 
   // d_min via a top-1 probe (shares Algorithm 3 machinery; no cracking —
   // the aggregate's own final region cracks below). The probe shares
   // ctx's control block, so its work draws down the same budget and a
-  // stop tripped here degrades the rest of the aggregate too.
+  // stop tripped here degrades the rest of the aggregate too. It also
+  // Reset()s ctx's arena on entry, so the aggregate allocates its own
+  // arena scratch only after the probe returns.
   TopKResult nearest = top1_->TopKQuery(spec.query, 1, ctx);
   if (nearest.hits.empty()) {
     AggregateResult empty;
@@ -126,6 +125,16 @@ util::Result<AggregateResult> AggregateEngine::Aggregate(
     }
     return empty;
   }
+  util::Arena& arena = ctx.arena();
+  arena.Reset();  // reclaim the probe's scratch
+  std::span<float> q_s1 = arena.AllocateSpan<float>(store_->dim());
+  store_->QueryCenterInto(spec.query.anchor, spec.query.relation,
+                          spec.query.direction, q_s1);
+  index::Point q_s2 = [&] {
+    std::span<float> q_alpha = arena.AllocateSpan<float>(jl_->output_dim());
+    jl_->Apply(q_s1, q_alpha);
+    return index::Point::FromSpan(q_alpha);
+  }();
   ProbabilityModel pm(nearest.hits[0].distance);
   const double r_tau = pm.RadiusForThreshold(spec.prob_threshold);
   const double r_s2 = r_tau * (1.0 + eps_);
@@ -144,7 +153,8 @@ util::Result<AggregateResult> AggregateEngine::Aggregate(
                             ? std::numeric_limits<size_t>::max()
                             : spec.sample_size;
   const index::PointSet& points = tree_->points();
-  std::vector<BallPoint> accessed;
+  util::ArenaVector<BallPoint> accessed{util::ArenaAllocator<BallPoint>(
+      &arena)};
   double unaccessed_mass = 0.0;
   double unaccessed_count = 0.0;
 
@@ -181,10 +191,17 @@ util::Result<AggregateResult> AggregateEngine::Aggregate(
   const index::Node& tree_root = tree_->root();
   obs::Span contour_span(trace, "agg.contour");
   using Frontier = std::pair<double, const index::Node*>;
-  std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>>
-      frontier;
+  util::ArenaVector<Frontier> frontier_store{
+      util::ArenaAllocator<Frontier>(&arena)};
+  frontier_store.reserve(64);
+  std::priority_queue<Frontier, util::ArenaVector<Frontier>, std::greater<>>
+      frontier(std::greater<>(), std::move(frontier_store));
   frontier.emplace(tree_root.mbr.MinDistSquared(q_s2.AsSpan()),
                    &tree_root);
+  // Per-element (S2 distance, id) scratch, hoisted so its arena block is
+  // reused across contour elements.
+  util::ArenaVector<std::pair<double, uint32_t>> local{
+      util::ArenaAllocator<std::pair<double, uint32_t>>(&arena)};
   bool budget_exhausted = false;
   while (!frontier.empty()) {
     // A tripped deadline / cancellation / point budget behaves exactly
@@ -220,7 +237,7 @@ util::Result<AggregateResult> AggregateEngine::Aggregate(
       continue;
     }
     // Contour element: order its points by S2 distance and access them.
-    std::vector<std::pair<double, uint32_t>> local;
+    local.clear();
     local.reserve(node->size());
     for (uint32_t id : tree_->ElementIds(*node)) {
       double d = std::sqrt(points.DistSquared(id, q_s2.AsSpan()));
@@ -270,7 +287,9 @@ util::Result<AggregateResult> AggregateEngine::Aggregate(
     tree_->Crack(region, &control, trace);
   }
   util::Result<AggregateResult> result =
-      Estimate(spec, accessed, unaccessed_mass, unaccessed_count);
+      Estimate(spec, std::span<const BallPoint>(accessed.data(),
+                                                accessed.size()),
+               unaccessed_mass, unaccessed_count);
   if (result.ok() && control.stopped()) {
     result->quality.exact = false;
     result->quality.stop_reason = control.stop_reason();
@@ -327,7 +346,7 @@ util::Result<AggregateResult> AggregateEngine::ExactAggregate(
 }
 
 util::Result<AggregateResult> AggregateEngine::Estimate(
-    const AggregateSpec& spec, const std::vector<BallPoint>& accessed,
+    const AggregateSpec& spec, std::span<const BallPoint> accessed,
     double unaccessed_mass, double unaccessed_count) const {
   AggregateResult result;
   result.accessed = accessed.size();

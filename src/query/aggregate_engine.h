@@ -2,6 +2,7 @@
 #define VKG_QUERY_AGGREGATE_ENGINE_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -103,9 +104,10 @@ class AggregateEngine {
     double prob;
   };
 
-  util::Result<AggregateResult> Estimate(
-      const AggregateSpec& spec, const std::vector<BallPoint>& accessed,
-      double unaccessed_mass, double unaccessed_count) const;
+  util::Result<AggregateResult> Estimate(const AggregateSpec& spec,
+                                         std::span<const BallPoint> accessed,
+                                         double unaccessed_mass,
+                                         double unaccessed_count) const;
 
   const kg::KnowledgeGraph* graph_;
   const embedding::EmbeddingStore* store_;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "obs/trace.h"
+#include "util/arena.h"
 #include "util/deadline.h"
 #include "util/failpoint.h"
 
@@ -81,10 +82,12 @@ class QueryContext {
     return {visit_stamp_.data(), stamp_};
   }
 
-  /// Scratch buffers for the batched exact re-rank (candidate ids and
-  /// their squared S1 distances).
-  std::vector<uint32_t>& id_scratch() { return id_scratch_; }
-  std::vector<double>& dist_scratch() { return dist_scratch_; }
+  /// The per-query bump arena: candidate/distance buffers, re-rank
+  /// heaps, query-center and JL projection scratch. Engines Reset() it
+  /// on entry, so anything allocated from it lives until the next query
+  /// on this context (util::Arena lifetime rules, DESIGN.md §6j).
+  /// Contexts are per-worker-thread, so arenas are per-shard for free.
+  util::Arena& arena() { return arena_; }
 
   /// The per-query trace the engines record phase spans into, or null
   /// (the default) when this query is not being traced. The context does
@@ -99,8 +102,7 @@ class QueryContext {
   obs::Trace* trace_ = nullptr;
   std::vector<uint32_t> visit_stamp_;
   uint32_t stamp_ = 0;
-  std::vector<uint32_t> id_scratch_;
-  std::vector<double> dist_scratch_;
+  util::Arena arena_;
 };
 
 }  // namespace vkg::query

@@ -97,8 +97,10 @@ TopKResult LinearTopKEngine::TopKQuery(const data::Query& query, size_t k,
   obs::ScopedLatencyUs latency(TopKMetrics::Get().latency_us);
   obs::Span span(ctx.trace(), "topk.linear");
   util::QueryControl& control = ctx.control();
-  std::vector<float> q =
-      store_->QueryCenter(query.anchor, query.relation, query.direction);
+  util::Arena& arena = ctx.arena();
+  arena.Reset();
+  std::span<float> q = arena.AllocateSpan<float>(store_->dim());
+  store_->QueryCenterInto(query.anchor, query.relation, query.direction, q);
   const auto skip = MakeSkipFn(*graph_, query);
   const size_t points_before = control.points();
   auto pairs = scan_.TopK(
@@ -139,9 +141,10 @@ RTreeTopKEngine::RTreeTopKEngine(const kg::KnowledgeGraph* graph,
   VKG_CHECK(eps > 0);
 }
 
-std::vector<uint32_t> RTreeTopKEngine::SeedCandidates(
+void RTreeTopKEngine::SeedCandidates(
     const index::Node& element, const index::Point& q_s2, size_t k,
-    const std::function<bool(uint32_t)>& skip) const {
+    const std::function<bool(uint32_t)>& skip,
+    util::ArenaVector<uint32_t>& seeds) const {
   // Traverse the element's points outward from q along sort order 0
   // (increasing |coord0 - q0|), as described for line 2 of Algorithm 3.
   std::span<const uint32_t> ids = tree_->ElementIds(element, /*s=*/0);
@@ -154,7 +157,7 @@ std::vector<uint32_t> RTreeTopKEngine::SeedCandidates(
                        }) -
       ids.begin());
 
-  std::vector<uint32_t> seeds;
+  seeds.reserve(k);
   size_t left = pos;   // next candidate on the left is ids[left - 1]
   size_t right = pos;  // next candidate on the right is ids[right]
   while (seeds.size() < k && (left > 0 || right < ids.size())) {
@@ -170,7 +173,6 @@ std::vector<uint32_t> RTreeTopKEngine::SeedCandidates(
     uint32_t id = take_left ? ids[--left] : ids[right++];
     if (!skip(id)) seeds.push_back(id);
   }
-  return seeds;
 }
 
 TopKResult RTreeTopKEngine::TopKQuery(const data::Query& query, size_t k,
@@ -180,12 +182,16 @@ TopKResult RTreeTopKEngine::TopKQuery(const data::Query& query, size_t k,
   obs::Span span(trace, "topk.rtree");
   span.SetAttr("k", static_cast<double>(k));
   util::QueryControl& control = ctx.control();
+  util::Arena& arena = ctx.arena();
+  arena.Reset();
   const std::function<bool(uint32_t)> skip = MakeSkipFn(*graph_, query);
-  std::vector<float> q_s1 =
-      store_->QueryCenter(query.anchor, query.relation, query.direction);
+  std::span<float> q_s1 = arena.AllocateSpan<float>(store_->dim());
+  store_->QueryCenterInto(query.anchor, query.relation, query.direction, q_s1);
   index::Point q_s2 = [&] {
     obs::Span jl_span(trace, "jl.project");
-    return index::Point::FromSpan(jl_->Apply(q_s1));
+    std::span<float> q_alpha = arena.AllocateSpan<float>(jl_->output_dim());
+    jl_->Apply(q_s1, q_alpha);
+    return index::Point::FromSpan(q_alpha);
   }();
 
   if (store_->num_entities() == 0 || k == 0) return {};
@@ -194,10 +200,16 @@ TopKResult RTreeTopKEngine::TopKQuery(const data::Query& query, size_t k,
   const auto [visit_stamp, stamp] = ctx.BeginQuery(store_->num_entities());
 
   size_t candidates = 0;
-  // Max-heap of the best k (S1 squared distance, id).
-  std::priority_queue<std::pair<double, uint32_t>> best;
-  std::vector<uint32_t>& cand = ctx.id_scratch();
-  std::vector<double>& dist = ctx.dist_scratch();
+  // Max-heap of the best k (S1 squared distance, id); its backing
+  // vector lives in the query arena like all scratch below.
+  using Best = std::pair<double, uint32_t>;
+  util::ArenaVector<Best> best_store{util::ArenaAllocator<Best>(&arena)};
+  best_store.reserve(k + 1);
+  std::priority_queue<Best, util::ArenaVector<Best>> best(
+      std::less<Best>(), std::move(best_store));
+  constexpr size_t kExamineBlock = 256;
+  std::span<uint32_t> cand = arena.AllocateSpan<uint32_t>(kExamineBlock);
+  std::span<double> dist = arena.AllocateSpan<double>(kExamineBlock);
   // Exact S1 re-rank of a candidate batch: filter already-seen/skipped
   // ids, evaluate the survivors through the gather kernel, then fold
   // them into the heap in order (identical results to one-at-a-time).
@@ -205,23 +217,22 @@ TopKResult RTreeTopKEngine::TopKQuery(const data::Query& query, size_t k,
   // observed mid-element; the seed batch runs unchecked (enforce ==
   // false) so every query — even one that starts already expired —
   // returns a non-empty best-effort answer.
-  constexpr size_t kExamineBlock = 256;
   auto examine = [&](std::span<const uint32_t> ids, bool enforce) {
     for (size_t base = 0; base < ids.size(); base += kExamineBlock) {
       if (enforce && control.ShouldStop()) return;
       const size_t len = std::min(kExamineBlock, ids.size() - base);
-      cand.clear();
+      size_t cnt = 0;
       for (uint32_t id : ids.subspan(base, len)) {
         if (visit_stamp[id] == stamp) continue;
         visit_stamp[id] = stamp;
         if (skip(id)) continue;
-        cand.push_back(id);
+        cand[cnt++] = id;
       }
-      dist.resize(cand.size());
-      embedding::GatherL2DistanceSquared(q_s1, *store_, cand, dist.data());
-      candidates += cand.size();
-      control.AddPoints(cand.size());
-      for (size_t i = 0; i < cand.size(); ++i) {
+      embedding::GatherL2DistanceSquared(q_s1, *store_, cand.first(cnt),
+                                         dist.data());
+      candidates += cnt;
+      control.AddPoints(cnt);
+      for (size_t i = 0; i < cnt; ++i) {
         const double d2 = dist[i];
         if (best.size() < k) {
           best.emplace(d2, cand[i]);
@@ -263,9 +274,11 @@ TopKResult RTreeTopKEngine::TopKQuery(const data::Query& query, size_t k,
     }();
     {
       obs::Span seed_span(trace, "seed");
-      std::vector<uint32_t> seeds = SeedCandidates(*element, q_s2, k, skip);
+      util::ArenaVector<uint32_t> seeds{
+          util::ArenaAllocator<uint32_t>(&arena)};
+      SeedCandidates(*element, q_s2, k, skip, seeds);
       seed_span.SetAttr("seeds", static_cast<double>(seeds.size()));
-      examine(seeds, /*enforce=*/false);
+      examine({seeds.data(), seeds.size()}, /*enforce=*/false);
     }
 
     // Lines 4-8: iteratively shrink Q while examining its points. The
@@ -283,8 +296,11 @@ TopKResult RTreeTopKEngine::TopKQuery(const data::Query& query, size_t k,
     obs::Span frontier_span(trace, "frontier");
     size_t frontier_pops = 0;
     using Frontier = std::pair<double, const index::Node*>;  // (mindist, node)
-    std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>>
-        frontier;
+    util::ArenaVector<Frontier> frontier_store{
+        util::ArenaAllocator<Frontier>(&arena)};
+    frontier_store.reserve(64);
+    std::priority_queue<Frontier, util::ArenaVector<Frontier>, std::greater<>>
+        frontier(std::greater<>(), std::move(frontier_store));
     frontier.emplace(tree_root.mbr.MinDistSquared(q_s2.AsSpan()),
                      &tree_root);
     while (!frontier.empty()) {

@@ -135,9 +135,10 @@ class RTreeTopKEngine : public TopKEngine {
  private:
   // Seeds N_q: up to k entities from the contour element containing q,
   // walked outward along one sort order (line 2 of Algorithm 3).
-  std::vector<uint32_t> SeedCandidates(
-      const index::Node& element, const index::Point& q_s2, size_t k,
-      const std::function<bool(uint32_t)>& skip) const;
+  // Appends into `seeds` (arena-backed per-query scratch).
+  void SeedCandidates(const index::Node& element, const index::Point& q_s2,
+                      size_t k, const std::function<bool(uint32_t)>& skip,
+                      util::ArenaVector<uint32_t>& seeds) const;
 
   const kg::KnowledgeGraph* graph_;
   const embedding::EmbeddingStore* store_;

@@ -105,7 +105,7 @@ uint64_t SumRecoveries(const ServerStats& stats) {
 std::vector<std::string> AllChaosSites() {
   return {"server.admit",  "server.cache",   "server.shard_dispatch",
           "server.queue",  "cracking.split", "cracking.publish",
-          "alloc.scratch"};
+          "alloc.scratch", "alloc.arena"};
 }
 
 bool ChaosReport::Passed(const ChaosConfig& config) const {

@@ -606,6 +606,9 @@ void VkgServer::PublishStats() const {
   reg.GetGauge("vkg_server_breaker_fast_fails")
       .Set(static_cast<double>(fast_fails));
   reg.GetGauge("vkg_server_breaker_open_shards").Set(open_shards);
+  // The per-worker query arenas (one per shard worker context) are
+  // server-owned memory too; mirror their aggregates alongside.
+  obs::PublishArenaStats();
 }
 
 }  // namespace vkg::server

@@ -1,0 +1,102 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/failpoint.h"
+
+namespace vkg::util {
+
+namespace {
+
+// Process-wide aggregates (relaxed: monitoring, not synchronization).
+std::atomic<size_t> g_arenas{0};
+std::atomic<size_t> g_reserved_bytes{0};
+std::atomic<size_t> g_blocks_allocated{0};
+
+size_t RoundUp(size_t n, size_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+void* AlignedAlloc(size_t bytes) {
+  return ::operator new(bytes, std::align_val_t{Arena::kAlignment});
+}
+
+void AlignedFree(void* p) {
+  ::operator delete(p, std::align_val_t{Arena::kAlignment});
+}
+
+Arena::Arena() { g_arenas.fetch_add(1, std::memory_order_relaxed); }
+
+Arena::~Arena() {
+  for (const Block& b : blocks_) AlignedFree(b.data);
+  g_reserved_bytes.fetch_sub(bytes_reserved_, std::memory_order_relaxed);
+  g_arenas.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void* Arena::Allocate(size_t bytes) {
+  bytes = RoundUp(std::max<size_t>(bytes, 1), kAlignment);
+  if (head_ + bytes > end_) return AllocateSlow(bytes);
+  void* p = head_;
+  head_ += bytes;
+  bytes_used_ += bytes;
+  high_water_bytes_ = std::max(high_water_bytes_, bytes_used_);
+  return p;
+}
+
+void* Arena::AllocateSlow(size_t bytes) {
+  // Block growth is the arena's only malloc; it is where memory
+  // pressure shows up, so it carries the fault-injection site.
+  if (VKG_FAILPOINT("alloc.arena")) throw std::bad_alloc();
+  size_t capacity = std::max(bytes, kMinBlockBytes);
+  if (!blocks_.empty()) {
+    capacity = std::max(capacity, blocks_.back().capacity * 2);
+  }
+  Block block;
+  block.data = static_cast<char*>(AlignedAlloc(capacity));
+  block.capacity = capacity;
+  blocks_.push_back(block);
+  bytes_reserved_ += capacity;
+  g_reserved_bytes.fetch_add(capacity, std::memory_order_relaxed);
+  g_blocks_allocated.fetch_add(1, std::memory_order_relaxed);
+  head_ = block.data + bytes;
+  end_ = block.data + capacity;
+  bytes_used_ += bytes;
+  high_water_bytes_ = std::max(high_water_bytes_, bytes_used_);
+  return block.data;
+}
+
+void Arena::Reset() {
+  if (blocks_.size() > 1) {
+    // Keep only the largest block: a steady-state query re-runs with
+    // zero mallocs once one block fits its whole working set.
+    auto largest = std::max_element(
+        blocks_.begin(), blocks_.end(),
+        [](const Block& a, const Block& b) { return a.capacity < b.capacity; });
+    const Block keep = *largest;
+    for (const Block& b : blocks_) {
+      if (b.data != keep.data) AlignedFree(b.data);
+    }
+    g_reserved_bytes.fetch_sub(bytes_reserved_ - keep.capacity,
+                               std::memory_order_relaxed);
+    bytes_reserved_ = keep.capacity;
+    blocks_.assign(1, keep);
+  }
+  bytes_used_ = 0;
+  if (!blocks_.empty()) {
+    head_ = blocks_.front().data;
+    end_ = head_ + blocks_.front().capacity;
+  }
+}
+
+Arena::GlobalStats Arena::GetGlobalStats() {
+  GlobalStats stats;
+  stats.arenas = g_arenas.load(std::memory_order_relaxed);
+  stats.reserved_bytes = g_reserved_bytes.load(std::memory_order_relaxed);
+  stats.blocks_allocated = g_blocks_allocated.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace vkg::util

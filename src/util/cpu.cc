@@ -1,0 +1,52 @@
+#include "util/cpu.h"
+
+#if defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_SVE
+#define HWCAP_SVE (1 << 22)  // linux/arch/arm64/include/uapi/asm/hwcap.h
+#endif
+#endif
+
+namespace vkg::util {
+
+namespace {
+
+CpuFeatures Probe() {
+  CpuFeatures f;
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.fma = __builtin_cpu_supports("fma");
+  f.avx512f = __builtin_cpu_supports("avx512f");
+#elif defined(__aarch64__)
+  f.neon = true;  // ASIMD is mandatory in AArch64.
+#if defined(__linux__)
+  f.sve = (getauxval(AT_HWCAP) & HWCAP_SVE) != 0;
+#endif
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& CpuInfo() {
+  static const CpuFeatures features = Probe();
+  return features;
+}
+
+std::string CpuFeatureString() {
+  const CpuFeatures& f = CpuInfo();
+  std::string out;
+  const auto add = [&out](const char* name) {
+    if (!out.empty()) out += ',';
+    out += name;
+  };
+  if (f.avx2) add("avx2");
+  if (f.fma) add("fma");
+  if (f.avx512f) add("avx512f");
+  if (f.neon) add("neon");
+  if (f.sve) add("sve");
+  if (out.empty()) out = "none";
+  return out;
+}
+
+}  // namespace vkg::util

@@ -43,6 +43,10 @@ namespace vkg::util {
 ///   serialize.read      — injected read error in the persistence layer
 ///   serialize.write     — injected write error in the persistence layer
 ///   alloc.scratch       — per-query scratch allocation throws bad_alloc
+///   alloc.arena         — a query arena's block growth throws
+///                         bad_alloc (util::Arena::Allocate slow path;
+///                         same per-request isolation contract as
+///                         alloc.scratch)
 ///   threadpool.dispatch — task dispatch failure in util::ThreadPool
 ///   batch.query         — one batch slot fails with an internal error
 ///   server.admit        — admission control rejects one request

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -281,6 +282,74 @@ TEST(PersistenceTest, RejectsTruncatedFiles) {
   auto size = std::filesystem::file_size(path);
   std::filesystem::resize_file(path, size * 6 / 10);
   EXPECT_FALSE(CrackingRTree::Load(path, &ps).ok());
+  std::remove(path.c_str());
+}
+
+// A store with a padded SoA mirror saves as v2 ("VKGP") and the loader
+// rebuilds the mirror; a plain store keeps emitting the v1 magic so
+// old files and old readers are unaffected.
+TEST(PersistenceTest, PaddedEmbeddingStoreRoundTrips) {
+  util::Rng rng(202);
+  embedding::EmbeddingStore store(30, 3, 37);  // dim 37 pads to 48
+  store.RandomInitialize(rng);
+  store.BuildPaddedMirror();
+  ASSERT_TRUE(store.has_padded_mirror());
+
+  std::string path = TempPath("vkg_emb_padded.bin");
+  ASSERT_TRUE(store.Save(path).ok());
+  const std::vector<char> bytes = ReadFile(path);
+  // Little-endian u32 of "VKGP" (0x564b4750) leads with 0x50.
+  EXPECT_EQ(static_cast<unsigned char>(bytes[0]), 0x50u);
+
+  auto loaded = embedding::EmbeddingStore::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded->has_padded_mirror());
+  EXPECT_EQ(loaded->padded_dim(), store.padded_dim());
+  // Read through const refs: the mutable Entity() overload drops the
+  // mirror (writes through the span would stale it).
+  const embedding::EmbeddingStore& lref = *loaded;
+  const embedding::EmbeddingStore& sref = store;
+  for (uint32_t e = 0; e < 30; ++e) {
+    EXPECT_EQ(0, std::memcmp(lref.Entity(e).data(), sref.Entity(e).data(),
+                             37 * sizeof(float)));
+    EXPECT_EQ(0, std::memcmp(lref.PaddedEntity(e), sref.PaddedEntity(e),
+                             store.padded_dim() * sizeof(float)));
+  }
+
+  // The same store without a mirror writes v1 bit-for-bit.
+  store.DropPaddedMirror();
+  ASSERT_TRUE(store.Save(path).ok());
+  const std::vector<char> v1 = ReadFile(path);
+  EXPECT_EQ(static_cast<unsigned char>(v1[0]), 0x45u);  // "VKGE"
+  EXPECT_EQ(v1.size(), bytes.size() - sizeof(uint64_t));
+  auto plain = embedding::EmbeddingStore::Load(path);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->has_padded_mirror());
+  std::remove(path.c_str());
+}
+
+// The padded dim is derived state: a header that disagrees with
+// PaddedDimFor(dim) is corruption, and every byte flip anywhere in a v2
+// file must still be detected (field checks or trailing checksum).
+TEST(PersistenceTest, PaddedEmbeddingStoreRejectsCorruption) {
+  util::Rng rng(203);
+  embedding::EmbeddingStore store(20, 2, 16);
+  store.RandomInitialize(rng);
+  store.BuildPaddedMirror();
+  std::string path = TempPath("vkg_emb_padded_corrupt.bin");
+  ASSERT_TRUE(store.Save(path).ok());
+
+  const std::vector<char> original = ReadFile(path);
+  for (size_t off = 0; off < original.size();
+       off += (off < 64 ? 1 : 53)) {
+    std::vector<char> corrupted = original;
+    corrupted[off] ^= 0x10;
+    WriteFile(path, corrupted);
+    EXPECT_FALSE(embedding::EmbeddingStore::Load(path).ok())
+        << "flip at byte " << off;
+  }
+  WriteFile(path, original);
+  EXPECT_TRUE(embedding::EmbeddingStore::Load(path).ok());
   std::remove(path.c_str());
 }
 

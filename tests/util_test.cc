@@ -7,7 +7,9 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "util/arena.h"
 #include "util/csv.h"
+#include "util/failpoint.h"
 #include "util/math_util.h"
 #include "util/random.h"
 #include "util/serialize.h"
@@ -350,6 +352,81 @@ TEST(TimerTest, AccumulatingTimer) {
   EXPECT_GE(t.TotalSeconds(), 0.0);
   t.Reset();
   EXPECT_EQ(t.TotalSeconds(), 0.0);
+}
+
+// --- arena -------------------------------------------------------------------------
+
+TEST(ArenaTest, AllocationsAreCacheLineAligned) {
+  Arena arena;
+  for (size_t bytes : {1u, 7u, 63u, 64u, 65u, 4096u}) {
+    void* p = arena.Allocate(bytes);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % Arena::kAlignment, 0u)
+        << "bytes=" << bytes;
+  }
+  // Spans inherit the alignment and don't overlap.
+  std::span<double> a = arena.AllocateSpan<double>(10);
+  std::span<double> b = arena.AllocateSpan<double>(10);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a.data()) % Arena::kAlignment, 0u);
+  for (size_t i = 0; i < 10; ++i) a[i] = 1.0;
+  for (size_t i = 0; i < 10; ++i) b[i] = 2.0;
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(a[i], 1.0);
+  EXPECT_TRUE(arena.AllocateSpan<float>(0).empty());
+}
+
+TEST(ArenaTest, ResetReusesTheLargestBlock) {
+  Arena arena;
+  // Force growth past the first block, then some.
+  arena.Allocate(Arena::kMinBlockBytes);
+  arena.Allocate(4 * Arena::kMinBlockBytes);
+  const size_t reserved_before = arena.bytes_reserved();
+  EXPECT_GT(arena.bytes_used(), 0u);
+
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  // Only the largest block survives, and steady-state allocations out
+  // of it are malloc-free: reserved bytes stay put.
+  EXPECT_LE(arena.bytes_reserved(), reserved_before);
+  const size_t reserved_after = arena.bytes_reserved();
+  arena.Allocate(Arena::kMinBlockBytes);
+  EXPECT_EQ(arena.bytes_reserved(), reserved_after);
+  EXPECT_GE(arena.high_water_bytes(), 5u * Arena::kMinBlockBytes);
+}
+
+TEST(ArenaTest, GlobalStatsTrackLiveArenas) {
+  const Arena::GlobalStats before = Arena::GetGlobalStats();
+  {
+    Arena arena;
+    arena.Allocate(128);
+    const Arena::GlobalStats during = Arena::GetGlobalStats();
+    EXPECT_EQ(during.arenas, before.arenas + 1);
+    EXPECT_GE(during.reserved_bytes,
+              before.reserved_bytes + Arena::kMinBlockBytes);
+    EXPECT_GT(during.blocks_allocated, before.blocks_allocated);
+  }
+  const Arena::GlobalStats after = Arena::GetGlobalStats();
+  EXPECT_EQ(after.arenas, before.arenas);
+  EXPECT_EQ(after.reserved_bytes, before.reserved_bytes);
+}
+
+TEST(ArenaTest, ArenaVectorGrowsInArena) {
+  Arena arena;
+  ArenaVector<uint32_t> v{ArenaAllocator<uint32_t>(&arena)};
+  for (uint32_t i = 0; i < 1000; ++i) v.push_back(i);
+  for (uint32_t i = 0; i < 1000; ++i) ASSERT_EQ(v[i], i);
+  EXPECT_GE(arena.bytes_used(), 1000 * sizeof(uint32_t));
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(v.data()) % alignof(uint32_t), 0u);
+}
+
+TEST(ArenaTest, BlockGrowthFailpointThrowsBadAlloc) {
+  Arena arena;  // fresh arena: first Allocate must take the slow path
+  ASSERT_TRUE(FailPointRegistry::Instance()
+                  .ConfigureSite("alloc.arena", "1*fail")
+                  .ok());
+  EXPECT_THROW(arena.Allocate(64), std::bad_alloc);
+  FailPointRegistry::Instance().Clear();
+  // Disarmed, the same arena recovers.
+  EXPECT_NE(arena.Allocate(64), nullptr);
 }
 
 }  // namespace

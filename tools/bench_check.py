@@ -95,6 +95,19 @@ ABSOLUTE_MAX = {
     ("net_throughput", "net_error_ratio"): 0.0,
 }
 
+# Minimum speedup ratios checked on the NEW document alone, but only
+# when it carries "scaling_valid": true — a document produced on an
+# oversubscribed host proves nothing about kernel throughput either.
+# soa_over_portable is the dispatched SIMD kernel on the aligned padded
+# SoA layout vs. the portable kernel on row-major rows; the floor is
+# deliberately far below the ~1.4x measured because smoke runs share
+# noisy CI cores. A value under 1.05 means the SIMD dispatch or the
+# aligned fast path stopped engaging, not that the host was slow.
+# Keyed by (bench name, record name) -> minimum ratio.
+SPEEDUP_MIN = {
+    ("micro_distance_kernels", "soa_over_portable"): 1.05,
+}
+
 
 def fail_line(name, measured, relation, threshold, unit, context=""):
     """One canonical single-line failure message.
@@ -181,6 +194,34 @@ def check_absolute(doc):
     return failures, checked
 
 
+def check_speedup(doc):
+    """Absolute speedup floors for one result document.
+
+    Returns (failures, checked, skipped). Only records named in
+    SPEEDUP_MIN for this document's bench are gated; documents marked
+    "scaling_valid": false are skipped with a log line, never failed.
+    """
+    values = records(doc)
+    bench = doc.get("bench", "")
+    failures = []
+    checked = 0
+    skipped = 0
+    for (gated_bench, name), floor in sorted(SPEEDUP_MIN.items()):
+        if gated_bench != bench or name not in values:
+            continue
+        if not doc.get("scaling_valid", False):
+            print(f"  [info] speedup gate on {name} skipped: "
+                  "scaling_valid is false")
+            skipped += 1
+            continue
+        value, unit = values[name]
+        checked += 1
+        if value < floor:
+            failures.append(fail_line(name, value, ">=", floor, unit,
+                                      context="speedup floor"))
+    return failures, checked, skipped
+
+
 def check_file(result_path, baseline_path):
     """Returns (failures, checked, skipped) for one bench file."""
     new_doc = load_doc(result_path)
@@ -233,6 +274,11 @@ def check_file(result_path, baseline_path):
     absolute_failures, absolute_checked = check_absolute(new_doc)
     failures.extend(absolute_failures)
     checked += absolute_checked
+    speedup_failures, speedup_checked, speedup_skipped = check_speedup(
+        new_doc)
+    failures.extend(speedup_failures)
+    checked += speedup_checked
+    skipped += speedup_skipped
     return failures, checked, skipped
 
 

@@ -250,6 +250,66 @@ class NetGateTest(unittest.TestCase):
         self.assertIn("net_warm_cache_hit_ratio", failures[0])
 
 
+class SpeedupGateTest(unittest.TestCase):
+    """The SPEEDUP_MIN floors (SoA/SIMD kernel engagement)."""
+
+    def rec(self, value):
+        return {"name": "soa_over_portable", "value": value, "unit": "x"}
+
+    def test_healthy_speedup_passes(self):
+        failures, checked, skipped = bench_check.check_speedup(
+            doc([self.rec(1.4)], scaling_valid=True,
+                bench="micro_distance_kernels"))
+        self.assertEqual(failures, [])
+        self.assertEqual(checked, 1)
+        self.assertEqual(skipped, 0)
+
+    def test_disengaged_fast_path_fails(self):
+        failures, checked, _ = bench_check.check_speedup(
+            doc([self.rec(0.97)], scaling_valid=True,
+                bench="micro_distance_kernels"))
+        self.assertEqual(len(failures), 1)
+        self.assertEqual(checked, 1)
+        self.assertIn("soa_over_portable", failures[0])
+        self.assertIn("measured 0.970x", failures[0])
+        self.assertIn("threshold >= 1.050x", failures[0])
+
+    def test_exactly_at_floor_passes(self):
+        failures, _, _ = bench_check.check_speedup(
+            doc([self.rec(1.05)], scaling_valid=True,
+                bench="micro_distance_kernels"))
+        self.assertEqual(failures, [])
+
+    def test_scaling_invalid_is_skipped_not_failed(self):
+        failures, checked, skipped = bench_check.check_speedup(
+            doc([self.rec(0.5)], scaling_valid=False,
+                bench="micro_distance_kernels"))
+        self.assertEqual(failures, [])
+        self.assertEqual(checked, 0)
+        self.assertEqual(skipped, 1)
+
+    def test_missing_flag_treated_as_invalid(self):
+        failures, checked, skipped = bench_check.check_speedup(
+            doc([self.rec(0.5)], bench="micro_distance_kernels"))
+        self.assertEqual(failures, [])
+        self.assertEqual(checked, 0)
+        self.assertEqual(skipped, 1)
+
+    def test_other_bench_is_not_gated(self):
+        failures, checked, skipped = bench_check.check_speedup(
+            doc([self.rec(0.5)], scaling_valid=True))
+        self.assertEqual(failures, [])
+        self.assertEqual(checked, 0)
+        self.assertEqual(skipped, 0)
+
+    def test_missing_record_is_not_a_failure(self):
+        failures, checked, skipped = bench_check.check_speedup(
+            doc([], scaling_valid=True, bench="micro_distance_kernels"))
+        self.assertEqual(failures, [])
+        self.assertEqual(checked, 0)
+        self.assertEqual(skipped, 0)
+
+
 class CheckFileTest(unittest.TestCase):
     """End-to-end over real files: baseline ratio gates + scaling gate."""
 
